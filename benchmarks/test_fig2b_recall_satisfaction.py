@@ -1,0 +1,31 @@
+"""Figure 2(b): fraction of runs meeting the recall constraint vs rho."""
+
+from conftest import run_once
+
+from repro.experiments.experiment1 import figure2a_2b
+from repro.experiments.report import format_series
+
+RHO_VALUES = (0.5, 0.7, 0.9)
+ITERATIONS = 6
+
+
+def test_figure2b_recall_satisfaction(benchmark, bench_config):
+    results = run_once(
+        benchmark,
+        figure2a_2b,
+        bench_config,
+        rho_values=RHO_VALUES,
+        dataset_names=("census", "marketing"),
+        iterations=ITERATIONS,
+    )
+    series = {
+        dataset: {rho: rates["recall_rate"] for rho, rates in per_rho.items()}
+        for dataset, per_rho in results.items()
+    }
+    print("\nFigure 2(b) — fraction of runs satisfying the recall constraint")
+    print(format_series(series, x_label="rho"))
+
+    slack = 1.0 / ITERATIONS + 1e-9
+    for per_rho in series.values():
+        for rho, rate in per_rho.items():
+            assert rate >= rho - slack

@@ -1,0 +1,88 @@
+"""The Section 5 extensions: cost budgets, multiple UDFs, select-then-join.
+
+Three self-contained mini-scenarios on the Census-like dataset:
+
+1. **Budgeted recall** — "I can afford 5,000 cost units; find as many
+   high-income people as possible at 80% precision."
+2. **Two chained UDF predicates** — an income check *and* a consent check,
+   with accuracy specified only on the conjunction.
+3. **Select-then-join** — selected people are joined with a purchases table,
+   so people with many purchases matter more to the join output's accuracy.
+
+Run with::
+
+    python examples/budget_and_extensions.py
+"""
+
+from __future__ import annotations
+
+from repro import QueryConstraints, load_dataset
+from repro.core.extensions.budget import solve_budgeted_recall
+from repro.core.extensions.join import JoinGroup, solve_join_aware
+from repro.core.extensions.multi_predicate import MultiPredicateGroup, solve_multi_predicate
+from repro.core.groups import SelectivityModel
+from repro.db.index import GroupIndex
+
+
+def build_model(dataset) -> SelectivityModel:
+    """Exact per-group selectivities (stands in for a sampling phase)."""
+    index = GroupIndex(dataset.table, dataset.correlated_column)
+    return SelectivityModel.from_ground_truth(index, dataset.ground_truth_row_ids())
+
+
+def main() -> None:
+    dataset = load_dataset("census", random_state=31, scale=0.2)
+    model = build_model(dataset)
+    print(f"dataset: {dataset.name}, {dataset.num_rows} rows, "
+          f"{len(model)} groups under {dataset.correlated_column!r}\n")
+
+    # 1. Budget-constrained recall maximisation.
+    print("1) budgeted recall (precision >= 0.8 with probability 0.8)")
+    for budget in (2_000.0, 8_000.0, 20_000.0):
+        solution = solve_budgeted_recall(model, precision_bound=0.8, rho=0.8, budget=budget)
+        print(
+            f"   budget {budget:>8.0f}: expected recall {solution.expected_recall:.2f}, "
+            f"expected cost {solution.expected_cost:.0f}"
+        )
+
+    # 2. Conjunction of two expensive predicates (income check AND consent check).
+    print("\n2) two chained UDF predicates")
+    groups = [
+        MultiPredicateGroup(
+            key=group.key,
+            size=group.size,
+            # income-check selectivity from the data; consent assumed ~70% everywhere.
+            selectivities=(group.selectivity, 0.7),
+        )
+        for group in model
+    ]
+    solution = solve_multi_predicate(groups, QueryConstraints(alpha=0.7, beta=0.7, rho=0.8))
+    print(f"   expected cost            : {solution.expected_cost:.0f}")
+    print(f"   expected correct returned: {solution.expected_returned_correct:.0f}")
+    for key, actions in list(solution.plan.action_probabilities.items())[:3]:
+        print(f"   group {key!r}: {{" + ", ".join(
+            f"{'+'.join('E' if a == 'evaluate' else 'A' for a in action)}: {p:.2f}"
+            for action, p in actions.items()
+        ) + "}")
+
+    # 3. Selection followed by a join with a purchases table.
+    print("\n3) select-then-join (tuples weighted by join fan-out)")
+    join_groups = []
+    for group in model:
+        # Split each group into a high-fanout and a low-fanout half.
+        half = max(1, group.size // 2)
+        join_groups.append(JoinGroup((group.key, "many_purchases"), half, group.selectivity, 8.0))
+        join_groups.append(JoinGroup((group.key, "few_purchases"), group.size - half, group.selectivity, 1.0))
+    join_solution = solve_join_aware(join_groups, QueryConstraints(0.8, 0.8, 0.8))
+    print(f"   expected cost                : {join_solution.expected_cost:.0f}")
+    print(f"   expected correct join output : {join_solution.expected_output_correct:.0f}")
+    heavy = join_solution.plan.decision((model.groups[0].key, "many_purchases"))
+    light = join_solution.plan.decision((model.groups[0].key, "few_purchases"))
+    print(
+        f"   first group: retrieve prob {heavy.retrieve_probability:.2f} (fanout 8) "
+        f"vs {light.retrieve_probability:.2f} (fanout 1)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Tele-marketing targeting with a logistic-regression virtual column.
+
+The Marketing-like dataset has low selectivity (~11% of clients subscribe) and
+no single obviously-correlated column.  This example lets Intel-Sample build
+its own *virtual* correlated column (paper Section 4.4): it labels ~1% of the
+rows, trains a logistic regressor from the visible attributes, buckets the
+probability scores, and then treats the bucket id as the grouping attribute.
+
+Run with::
+
+    python examples/marketing_virtual_column.py
+"""
+
+from __future__ import annotations
+
+from repro import CostLedger, IntelSample, NaiveBaseline, QueryConstraints, load_dataset
+from repro.stats.metrics import result_quality
+
+
+def main() -> None:
+    dataset = load_dataset("marketing", random_state=23, scale=0.25)
+    constraints = QueryConstraints(alpha=0.7, beta=0.7, rho=0.8)
+    truth = dataset.ground_truth_row_ids()
+    print(
+        f"dataset: {dataset.name}, {dataset.num_rows} rows, "
+        f"selectivity {dataset.overall_selectivity:.2f}"
+    )
+
+    # Virtual-column pipeline: no correlated column is named anywhere.
+    ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+    strategy = IntelSample(use_virtual_column=True, num_buckets=10, random_state=5)
+    result = strategy.answer(dataset.table, dataset.make_udf("subscribes"), constraints, ledger)
+    quality = result_quality(result.row_ids, truth)
+    report = result.metadata["report"]
+
+    print("\nIntel-Sample with a logistic-regression virtual column")
+    print(f"  grouping column     : {report.correlated_column} (virtual)")
+    print(f"  UDF evaluations     : {ledger.evaluated_count}")
+    print(f"  achieved precision  : {quality.precision:.3f}")
+    print(f"  achieved recall     : {quality.recall:.3f}")
+
+    # Compare against the designated real column and the naive baseline.
+    real_ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+    real = IntelSample(random_state=5).answer(
+        dataset.table, dataset.make_udf("subscribes_real"), constraints, real_ledger,
+        correlated_column=dataset.correlated_column,
+    )
+    real_quality = result_quality(real.row_ids, truth)
+    naive_ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+    NaiveBaseline(random_state=5).answer(
+        dataset.table, dataset.make_udf("subscribes_naive"),
+        QueryConstraints(alpha=0.7, beta=0.7, rho=0.8), naive_ledger,
+    )
+
+    print("\nComparison (UDF evaluations)")
+    print(f"  virtual column        : {ledger.evaluated_count}")
+    print(f"  real column ({dataset.correlated_column}) : {real_ledger.evaluated_count} "
+          f"(precision {real_quality.precision:.2f}, recall {real_quality.recall:.2f})")
+    print(f"  naive baseline        : {naive_ledger.evaluated_count}")
+
+
+if __name__ == "__main__":
+    main()

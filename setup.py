@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but not the ``wheel`` package, so the
+PEP 660 editable-install path is unavailable; this legacy ``setup.py`` lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on fully provisioned machines) work either way.
+"""
+
+from setuptools import setup
+
+setup()

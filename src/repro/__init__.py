@@ -1,0 +1,102 @@
+"""repro — a reproduction of "Exploiting Correlations for Expensive Predicate Evaluation".
+
+The library answers selection queries with expensive boolean UDF predicates
+approximately: the user specifies precision/recall lower bounds and a
+satisfaction probability, and the optimizer exploits the correlation between a
+categorical attribute and the UDF outcome to skip most UDF calls.
+
+Quickstart::
+
+    from repro import (
+        CostLedger, IntelSample, QueryConstraints, load_dataset,
+    )
+
+    dataset = load_dataset("lending_club", random_state=0, scale=0.2)
+    udf = dataset.make_udf()
+    strategy = IntelSample(random_state=0)
+    ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+    result = strategy.answer(
+        dataset.table, udf, QueryConstraints(alpha=0.8, beta=0.8, rho=0.8), ledger
+    )
+    print(len(result.row_ids), "tuples returned for", ledger.evaluated_count, "UDF calls")
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
+measured comparison of every table and figure.
+"""
+
+from repro.baselines import LearningBaseline, MultipleImputationBaseline, NaiveBaseline
+from repro.core import (
+    AdaptiveIntelSample,
+    CostModel,
+    ExecutionPlan,
+    GroupDecision,
+    GroupStatistics,
+    IntelSample,
+    OptimalOracle,
+    PlanExecutor,
+    QueryConstraints,
+    SelectivityModel,
+    solve_bigreedy,
+    solve_estimated_selectivity,
+    solve_perfect_information,
+    solve_perfect_selectivity_lp,
+    solve_with_samples,
+)
+from repro.datasets import DatasetBundle, generate_dataset, load_all_datasets, load_dataset
+from repro.db import (
+    Catalog,
+    CostLedger,
+    Engine,
+    GroupIndex,
+    QueryResult,
+    SelectQuery,
+    Table,
+    UdfPredicate,
+    UserDefinedFunction,
+)
+from repro.sampling import ConstantScheme, FixedFractionScheme, TwoThirdPowerScheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "QueryConstraints",
+    "CostModel",
+    "GroupStatistics",
+    "SelectivityModel",
+    "ExecutionPlan",
+    "GroupDecision",
+    "PlanExecutor",
+    "IntelSample",
+    "AdaptiveIntelSample",
+    "OptimalOracle",
+    "solve_bigreedy",
+    "solve_perfect_selectivity_lp",
+    "solve_perfect_information",
+    "solve_estimated_selectivity",
+    "solve_with_samples",
+    # db
+    "Catalog",
+    "Engine",
+    "Table",
+    "GroupIndex",
+    "SelectQuery",
+    "QueryResult",
+    "UserDefinedFunction",
+    "UdfPredicate",
+    "CostLedger",
+    # datasets
+    "DatasetBundle",
+    "generate_dataset",
+    "load_dataset",
+    "load_all_datasets",
+    # sampling schemes
+    "ConstantScheme",
+    "TwoThirdPowerScheme",
+    "FixedFractionScheme",
+    # baselines
+    "NaiveBaseline",
+    "LearningBaseline",
+    "MultipleImputationBaseline",
+]

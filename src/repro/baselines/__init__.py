@@ -1,0 +1,23 @@
+"""Baseline query-evaluation algorithms from the paper's Experiment 1.
+
+* :class:`~repro.baselines.naive.NaiveBaseline` — retrieve a random ``beta``
+  fraction of the tuples and evaluate all of them.
+* :class:`~repro.baselines.learning.LearningBaseline` — evaluate a labelled
+  training set, infer the rest with semi-supervised learning, and return
+  evaluated-true plus predicted-true tuples ("Learning").
+* :class:`~repro.baselines.multiple.MultipleImputationBaseline` — the same but
+  with multiple imputations drawn from the estimated class probabilities
+  ("Multiple").
+* The "Optimal" baseline lives in :class:`repro.core.pipeline.OptimalOracle`
+  because it shares the LP machinery with Intel-Sample.
+"""
+
+from repro.baselines.learning import LearningBaseline
+from repro.baselines.multiple import MultipleImputationBaseline
+from repro.baselines.naive import NaiveBaseline
+
+__all__ = [
+    "NaiveBaseline",
+    "LearningBaseline",
+    "MultipleImputationBaseline",
+]

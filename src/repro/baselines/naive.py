@@ -1,0 +1,62 @@
+"""The Naive baseline (paper Section 6.2).
+
+Randomly retrieve a ``beta`` fraction of the tuples (where ``beta`` is the
+recall constraint) and evaluate every retrieved tuple.  Every returned tuple
+is verified, so precision is perfect; recall is ``beta`` in expectation (not
+with any probability guarantee, as the paper points out).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.constraints import QueryConstraints
+from repro.db.engine import QueryResult
+from repro.db.query import SelectQuery
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.stats.random import RandomState, SeedLike, as_random_state
+
+
+class NaiveBaseline:
+    """Evaluate a uniformly random ``beta`` fraction of the table."""
+
+    def __init__(self, random_state: SeedLike = None):
+        self.random_state: RandomState = as_random_state(random_state)
+
+    # -- engine strategy protocol ---------------------------------------------------
+    def run(self, table: Table, query: SelectQuery, ledger: CostLedger) -> QueryResult:
+        """Engine strategy entry point."""
+        constraints = QueryConstraints(alpha=query.alpha, beta=query.beta, rho=query.rho)
+        udf = query.udf_predicates[0].udf
+        return self.answer(table, udf, constraints, ledger)
+
+    # -- direct API -------------------------------------------------------------------
+    def answer(
+        self,
+        table: Table,
+        udf: UserDefinedFunction,
+        constraints: QueryConstraints,
+        ledger: Optional[CostLedger] = None,
+    ) -> QueryResult:
+        """Evaluate ``ceil(beta * n)`` random tuples and return the positives."""
+        ledger = ledger if ledger is not None else CostLedger()
+        n = table.num_rows
+        count = min(n, int(math.ceil(constraints.beta * n)))
+        chosen = self.random_state.choice(n, size=count, replace=False) if count else []
+        returned = []
+        for row_id in (int(r) for r in chosen):
+            ledger.charge_retrieval()
+            ledger.charge_evaluation()
+            if udf.evaluate_row(table, row_id):
+                returned.append(row_id)
+        return QueryResult(
+            row_ids=returned,
+            ledger=ledger,
+            metadata={
+                "strategy": "naive",
+                "evaluations": ledger.evaluated_count,
+                "retrievals": ledger.retrieved_count,
+            },
+        )

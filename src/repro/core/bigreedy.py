@@ -1,0 +1,158 @@
+"""BiGreedy: the paper's O(|A| log |A|) solver for Linear Program 3.4.
+
+Section 3.2.2: raise the retrieval probabilities ``R_a`` to 1 in *decreasing*
+selectivity order until the (margined) recall constraint is met, then raise
+the evaluation probabilities ``E_a`` towards ``R_a`` in *increasing*
+selectivity order until the (margined) precision constraint is met.  The
+appendix lemmas show the result is an optimal solution of the LP whenever the
+pre-conditions of Theorem 3.8 hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.core.hoeffding_lp import (
+    LpSolution,
+    SelectivityMargins,
+    compute_margins,
+    recall_target,
+)
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.solvers.linear import InfeasibleProblemError
+
+_ALPHA_CERTAIN = 1.0 - 1e-12
+_EPS = 1e-12
+
+
+def bigreedy_feasibility_conditions(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    margins: Optional[SelectivityMargins] = None,
+) -> bool:
+    """The two sufficient conditions of Theorem 3.8.
+
+    ``h^p_rho < sum_a max(t_a (s_a - alpha), 0)`` ensures the precision
+    constraint can be met without evaluating high-selectivity groups, and
+    ``h^r_rho < sum_a (1 - beta) t_a s_a`` ensures the recall constraint is
+    satisfiable at all.
+    """
+    margins = margins or compute_margins(model, constraints)
+    precision_head_room = sum(
+        max(group.remaining * (group.selectivity - constraints.alpha), 0.0)
+        for group in model
+    )
+    recall_head_room = sum(
+        (1.0 - constraints.beta) * group.remaining * group.selectivity for group in model
+    )
+    precision_ok = (
+        constraints.alpha <= 0.0
+        or constraints.alpha >= _ALPHA_CERTAIN
+        or margins.precision_margin < precision_head_room
+    )
+    recall_ok = margins.recall_margin <= recall_head_room + _EPS
+    return precision_ok and recall_ok
+
+
+def solve_bigreedy(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+    margins: Optional[SelectivityMargins] = None,
+) -> LpSolution:
+    """Solve Linear Program 3.4 greedily, without an LP solver.
+
+    Raises :class:`InfeasibleProblemError` when the margined constraints are
+    unsatisfiable even with every tuple retrieved and evaluated (callers then
+    fall back to the exhaustive plan, which is always correct).
+    """
+    groups = model.groups
+    if not groups:
+        return LpSolution(
+            plan=ExecutionPlan({}),
+            expected_cost=0.0,
+            margins=SelectivityMargins(0.0, 0.0),
+        )
+    margins = margins or compute_margins(model, constraints)
+    alpha = constraints.alpha
+    browsing = alpha >= _ALPHA_CERTAIN
+
+    retrieve: Dict[Hashable, float] = {group.key: 0.0 for group in groups}
+    evaluate: Dict[Hashable, float] = {group.key: 0.0 for group in groups}
+
+    # Phase 1 — raise R_a in decreasing selectivity order to meet recall.
+    target = recall_target(model, constraints, margins.recall_margin)
+    achieved = 0.0
+    for group in model.sorted_by_selectivity(descending=True):
+        if achieved >= target - _EPS:
+            break
+        capacity = group.remaining * group.selectivity
+        if capacity <= 0.0:
+            continue
+        needed = target - achieved
+        if capacity <= needed + _EPS:
+            retrieve[group.key] = 1.0
+            achieved += capacity
+        else:
+            retrieve[group.key] = needed / capacity
+            achieved = target
+    if achieved < target - 1e-7:
+        raise InfeasibleProblemError(
+            "recall constraint unsatisfiable: even retrieving every tuple yields "
+            f"{achieved:.3f} expected correct tuples versus a target of {target:.3f}"
+        )
+
+    # Browsing scenario: everything retrieved must be evaluated; precision is
+    # then exact and needs no margin.
+    if browsing:
+        evaluate = dict(retrieve)
+    elif alpha > 0.0:
+        # Phase 2 — raise E_a in increasing selectivity order to meet precision.
+        def precision_lhs() -> float:
+            total = 0.0
+            for group in groups:
+                r = retrieve[group.key]
+                e = evaluate[group.key]
+                total += group.remaining * group.selectivity * (1.0 - alpha) * r
+                total -= group.remaining * (1.0 - group.selectivity) * alpha * (r - e)
+            return total
+
+        deficit = margins.precision_margin - precision_lhs()
+        if deficit > _EPS:
+            for group in model.sorted_by_selectivity(descending=False):
+                if deficit <= _EPS:
+                    break
+                room = retrieve[group.key] - evaluate[group.key]
+                if room <= 0.0:
+                    continue
+                gain_per_unit = group.remaining * (1.0 - group.selectivity) * alpha
+                if gain_per_unit <= 0.0:
+                    continue
+                full_gain = gain_per_unit * room
+                if full_gain <= deficit + _EPS:
+                    evaluate[group.key] = retrieve[group.key]
+                    deficit -= full_gain
+                else:
+                    evaluate[group.key] += deficit / gain_per_unit
+                    deficit = 0.0
+        if deficit > 1e-7:
+            raise InfeasibleProblemError(
+                "precision constraint unsatisfiable even when evaluating every "
+                "retrieved tuple; fall back to exhaustive evaluation"
+            )
+
+    decisions = {
+        group.key: GroupDecision(
+            retrieve=min(1.0, retrieve[group.key]),
+            evaluate=min(min(1.0, retrieve[group.key]), evaluate[group.key]),
+        )
+        for group in groups
+    }
+    plan = ExecutionPlan(decisions)
+    return LpSolution(
+        plan=plan,
+        expected_cost=plan.expected_cost(model, cost_model, include_sampling=False),
+        margins=margins,
+    )

@@ -1,0 +1,280 @@
+"""Finding the correlated column (paper Section 4.4).
+
+Two strategies, both bootstrapped from a small uniformly-drawn labelled sample
+(the paper uses ~1% of the table):
+
+* **real column**: for every candidate categorical column with at most
+  ``sqrt(t)`` distinct values (``t`` = labelled-sample size), estimate each
+  group's selectivity from the labelled rows, run the Section 3.2 optimizer as
+  if those estimates were exact, and pick the column with the smallest
+  estimated cost;
+* **virtual column**: train a logistic regressor from the table's available
+  columns to the labels, score every tuple, and split tuples into
+  equal-frequency probability buckets; the bucket id is the correlated column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bigreedy import solve_bigreedy
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.db.column import Column, ColumnType
+from repro.db.index import GroupIndex
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.ml.bucketer import ScoreBucketer
+from repro.ml.features import FeatureEncoder
+from repro.ml.logistic import LogisticRegression
+from repro.sampling.sampler import GroupSample, SampleOutcome
+from repro.solvers.linear import InfeasibleProblemError
+from repro.stats.beta import BetaPosterior
+from repro.stats.random import SeedLike, as_random_state
+
+
+@dataclass
+class LabeledSample:
+    """A uniformly drawn set of rows whose UDF value has been paid for."""
+
+    outcomes: Dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def row_ids(self) -> List[int]:
+        """Row ids of the labelled rows."""
+        return list(self.outcomes.keys())
+
+    @property
+    def size(self) -> int:
+        """Number of labelled rows."""
+        return len(self.outcomes)
+
+    @property
+    def positives(self) -> List[int]:
+        """Labelled rows that satisfied the predicate."""
+        return [row_id for row_id, outcome in self.outcomes.items() if outcome]
+
+    def to_sample_outcome(self, index: GroupIndex) -> SampleOutcome:
+        """Re-express the labelled rows as a per-group :class:`SampleOutcome`.
+
+        This lets the pipeline reuse the labelled rows both as selectivity
+        evidence and as already-paid-for output for whichever correlated
+        column ends up being chosen.
+        """
+        by_group: Dict = {}
+        membership: Dict[int, object] = {}
+        for key, row_ids in index.items():
+            by_group[key] = GroupSample(group_key=key, group_size=len(row_ids))
+            for row_id in row_ids:
+                membership[row_id] = key
+        for row_id, outcome in self.outcomes.items():
+            key = membership.get(row_id)
+            if key is None:
+                continue
+            sample = by_group[key]
+            sample.sampled_row_ids.append(row_id)
+            if outcome:
+                sample.positive_row_ids.append(row_id)
+        return SampleOutcome(samples=by_group)
+
+
+def draw_labeled_sample(
+    table: Table,
+    udf: UserDefinedFunction,
+    ledger: CostLedger,
+    fraction: float = 0.01,
+    minimum_size: int = 50,
+    random_state: SeedLike = None,
+) -> LabeledSample:
+    """Uniformly sample rows and evaluate the UDF on them (charging costs)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = as_random_state(random_state)
+    count = max(minimum_size, int(round(fraction * table.num_rows)))
+    count = min(count, table.num_rows)
+    chosen = rng.choice(table.num_rows, size=count, replace=False)
+    sample = LabeledSample()
+    for row_id in (int(r) for r in chosen):
+        ledger.charge_retrieval()
+        ledger.charge_evaluation()
+        sample.outcomes[row_id] = udf.evaluate_row(table, row_id)
+    return sample
+
+
+# ---------------------------------------------------------------------------
+# Real-column selection
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnSelectionResult:
+    """Outcome of the correlated-column search."""
+
+    best_column: str
+    estimated_costs: Dict[str, float]
+    candidate_columns: List[str]
+
+
+def candidate_correlated_columns(
+    table: Table,
+    labeled_size: int,
+    exclude_columns: Sequence[str] = (),
+    hard_cap: int = 50,
+) -> List[str]:
+    """Categorical columns eligible to be the correlated column.
+
+    The paper restricts attention to columns with at most ``sqrt(t)`` distinct
+    values where ``t`` is the labelled-sample size; if nothing qualifies the
+    cap is relaxed up to ``hard_cap`` (mirroring "keep increasing t").
+    """
+    excluded = set(exclude_columns)
+    categorical = [
+        column.name
+        for column in table.schema.categorical_columns()
+        if column.name not in excluded
+    ]
+    # sqrt(t) distinct values at most, but never below 10 so that small labelled
+    # samples (scaled-down datasets, tests) do not exclude every real column.
+    soft_cap = max(10, int(math.sqrt(max(labeled_size, 1))))
+    for cap in (soft_cap, hard_cap):
+        qualifying = [
+            name
+            for name in categorical
+            if 2 <= table.num_distinct(name) <= cap
+        ]
+        if qualifying:
+            return qualifying
+    return []
+
+
+def estimate_column_cost(
+    table: Table,
+    column: str,
+    labeled: LabeledSample,
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+) -> float:
+    """Estimated query cost if ``column`` is used as the correlated column.
+
+    Selectivities are estimated from the labelled rows falling in each group
+    (Beta-posterior means) and fed to the Section 3.2 optimizer as if exact;
+    an infeasible optimization falls back to the evaluate-everything cost so
+    that uninformative columns are never preferred.
+    """
+    index = GroupIndex(table, column)
+    outcomes_by_group: Dict = {key: [] for key in index.values}
+    membership: Dict[int, object] = {}
+    for key, row_ids in index.items():
+        for row_id in row_ids:
+            membership[row_id] = key
+    for row_id, outcome in labeled.outcomes.items():
+        key = membership.get(row_id)
+        if key is not None:
+            outcomes_by_group[key].append(outcome)
+
+    sizes = {key: index.group_size(key) for key in index.values}
+    selectivities = {}
+    for key, outcomes in outcomes_by_group.items():
+        posterior = BetaPosterior.from_labels(outcomes)
+        selectivities[key] = posterior.mean
+    model = SelectivityModel.from_selectivities(sizes, selectivities)
+    try:
+        solution = solve_bigreedy(model, constraints, cost_model)
+    except InfeasibleProblemError:
+        return cost_model.plan_cost(table.num_rows, table.num_rows)
+    return solution.expected_cost
+
+
+def select_correlated_column(
+    table: Table,
+    labeled: LabeledSample,
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+    candidate_columns: Optional[Sequence[str]] = None,
+    exclude_columns: Sequence[str] = (),
+) -> ColumnSelectionResult:
+    """Pick the candidate column with the lowest estimated query cost."""
+    candidates = (
+        list(candidate_columns)
+        if candidate_columns is not None
+        else candidate_correlated_columns(table, labeled.size, exclude_columns)
+    )
+    if not candidates:
+        raise ValueError(
+            "no candidate correlated columns found; consider building a virtual "
+            "column with build_virtual_column()"
+        )
+    costs = {
+        column: estimate_column_cost(table, column, labeled, constraints, cost_model)
+        for column in candidates
+    }
+    best = min(costs, key=costs.get)
+    return ColumnSelectionResult(
+        best_column=best, estimated_costs=costs, candidate_columns=candidates
+    )
+
+
+# ---------------------------------------------------------------------------
+# Virtual column via logistic regression
+# ---------------------------------------------------------------------------
+@dataclass
+class VirtualColumnResult:
+    """A logistic-regression-derived correlated column added to the table."""
+
+    table: Table
+    column_name: str
+    model: LogisticRegression
+    encoder: FeatureEncoder
+    bucketer: ScoreBucketer
+    scores: List[float]
+
+
+def build_virtual_column(
+    table: Table,
+    labeled: LabeledSample,
+    num_buckets: int = 10,
+    column_name: str = "udf_score_bucket",
+    exclude_columns: Sequence[str] = (),
+    max_categorical_cardinality: int = 50,
+    random_state: SeedLike = None,
+) -> VirtualColumnResult:
+    """Train a logistic regressor on the labelled rows and bucket its scores.
+
+    Returns a copy of the table with the bucket id as a new categorical
+    column, ready to be used as the correlated attribute.
+    """
+    if labeled.size == 0:
+        raise ValueError("cannot build a virtual column from an empty labelled sample")
+    encoder = FeatureEncoder(
+        max_categorical_cardinality=max_categorical_cardinality,
+        exclude_columns=tuple(exclude_columns) + ("record_id",),
+    )
+    labeled_ids = labeled.row_ids
+    features = encoder.fit_transform(table, labeled_ids)
+    labels = [1 if labeled.outcomes[row_id] else 0 for row_id in labeled_ids]
+
+    model = LogisticRegression(random_state=random_state)
+    model.fit(features, labels)
+
+    all_features = encoder.transform(table)
+    scores = model.predict_proba(all_features)
+
+    bucketer = ScoreBucketer(num_buckets=num_buckets)
+    training_scores = model.predict_proba(features)
+    bucketer.fit(training_scores)
+    buckets = bucketer.transform(scores)
+
+    new_column = Column(
+        name=column_name,
+        column_type=ColumnType.CATEGORICAL,
+        description="logistic-regression probability bucket (virtual correlated column)",
+    )
+    augmented = table.with_column(new_column, [f"b{b}" for b in buckets])
+    return VirtualColumnResult(
+        table=augmented,
+        column_name=column_name,
+        model=model,
+        encoder=encoder,
+        bucketer=bucketer,
+        scores=[float(s) for s in scores],
+    )

@@ -1,0 +1,85 @@
+"""Query constraints and cost model (paper Section 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class QueryConstraints:
+    """User-specified accuracy requirements.
+
+    Attributes
+    ----------
+    alpha:
+        Precision lower bound.
+    beta:
+        Recall lower bound.
+    rho:
+        Satisfaction probability: both bounds must hold with probability at
+        least ``rho`` under the randomness of the execution strategy and (when
+        applicable) the selectivity estimates.
+    """
+
+    alpha: float = 0.8
+    beta: float = 0.8
+    rho: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name, value in (("alpha", self.alpha), ("beta", self.beta)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.rho < 1.0:
+            raise ValueError(
+                f"rho must be in [0, 1); probability-1 guarantees require "
+                f"evaluating every tuple (got {self.rho})"
+            )
+
+    @property
+    def requires_perfect_precision(self) -> bool:
+        """The "browsing scenario": every returned tuple must be verified."""
+        return self.alpha >= 1.0
+
+    @property
+    def requires_perfect_recall(self) -> bool:
+        """Every correct tuple must be returned."""
+        return self.beta >= 1.0
+
+    def with_rho(self, rho: float) -> "QueryConstraints":
+        """Copy with a different satisfaction probability."""
+        return replace(self, rho=rho)
+
+    def with_alpha(self, alpha: float) -> "QueryConstraints":
+        """Copy with a different precision bound."""
+        return replace(self, alpha=alpha)
+
+    def with_beta(self, beta: float) -> "QueryConstraints":
+        """Copy with a different recall bound."""
+        return replace(self, beta=beta)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs: ``o_r`` per retrieved tuple and ``o_e`` per UDF evaluation.
+
+    The paper's experiments use ``o_r = 1`` and ``o_e = 3``; results are not
+    very sensitive to the ratio because UDF evaluations dominate either way.
+    """
+
+    retrieval_cost: float = 1.0
+    evaluation_cost: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.retrieval_cost < 0 or self.evaluation_cost < 0:
+            raise ValueError("unit costs must be non-negative")
+
+    def plan_cost(self, retrievals: float, evaluations: float) -> float:
+        """Total cost of a given number of retrievals and evaluations."""
+        return retrievals * self.retrieval_cost + evaluations * self.evaluation_cost
+
+    @property
+    def evaluation_to_retrieval_ratio(self) -> float:
+        """How much more expensive an evaluation is than a retrieval."""
+        if self.retrieval_cost == 0:
+            return float("inf") if self.evaluation_cost > 0 else 1.0
+        return self.evaluation_cost / self.retrieval_cost

@@ -1,0 +1,319 @@
+"""Estimated-selectivity optimizers (paper Sections 3.3 and 4.2).
+
+When selectivities come from sampling (or any other estimator) they are random
+variables ``S_a`` with mean ``s_a`` and variance ``v_a``.  The paper keeps the
+precision/recall constraints satisfied with probability ``rho`` via Chebyshev:
+the expectation of each constraint quantity must exceed ``e_rho = 1/sqrt(1-rho)``
+times its standard deviation.  Two variants differ in how per-group deviations
+combine:
+
+* **unknown correlations** (Convex Program 3.10): deviations add linearly —
+  after introducing auxiliary variables for ``|R_a - beta|`` the program is an
+  LP;
+* **independent groups** (Convex Program 3.11): deviations add in quadrature —
+  the constraint is a second-order cone and is solved with the SLSQP-backed
+  :class:`~repro.solvers.convex.ConvexSolver`.
+
+Both variants transparently handle sunk sampling costs (Convex Program 4.1):
+group sizes are replaced by the *remaining* ``t_a - F_a`` tuples and the
+already-found positives ``F_a^+`` contribute deterministically to precision
+and recall.  Setting every ``F_a`` to zero recovers the Section 3.3 programs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.bigreedy import solve_bigreedy
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.solvers.convex import ConvexProblem, ConvexSolver
+from repro.solvers.linear import (
+    InfeasibleProblemError,
+    LinearProgram,
+    solve_linear_program,
+)
+from repro.stats.chebyshev import chebyshev_deviation_factor
+
+_ALPHA_CERTAIN = 1.0 - 1e-12
+
+
+@dataclass(frozen=True)
+class EstimatedSolution:
+    """Plan plus diagnostics for an estimated-selectivity solve."""
+
+    plan: ExecutionPlan
+    expected_cost: float
+    independent: bool
+    used_fallback: bool = False
+
+
+def _warm_start(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel,
+) -> Optional[List[float]]:
+    """BiGreedy solution (selectivities treated as exact) as a warm start."""
+    try:
+        greedy = solve_bigreedy(model, constraints, cost_model)
+    except InfeasibleProblemError:
+        return None
+    values: List[float] = []
+    for group in model:
+        values.append(greedy.plan.decision(group.key).retrieve_probability)
+    for group in model:
+        values.append(greedy.plan.decision(group.key).evaluate_probability)
+    return values
+
+
+def solve_estimated_selectivity(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+    independent: bool = True,
+    solver: Optional[ConvexSolver] = None,
+) -> EstimatedSolution:
+    """Solve Convex Program 3.10/3.11 (or 4.1 when the model carries samples).
+
+    Raises :class:`InfeasibleProblemError` when no plan satisfies the
+    Chebyshev-margined constraints; callers fall back to exhaustive
+    evaluation.
+    """
+    if independent:
+        return _solve_independent(model, constraints, cost_model, solver)
+    return _solve_unknown_correlations(model, constraints, cost_model)
+
+
+# ---------------------------------------------------------------------------
+# Independent groups: second-order-cone constraints, solved with SLSQP.
+# ---------------------------------------------------------------------------
+def _solve_independent(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel,
+    solver: Optional[ConvexSolver],
+) -> EstimatedSolution:
+    groups = model.groups
+    k = len(groups)
+    if k == 0:
+        return EstimatedSolution(ExecutionPlan({}), 0.0, independent=True)
+
+    alpha = constraints.alpha
+    beta = constraints.beta
+    e_rho = chebyshev_deviation_factor(constraints.rho)
+    browsing = alpha >= _ALPHA_CERTAIN
+
+    remaining = np.asarray([group.remaining for group in groups], dtype=float)
+    selectivity = np.asarray([group.selectivity for group in groups], dtype=float)
+    variance = np.asarray([group.variance for group in groups], dtype=float)
+    sampled_positives = np.asarray(
+        [group.sampled_positives for group in groups], dtype=float
+    )
+
+    # The objective and constraints are normalised by the remaining tuple
+    # count so their values are O(1); this keeps SLSQP well-conditioned and
+    # makes the solver's absolute feasibility tolerance meaningful across
+    # dataset sizes.  The reported cost is recomputed from the plan, so the
+    # scaling does not leak out.
+    scale = 1.0 / max(1.0, float(np.sum(remaining)))
+    objective = list(remaining * cost_model.retrieval_cost * scale) + list(
+        remaining * cost_model.evaluation_cost * scale
+    )
+    problem = ConvexProblem(objective=objective)
+
+    # Coupling constraints R_a >= E_a (equality in the browsing scenario).
+    for index in range(k):
+        row = [0.0] * (2 * k)
+        row[index] = 1.0
+        row[k + index] = -1.0
+        problem.linear_inequalities.append((list(row), 0.0))
+        if browsing:
+            problem.linear_inequalities.append(([-value for value in row], 0.0))
+
+    def split(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return x[:k], x[k:]
+
+    if 0.0 < alpha < _ALPHA_CERTAIN:
+
+        def precision_constraint(x: np.ndarray) -> float:
+            retrieve, evaluate = split(x)
+            expectation = float(
+                np.sum(sampled_positives) * (1.0 - alpha)
+                + np.sum((1.0 - alpha) * remaining * selectivity * retrieve)
+                - np.sum(alpha * remaining * (1.0 - selectivity) * (retrieve - evaluate))
+            )
+            var = float(
+                np.sum(
+                    remaining**2 * variance * (retrieve - alpha * evaluate) ** 2
+                    + 0.25 * remaining
+                )
+            )
+            return (expectation - e_rho * math.sqrt(max(var, 0.0))) * scale
+
+        problem.inequality_constraints.append(precision_constraint)
+
+    expected_total_correct = float(
+        np.sum(sampled_positives) + np.sum(remaining * selectivity)
+    )
+
+    def recall_constraint(x: np.ndarray) -> float:
+        retrieve, _ = split(x)
+        expectation = float(
+            np.sum(sampled_positives)
+            + np.sum(remaining * selectivity * retrieve)
+            - beta * expected_total_correct
+        )
+        var = float(
+            np.sum(remaining**2 * variance * (retrieve - beta) ** 2 + 0.25 * remaining)
+        )
+        return (expectation - e_rho * math.sqrt(max(var, 0.0))) * scale
+
+    problem.inequality_constraints.append(recall_constraint)
+
+    solver = solver or ConvexSolver()
+    warm_starts = []
+    greedy_warm = _warm_start(model, constraints, cost_model)
+    if greedy_warm is not None:
+        warm_starts.append(greedy_warm)
+    # The unknown-correlations LP over-estimates the deviation term
+    # (sum of deviations >= sqrt of sum of squares), so its solution is
+    # guaranteed feasible here; it doubles as a high-quality warm start and
+    # as the fallback plan should SLSQP fail to converge.
+    try:
+        linear_solution = _solve_unknown_correlations(model, constraints, cost_model)
+        linear_vector = [
+            linear_solution.plan.decision(group.key).retrieve_probability
+            for group in groups
+        ] + [
+            linear_solution.plan.decision(group.key).evaluate_probability
+            for group in groups
+        ]
+        warm_starts.append(linear_vector)
+    except InfeasibleProblemError:
+        linear_solution = None
+    solution = solver.solve(problem, warm_starts=warm_starts or None)
+
+    decisions = {}
+    for index, group in enumerate(groups):
+        retrieve = min(1.0, max(0.0, float(solution.values[index])))
+        evaluate = min(retrieve, max(0.0, float(solution.values[k + index])))
+        if browsing:
+            evaluate = retrieve
+        decisions[group.key] = GroupDecision(retrieve=retrieve, evaluate=evaluate)
+    plan = ExecutionPlan(decisions)
+    return EstimatedSolution(
+        plan=plan,
+        expected_cost=plan.expected_cost(model, cost_model, include_sampling=False),
+        independent=True,
+        used_fallback=solution.status == "fallback",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Unknown correlations: deviations add linearly, the program is an LP with
+# auxiliary variables z_a >= |R_a - beta|.
+# ---------------------------------------------------------------------------
+def _solve_unknown_correlations(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel,
+) -> EstimatedSolution:
+    groups = model.groups
+    k = len(groups)
+    if k == 0:
+        return EstimatedSolution(ExecutionPlan({}), 0.0, independent=False)
+
+    alpha = constraints.alpha
+    beta = constraints.beta
+    e_rho = chebyshev_deviation_factor(constraints.rho)
+    browsing = alpha >= _ALPHA_CERTAIN
+
+    remaining = [group.remaining for group in groups]
+    selectivity = [group.selectivity for group in groups]
+    deviation = [math.sqrt(group.variance) for group in groups]
+    sampled_positives = [group.sampled_positives for group in groups]
+    half_sqrt_remaining = sum(0.5 * math.sqrt(max(rem, 0)) for rem in remaining)
+
+    # Variables: [R_1..R_k, E_1..E_k, Z_1..Z_k] with Z_a >= |R_a - beta|.
+    objective = (
+        [rem * cost_model.retrieval_cost for rem in remaining]
+        + [rem * cost_model.evaluation_cost for rem in remaining]
+        + [0.0] * k
+    )
+    program = LinearProgram(objective=objective, bounds=[(0.0, 1.0)] * (3 * k))
+
+    # Precision: E[P] - e_rho * sum(sqrt(v_a) rem_a (R_a - alpha E_a)) >=
+    #            e_rho * 0.5 * sum(sqrt(rem_a)) - sum(F_a^+ (1 - alpha)).
+    if 0.0 < alpha < _ALPHA_CERTAIN:
+        row = [0.0] * (3 * k)
+        for index in range(k):
+            row[index] = (
+                (1.0 - alpha) * remaining[index] * selectivity[index]
+                - alpha * remaining[index] * (1.0 - selectivity[index])
+                - e_rho * deviation[index] * remaining[index]
+            )
+            row[k + index] = (
+                alpha * remaining[index] * (1.0 - selectivity[index])
+                + e_rho * deviation[index] * remaining[index] * alpha
+            )
+        bound = e_rho * half_sqrt_remaining - sum(
+            positives * (1.0 - alpha) for positives in sampled_positives
+        )
+        program.add_ge(row, bound)
+
+    # Recall: E[R] - e_rho * sum(sqrt(v_a) rem_a Z_a) >=
+    #         e_rho * 0.5 * sum(sqrt(rem_a)) + beta * total_correct - sum(F_a^+).
+    total_correct = sum(
+        positives + rem * sel
+        for positives, rem, sel in zip(sampled_positives, remaining, selectivity)
+    )
+    row = [0.0] * (3 * k)
+    for index in range(k):
+        row[index] = remaining[index] * selectivity[index]
+        row[2 * k + index] = -e_rho * deviation[index] * remaining[index]
+    bound = (
+        e_rho * half_sqrt_remaining
+        + beta * total_correct
+        - sum(sampled_positives)
+    )
+    program.add_ge(row, bound)
+
+    # Z_a >= R_a - beta  and  Z_a >= beta - R_a.
+    for index in range(k):
+        row_upper = [0.0] * (3 * k)
+        row_upper[2 * k + index] = 1.0
+        row_upper[index] = -1.0
+        program.add_ge(row_upper, -beta)
+        row_lower = [0.0] * (3 * k)
+        row_lower[2 * k + index] = 1.0
+        row_lower[index] = 1.0
+        program.add_ge(row_lower, beta)
+
+    # Coupling R_a >= E_a (equality in the browsing scenario).
+    for index in range(k):
+        row = [0.0] * (3 * k)
+        row[index] = 1.0
+        row[k + index] = -1.0
+        program.add_ge(row, 0.0)
+        if browsing:
+            program.add_ge([-value for value in row], 0.0)
+
+    solution = solve_linear_program(program)
+    decisions = {}
+    for index, group in enumerate(groups):
+        retrieve = min(1.0, max(0.0, float(solution.values[index])))
+        evaluate = min(retrieve, max(0.0, float(solution.values[k + index])))
+        if browsing:
+            evaluate = retrieve
+        decisions[group.key] = GroupDecision(retrieve=retrieve, evaluate=evaluate)
+    plan = ExecutionPlan(decisions)
+    return EstimatedSolution(
+        plan=plan,
+        expected_cost=plan.expected_cost(model, cost_model, include_sampling=False),
+        independent=False,
+    )

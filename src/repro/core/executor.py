@@ -1,0 +1,148 @@
+"""Probabilistic plan execution (paper Section 3.2, "Execution" step).
+
+Given an :class:`~repro.core.plan.ExecutionPlan`, the executor walks every
+group and, tuple by tuple,
+
+1. retrieves the tuple with probability ``R_a`` (charging ``o_r``),
+2. if retrieved, evaluates it with probability ``E_a / R_a`` (charging
+   ``o_e``); evaluated tuples are returned only when the UDF passes,
+   unevaluated retrieved tuples are returned unconditionally,
+3. skips tuples that were already evaluated during sampling — their positive
+   members are added to the output for free, exactly as Section 4.2 allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.plan import ExecutionPlan
+from repro.db.index import GroupIndex
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.sampling.sampler import SampleOutcome
+from repro.stats.random import RandomState, SeedLike, as_random_state
+
+
+@dataclass
+class GroupExecutionCounts:
+    """Per-group bookkeeping mirroring the paper's R+/R-/E+/E- quantities."""
+
+    retrieved_correct: int = 0
+    retrieved_incorrect: int = 0
+    evaluated_correct: int = 0
+    evaluated_incorrect: int = 0
+    returned: int = 0
+
+    @property
+    def retrieved(self) -> int:
+        """Total retrieved tuples in the group."""
+        return self.retrieved_correct + self.retrieved_incorrect
+
+    @property
+    def evaluated(self) -> int:
+        """Total evaluated tuples in the group."""
+        return self.evaluated_correct + self.evaluated_incorrect
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a plan."""
+
+    returned_row_ids: List[int]
+    ledger: CostLedger
+    group_counts: Dict[Hashable, GroupExecutionCounts] = field(default_factory=dict)
+
+    @property
+    def returned_set(self) -> Set[int]:
+        """Returned row ids as a set."""
+        return set(self.returned_row_ids)
+
+    @property
+    def total_cost(self) -> float:
+        """Total charged cost (sampling included if it used the same ledger)."""
+        return self.ledger.total_cost
+
+    @property
+    def evaluations(self) -> int:
+        """Number of UDF evaluations charged to the ledger."""
+        return self.ledger.evaluated_count
+
+    @property
+    def retrievals(self) -> int:
+        """Number of tuple retrievals charged to the ledger."""
+        return self.ledger.retrieved_count
+
+
+class PlanExecutor:
+    """Executes plans against a table, group index and UDF."""
+
+    def __init__(self, random_state: SeedLike = None):
+        self.random_state: RandomState = as_random_state(random_state)
+
+    def execute(
+        self,
+        table: Table,
+        index: GroupIndex,
+        udf: UserDefinedFunction,
+        plan: ExecutionPlan,
+        ledger: CostLedger,
+        sample_outcome: Optional[SampleOutcome] = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` over every group of ``index``.
+
+        ``sample_outcome`` (when provided) identifies tuples whose UDF value
+        was already paid for during sampling: they are excluded from the
+        probabilistic pass and their positive members join the output
+        directly.
+        """
+        returned: List[int] = []
+        group_counts: Dict[Hashable, GroupExecutionCounts] = {}
+
+        sampled_ids: Dict[Hashable, Set[int]] = {}
+        if sample_outcome is not None:
+            for key, sample in sample_outcome.samples.items():
+                sampled_ids[key] = set(sample.sampled_row_ids)
+                returned.extend(sample.positive_row_ids)
+
+        for key, row_ids in index.items():
+            decision = plan.decision(key)
+            counts = GroupExecutionCounts()
+            group_counts[key] = counts
+            already = sampled_ids.get(key, set())
+            retrieve_probability = decision.retrieve_probability
+            conditional_evaluate = decision.conditional_evaluate_probability
+            if retrieve_probability <= 0.0:
+                continue
+            for row_id in row_ids:
+                if row_id in already:
+                    continue
+                if self.random_state.random() >= retrieve_probability:
+                    continue
+                ledger.charge_retrieval()
+                evaluate = (
+                    conditional_evaluate > 0.0
+                    and self.random_state.random() < conditional_evaluate
+                )
+                if evaluate:
+                    ledger.charge_evaluation()
+                    outcome = udf.evaluate_row(table, row_id)
+                    if outcome:
+                        counts.evaluated_correct += 1
+                        counts.retrieved_correct += 1
+                        counts.returned += 1
+                        returned.append(row_id)
+                    else:
+                        counts.evaluated_incorrect += 1
+                        counts.retrieved_incorrect += 1
+                else:
+                    # Returned without verification; correctness is unknown to
+                    # the algorithm (the counts split is filled by auditing).
+                    counts.returned += 1
+                    returned.append(row_id)
+
+        return ExecutionResult(
+            returned_row_ids=returned,
+            ledger=ledger,
+            group_counts=group_counts,
+        )

@@ -1,0 +1,32 @@
+"""Extensions of the basic single-predicate problem (paper Section 5).
+
+* :mod:`repro.core.extensions.budget` — fixed cost budget, maximize recall
+  subject to a precision bound (Section 10.7.1),
+* :mod:`repro.core.extensions.multi_predicate` — conjunctions of several UDF
+  predicates with joint decision variables (Section 10.7.2),
+* :mod:`repro.core.extensions.join` — a selection followed by a join, where
+  tuples are weighted by their join fan-out (Section 10.7.3).
+"""
+
+from repro.core.extensions.budget import BudgetSolution, solve_budgeted_recall
+from repro.core.extensions.join import JoinAwareSolution, JoinGroup, solve_join_aware
+from repro.core.extensions.multi_predicate import (
+    MultiPredicateGroup,
+    MultiPredicatePlan,
+    MultiPredicateSolution,
+    PredicateAction,
+    solve_multi_predicate,
+)
+
+__all__ = [
+    "BudgetSolution",
+    "solve_budgeted_recall",
+    "MultiPredicateGroup",
+    "MultiPredicatePlan",
+    "MultiPredicateSolution",
+    "PredicateAction",
+    "solve_multi_predicate",
+    "JoinGroup",
+    "JoinAwareSolution",
+    "solve_join_aware",
+]

@@ -1,0 +1,140 @@
+"""Budget-constrained objective (paper Sections 5 / 10.7.1).
+
+Instead of minimizing cost under precision and recall bounds, the user fixes a
+cost budget and wants to maximize the number of correct tuples returned
+(equivalently the recall) while keeping the precision bound.  The paper notes
+this is a minor rearrangement of the same machinery: cost becomes a
+constraint, expected recall becomes the objective, and the Hoeffding precision
+margin is kept so the precision guarantee still holds with probability
+``rho``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.core.hoeffding_lp import compute_margins
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.solvers.linear import (
+    InfeasibleProblemError,
+    LinearProgram,
+    solve_linear_program,
+)
+
+_ALPHA_CERTAIN = 1.0 - 1e-12
+
+
+@dataclass(frozen=True)
+class BudgetSolution:
+    """Plan plus expectations for a budget-constrained solve."""
+
+    plan: ExecutionPlan
+    expected_correct_returned: float
+    expected_cost: float
+    budget: float
+
+    @property
+    def expected_recall(self) -> float:
+        """Expected recall implied by the expected correct tuples returned."""
+        return self._expected_recall
+
+    # populated by the solver below (kept out of the frozen dataclass fields
+    # so the public constructor stays small).
+    _expected_recall: float = 0.0
+
+
+def solve_budgeted_recall(
+    model: SelectivityModel,
+    precision_bound: float,
+    rho: float,
+    budget: float,
+    cost_model: CostModel = CostModel(),
+) -> BudgetSolution:
+    """Maximize expected correct tuples returned under a hard cost budget.
+
+    Parameters
+    ----------
+    model:
+        Per-group sizes and (exact or estimated) selectivities.
+    precision_bound:
+        The precision lower bound ``alpha`` that must still hold with
+        probability ``rho``.
+    budget:
+        Maximum allowed expected cost of retrievals plus evaluations.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    groups = model.groups
+    k = len(groups)
+    if k == 0:
+        plan = ExecutionPlan({})
+        return BudgetSolution(plan, 0.0, 0.0, budget, 1.0)
+
+    constraints = QueryConstraints(alpha=precision_bound, beta=0.0, rho=rho)
+    margins = compute_margins(model, constraints)
+    alpha = precision_bound
+
+    # Maximize sum_a t_a s_a R_a  ==  minimize the negation.
+    objective = [-group.remaining * group.selectivity for group in groups] + [0.0] * k
+    program = LinearProgram(objective=objective)
+
+    # Precision constraint with its Hoeffding margin.
+    if 0.0 < alpha < _ALPHA_CERTAIN:
+        precision_row = [
+            group.remaining * group.selectivity * (1.0 - alpha)
+            - group.remaining * (1.0 - group.selectivity) * alpha
+            for group in groups
+        ] + [group.remaining * (1.0 - group.selectivity) * alpha for group in groups]
+        program.add_ge(precision_row, margins.precision_margin)
+
+    # Budget constraint: cost <= budget  ==  -cost >= -budget.
+    cost_row = [-group.remaining * cost_model.retrieval_cost for group in groups] + [
+        -group.remaining * cost_model.evaluation_cost for group in groups
+    ]
+    program.add_ge(cost_row, -budget)
+
+    # Browsing case: evaluate everything retrieved.
+    browsing = alpha >= _ALPHA_CERTAIN
+    for index in range(k):
+        row = [0.0] * (2 * k)
+        row[index] = 1.0
+        row[k + index] = -1.0
+        program.add_ge(row, 0.0)
+        if browsing:
+            program.add_ge([-value for value in row], 0.0)
+
+    try:
+        solution = solve_linear_program(program)
+    except InfeasibleProblemError:
+        # A budget too small to absorb the precision safety margin leaves the
+        # empty plan as the only safe answer: it returns nothing (precision 1
+        # trivially) and spends nothing.
+        empty = ExecutionPlan.discard_everything([group.key for group in groups])
+        return BudgetSolution(
+            plan=empty,
+            expected_correct_returned=0.0,
+            expected_cost=0.0,
+            budget=budget,
+            _expected_recall=0.0,
+        )
+    decisions = {}
+    for index, group in enumerate(groups):
+        retrieve = min(1.0, max(0.0, float(solution.values[index])))
+        evaluate = min(retrieve, max(0.0, float(solution.values[k + index])))
+        if browsing:
+            evaluate = retrieve
+        decisions[group.key] = GroupDecision(retrieve=retrieve, evaluate=evaluate)
+    plan = ExecutionPlan(decisions)
+
+    expected_correct = plan.expected_returned_correct(model)
+    total_correct = sum(group.remaining * group.selectivity for group in groups)
+    expected_recall = expected_correct / total_correct if total_correct > 0 else 1.0
+    return BudgetSolution(
+        plan=plan,
+        expected_correct_returned=expected_correct,
+        expected_cost=plan.expected_cost(model, cost_model, include_sampling=False),
+        budget=budget,
+        _expected_recall=expected_recall,
+    )

@@ -1,0 +1,163 @@
+"""Selection followed by a join (paper Sections 5 / 10.7.3).
+
+When the selected table ``T`` is subsequently joined with ``T2``, a tuple of
+``T`` that matches many ``T2`` tuples matters more to the precision and recall
+of the *join output* than one that matches few.  The paper handles this by
+creating a separate decision variable for every (correlated-column value,
+join-column value) combination and weighting each combination's contribution
+to the precision/recall constraints by its join fan-out ``n_j``, while the
+cost stays per-``T``-tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence, Tuple
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.solvers.linear import LinearProgram, solve_linear_program
+from repro.stats.hoeffding import hoeffding_bound
+
+_ALPHA_CERTAIN = 1.0 - 1e-12
+
+
+@dataclass(frozen=True)
+class JoinGroup:
+    """One (correlated value, join value) sub-group of the selected table.
+
+    Attributes
+    ----------
+    key:
+        The pair ``(a, j)`` identifying the sub-group.
+    size:
+        Number of ``T`` tuples in the sub-group (``t_{a,j}``).
+    selectivity:
+        Probability that a tuple of the sub-group satisfies the UDF
+        (inherited from the correlated value ``a``).
+    fanout:
+        ``n_j`` — how many ``T2`` tuples each tuple of the sub-group joins
+        with.
+    """
+
+    key: Hashable
+    size: int
+    selectivity: float
+    fanout: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be non-negative, got {self.size}")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {self.selectivity}")
+        if self.fanout < 0:
+            raise ValueError(f"fanout must be non-negative, got {self.fanout}")
+
+
+@dataclass(frozen=True)
+class JoinAwareSolution:
+    """Plan plus expectations for a join-aware solve."""
+
+    plan: ExecutionPlan
+    expected_cost: float
+    expected_output_correct: float
+    expected_output_total: float
+
+
+def solve_join_aware(
+    groups: Sequence[JoinGroup],
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+) -> JoinAwareSolution:
+    """Solve the join-weighted LP with Hoeffding margins.
+
+    The returned plan's keys are the :class:`JoinGroup` keys (the ``(a, j)``
+    pairs); executing it requires a group index built on the combination of
+    the correlated column and the join column.
+    """
+    if not groups:
+        return JoinAwareSolution(ExecutionPlan({}), 0.0, 0.0, 0.0)
+    alpha = constraints.alpha
+    beta = constraints.beta
+    browsing = alpha >= _ALPHA_CERTAIN
+    k = len(groups)
+
+    # Hoeffding margins with per-tuple ranges scaled by the join fan-out.
+    failure = 1.0 - constraints.rho
+    precision_squared_range = sum(group.size * group.fanout**2 for group in groups)
+    recall_squared_range = sum(
+        group.size * (group.fanout * (1.0 - beta)) ** 2 for group in groups
+    )
+    precision_margin = (
+        hoeffding_bound(precision_squared_range, failure)
+        if 0.0 < alpha < _ALPHA_CERTAIN
+        else 0.0
+    )
+    recall_margin = hoeffding_bound(recall_squared_range, failure)
+
+    objective = [group.size * cost_model.retrieval_cost for group in groups] + [
+        group.size * cost_model.evaluation_cost for group in groups
+    ]
+    program = LinearProgram(objective=objective)
+
+    # Weighted recall.
+    total_weighted_correct = sum(
+        group.size * group.fanout * group.selectivity for group in groups
+    )
+    recall_row = [group.size * group.fanout * group.selectivity for group in groups] + [
+        0.0
+    ] * k
+    program.add_ge(recall_row, beta * total_weighted_correct + recall_margin)
+
+    # Weighted precision.
+    if 0.0 < alpha < _ALPHA_CERTAIN:
+        precision_row = [
+            group.size
+            * group.fanout
+            * (group.selectivity * (1.0 - alpha) - (1.0 - group.selectivity) * alpha)
+            for group in groups
+        ] + [
+            group.size * group.fanout * (1.0 - group.selectivity) * alpha
+            for group in groups
+        ]
+        program.add_ge(precision_row, precision_margin)
+
+    # Coupling constraints.
+    for index in range(k):
+        row = [0.0] * (2 * k)
+        row[index] = 1.0
+        row[k + index] = -1.0
+        program.add_ge(row, 0.0)
+        if browsing:
+            program.add_ge([-value for value in row], 0.0)
+
+    solution = solve_linear_program(program)
+    decisions: Dict[Hashable, GroupDecision] = {}
+    expected_correct = 0.0
+    expected_total = 0.0
+    for index, group in enumerate(groups):
+        retrieve = min(1.0, max(0.0, float(solution.values[index])))
+        evaluate = min(retrieve, max(0.0, float(solution.values[k + index])))
+        if browsing:
+            evaluate = retrieve
+        decisions[group.key] = GroupDecision(retrieve=retrieve, evaluate=evaluate)
+        expected_correct += group.size * group.fanout * group.selectivity * retrieve
+        expected_total += group.size * group.fanout * (
+            group.selectivity * retrieve
+            + (1.0 - group.selectivity) * (retrieve - evaluate)
+        )
+    plan = ExecutionPlan(decisions)
+    expected_cost = sum(
+        group.size
+        * (
+            cost_model.retrieval_cost * decisions[group.key].retrieve_probability
+            + cost_model.evaluation_cost * decisions[group.key].evaluate_probability
+        )
+        for group in groups
+    )
+    return JoinAwareSolution(
+        plan=plan,
+        expected_cost=expected_cost,
+        expected_output_correct=expected_correct,
+        expected_output_total=expected_total,
+    )

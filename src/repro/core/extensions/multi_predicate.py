@@ -1,0 +1,212 @@
+"""Conjunctions of multiple UDF predicates (paper Sections 5 / 10.7.2).
+
+For a query ``WHERE f1(id) = 1 AND f2(id) = 1 ...`` the decision per group is
+no longer a single (retrieve, evaluate) pair: for each UDF we can either
+*assume* it holds (cheap, risks precision) or *evaluate* it (expensive,
+certain), and we can also discard the group outright.  Precision and recall
+are specified on the final output, so accuracy can be traded between
+predicates.
+
+Following the paper, we introduce one decision variable per mapping of UDFs to
+decisions.  With ``m`` predicates a group has ``2^m`` retrieve-actions (each
+predicate assumed or evaluated) plus the implicit discard action, giving an LP
+whose size is linear in the number of groups and exponential only in the
+(small) number of predicates.
+
+Under the per-group independence model used throughout the paper, for action
+``d`` (a tuple of per-predicate choices) on a tuple of group ``a``:
+
+* the tuple is *returned* iff every evaluated predicate actually holds —
+  probability ``prod_{i evaluated} s_{a,i}``,
+* the tuple is returned **and** correct iff every predicate holds —
+  probability ``prod_i s_{a,i}``,
+* the cost is ``o_r + o_e * (#evaluated)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.solvers.linear import LinearProgram, solve_linear_program
+from repro.stats.hoeffding import hoeffding_precision_margin, hoeffding_recall_margin
+
+
+class PredicateAction:
+    """Per-predicate choices within a retrieve action."""
+
+    ASSUME = "assume"
+    EVALUATE = "evaluate"
+
+
+@dataclass(frozen=True)
+class MultiPredicateGroup:
+    """One group's size and per-predicate selectivities."""
+
+    key: Hashable
+    size: int
+    selectivities: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"group size must be non-negative, got {self.size}")
+        for value in self.selectivities:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"selectivities must be in [0, 1], got {value}")
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of UDF predicates."""
+        return len(self.selectivities)
+
+    @property
+    def joint_selectivity(self) -> float:
+        """Probability that a tuple satisfies every predicate."""
+        return math.prod(self.selectivities)
+
+
+@dataclass
+class MultiPredicatePlan:
+    """Per-group probability distribution over retrieve actions.
+
+    ``action_probabilities[key][action]`` is the probability that a tuple of
+    group ``key`` is handled with ``action`` (a tuple of per-predicate
+    choices); the residual probability mass is the discard action.
+    """
+
+    action_probabilities: Dict[Hashable, Dict[Tuple[str, ...], float]] = field(
+        default_factory=dict
+    )
+
+    def retrieve_probability(self, key: Hashable) -> float:
+        """Total probability of retrieving a tuple from ``key``."""
+        return sum(self.action_probabilities.get(key, {}).values())
+
+    def action_probability(self, key: Hashable, action: Tuple[str, ...]) -> float:
+        """Probability of one specific action."""
+        return self.action_probabilities.get(key, {}).get(action, 0.0)
+
+
+@dataclass(frozen=True)
+class MultiPredicateSolution:
+    """Plan plus expectations for a multi-predicate solve."""
+
+    plan: MultiPredicatePlan
+    expected_cost: float
+    expected_returned_correct: float
+    expected_returned_total: float
+
+
+def _actions(num_predicates: int) -> List[Tuple[str, ...]]:
+    return list(
+        itertools.product(
+            (PredicateAction.ASSUME, PredicateAction.EVALUATE), repeat=num_predicates
+        )
+    )
+
+
+def solve_multi_predicate(
+    groups: Sequence[MultiPredicateGroup],
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+) -> MultiPredicateSolution:
+    """Solve the multi-predicate LP with Hoeffding margins.
+
+    Returns a probabilistic plan over per-group actions meeting the precision
+    and recall constraints (on the conjunction) with probability ``rho``.
+    """
+    if not groups:
+        return MultiPredicateSolution(MultiPredicatePlan(), 0.0, 0.0, 0.0)
+    num_predicates = groups[0].num_predicates
+    if num_predicates == 0:
+        raise ValueError("at least one predicate is required")
+    if any(group.num_predicates != num_predicates for group in groups):
+        raise ValueError("all groups must describe the same number of predicates")
+
+    actions = _actions(num_predicates)
+    total_tuples = sum(group.size for group in groups)
+    total_correct = sum(group.size * group.joint_selectivity for group in groups)
+    precision_margin = (
+        hoeffding_precision_margin(total_tuples, constraints.rho)
+        if 0.0 < constraints.alpha < 1.0
+        else 0.0
+    )
+    recall_margin = hoeffding_recall_margin(
+        total_tuples, constraints.beta, constraints.rho
+    )
+
+    # Variable layout: x[g * len(actions) + j] = probability of action j on group g.
+    num_variables = len(groups) * len(actions)
+    objective = []
+    for group in groups:
+        for action in actions:
+            evaluations = sum(1 for choice in action if choice == PredicateAction.EVALUATE)
+            per_tuple_cost = cost_model.retrieval_cost + cost_model.evaluation_cost * evaluations
+            objective.append(group.size * per_tuple_cost)
+    program = LinearProgram(objective=objective, bounds=[(0.0, 1.0)] * num_variables)
+
+    def index_of(group_position: int, action_position: int) -> int:
+        return group_position * len(actions) + action_position
+
+    # Per-group total action probability at most 1.
+    for group_position in range(len(groups)):
+        row = [0.0] * num_variables
+        for action_position in range(len(actions)):
+            row[index_of(group_position, action_position)] = -1.0
+        program.add_ge(row, -1.0)
+
+    # Recall: expected correct returned >= beta * total_correct + margin.
+    recall_row = [0.0] * num_variables
+    for group_position, group in enumerate(groups):
+        for action_position, _action in enumerate(actions):
+            recall_row[index_of(group_position, action_position)] = (
+                group.size * group.joint_selectivity
+            )
+    program.add_ge(recall_row, constraints.beta * total_correct + recall_margin)
+
+    # Precision: correct_returned - alpha * returned >= margin.
+    if 0.0 < constraints.alpha < 1.0:
+        precision_row = [0.0] * num_variables
+        for group_position, group in enumerate(groups):
+            for action_position, action in enumerate(actions):
+                returned_probability = math.prod(
+                    group.selectivities[i]
+                    for i, choice in enumerate(action)
+                    if choice == PredicateAction.EVALUATE
+                )
+                correct_probability = group.joint_selectivity
+                precision_row[index_of(group_position, action_position)] = group.size * (
+                    correct_probability - constraints.alpha * returned_probability
+                )
+        program.add_ge(precision_row, precision_margin)
+
+    solution = solve_linear_program(program)
+
+    plan = MultiPredicatePlan()
+    expected_correct = 0.0
+    expected_returned = 0.0
+    for group_position, group in enumerate(groups):
+        per_action: Dict[Tuple[str, ...], float] = {}
+        for action_position, action in enumerate(actions):
+            probability = float(solution.values[index_of(group_position, action_position)])
+            if probability <= 1e-12:
+                continue
+            per_action[action] = min(1.0, probability)
+            returned_probability = math.prod(
+                group.selectivities[i]
+                for i, choice in enumerate(action)
+                if choice == PredicateAction.EVALUATE
+            )
+            expected_returned += group.size * probability * returned_probability
+            expected_correct += group.size * probability * group.joint_selectivity
+        plan.action_probabilities[group.key] = per_action
+
+    return MultiPredicateSolution(
+        plan=plan,
+        expected_cost=float(solution.objective_value),
+        expected_returned_correct=expected_correct,
+        expected_returned_total=expected_returned,
+    )

@@ -1,0 +1,221 @@
+"""Perfect-information optimizer (paper Section 3.1, Problem 1).
+
+Exact per-group counts ``C_a`` / ``W_a`` are assumed known, decisions are
+boolean, and constraints must hold deterministically.  The problem is NP-hard
+(Theorem 3.2, by reduction from minimum knapsack), but the number of groups in
+practice is small, so an exact branch-and-bound / brute-force solve is
+perfectly feasible and gives a true lower-bound baseline.  A greedy heuristic
+mirroring BiGreedy's ordering is provided for larger group counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import GroupStatistics, SelectivityModel
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.solvers.branch_bound import BranchAndBoundSolver, IntegerProgram
+from repro.solvers.knapsack import KnapsackItem
+from repro.solvers.linear import InfeasibleProblemError
+
+
+def _require_exact_counts(model: SelectivityModel) -> None:
+    missing = [g.key for g in model if not g.has_exact_counts]
+    if missing:
+        raise ValueError(
+            "perfect-information optimization requires exact correct/incorrect "
+            f"counts for every group; missing for {missing}"
+        )
+
+
+def _build_integer_program(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel,
+) -> IntegerProgram:
+    """Encode Problem 1 as a 0/1 integer program over ``[R_1..R_k, E_1..E_k]``."""
+    groups = model.groups
+    k = len(groups)
+    objective: List[float] = []
+    for group in groups:
+        objective.append(group.size * cost_model.retrieval_cost)
+    for group in groups:
+        objective.append(group.size * cost_model.evaluation_cost)
+
+    program = IntegerProgram(objective=objective)
+
+    total_correct = sum(float(group.correct_count) for group in groups)
+    # Recall: sum_a C_a R_a >= beta * sum_a C_a
+    recall_row = [float(group.correct_count) for group in groups] + [0.0] * k
+    program.constraints_ge.append((recall_row, constraints.beta * total_correct))
+
+    # Precision (rewritten as Constraint 3): for alpha > 0,
+    # sum_a ((1/alpha - 1) C_a - W_a) R_a + W_a E_a >= 0
+    if constraints.alpha > 0.0:
+        precision_row = [
+            (1.0 / constraints.alpha - 1.0) * group.correct_count - group.incorrect_count
+            for group in groups
+        ] + [float(group.incorrect_count) for group in groups]
+        program.constraints_ge.append((precision_row, 0.0))
+
+    # Coupling R_a >= E_a.
+    for index in range(k):
+        row = [0.0] * (2 * k)
+        row[index] = 1.0
+        row[k + index] = -1.0
+        program.constraints_ge.append((row, 0.0))
+    return program
+
+
+@dataclass(frozen=True)
+class PerfectInformationSolution:
+    """Plan plus objective value for a Problem 1 instance."""
+
+    plan: ExecutionPlan
+    cost: float
+    optimal: bool
+
+
+def solve_perfect_information(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+    solver: BranchAndBoundSolver | None = None,
+) -> PerfectInformationSolution:
+    """Solve Problem 1 exactly.
+
+    Raises
+    ------
+    ValueError
+        If any group lacks exact counts.
+    InfeasibleProblemError
+        If no 0/1 assignment satisfies the constraints (cannot happen when
+        ``alpha, beta <= 1`` because evaluating everything is feasible, but
+        kept for safety).
+    """
+    _require_exact_counts(model)
+    solver = solver or BranchAndBoundSolver()
+    program = _build_integer_program(model, constraints, cost_model)
+    solution = solver.solve(program)
+    groups = model.groups
+    k = len(groups)
+    decisions = {}
+    for index, group in enumerate(groups):
+        retrieve = float(solution.values[index])
+        evaluate = float(solution.values[k + index])
+        decisions[group.key] = GroupDecision(retrieve=retrieve, evaluate=evaluate)
+    return PerfectInformationSolution(
+        plan=ExecutionPlan(decisions),
+        cost=solution.objective_value,
+        optimal=solution.optimal,
+    )
+
+
+def greedy_perfect_information(
+    model: SelectivityModel,
+    constraints: QueryConstraints,
+    cost_model: CostModel = CostModel(),
+) -> PerfectInformationSolution:
+    """A fast heuristic mirroring BiGreedy's ordering on exact counts.
+
+    Retrieve groups in decreasing selectivity order until the recall target is
+    met; then evaluate retrieved groups in increasing selectivity order until
+    the precision target is met.  Not optimal in general (the problem is
+    NP-hard) but feasible whenever a feasible plan exists that retrieves whole
+    groups.
+    """
+    _require_exact_counts(model)
+    total_correct = sum(group.correct_count for group in model)
+    recall_target = constraints.beta * total_correct
+
+    retrieved: dict = {group.key: False for group in model}
+    evaluated: dict = {group.key: False for group in model}
+
+    achieved_correct = 0.0
+    for group in model.sorted_by_selectivity(descending=True):
+        if achieved_correct >= recall_target - 1e-9:
+            break
+        retrieved[group.key] = True
+        achieved_correct += group.correct_count
+
+    def precision_ok() -> bool:
+        returned_correct = sum(
+            group.correct_count for group in model if retrieved[group.key]
+        )
+        returned_incorrect = sum(
+            group.incorrect_count
+            for group in model
+            if retrieved[group.key] and not evaluated[group.key]
+        )
+        returned_total = returned_correct + returned_incorrect
+        if returned_total == 0:
+            return True
+        return returned_correct / returned_total >= constraints.alpha - 1e-12
+
+    for group in model.sorted_by_selectivity(descending=False):
+        if precision_ok():
+            break
+        if retrieved[group.key]:
+            evaluated[group.key] = True
+
+    if achieved_correct < recall_target - 1e-9 or not precision_ok():
+        raise InfeasibleProblemError(
+            "greedy heuristic could not satisfy the precision/recall constraints"
+        )
+
+    decisions = {
+        group.key: GroupDecision(
+            retrieve=1.0 if retrieved[group.key] else 0.0,
+            evaluate=1.0 if evaluated[group.key] else 0.0,
+        )
+        for group in model
+    }
+    plan = ExecutionPlan(decisions)
+    cost = sum(
+        group.size
+        * (
+            cost_model.retrieval_cost * (1.0 if retrieved[group.key] else 0.0)
+            + cost_model.evaluation_cost * (1.0 if evaluated[group.key] else 0.0)
+        )
+        for group in model
+    )
+    return PerfectInformationSolution(plan=plan, cost=cost, optimal=False)
+
+
+def knapsack_to_perfect_information(
+    items: Sequence[KnapsackItem], value_target: float
+) -> Tuple[SelectivityModel, QueryConstraints]:
+    """The reduction used in the paper's NP-hardness proof (Theorem 3.2).
+
+    Given a minimum-knapsack instance, produce a Problem 1 instance whose
+    optimal retrieval set corresponds to the optimal knapsack subset.  Weights
+    are scaled (if necessary) so that ``w_s > v_s`` as the proof requires,
+    then ``W_a = w_a - v_a`` and ``C_a = v_a``; the precision constraint is
+    dropped (``alpha = 0``) and the recall bound encodes the value target.
+
+    Counts are rounded to integers, so callers should use integer weights and
+    values (the tests do).
+    """
+    if not items:
+        raise ValueError("the knapsack instance must contain at least one item")
+    max_ratio = max(
+        (item.value / item.weight) if item.weight > 0 else float("inf") for item in items
+    )
+    scale = 1.0
+    if max_ratio >= 1.0 and max_ratio != float("inf"):
+        scale = max_ratio + 1.0
+    counts = {}
+    for item in items:
+        weight = item.weight * scale
+        correct = int(round(item.value))
+        incorrect = int(round(weight - item.value))
+        if incorrect <= 0:
+            incorrect = 1
+        counts[item.identifier] = (correct, incorrect)
+    model = SelectivityModel.from_exact_counts(counts)
+    total_correct = sum(correct for correct, _ in counts.values())
+    beta = min(1.0, value_target / total_correct) if total_correct else 0.0
+    constraints = QueryConstraints(alpha=0.0, beta=beta, rho=0.5)
+    return model, constraints

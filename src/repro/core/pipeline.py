@@ -1,0 +1,307 @@
+"""End-to-end query evaluation strategies.
+
+:class:`IntelSample` is the paper's main algorithm (Section 6.2): choose a
+correlated column (real or virtual), sample to estimate group selectivities,
+solve Convex Program 4.1 and execute the resulting probabilistic plan.
+:class:`OptimalOracle` is the unrealistic "Optimal" baseline that is handed
+the exact selectivities and only pays for execution.
+
+Both implement the engine's evaluation-strategy protocol
+(``run(table, query, ledger) -> QueryResult``) and also expose a direct
+``answer(...)`` entry point for callers that do not want to go through the
+query layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bigreedy import solve_bigreedy
+from repro.core.column_selection import (
+    LabeledSample,
+    build_virtual_column,
+    draw_labeled_sample,
+    select_correlated_column,
+)
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.executor import PlanExecutor
+from repro.core.groups import SelectivityModel
+from repro.core.plan import ExecutionPlan
+from repro.core.sampling_program import solve_with_samples
+from repro.db.engine import QueryResult
+from repro.db.index import GroupIndex
+from repro.db.query import SelectQuery
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.sampling.sampler import GroupSampler, SampleOutcome
+from repro.sampling.schemes import SamplingScheme, TwoThirdPowerScheme
+from repro.solvers.linear import InfeasibleProblemError
+from repro.stats.random import RandomState, SeedLike, as_random_state
+
+
+def _cost_model_from_ledger(ledger: CostLedger) -> CostModel:
+    return CostModel(
+        retrieval_cost=ledger.retrieval_cost,
+        evaluation_cost=ledger.evaluation_cost,
+    )
+
+
+def _constraints_from_query(query: SelectQuery) -> QueryConstraints:
+    return QueryConstraints(alpha=query.alpha, beta=query.beta, rho=query.rho)
+
+
+def _udf_from_query(query: SelectQuery) -> UserDefinedFunction:
+    predicates = query.udf_predicates
+    if not predicates:
+        raise ValueError("the query has no UDF predicate to optimize")
+    if len(predicates) > 1:
+        raise ValueError(
+            "IntelSample handles a single UDF predicate; use "
+            "repro.core.extensions.multi_predicate for conjunctions"
+        )
+    return predicates[0].udf
+
+
+@dataclass
+class IntelSampleReport:
+    """Diagnostics attached to an Intel-Sample run."""
+
+    correlated_column: str
+    used_virtual_column: bool
+    sample_size: int
+    plan: ExecutionPlan
+    model: SelectivityModel
+    expected_cost: float
+    used_fallback: bool
+    column_costs: Optional[dict] = None
+
+
+class IntelSample:
+    """The paper's sampling-based approximate evaluation strategy.
+
+    Parameters
+    ----------
+    sampling_scheme:
+        How many tuples to sample per group; defaults to the paper's
+        Two-Third-Power rule with ``num = 2.5 * alpha``.
+    correlated_column:
+        Fix the correlated column instead of searching for one.
+    use_virtual_column:
+        Build a logistic-regression virtual column (Section 4.4, second
+        method) instead of choosing a real column.
+    independent:
+        Use the independent-groups convex program (default) rather than the
+        unknown-correlations variant.
+    column_sample_fraction:
+        Fraction of rows labelled up-front for column selection / virtual
+        column training (the paper uses 1%).
+    """
+
+    def __init__(
+        self,
+        sampling_scheme: Optional[SamplingScheme] = None,
+        correlated_column: Optional[str] = None,
+        use_virtual_column: bool = False,
+        num_buckets: int = 10,
+        independent: bool = True,
+        column_sample_fraction: float = 0.01,
+        random_state: SeedLike = None,
+    ):
+        self.sampling_scheme = sampling_scheme
+        self.correlated_column = correlated_column
+        self.use_virtual_column = use_virtual_column
+        self.num_buckets = num_buckets
+        self.independent = independent
+        self.column_sample_fraction = column_sample_fraction
+        self.random_state: RandomState = as_random_state(random_state)
+
+    # -- engine strategy protocol ---------------------------------------------------
+    def run(self, table: Table, query: SelectQuery, ledger: CostLedger) -> QueryResult:
+        """Evaluate ``query`` approximately (engine strategy entry point)."""
+        constraints = _constraints_from_query(query)
+        udf = _udf_from_query(query)
+        column = query.correlated_column or self.correlated_column
+        return self.answer(table, udf, constraints, ledger, correlated_column=column)
+
+    # -- direct API -------------------------------------------------------------------
+    def answer(
+        self,
+        table: Table,
+        udf: UserDefinedFunction,
+        constraints: QueryConstraints,
+        ledger: Optional[CostLedger] = None,
+        correlated_column: Optional[str] = None,
+    ) -> QueryResult:
+        """Run the full pipeline and return the approximate result."""
+        ledger = ledger if ledger is not None else CostLedger()
+        cost_model = _cost_model_from_ledger(ledger)
+        column = correlated_column or self.correlated_column
+
+        labeled = LabeledSample()
+        column_costs = None
+        used_virtual = False
+        working_table = table
+
+        # Step 0 — find a correlated column if none was designated.
+        if column is None:
+            labeled = draw_labeled_sample(
+                table,
+                udf,
+                ledger,
+                fraction=self.column_sample_fraction,
+                random_state=self.random_state.child(),
+            )
+            if self.use_virtual_column:
+                exclude = [name for name in ("record_id",) if table.schema.has_column(name)]
+                virtual = build_virtual_column(
+                    table,
+                    labeled,
+                    num_buckets=self.num_buckets,
+                    exclude_columns=exclude,
+                    random_state=self.random_state.child(),
+                )
+                working_table = virtual.table
+                column = virtual.column_name
+                used_virtual = True
+            else:
+                selection = select_correlated_column(
+                    table,
+                    labeled,
+                    constraints,
+                    cost_model,
+                    exclude_columns=("record_id",),
+                )
+                column = selection.best_column
+                column_costs = selection.estimated_costs
+
+        # Step 1 — group by the correlated column.
+        index = GroupIndex(working_table, column)
+        prior = labeled.to_sample_outcome(index) if labeled.size else None
+
+        # Step 2 — sample to estimate selectivities.
+        scheme = self.sampling_scheme or TwoThirdPowerScheme(num=2.5 * constraints.alpha)
+        allocation = scheme.allocate(index.group_sizes())
+        sampler = GroupSampler(random_state=self.random_state.child())
+        new_outcome = sampler.sample(
+            working_table, index, udf, allocation, ledger, already_sampled=prior
+        )
+        outcome: SampleOutcome = new_outcome if prior is None else prior.merge(new_outcome)
+
+        # Step 3 — solve Convex Program 4.1 (falling back to exhaustive
+        # evaluation if the margined program is infeasible).
+        used_fallback = False
+        try:
+            solution = solve_with_samples(
+                index,
+                outcome,
+                constraints,
+                cost_model=cost_model,
+                independent=self.independent,
+            )
+            plan = solution.plan
+            model = solution.model
+            expected_cost = solution.expected_total_cost
+            used_fallback = solution.used_fallback
+        except InfeasibleProblemError:
+            plan = ExecutionPlan.evaluate_everything(index.values)
+            model = SelectivityModel.from_sample_outcome(index, outcome)
+            expected_cost = plan.expected_cost(model, cost_model)
+            used_fallback = True
+
+        # Step 4 — execute.
+        executor = PlanExecutor(random_state=self.random_state.child())
+        result = executor.execute(
+            working_table, index, udf, plan, ledger, sample_outcome=outcome
+        )
+
+        report = IntelSampleReport(
+            correlated_column=column,
+            used_virtual_column=used_virtual,
+            sample_size=outcome.total_sampled,
+            plan=plan,
+            model=model,
+            expected_cost=expected_cost,
+            used_fallback=used_fallback,
+            column_costs=column_costs,
+        )
+        return QueryResult(
+            row_ids=result.returned_row_ids,
+            ledger=ledger,
+            metadata={
+                "strategy": "intel_sample",
+                "report": report,
+                "evaluations": ledger.evaluated_count,
+                "retrievals": ledger.retrieved_count,
+            },
+        )
+
+
+class OptimalOracle:
+    """The "Optimal" baseline: exact selectivities handed to the LP for free.
+
+    The oracle reads the true per-group selectivities without charging any
+    cost (which no real system could do) and then pays only for executing the
+    resulting BiGreedy plan.  It lower-bounds Intel-Sample's cost.
+    """
+
+    def __init__(
+        self,
+        correlated_column: Optional[str] = None,
+        random_state: SeedLike = None,
+    ):
+        self.correlated_column = correlated_column
+        self.random_state: RandomState = as_random_state(random_state)
+
+    def run(self, table: Table, query: SelectQuery, ledger: CostLedger) -> QueryResult:
+        """Engine strategy entry point."""
+        constraints = _constraints_from_query(query)
+        udf = _udf_from_query(query)
+        column = query.correlated_column or self.correlated_column
+        if column is None:
+            raise ValueError("OptimalOracle requires an explicit correlated column")
+        return self.answer(table, udf, constraints, ledger, correlated_column=column)
+
+    def answer(
+        self,
+        table: Table,
+        udf: UserDefinedFunction,
+        constraints: QueryConstraints,
+        ledger: Optional[CostLedger] = None,
+        correlated_column: Optional[str] = None,
+    ) -> QueryResult:
+        """Solve with exact selectivities and execute the plan."""
+        ledger = ledger if ledger is not None else CostLedger()
+        cost_model = _cost_model_from_ledger(ledger)
+        column = correlated_column or self.correlated_column
+        if column is None:
+            raise ValueError("OptimalOracle requires an explicit correlated column")
+        index = GroupIndex(table, column)
+
+        # Peek at the ground truth without charging costs (unrealistic, by design).
+        free_ledger = CostLedger(retrieval_cost=0.0, evaluation_cost=0.0)
+        positives = set()
+        for row_id in table.row_ids:
+            if udf.evaluate_row(table, row_id):
+                positives.add(row_id)
+        del free_ledger
+        model = SelectivityModel.from_ground_truth(index, positives)
+
+        try:
+            solution = solve_bigreedy(model, constraints, cost_model)
+            plan = solution.plan
+        except InfeasibleProblemError:
+            plan = ExecutionPlan.evaluate_everything(index.values)
+
+        executor = PlanExecutor(random_state=self.random_state.child())
+        result = executor.execute(table, index, udf, plan, ledger)
+        return QueryResult(
+            row_ids=result.returned_row_ids,
+            ledger=ledger,
+            metadata={
+                "strategy": "optimal_oracle",
+                "plan": plan,
+                "evaluations": ledger.evaluated_count,
+                "retrievals": ledger.retrieved_count,
+            },
+        )

@@ -1,0 +1,43 @@
+"""Dataset substrate.
+
+The paper evaluates on four real datasets (Lending Club, Prosper, Census,
+Marketing) that are not redistributable and not available offline.  Following
+the substitution policy in DESIGN.md, this package generates synthetic
+equivalents calibrated to every statistic the paper publishes about them:
+
+* number of tuples and overall predicate selectivity (Table 2),
+* number of groups under the designated correlated column, the standard
+  deviation of group sizes, the standard deviation of group selectivities and
+  the Pearson correlation between size and selectivity (Table 3).
+
+Each generator also adds secondary categorical columns (weakly correlated,
+uncorrelated and near-duplicate predictors) and numeric feature columns so
+that correlated-column selection (Section 4.4) and the logistic-regression
+virtual column (Figure 1(c)) have realistic material to work with.
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_names,
+    load_dataset,
+    load_all_datasets,
+)
+from repro.datasets.synthetic import (
+    DatasetBundle,
+    GroupSpec,
+    SyntheticDatasetSpec,
+    generate_dataset,
+)
+from repro.datasets.toy import toy_credit_table
+
+__all__ = [
+    "DatasetBundle",
+    "GroupSpec",
+    "SyntheticDatasetSpec",
+    "generate_dataset",
+    "DATASET_NAMES",
+    "dataset_names",
+    "load_dataset",
+    "load_all_datasets",
+    "toy_credit_table",
+]

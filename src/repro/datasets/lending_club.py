@@ -1,0 +1,57 @@
+"""Synthetic equivalent of the Lending Club (LC) dataset.
+
+Paper-published statistics reproduced by this spec (Tables 2 and 3):
+
+* ~53,000 tuples, overall predicate selectivity ~0.72,
+* 7 groups under the chosen correlated column (the borrower *Grade*),
+* group-size standard deviation ~5,200, group-selectivity standard deviation
+  ~0.13–0.17, and a strongly positive size–selectivity correlation (~0.84).
+
+The predicate is "the loan was fully paid" (versus charged off / late /
+defaulted).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    DatasetBundle,
+    SyntheticDatasetSpec,
+    generate_dataset,
+    spec_from_sizes_and_selectivities,
+)
+from repro.stats.random import SeedLike
+
+#: Grade values ordered from best to worst borrower quality.
+GRADE_VALUES = ("A", "B", "C", "D", "E", "F", "G")
+
+#: Group sizes chosen to match the published size dispersion (~53k total).
+GRADE_SIZES = (17_000, 13_000, 9_500, 6_500, 4_000, 2_200, 800)
+
+#: Per-grade probability that the loan was fully paid (weighted mean ~0.72).
+GRADE_SELECTIVITIES = (0.85, 0.78, 0.70, 0.60, 0.50, 0.42, 0.35)
+
+
+def lending_club_spec() -> SyntheticDatasetSpec:
+    """The calibrated spec for the LC-like dataset."""
+    return spec_from_sizes_and_selectivities(
+        name="lending_club",
+        correlated_column="grade",
+        values=GRADE_VALUES,
+        sizes=GRADE_SIZES,
+        selectivities=GRADE_SELECTIVITIES,
+        numeric_signal_strength=0.10,
+        description=(
+            "Synthetic stand-in for the Lending Club loan data: predicate is "
+            "'loan fully paid', correlated column is the borrower grade."
+        ),
+    )
+
+
+def load_lending_club(
+    random_state: SeedLike = None, scale: float = 1.0
+) -> DatasetBundle:
+    """Generate the LC-like dataset (optionally scaled down for fast runs)."""
+    spec = lending_club_spec()
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return generate_dataset(spec, random_state=random_state)

@@ -1,0 +1,55 @@
+"""Synthetic equivalent of the Prosper loan dataset.
+
+Paper-published statistics reproduced by this spec (Tables 2 and 3):
+
+* ~30,000 tuples, overall predicate selectivity ~0.45,
+* 8 groups under the chosen correlated column (the Prosper *Grade*),
+* group-size standard deviation ~1,500, group-selectivity standard deviation
+  ~0.20, and a weak positive size–selectivity correlation (~0.2).
+
+The predicate is "the loan was paid back on time".
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import (
+    DatasetBundle,
+    SyntheticDatasetSpec,
+    generate_dataset,
+    spec_from_sizes_and_selectivities,
+)
+from repro.stats.random import SeedLike
+
+#: Prosper credit grades.
+GRADE_VALUES = ("AA", "A", "B", "C", "D", "E", "HR", "NC")
+
+#: Group sizes with modest dispersion (~30k total).
+GRADE_SIZES = (6_000, 5_200, 4_600, 4_000, 3_400, 2_800, 2_200, 1_800)
+
+#: Per-grade on-time repayment probability (weighted mean ~0.45, weakly
+#: correlated with group size).
+GRADE_SELECTIVITIES = (0.68, 0.24, 0.60, 0.36, 0.52, 0.16, 0.58, 0.28)
+
+
+def prosper_spec() -> SyntheticDatasetSpec:
+    """The calibrated spec for the Prosper-like dataset."""
+    return spec_from_sizes_and_selectivities(
+        name="prosper",
+        correlated_column="grade",
+        values=GRADE_VALUES,
+        sizes=GRADE_SIZES,
+        selectivities=GRADE_SELECTIVITIES,
+        numeric_signal_strength=0.12,
+        description=(
+            "Synthetic stand-in for the Prosper loan data: predicate is "
+            "'loan repaid on time', correlated column is the Prosper grade."
+        ),
+    )
+
+
+def load_prosper(random_state: SeedLike = None, scale: float = 1.0) -> DatasetBundle:
+    """Generate the Prosper-like dataset (optionally scaled down)."""
+    spec = prosper_spec()
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return generate_dataset(spec, random_state=random_state)

@@ -1,0 +1,67 @@
+"""Dataset registry: load any of the paper's four datasets by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.census import census_spec, load_census
+from repro.datasets.lending_club import lending_club_spec, load_lending_club
+from repro.datasets.marketing import load_marketing, marketing_spec
+from repro.datasets.prosper import load_prosper, prosper_spec
+from repro.datasets.synthetic import DatasetBundle, SyntheticDatasetSpec
+from repro.stats.random import SeedLike
+
+_LOADERS: Dict[str, Callable[..., DatasetBundle]] = {
+    "lending_club": load_lending_club,
+    "prosper": load_prosper,
+    "census": load_census,
+    "marketing": load_marketing,
+}
+
+_SPECS: Dict[str, Callable[[], SyntheticDatasetSpec]] = {
+    "lending_club": lending_club_spec,
+    "prosper": prosper_spec,
+    "census": census_spec,
+    "marketing": marketing_spec,
+}
+
+#: Canonical dataset order used throughout the paper's figures.
+DATASET_NAMES = ("lending_club", "prosper", "census", "marketing")
+
+
+def dataset_names() -> List[str]:
+    """Names of all registered datasets."""
+    return list(DATASET_NAMES)
+
+
+def dataset_spec(name: str) -> SyntheticDatasetSpec:
+    """The calibrated spec for one dataset."""
+    try:
+        return _SPECS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(_SPECS)}"
+        ) from None
+
+
+def load_dataset(
+    name: str, random_state: SeedLike = None, scale: float = 1.0
+) -> DatasetBundle:
+    """Load one dataset by name (``scale`` shrinks it proportionally)."""
+    try:
+        loader = _LOADERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(_LOADERS)}"
+        ) from None
+    return loader(random_state=random_state, scale=scale)
+
+
+def load_all_datasets(
+    random_state: SeedLike = None, scale: float = 1.0
+) -> Dict[str, DatasetBundle]:
+    """Load every dataset, keyed by name."""
+    return {
+        name: load_dataset(name, random_state=random_state, scale=scale)
+        for name in DATASET_NAMES
+    }

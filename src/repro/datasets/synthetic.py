@@ -1,0 +1,290 @@
+"""Parametric synthetic dataset generator.
+
+A dataset is described by a :class:`SyntheticDatasetSpec`: a list of groups
+(value of the designated correlated column, group size, group selectivity)
+plus knobs for auxiliary columns.  The generator produces a
+:class:`~repro.db.table.Table` whose hidden label column realises each group's
+selectivity *exactly* (the paper's selectivities are empirical fractions of
+the real data, so exact counts are the faithful reproduction), and a
+:class:`DatasetBundle` that carries the table together with the metadata the
+experiments need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.db.column import Column, ColumnType
+from repro.db.table import Table
+from repro.db.udf import UserDefinedFunction
+from repro.stats.random import RandomState, SeedLike, as_random_state
+from repro.stats.summaries import pearson_correlation
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One group of the designated correlated column."""
+
+    value: Hashable
+    size: int
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"group size must be non-negative, got {self.size}")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ValueError(
+                f"group selectivity must be in [0, 1], got {self.selectivity}"
+            )
+
+    @property
+    def positive_count(self) -> int:
+        """Number of positive tuples this group contributes (rounded)."""
+        return int(round(self.size * self.selectivity))
+
+
+@dataclass(frozen=True)
+class SyntheticDatasetSpec:
+    """Full description of a synthetic dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset name ("lending_club", ...).
+    correlated_column:
+        Name of the designated correlated column (e.g. ``grade``).
+    groups:
+        Group definitions for the correlated column.
+    label_column:
+        Name of the hidden ground-truth column.
+    noise_columns:
+        Number of uncorrelated categorical columns to add.
+    weak_predictor_flip_probability:
+        The generator adds a "weak predictor" categorical column obtained from
+        the correlated column by re-assigning each tuple to a random group
+        with this probability; it gives column selection a plausible
+        second-best choice.
+    numeric_signal_strength:
+        Separation (in standard deviations) between the numeric feature means
+        of positive and negative tuples; drives logistic-regression quality.
+    description:
+        Human-readable provenance note.
+    """
+
+    name: str
+    correlated_column: str
+    groups: Sequence[GroupSpec]
+    label_column: str = "is_good"
+    noise_columns: int = 2
+    weak_predictor_flip_probability: float = 0.35
+    numeric_signal_strength: float = 1.0
+    description: str = ""
+
+    @property
+    def total_size(self) -> int:
+        """Total number of tuples."""
+        return sum(group.size for group in self.groups)
+
+    @property
+    def overall_selectivity(self) -> float:
+        """Size-weighted average selectivity."""
+        total = self.total_size
+        if total == 0:
+            return 0.0
+        return sum(group.positive_count for group in self.groups) / total
+
+    @property
+    def group_sizes(self) -> List[int]:
+        """Sizes of all groups."""
+        return [group.size for group in self.groups]
+
+    @property
+    def group_selectivities(self) -> List[float]:
+        """Selectivities of all groups."""
+        return [group.selectivity for group in self.groups]
+
+    def size_selectivity_correlation(self) -> float:
+        """Pearson correlation between group size and selectivity."""
+        return pearson_correlation(self.group_sizes, self.group_selectivities)
+
+    def scaled(self, scale: float) -> "SyntheticDatasetSpec":
+        """A proportionally smaller/larger copy of the spec.
+
+        Used by tests and benchmarks to keep run times reasonable while
+        preserving group proportions and selectivities.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        scaled_groups = [
+            replace(group, size=max(1, int(round(group.size * scale))))
+            for group in self.groups
+        ]
+        return replace(self, groups=tuple(scaled_groups))
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset plus the metadata the experiments rely on."""
+
+    name: str
+    table: Table
+    label_column: str
+    correlated_column: str
+    spec: SyntheticDatasetSpec
+    description: str = ""
+
+    @property
+    def num_rows(self) -> int:
+        """Number of tuples in the dataset."""
+        return self.table.num_rows
+
+    @property
+    def overall_selectivity(self) -> float:
+        """Fraction of tuples whose hidden label is positive."""
+        labels = self.table.column_values(self.label_column, allow_hidden=True)
+        if not labels:
+            return 0.0
+        return sum(1 for value in labels if value) / len(labels)
+
+    def make_udf(
+        self, name: Optional[str] = None, evaluation_cost: float = 3.0
+    ) -> UserDefinedFunction:
+        """Create the expensive UDF that reveals the hidden label."""
+        return UserDefinedFunction.from_label_column(
+            name=name or f"{self.name}_predicate",
+            label_column=self.label_column,
+            evaluation_cost=evaluation_cost,
+            positive_value=True,
+        )
+
+    def ground_truth_row_ids(self) -> set:
+        """Row ids of all positive tuples (for auditing results)."""
+        labels = self.table.column_values(self.label_column, allow_hidden=True)
+        return {row_id for row_id, value in enumerate(labels) if value}
+
+    def candidate_columns(self) -> List[str]:
+        """Visible categorical columns that could serve as the correlated column."""
+        return [
+            column.name
+            for column in self.table.schema.categorical_columns()
+            if column.name != self.label_column
+        ]
+
+
+def generate_dataset(
+    spec: SyntheticDatasetSpec, random_state: SeedLike = None
+) -> DatasetBundle:
+    """Generate a :class:`DatasetBundle` realising ``spec`` exactly.
+
+    Group sizes and per-group positive counts are deterministic; the ordering
+    of rows, the auxiliary columns and the numeric features are randomised
+    from ``random_state``.
+    """
+    rng = as_random_state(random_state)
+    group_values: List[Hashable] = []
+    labels: List[bool] = []
+    for group in spec.groups:
+        positives = group.positive_count
+        group_labels = [True] * positives + [False] * (group.size - positives)
+        rng.shuffle(group_labels)
+        group_values.extend([group.value] * group.size)
+        labels.extend(group_labels)
+
+    # Shuffle tuples so that groups are interleaved like a real table.
+    order = rng.permutation(len(group_values))
+    group_values = [group_values[i] for i in order]
+    labels = [bool(labels[i]) for i in order]
+    n = len(labels)
+
+    columns: Dict[str, List[Any]] = {}
+    column_types: Dict[str, ColumnType] = {}
+    hidden = [spec.label_column]
+
+    columns["record_id"] = [f"{spec.name}-{i:07d}" for i in range(n)]
+    column_types["record_id"] = ColumnType.TEXT
+
+    columns[spec.correlated_column] = list(group_values)
+    column_types[spec.correlated_column] = ColumnType.CATEGORICAL
+
+    columns[spec.label_column] = list(labels)
+    column_types[spec.label_column] = ColumnType.BOOLEAN
+
+    # A weaker version of the correlated column: same value most of the time,
+    # random group otherwise.  Gives column selection a second-best candidate.
+    all_group_values = [group.value for group in spec.groups]
+    weak_column_name = f"{spec.correlated_column}_band"
+    flips = rng.random(n) < spec.weak_predictor_flip_probability
+    weak_values = [
+        rng.choice(all_group_values) if flipped else value
+        for value, flipped in zip(group_values, flips)
+    ]
+    columns[weak_column_name] = weak_values
+    column_types[weak_column_name] = ColumnType.CATEGORICAL
+
+    # Uncorrelated categorical noise columns.
+    for index in range(spec.noise_columns):
+        name = f"noise_{index + 1}"
+        cardinality = 4 + 2 * index
+        values = rng.integers(0, cardinality, size=n)
+        columns[name] = [f"v{int(v)}" for v in values]
+        column_types[name] = ColumnType.CATEGORICAL
+
+    # Numeric features whose means shift with the label (for logistic regression).
+    label_array = np.asarray(labels, dtype=float)
+    signal = spec.numeric_signal_strength
+    income = 50_000 + 20_000 * signal * label_array + rng.normal(0.0, 15_000, size=n)
+    columns["income"] = [float(v) for v in income]
+    column_types["income"] = ColumnType.NUMERIC
+
+    score = 600 + 60 * signal * label_array + rng.normal(0.0, 50, size=n)
+    columns["score"] = [float(v) for v in score]
+    column_types["score"] = ColumnType.NUMERIC
+
+    amount = np.abs(rng.normal(12_000, 6_000, size=n))
+    columns["amount"] = [float(v) for v in amount]
+    column_types["amount"] = ColumnType.NUMERIC
+
+    table = Table.from_columns(
+        name=spec.name,
+        columns=columns,
+        column_types=column_types,
+        hidden_columns=hidden,
+    )
+    return DatasetBundle(
+        name=spec.name,
+        table=table,
+        label_column=spec.label_column,
+        correlated_column=spec.correlated_column,
+        spec=spec,
+        description=spec.description,
+    )
+
+
+def spec_from_sizes_and_selectivities(
+    name: str,
+    correlated_column: str,
+    values: Sequence[Hashable],
+    sizes: Sequence[int],
+    selectivities: Sequence[float],
+    **kwargs: Any,
+) -> SyntheticDatasetSpec:
+    """Convenience constructor used by the per-dataset modules."""
+    if not len(values) == len(sizes) == len(selectivities):
+        raise ValueError(
+            "values, sizes and selectivities must have identical lengths, got "
+            f"{len(values)}, {len(sizes)}, {len(selectivities)}"
+        )
+    groups = tuple(
+        GroupSpec(value=value, size=int(size), selectivity=float(selectivity))
+        for value, size, selectivity in zip(values, sizes, selectivities)
+    )
+    return SyntheticDatasetSpec(
+        name=name,
+        correlated_column=correlated_column,
+        groups=groups,
+        **kwargs,
+    )

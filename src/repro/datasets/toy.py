@@ -1,0 +1,56 @@
+"""The paper's Table 1 running example as a real table.
+
+Twelve tuples, a correlated attribute ``A`` with three values, a masked
+phone-number-style ``ID`` and a hidden UDF outcome ``f``.  Tuples 1–4, 6 and
+12 are correct (1-indexed as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.db.column import ColumnType
+from repro.db.table import Table
+from repro.db.udf import UserDefinedFunction
+
+#: (A, ID, f) triples exactly as printed in Table 1 of the paper.
+TABLE1_ROWS = (
+    (1, "999-999-999", True),
+    (1, "913-418-777", True),
+    (1, "719-334-111", True),
+    (1, "999-999-999", True),
+    (2, "913-418-737", False),
+    (2, "719-334-113", True),
+    (2, "999-999-299", False),
+    (3, "913-418-737", False),
+    (3, "719-334-121", False),
+    (3, "999-999-959", False),
+    (3, "913-418-727", False),
+    (3, "719-334-311", True),
+)
+
+
+def toy_credit_table() -> Table:
+    """Build the Table 1 example with the UDF outcome as a hidden column."""
+    return Table.from_columns(
+        name="toy_credit",
+        columns={
+            "A": [row[0] for row in TABLE1_ROWS],
+            "ID": [row[1] for row in TABLE1_ROWS],
+            "f": [row[2] for row in TABLE1_ROWS],
+        },
+        column_types={
+            "A": ColumnType.CATEGORICAL,
+            "ID": ColumnType.TEXT,
+            "f": ColumnType.BOOLEAN,
+        },
+        hidden_columns=("f",),
+    )
+
+
+def toy_credit_udf(evaluation_cost: float = 3.0) -> UserDefinedFunction:
+    """The credit-check UDF over the toy table (reveals the hidden ``f``)."""
+    return UserDefinedFunction.from_label_column(
+        name="credit_check",
+        label_column="f",
+        evaluation_cost=evaluation_cost,
+        positive_value=True,
+    )

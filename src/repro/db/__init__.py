@@ -1,0 +1,71 @@
+"""In-memory relational substrate.
+
+The paper's evaluation protocol (Section 6.1) keeps the ground-truth UDF value
+for every tuple but hides it from the query-evaluation algorithms, revealing a
+value only when the algorithm explicitly "evaluates" that tuple and charging
+the corresponding cost.  This package provides exactly that substrate:
+
+* :class:`~repro.db.table.Table` / :class:`~repro.db.schema.Schema` — a tiny
+  in-memory column store with typed columns and per-row identifiers,
+* :class:`~repro.db.udf.UserDefinedFunction` — a UDF wrapper with a call
+  ledger, per-call cost and optional memoisation,
+* :class:`~repro.db.index.GroupIndex` — the hash index on the correlated
+  attribute that the paper's cost model assumes,
+* :class:`~repro.db.query.SelectQuery` and :class:`~repro.db.engine.Engine`
+  — a small query layer that runs exact or approximate UDF-predicate selects.
+"""
+
+from repro.db.catalog import Catalog
+from repro.db.column import Column, ColumnType, infer_column_type
+from repro.db.engine import Engine, QueryResult
+from repro.db.errors import (
+    BudgetExhaustedError,
+    ColumnNotFoundError,
+    DatabaseError,
+    DuplicateObjectError,
+    SchemaMismatchError,
+    TableNotFoundError,
+    UdfNotFoundError,
+)
+from repro.db.index import GroupIndex
+from repro.db.predicate import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    UdfPredicate,
+)
+from repro.db.query import SelectQuery
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UdfRegistry, UserDefinedFunction
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "infer_column_type",
+    "Engine",
+    "QueryResult",
+    "DatabaseError",
+    "ColumnNotFoundError",
+    "TableNotFoundError",
+    "UdfNotFoundError",
+    "DuplicateObjectError",
+    "SchemaMismatchError",
+    "BudgetExhaustedError",
+    "GroupIndex",
+    "Predicate",
+    "ColumnPredicate",
+    "UdfPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+    "SelectQuery",
+    "Schema",
+    "Table",
+    "UserDefinedFunction",
+    "UdfRegistry",
+    "CostLedger",
+]

@@ -1,0 +1,152 @@
+"""Query engine.
+
+The engine executes :class:`~repro.db.query.SelectQuery` objects against a
+:class:`~repro.db.catalog.Catalog`.  Exact queries are evaluated the obvious
+way (retrieve and evaluate every candidate tuple).  Approximate queries are
+delegated to a pluggable *evaluation strategy* — the paper's Intel-Sample
+pipeline in :mod:`repro.core.pipeline` implements the strategy protocol — so
+the database layer stays free of optimizer logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Set
+
+from repro.db.catalog import Catalog
+from repro.db.query import SelectQuery
+from repro.db.table import Table
+from repro.db.udf import CostLedger
+from repro.stats.metrics import ResultQuality, result_quality
+
+
+@dataclass
+class QueryResult:
+    """Result of running a select query.
+
+    Attributes
+    ----------
+    row_ids:
+        Row ids returned by the (possibly approximate) evaluation.
+    ledger:
+        The cost ledger charged during evaluation (sampling included).
+    quality:
+        Precision/recall against ground truth when the caller asked the engine
+        to audit the result (only possible because the substrate knows the
+        hidden labels); ``None`` otherwise.
+    metadata:
+        Free-form strategy diagnostics (chosen column, sample sizes, ...).
+    """
+
+    row_ids: List[int]
+    ledger: CostLedger
+    quality: Optional[ResultQuality] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def row_id_set(self) -> Set[int]:
+        """The returned row ids as a set."""
+        return set(self.row_ids)
+
+    @property
+    def total_cost(self) -> float:
+        """Total charged cost."""
+        return self.ledger.total_cost
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+
+class EvaluationStrategy(Protocol):
+    """Protocol implemented by approximate evaluation strategies."""
+
+    def run(
+        self, table: Table, query: SelectQuery, ledger: CostLedger
+    ) -> "QueryResult":  # pragma: no cover - protocol definition
+        """Evaluate ``query`` over ``table`` charging costs to ``ledger``."""
+        ...
+
+
+class Engine:
+    """Executes select queries, exactly or through a pluggable strategy."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        retrieval_cost: float = 1.0,
+        evaluation_cost: float = 3.0,
+    ):
+        self.catalog = catalog
+        self.retrieval_cost = retrieval_cost
+        self.evaluation_cost = evaluation_cost
+
+    def new_ledger(self) -> CostLedger:
+        """A fresh cost ledger with this engine's unit costs."""
+        return CostLedger(
+            retrieval_cost=self.retrieval_cost,
+            evaluation_cost=self.evaluation_cost,
+        )
+
+    # -- exact execution ---------------------------------------------------------
+    def execute_exact(self, query: SelectQuery, ledger: Optional[CostLedger] = None) -> QueryResult:
+        """Retrieve and evaluate every candidate tuple (perfect accuracy)."""
+        table = self.catalog.table(query.table)
+        ledger = ledger or self.new_ledger()
+        candidates = self._apply_cheap_predicates(table, query)
+        matched: List[int] = []
+        for row_id in candidates:
+            ledger.charge_retrieval()
+            if query.predicate.evaluate(table, row_id, ledger):
+                matched.append(row_id)
+        return QueryResult(row_ids=matched, ledger=ledger)
+
+    # -- approximate execution -----------------------------------------------------
+    def execute(
+        self,
+        query: SelectQuery,
+        strategy: Optional[EvaluationStrategy] = None,
+        audit: bool = False,
+    ) -> QueryResult:
+        """Execute ``query``.
+
+        Exact queries (or calls without a strategy) use exhaustive
+        evaluation.  Otherwise the strategy runs with a fresh ledger.  With
+        ``audit=True`` the engine additionally computes the ground-truth
+        result (without charging any cost) and attaches precision/recall.
+        """
+        if query.is_exact or strategy is None:
+            result = self.execute_exact(query)
+        else:
+            table = self.catalog.table(query.table)
+            result = strategy.run(table, query, self.new_ledger())
+        if audit:
+            result.quality = self.audit(query, result)
+        return result
+
+    def audit(self, query: SelectQuery, result: QueryResult) -> ResultQuality:
+        """Compare a result against the true answer without charging costs.
+
+        This mirrors the paper's evaluation protocol: the experimenter knows
+        every UDF value and can therefore measure the precision and recall an
+        algorithm actually achieved.
+        """
+        truth = self.ground_truth(query)
+        return result_quality(result.row_ids, truth)
+
+    def ground_truth(self, query: SelectQuery) -> Set[int]:
+        """The exact answer set, computed outside the cost model."""
+        table = self.catalog.table(query.table)
+        candidates = self._apply_cheap_predicates(table, query)
+        free_ledger = CostLedger(retrieval_cost=0.0, evaluation_cost=0.0)
+        return {
+            row_id
+            for row_id in candidates
+            if query.predicate.evaluate(table, row_id, free_ledger)
+        }
+
+    # -- helpers --------------------------------------------------------------------
+    def _apply_cheap_predicates(self, table: Table, query: SelectQuery) -> List[int]:
+        row_ids = list(table.row_ids)
+        for cheap in query.cheap_predicates:
+            row_ids = [r for r in row_ids if cheap.evaluate(table, r)]
+        return row_ids

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the database substrate."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by :mod:`repro.db`."""
+
+
+class SchemaMismatchError(DatabaseError):
+    """A row or column does not match the table schema."""
+
+
+class ColumnNotFoundError(DatabaseError, KeyError):
+    """A referenced column does not exist in the schema."""
+
+    def __init__(self, column: str, available=None):
+        self.column = column
+        self.available = list(available) if available is not None else None
+        message = f"column {column!r} not found"
+        if self.available is not None:
+            message += f"; available columns: {self.available}"
+        super().__init__(message)
+
+
+class TableNotFoundError(DatabaseError, KeyError):
+    """A referenced table is not registered in the catalog."""
+
+    def __init__(self, table: str):
+        self.table = table
+        super().__init__(f"table {table!r} not found in catalog")
+
+
+class UdfNotFoundError(DatabaseError, KeyError):
+    """A referenced UDF is not registered."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"UDF {name!r} is not registered")
+
+
+class DuplicateObjectError(DatabaseError):
+    """An object (table, UDF) with the same name already exists."""
+
+
+class BudgetExhaustedError(DatabaseError):
+    """A UDF call was attempted after its cost budget ran out."""
+
+    def __init__(self, budget: float, spent: float):
+        self.budget = budget
+        self.spent = spent
+        super().__init__(
+            f"UDF cost budget exhausted: budget={budget}, already spent={spent}"
+        )

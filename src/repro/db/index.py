@@ -1,0 +1,71 @@
+"""Hash index on the correlated attribute.
+
+The paper's cost model "implies we have some type of index on A so we can
+reach the examined tuples with constant cost independent of the discarded
+tuples" (Section 2).  :class:`GroupIndex` is that index: it maps each distinct
+value of a categorical column to the row ids carrying it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence
+
+from repro.db.errors import ColumnNotFoundError
+from repro.db.table import Table
+
+
+class GroupIndex:
+    """Value → row-id index over one categorical column of a table."""
+
+    def __init__(self, table: Table, column: str, allow_hidden: bool = False):
+        if not table.schema.has_column(column):
+            raise ColumnNotFoundError(column, table.schema.column_names)
+        self.table = table
+        self.column = column
+        self._groups: Dict[Any, List[int]] = table.group_row_ids(
+            column, allow_hidden=allow_hidden
+        )
+
+    # -- lookup -----------------------------------------------------------------
+    @property
+    def values(self) -> List[Any]:
+        """Distinct indexed values (group keys), in first-appearance order."""
+        return list(self._groups.keys())
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct groups."""
+        return len(self._groups)
+
+    def row_ids(self, value: Any) -> List[int]:
+        """Row ids in the group for ``value`` (empty list when absent)."""
+        return list(self._groups.get(value, []))
+
+    def group_size(self, value: Any) -> int:
+        """Number of tuples in the group for ``value`` (``t_a``)."""
+        return len(self._groups.get(value, ()))
+
+    def group_sizes(self) -> Dict[Any, int]:
+        """All group sizes keyed by value."""
+        return {value: len(ids) for value, ids in self._groups.items()}
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._groups
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._groups)
+
+    def items(self) -> Iterator[tuple[Any, List[int]]]:
+        """Iterate ``(value, row_ids)`` pairs."""
+        for value, ids in self._groups.items():
+            yield value, list(ids)
+
+    def total_rows(self) -> int:
+        """Total number of indexed rows."""
+        return sum(len(ids) for ids in self._groups.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupIndex(table={self.table.name!r}, column={self.column!r}, "
+            f"groups={self.num_groups})"
+        )

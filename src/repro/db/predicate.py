@@ -1,0 +1,147 @@
+"""Predicate expressions for the small query layer.
+
+Only what the paper needs: cheap column comparisons, an expensive
+:class:`UdfPredicate` (``f(id) = 1``), and boolean combinators used by the
+multi-predicate extension of Section 5.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, List
+
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda value, container: value in container,
+}
+
+
+class Predicate(ABC):
+    """Base class for all predicates."""
+
+    @abstractmethod
+    def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
+        """Evaluate the predicate on one row, charging costs to ``ledger``."""
+
+    @property
+    def is_expensive(self) -> bool:
+        """Whether evaluating the predicate triggers UDF calls."""
+        return any(True for _ in self.udfs())
+
+    def udfs(self) -> Iterable[UserDefinedFunction]:
+        """All UDFs referenced by this predicate (none by default)."""
+        return ()
+
+    # -- combinators ----------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "AndPredicate":
+        return AndPredicate([self, other])
+
+    def __or__(self, other: "Predicate") -> "OrPredicate":
+        return OrPredicate([self, other])
+
+    def __invert__(self) -> "NotPredicate":
+        return NotPredicate(self)
+
+
+class ColumnPredicate(Predicate):
+    """A cheap comparison on a visible column, e.g. ``grade == 'A'``."""
+
+    def __init__(self, column: str, op: str, value: Any):
+        if op not in _OPERATORS:
+            raise ValueError(
+                f"unsupported operator {op!r}; expected one of {sorted(_OPERATORS)}"
+            )
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
+        cell = table.value(row_id, self.column)
+        return bool(_OPERATORS[self.op](cell, self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnPredicate({self.column!r} {self.op} {self.value!r})"
+
+
+class UdfPredicate(Predicate):
+    """The expensive predicate ``f(row) == expected`` (default ``True``)."""
+
+    def __init__(self, udf: UserDefinedFunction, expected: bool = True):
+        self.udf = udf
+        self.expected = expected
+
+    def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
+        if ledger is not None:
+            ledger.charge_evaluation()
+        return self.udf.evaluate_row(table, row_id) == self.expected
+
+    def udfs(self) -> Iterable[UserDefinedFunction]:
+        return (self.udf,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UdfPredicate({self.udf.name!r} == {self.expected})"
+
+
+class AndPredicate(Predicate):
+    """Conjunction of predicates; cheap children are evaluated first."""
+
+    def __init__(self, children: List[Predicate]):
+        if not children:
+            raise ValueError("AndPredicate requires at least one child")
+        self.children = list(children)
+
+    def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
+        ordered = sorted(self.children, key=lambda child: child.is_expensive)
+        return all(child.evaluate(table, row_id, ledger) for child in ordered)
+
+    def udfs(self) -> Iterable[UserDefinedFunction]:
+        for child in self.children:
+            yield from child.udfs()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AndPredicate({self.children!r})"
+
+
+class OrPredicate(Predicate):
+    """Disjunction of predicates; cheap children are evaluated first."""
+
+    def __init__(self, children: List[Predicate]):
+        if not children:
+            raise ValueError("OrPredicate requires at least one child")
+        self.children = list(children)
+
+    def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
+        ordered = sorted(self.children, key=lambda child: child.is_expensive)
+        return any(child.evaluate(table, row_id, ledger) for child in ordered)
+
+    def udfs(self) -> Iterable[UserDefinedFunction]:
+        for child in self.children:
+            yield from child.udfs()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrPredicate({self.children!r})"
+
+
+class NotPredicate(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
+        return not self.child.evaluate(table, row_id, ledger)
+
+    def udfs(self) -> Iterable[UserDefinedFunction]:
+        return self.child.udfs()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NotPredicate({self.child!r})"

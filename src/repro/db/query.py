@@ -1,0 +1,91 @@
+"""Select-query description.
+
+The paper's running query is ``SELECT * FROM R(A, ID) WHERE f(ID) = 1`` with
+user-supplied precision/recall/satisfaction constraints.  :class:`SelectQuery`
+captures exactly that: a table name, an expensive predicate, optional cheap
+pre-filters, and the accuracy constraints that the approximate evaluation
+strategies must honour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.db.predicate import Predicate, UdfPredicate
+
+
+@dataclass
+class SelectQuery:
+    """A selection query with one (or more) expensive UDF predicates.
+
+    Attributes
+    ----------
+    table:
+        Name of the table in the catalog.
+    predicate:
+        The expensive predicate (usually a :class:`UdfPredicate` or a
+        conjunction containing one).
+    cheap_predicates:
+        Inexpensive predicates to apply before any UDF work; the multi-
+        predicate extension notes that non-UDF predicates should always run
+        first.
+    alpha, beta, rho:
+        Precision lower bound, recall lower bound and satisfaction
+        probability.  ``alpha = beta = 1`` requests the exact answer.
+    correlated_column:
+        Optional explicit choice of the correlated attribute ``A``; ``None``
+        lets the optimizer pick one (Section 4.4).
+    """
+
+    table: str
+    predicate: Predicate
+    cheap_predicates: List[Predicate] = field(default_factory=list)
+    alpha: float = 1.0
+    beta: float = 1.0
+    rho: float = 0.95
+    correlated_column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("alpha", self.alpha), ("beta", self.beta)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.rho < 1.0:
+            if self.rho == 1.0 and self.is_exact:
+                # Exact queries may ask for certainty; probabilistic ones may not.
+                pass
+            else:
+                raise ValueError(
+                    f"rho must be in [0, 1) for approximate queries, got {self.rho}"
+                )
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the query demands perfect precision and recall."""
+        return self.alpha >= 1.0 and self.beta >= 1.0
+
+    @property
+    def udf_predicates(self) -> List[UdfPredicate]:
+        """All UDF predicates reachable from :attr:`predicate`."""
+        found: List[UdfPredicate] = []
+        stack = [self.predicate] + list(self.cheap_predicates)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, UdfPredicate):
+                found.append(node)
+            children = getattr(node, "children", None)
+            if children:
+                stack.extend(children)
+            child = getattr(node, "child", None)
+            if child is not None:
+                stack.append(child)
+        return found
+
+    def describe(self) -> str:
+        """A human-readable one-line description."""
+        constraint = (
+            "exact"
+            if self.is_exact
+            else f"precision>={self.alpha}, recall>={self.beta}, prob>={self.rho}"
+        )
+        return f"SELECT * FROM {self.table} WHERE {self.predicate!r} [{constraint}]"

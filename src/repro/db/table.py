@@ -1,0 +1,219 @@
+"""A small in-memory column-store table.
+
+The table stores each column as a Python list (values may be heterogeneous —
+categorical strings, ints, floats, booleans) and assigns every row a stable
+integer ``row id``.  Row ids are what the optimizers, executors and metrics
+pass around: the ground-truth "correct result" of a query is a set of row ids,
+and so is an approximate result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.db.column import Column, ColumnType, distinct_values
+from repro.db.errors import ColumnNotFoundError, SchemaMismatchError
+from repro.db.schema import Schema
+
+
+class Table:
+    """An immutable-after-construction, row-id addressed table."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, Sequence[Any]],
+    ):
+        self.name = name
+        self.schema = schema
+        missing = [c for c in schema.column_names if c not in columns]
+        if missing:
+            raise SchemaMismatchError(f"missing data for columns {missing}")
+        extra = [c for c in columns if not schema.has_column(c)]
+        if extra:
+            raise SchemaMismatchError(f"data provided for unknown columns {extra}")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaMismatchError(
+                f"columns have inconsistent lengths: {lengths}"
+            )
+        self._data: Dict[str, List[Any]] = {
+            name: list(values) for name, values in columns.items()
+        }
+        self._num_rows = next(iter(lengths.values())) if lengths else 0
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        schema: Optional[Schema] = None,
+    ) -> "Table":
+        """Build a table from a list of dict rows, inferring the schema if needed."""
+        if schema is None:
+            schema = Schema.infer(rows)
+        columns: Dict[str, List[Any]] = {c: [] for c in schema.column_names}
+        for row in rows:
+            schema.validate_row(row)
+            for column_name in schema.column_names:
+                columns[column_name].append(row[column_name])
+        return cls(name=name, schema=schema, columns=columns)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Mapping[str, Sequence[Any]],
+        column_types: Optional[Mapping[str, ColumnType | str]] = None,
+        hidden_columns: Iterable[str] = (),
+    ) -> "Table":
+        """Build a table directly from column arrays."""
+        hidden = set(hidden_columns)
+        column_types = column_types or {}
+        column_defs = []
+        for column_name, values in columns.items():
+            if column_name in column_types:
+                ctype = ColumnType(column_types[column_name])
+            else:
+                from repro.db.column import infer_column_type
+
+                ctype = infer_column_type(list(values)[:100])
+            column_defs.append(
+                Column(
+                    name=column_name,
+                    column_type=ctype,
+                    hidden=column_name in hidden,
+                )
+            )
+        return cls(name=name, schema=Schema(column_defs), columns=columns)
+
+    # -- shape ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self.schema)
+
+    @property
+    def row_ids(self) -> range:
+        """All row ids (0-based, dense)."""
+        return range(self._num_rows)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    # -- access ------------------------------------------------------------------
+    def column_values(self, column: str, allow_hidden: bool = False) -> List[Any]:
+        """All values of a column.
+
+        Hidden columns (ground-truth labels) are only readable when
+        ``allow_hidden`` is set; the query-evaluation algorithms never set it.
+        """
+        column_def = self.schema.column(column)
+        if column_def.hidden and not allow_hidden:
+            raise ColumnNotFoundError(
+                column, self.schema.visible_column_names
+            )
+        return list(self._data[column])
+
+    def value(self, row_id: int, column: str, allow_hidden: bool = False) -> Any:
+        """Value of one cell."""
+        column_def = self.schema.column(column)
+        if column_def.hidden and not allow_hidden:
+            raise ColumnNotFoundError(column, self.schema.visible_column_names)
+        self._check_row_id(row_id)
+        return self._data[column][row_id]
+
+    def row(self, row_id: int, include_hidden: bool = False) -> Dict[str, Any]:
+        """A dict view of one row."""
+        self._check_row_id(row_id)
+        names = (
+            self.schema.column_names
+            if include_hidden
+            else self.schema.visible_column_names
+        )
+        return {name: self._data[name][row_id] for name in names}
+
+    def rows(self, include_hidden: bool = False) -> Iterator[Dict[str, Any]]:
+        """Iterate dict views of all rows."""
+        for row_id in self.row_ids:
+            yield self.row(row_id, include_hidden=include_hidden)
+
+    def distinct(self, column: str, allow_hidden: bool = False) -> List[Any]:
+        """Distinct values of a column in first-appearance order."""
+        return distinct_values(self.column_values(column, allow_hidden=allow_hidden))
+
+    def num_distinct(self, column: str, allow_hidden: bool = False) -> int:
+        """Number of distinct values in a column."""
+        return len(self.distinct(column, allow_hidden=allow_hidden))
+
+    # -- derivation ---------------------------------------------------------------
+    def select_rows(self, row_ids: Iterable[int], name: Optional[str] = None) -> "Table":
+        """A new table containing only ``row_ids`` (re-numbered densely)."""
+        ids = list(row_ids)
+        for row_id in ids:
+            self._check_row_id(row_id)
+        columns = {
+            column_name: [values[i] for i in ids]
+            for column_name, values in self._data.items()
+        }
+        return Table(name=name or f"{self.name}_subset", schema=self.schema, columns=columns)
+
+    def with_column(
+        self,
+        column: Column,
+        values: Sequence[Any],
+        name: Optional[str] = None,
+    ) -> "Table":
+        """A new table with one extra (or replaced) column.
+
+        Used by the virtual-column machinery: the logistic-regression bucket
+        id becomes a brand new categorical column.
+        """
+        if len(values) != self._num_rows:
+            raise SchemaMismatchError(
+                f"new column {column.name!r} has {len(values)} values for a "
+                f"table of {self._num_rows} rows"
+            )
+        new_columns = dict(self._data)
+        new_columns[column.name] = list(values)
+        existing = [c for c in self.schema.columns if c.name != column.name]
+        return Table(
+            name=name or self.name,
+            schema=Schema(existing + [column]),
+            columns=new_columns,
+        )
+
+    def filter(
+        self, predicate: Callable[[Dict[str, Any]], bool], include_hidden: bool = False
+    ) -> List[int]:
+        """Row ids whose (visible) row dict satisfies ``predicate``."""
+        matches = []
+        for row_id in self.row_ids:
+            if predicate(self.row(row_id, include_hidden=include_hidden)):
+                matches.append(row_id)
+        return matches
+
+    def group_row_ids(self, column: str, allow_hidden: bool = False) -> Dict[Any, List[int]]:
+        """Map each distinct value of ``column`` to the row ids holding it."""
+        values = self.column_values(column, allow_hidden=allow_hidden)
+        groups: Dict[Any, List[int]] = {}
+        for row_id, value in enumerate(values):
+            groups.setdefault(value, []).append(row_id)
+        return groups
+
+    # -- internal -----------------------------------------------------------------
+    def _check_row_id(self, row_id: int) -> None:
+        if not 0 <= row_id < self._num_rows:
+            raise IndexError(
+                f"row id {row_id} out of range for table of {self._num_rows} rows"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={self._num_rows}, columns={self.num_columns})"

@@ -1,0 +1,205 @@
+"""User-defined functions with cost accounting.
+
+The paper charges ``o_e`` for every UDF evaluation and ``o_r`` for every tuple
+retrieval.  :class:`CostLedger` tracks both so that an algorithm's total cost
+``O = sum o_r (R+ + R-) + o_e (E+ + E-)`` can be read off after execution,
+including the sampling phase (whose evaluations the paper explicitly counts).
+
+:class:`UserDefinedFunction` wraps an arbitrary Python callable over a row
+dict.  The common case in the reproduction is a UDF that simply reveals a
+hidden ground-truth label column — exactly the simulation protocol of
+Section 6.1 — but any callable works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+from repro.db.errors import BudgetExhaustedError, DuplicateObjectError, UdfNotFoundError
+from repro.db.table import Table
+
+
+@dataclass
+class CostLedger:
+    """Accumulates retrieval and evaluation costs.
+
+    Attributes
+    ----------
+    retrieval_cost:
+        Cost ``o_r`` charged per retrieved tuple.
+    evaluation_cost:
+        Cost ``o_e`` charged per UDF evaluation.
+    """
+
+    retrieval_cost: float = 1.0
+    evaluation_cost: float = 3.0
+    retrieved_count: int = 0
+    evaluated_count: int = 0
+    _budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.retrieval_cost < 0 or self.evaluation_cost < 0:
+            raise ValueError("costs must be non-negative")
+
+    @property
+    def total_cost(self) -> float:
+        """Total cost charged so far."""
+        return (
+            self.retrieved_count * self.retrieval_cost
+            + self.evaluated_count * self.evaluation_cost
+        )
+
+    @property
+    def budget(self) -> Optional[float]:
+        """Optional hard budget on total cost."""
+        return self._budget
+
+    def set_budget(self, budget: Optional[float]) -> None:
+        """Install (or clear) a hard cost budget."""
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self._budget = budget
+
+    def charge_retrieval(self, count: int = 1) -> None:
+        """Charge for ``count`` tuple retrievals."""
+        self._check_budget(count * self.retrieval_cost)
+        self.retrieved_count += count
+
+    def charge_evaluation(self, count: int = 1) -> None:
+        """Charge for ``count`` UDF evaluations."""
+        self._check_budget(count * self.evaluation_cost)
+        self.evaluated_count += count
+
+    def _check_budget(self, additional: float) -> None:
+        if self._budget is not None and self.total_cost + additional > self._budget + 1e-9:
+            raise BudgetExhaustedError(self._budget, self.total_cost)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict snapshot for reports."""
+        return {
+            "retrieved": self.retrieved_count,
+            "evaluated": self.evaluated_count,
+            "retrieval_cost": self.retrieval_cost,
+            "evaluation_cost": self.evaluation_cost,
+            "total_cost": self.total_cost,
+        }
+
+    def reset(self) -> None:
+        """Zero the counters (the unit costs and budget stay)."""
+        self.retrieved_count = 0
+        self.evaluated_count = 0
+
+
+class UserDefinedFunction:
+    """An expensive boolean UDF with call accounting.
+
+    Parameters
+    ----------
+    name:
+        UDF name (unique within a registry).
+    func:
+        Callable mapping a full row dict (hidden columns included) to a
+        boolean.
+    evaluation_cost:
+        Cost charged per *distinct* evaluation (memoised repeats are free when
+        ``memoize`` is true, mirroring the fact that a real system would cache
+        a value it already paid for).
+    memoize:
+        Cache results per row id.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[[Mapping[str, Any]], bool],
+        evaluation_cost: float = 3.0,
+        memoize: bool = True,
+    ):
+        if evaluation_cost < 0:
+            raise ValueError(f"evaluation_cost must be non-negative, got {evaluation_cost}")
+        self.name = name
+        self._func = func
+        self.evaluation_cost = evaluation_cost
+        self.memoize = memoize
+        self._cache: Dict[int, bool] = {}
+        self.call_count = 0
+
+    @classmethod
+    def from_label_column(
+        cls,
+        name: str,
+        label_column: str,
+        evaluation_cost: float = 3.0,
+        positive_value: Any = True,
+    ) -> "UserDefinedFunction":
+        """A UDF that reveals a hidden label column (the paper's protocol)."""
+
+        def reveal(row: Mapping[str, Any]) -> bool:
+            if label_column not in row:
+                raise KeyError(
+                    f"row does not carry hidden label column {label_column!r}; "
+                    "evaluate through Engine/Executor so hidden columns are included"
+                )
+            return row[label_column] == positive_value
+
+        udf = cls(name=name, func=reveal, evaluation_cost=evaluation_cost)
+        udf.label_column = label_column
+        return udf
+
+    def evaluate_row(self, table: Table, row_id: int) -> bool:
+        """Evaluate the UDF on one row of ``table`` (charges one call)."""
+        if self.memoize and row_id in self._cache:
+            return self._cache[row_id]
+        row = table.row(row_id, include_hidden=True)
+        result = bool(self._func(row))
+        self.call_count += 1
+        if self.memoize:
+            self._cache[row_id] = result
+        return result
+
+    def __call__(self, row: Mapping[str, Any]) -> bool:
+        """Evaluate directly on a row dict (charges one call, no memoisation)."""
+        self.call_count += 1
+        return bool(self._func(row))
+
+    def reset(self) -> None:
+        """Clear the memo cache and call counter."""
+        self._cache.clear()
+        self.call_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UserDefinedFunction({self.name!r}, cost={self.evaluation_cost})"
+
+
+class UdfRegistry:
+    """A name → UDF mapping, as a query engine would maintain."""
+
+    def __init__(self) -> None:
+        self._udfs: Dict[str, UserDefinedFunction] = {}
+
+    def register(self, udf: UserDefinedFunction, replace: bool = False) -> None:
+        """Register a UDF; refuses to silently overwrite unless ``replace``."""
+        if udf.name in self._udfs and not replace:
+            raise DuplicateObjectError(f"UDF {udf.name!r} already registered")
+        self._udfs[udf.name] = udf
+
+    def get(self, name: str) -> UserDefinedFunction:
+        """Look up a UDF by name."""
+        try:
+            return self._udfs[name]
+        except KeyError:
+            raise UdfNotFoundError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._udfs
+
+    def __iter__(self) -> Iterator[UserDefinedFunction]:
+        return iter(self._udfs.values())
+
+    def __len__(self) -> int:
+        return len(self._udfs)
+
+    def names(self) -> list[str]:
+        """Registered UDF names."""
+        return list(self._udfs.keys())

@@ -1,0 +1,61 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each driver returns plain data structures (dicts of series) that the
+benchmarks print and that EXPERIMENTS.md summarises; no plotting library is
+required.  The harness runs on proportionally scaled-down copies of the
+datasets by default (see :class:`ExperimentConfig.scale`) so that a full
+reproduction fits in seconds; pass ``scale=1.0`` for paper-sized runs.
+
+Index (see DESIGN.md for the full mapping):
+
+* Experiment 1 (:mod:`repro.experiments.experiment1`) — Figures 1(a), 1(b),
+  2(a), 2(b), Table 2, and the Section 6.2.1 column-sensitivity study.
+* Experiment 2 (:mod:`repro.experiments.experiment2`) — Figures 3(a), 3(b)
+  and 1(c).
+* Experiment 3 (:mod:`repro.experiments.experiment3`) — Figures 2(c) and 3(c).
+* Tables (:mod:`repro.experiments.tables`) — Tables 1, 2 and 3.
+"""
+
+from repro.experiments.experiment1 import (
+    column_sensitivity,
+    figure1a,
+    figure1b,
+    figure2a_2b,
+    savings_summary,
+)
+from repro.experiments.experiment2 import figure1c, figure3a, figure3b
+from repro.experiments.experiment3 import figure2c, figure3c
+from repro.experiments.harness import (
+    AlgorithmStats,
+    ExperimentConfig,
+    make_strategy,
+    run_strategy,
+)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.tables import (
+    table1_example,
+    table2_savings,
+    table3_group_statistics,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "AlgorithmStats",
+    "make_strategy",
+    "run_strategy",
+    "format_table",
+    "format_series",
+    "figure1a",
+    "figure1b",
+    "figure1c",
+    "figure2a_2b",
+    "figure2c",
+    "figure3a",
+    "figure3b",
+    "figure3c",
+    "column_sensitivity",
+    "savings_summary",
+    "table1_example",
+    "table2_savings",
+    "table3_group_statistics",
+]

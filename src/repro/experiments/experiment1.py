@@ -1,0 +1,147 @@
+"""Experiment 1: performance comparison (paper Section 6.2).
+
+* :func:`figure1a` — evaluations of Naive vs Intel-Sample vs Optimal per
+  dataset (Figure 1(a)).
+* :func:`figure1b` — evaluations of the Learning and Multiple baselines vs
+  Intel-Sample (Figure 1(b)).
+* :func:`figure2a_2b` — fraction of runs meeting the precision / recall
+  constraints as a function of the satisfaction probability ``rho``
+  (Figures 2(a) and 2(b)).
+* :func:`column_sensitivity` — cost of Intel-Sample when forced to use each
+  candidate correlated column (the Section 6.2.1 study).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.registry import DATASET_NAMES
+from repro.experiments.harness import AlgorithmStats, ExperimentConfig, run_strategy
+
+
+def figure1a(
+    config: ExperimentConfig,
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    strategies: Sequence[str] = ("naive", "intel_sample", "optimal"),
+) -> Dict[str, Dict[str, AlgorithmStats]]:
+    """Average evaluations of the main algorithm versus the cheap baselines."""
+    results: Dict[str, Dict[str, AlgorithmStats]] = {}
+    for dataset_name in dataset_names:
+        dataset = config.load(dataset_name)
+        results[dataset_name] = {
+            strategy: run_strategy(strategy, dataset, config) for strategy in strategies
+        }
+    return results
+
+
+def figure1b(
+    config: ExperimentConfig,
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    strategies: Sequence[str] = ("learning", "multiple", "intel_sample"),
+) -> Dict[str, Dict[str, AlgorithmStats]]:
+    """Average evaluations of the machine-learning baselines versus Intel-Sample."""
+    return figure1a(config, dataset_names=dataset_names, strategies=strategies)
+
+
+def figure2a_2b(
+    config: ExperimentConfig,
+    rho_values: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    iterations: Optional[int] = None,
+) -> Dict[str, Dict[float, Dict[str, float]]]:
+    """Constraint-satisfaction rates versus the requested probability ``rho``.
+
+    Returns ``{dataset: {rho: {"precision_rate": .., "recall_rate": ..}}}``;
+    both rates should sit above ``rho`` (the ``x = y`` line in the paper's
+    Figures 2(a)/2(b)).
+    """
+    iterations = iterations if iterations is not None else config.iterations
+    results: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for dataset_name in dataset_names:
+        dataset = config.load(dataset_name)
+        per_rho: Dict[float, Dict[str, float]] = {}
+        for rho in rho_values:
+            constraints = config.constraints.with_rho(rho)
+            stats = run_strategy(
+                "intel_sample",
+                dataset,
+                config,
+                iterations=iterations,
+                constraints=constraints,
+            )
+            precision_rate = sum(
+                1 for p in stats.precisions if p >= config.alpha - 1e-12
+            ) / max(1, stats.num_runs)
+            recall_rate = sum(
+                1 for r in stats.recalls if r >= config.beta - 1e-12
+            ) / max(1, stats.num_runs)
+            per_rho[rho] = {
+                "precision_rate": precision_rate,
+                "recall_rate": recall_rate,
+            }
+        results[dataset_name] = per_rho
+    return results
+
+
+def column_sensitivity(
+    config: ExperimentConfig,
+    dataset_name: str = "lending_club",
+    columns: Optional[Sequence[str]] = None,
+    max_distinct: int = 50,
+) -> Dict[str, float]:
+    """Intel-Sample evaluations when forced to group by each candidate column.
+
+    Mirrors the Section 6.2.1 study: the best real column should cost the
+    least, uncorrelated columns noticeably more, and even the worst column
+    should beat the Naive baseline.  Returns ``{column: mean_evaluations}``
+    plus a ``"__naive__"`` entry for reference.
+    """
+    dataset = config.load(dataset_name)
+    if columns is None:
+        columns = [
+            name
+            for name in dataset.candidate_columns()
+            if name != "record_id"
+            and 2 <= dataset.table.num_distinct(name) <= max_distinct
+        ]
+    results: Dict[str, float] = {}
+    for column in columns:
+        stats = run_strategy(
+            "intel_sample", dataset, config, correlated_column=column
+        )
+        results[column] = stats.mean_evaluations
+    naive = run_strategy("naive", dataset, config, iterations=1)
+    results["__naive__"] = naive.mean_evaluations
+    return results
+
+
+def savings_summary(
+    figure1a_results: Dict[str, Dict[str, AlgorithmStats]],
+    figure1b_results: Optional[Dict[str, Dict[str, AlgorithmStats]]] = None,
+) -> List[dict]:
+    """Combine Figure 1(a)/(b) results into Table 2 style rows."""
+    rows = []
+    for dataset_name, by_strategy in figure1a_results.items():
+        naive = by_strategy.get("naive")
+        intel = by_strategy.get("intel_sample")
+        row = {
+            "dataset": dataset_name,
+            "intel_evaluations": intel.mean_evaluations if intel else None,
+            "naive_evaluations": naive.mean_evaluations if naive else None,
+        }
+        if naive and intel and naive.mean_evaluations > 0:
+            row["savings_vs_naive"] = 1.0 - intel.mean_evaluations / naive.mean_evaluations
+        if figure1b_results and dataset_name in figure1b_results:
+            ml = figure1b_results[dataset_name]
+            best_ml = min(
+                (
+                    stats.mean_evaluations
+                    for name, stats in ml.items()
+                    if name in ("learning", "multiple")
+                ),
+                default=None,
+            )
+            if best_ml and best_ml > 0 and intel:
+                row["savings_vs_ml"] = 1.0 - intel.mean_evaluations / best_ml
+        rows.append(row)
+    return rows

@@ -1,0 +1,112 @@
+"""Experiment 2: robustness of the estimation phase (paper Section 6.3).
+
+* :func:`figure3a` — evaluations versus the per-group sample count ``c`` under
+  the Constant sampling scheme (Figure 3(a)).
+* :func:`figure3b` — evaluations versus the parameter ``num`` under the
+  Two-Third-Power scheme (Figure 3(b)).
+* :func:`figure1c` — evaluations versus ``num`` when the correlated column is
+  a logistic-regression virtual column (Figure 1(c)).
+
+Each returns ``{dataset: {parameter: mean_evaluations}}``; the expected shape
+is a U: too little sampling leaves the optimizer too uncertain, too much makes
+the sampling itself the dominant cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.datasets.registry import DATASET_NAMES
+from repro.experiments.harness import ExperimentConfig, run_strategy
+from repro.sampling.schemes import ConstantScheme, TwoThirdPowerScheme
+
+#: Default parameter sweeps (scaled-down analogues of the paper's x-axes).
+DEFAULT_CONSTANT_SWEEP = (5, 15, 40, 80, 150, 300, 600)
+DEFAULT_NUM_SWEEP = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 12.0)
+
+
+def figure3a(
+    config: ExperimentConfig,
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    constant_values: Sequence[int] = DEFAULT_CONSTANT_SWEEP,
+    iterations: Optional[int] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Evaluations versus ``c`` for the Constant sampling scheme."""
+    results: Dict[str, Dict[int, float]] = {}
+    for dataset_name in dataset_names:
+        dataset = config.load(dataset_name)
+        per_value: Dict[int, float] = {}
+        for value in constant_values:
+            stats = run_strategy(
+                "intel_sample",
+                dataset,
+                config,
+                iterations=iterations,
+                sampling_scheme=ConstantScheme(tuples_per_group=int(value)),
+            )
+            per_value[int(value)] = stats.mean_evaluations
+        results[dataset_name] = per_value
+    return results
+
+
+def figure3b(
+    config: ExperimentConfig,
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    num_values: Sequence[float] = DEFAULT_NUM_SWEEP,
+    iterations: Optional[int] = None,
+) -> Dict[str, Dict[float, float]]:
+    """Evaluations versus ``num`` for the Two-Third-Power sampling scheme."""
+    results: Dict[str, Dict[float, float]] = {}
+    for dataset_name in dataset_names:
+        dataset = config.load(dataset_name)
+        per_value: Dict[float, float] = {}
+        for value in num_values:
+            stats = run_strategy(
+                "intel_sample",
+                dataset,
+                config,
+                iterations=iterations,
+                sampling_scheme=TwoThirdPowerScheme(num=float(value)),
+            )
+            per_value[float(value)] = stats.mean_evaluations
+        results[dataset_name] = per_value
+    return results
+
+
+def figure1c(
+    config: ExperimentConfig,
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    num_values: Sequence[float] = DEFAULT_NUM_SWEEP,
+    iterations: Optional[int] = None,
+) -> Dict[str, Dict[float, float]]:
+    """Evaluations versus ``num`` with a logistic-regression virtual column.
+
+    The correlated column is not given to the algorithm: it labels ~1% of the
+    table, trains a logistic regressor, buckets the scores and groups by the
+    bucket id (Section 4.4, second method).  Evaluations include the training
+    labels.
+    """
+    results: Dict[str, Dict[float, float]] = {}
+    for dataset_name in dataset_names:
+        dataset = config.load(dataset_name)
+        per_value: Dict[float, float] = {}
+        for value in num_values:
+            stats = run_strategy(
+                "intel_sample",
+                dataset,
+                config,
+                iterations=iterations,
+                sampling_scheme=TwoThirdPowerScheme(num=float(value)),
+                correlated_column="",
+                use_virtual_column=True,
+            )
+            per_value[float(value)] = stats.mean_evaluations
+        results[dataset_name] = per_value
+    return results
+
+
+def optimum_of(series: Dict[float, float]) -> float:
+    """Parameter value achieving the minimum of one sweep series."""
+    if not series:
+        raise ValueError("cannot take the optimum of an empty series")
+    return min(series, key=series.get)

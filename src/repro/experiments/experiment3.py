@@ -1,0 +1,92 @@
+"""Experiment 3: sensitivity to the query parameters (paper Section 6.4).
+
+* :func:`figure2c` — expected evaluations versus the precision constraint
+  ``alpha`` (recall fixed at 0.8) for ``num = {2.5, 3.5, 4.5} * alpha``.
+* :func:`figure3c` — expected retrievals versus the recall constraint ``beta``
+  (precision fixed at 0.8) for the same ``num`` multipliers.
+
+Both curves should be convex and increasing, the paper's explanation of why a
+small accuracy concession buys a large cost saving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.harness import ExperimentConfig, run_strategy
+from repro.sampling.schemes import TwoThirdPowerScheme
+
+#: Constraint sweep used on the x axis (the paper sweeps 0.2 ... 0.9).
+DEFAULT_CONSTRAINT_SWEEP = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: ``num / alpha`` multipliers compared in the paper's Figures 2(c) and 3(c).
+DEFAULT_NUM_MULTIPLIERS = (2.5, 3.5, 4.5)
+
+
+def figure2c(
+    config: ExperimentConfig,
+    dataset_name: str = "lending_club",
+    alphas: Sequence[float] = DEFAULT_CONSTRAINT_SWEEP,
+    num_multipliers: Sequence[float] = DEFAULT_NUM_MULTIPLIERS,
+    beta: float = 0.8,
+    iterations: Optional[int] = None,
+) -> Dict[float, Dict[float, float]]:
+    """Evaluations versus ``alpha``; returns ``{multiplier: {alpha: evals}}``."""
+    dataset = config.load(dataset_name)
+    results: Dict[float, Dict[float, float]] = {}
+    for multiplier in num_multipliers:
+        per_alpha: Dict[float, float] = {}
+        for alpha in alphas:
+            constraints = config.constraints.with_alpha(alpha).with_beta(beta)
+            stats = run_strategy(
+                "intel_sample",
+                dataset,
+                config,
+                iterations=iterations,
+                sampling_scheme=TwoThirdPowerScheme(num=multiplier * alpha),
+                constraints=constraints,
+            )
+            per_alpha[float(alpha)] = stats.mean_evaluations
+        results[float(multiplier)] = per_alpha
+    return results
+
+
+def figure3c(
+    config: ExperimentConfig,
+    dataset_name: str = "lending_club",
+    betas: Sequence[float] = DEFAULT_CONSTRAINT_SWEEP,
+    num_multipliers: Sequence[float] = DEFAULT_NUM_MULTIPLIERS,
+    alpha: float = 0.8,
+    iterations: Optional[int] = None,
+) -> Dict[float, Dict[float, float]]:
+    """Retrievals versus ``beta``; returns ``{multiplier: {beta: retrievals}}``."""
+    dataset = config.load(dataset_name)
+    results: Dict[float, Dict[float, float]] = {}
+    for multiplier in num_multipliers:
+        per_beta: Dict[float, float] = {}
+        for beta in betas:
+            constraints = config.constraints.with_alpha(alpha).with_beta(beta)
+            stats = run_strategy(
+                "intel_sample",
+                dataset,
+                config,
+                iterations=iterations,
+                sampling_scheme=TwoThirdPowerScheme(num=multiplier * alpha),
+                constraints=constraints,
+            )
+            per_beta[float(beta)] = stats.mean_retrievals
+        results[float(multiplier)] = per_beta
+    return results
+
+
+def is_convex_increasing(series: Dict[float, float], tolerance: float = 0.15) -> bool:
+    """Loose check that a sweep is (noisily) increasing towards its right end.
+
+    Experiment runs are stochastic, so this only verifies the headline shape:
+    the cost at the largest constraint value exceeds the cost at the smallest.
+    """
+    if len(series) < 2:
+        return True
+    xs = sorted(series)
+    first, last = series[xs[0]], series[xs[-1]]
+    return last >= first * (1.0 - tolerance)

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's figures are line/bar charts; without a plotting dependency the
+reproduction emits the underlying numeric series as aligned text tables, which
+is what the benchmark harness prints and what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return f"{int(value)}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = [render_row([str(h) for h in headers]), separator]
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping], x_label: str = "x", sort_keys: bool = True
+) -> str:
+    """Render ``{series_name: {x: y}}`` as a text table with one column per series."""
+    all_x = set()
+    for values in series.values():
+        all_x.update(values.keys())
+    xs = sorted(all_x) if sort_keys else list(all_x)
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row = [x] + [series[name].get(x, "") for name in series]
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_mapping(mapping: Dict, key_label: str = "key", value_label: str = "value") -> str:
+    """Render a flat mapping as a two-column table."""
+    return format_table([key_label, value_label], list(mapping.items()))

@@ -1,0 +1,30 @@
+"""Machine-learning substrate.
+
+The paper uses three ML components:
+
+* a logistic regressor that turns labelled samples into per-tuple probability
+  scores, feeding the virtual-column construction of Section 4.4 and the
+  Figure 1(c) experiment,
+* a semi-supervised classifier that implements the "Learning" baseline of
+  Section 6.2, and
+* a multiple-imputations procedure implementing the "Multiple" baseline.
+
+scikit-learn is not available offline, so these are small, dependency-free
+implementations on top of numpy; the interfaces mirror the sklearn style
+(``fit`` / ``predict`` / ``predict_proba``).
+"""
+
+from repro.ml.bucketer import ScoreBucketer
+from repro.ml.features import FeatureEncoder, standardize
+from repro.ml.imputation import MultipleImputer
+from repro.ml.logistic import LogisticRegression
+from repro.ml.semi_supervised import SelfTrainingClassifier
+
+__all__ = [
+    "FeatureEncoder",
+    "standardize",
+    "LogisticRegression",
+    "ScoreBucketer",
+    "SelfTrainingClassifier",
+    "MultipleImputer",
+]

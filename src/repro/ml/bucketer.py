@@ -1,0 +1,61 @@
+"""Equal-frequency bucketing of probability scores.
+
+Section 4.4 of the paper turns logistic-regression probability scores into a
+*virtual correlated column*: tuples are split into (by default ten) buckets
+with boundaries chosen so the buckets are equal-sized on the training scores.
+The bucket id then plays the role of the categorical attribute ``A`` — the
+paper deliberately does not trust the raw probability scores and instead
+re-estimates each bucket's selectivity by sampling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class ScoreBucketer:
+    """Assigns scores to equal-frequency buckets learned from reference scores."""
+
+    def __init__(self, num_buckets: int = 10):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._boundaries: Optional[np.ndarray] = None
+
+    def fit(self, scores: Sequence[float]) -> "ScoreBucketer":
+        """Learn bucket boundaries as quantiles of ``scores``."""
+        values = np.asarray(list(scores), dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot fit bucketer on zero scores")
+        quantiles = np.linspace(0.0, 1.0, self.num_buckets + 1)[1:-1]
+        self._boundaries = np.quantile(values, quantiles) if quantiles.size else np.array([])
+        return self
+
+    def transform(self, scores: Sequence[float]) -> List[int]:
+        """Map each score to its bucket id in ``[0, num_buckets)``."""
+        if self._boundaries is None:
+            raise RuntimeError("ScoreBucketer must be fitted before transform")
+        values = np.asarray(list(scores), dtype=float)
+        buckets = np.searchsorted(self._boundaries, values, side="right")
+        return [int(b) for b in buckets]
+
+    def fit_transform(self, scores: Sequence[float]) -> List[int]:
+        """Fit boundaries on ``scores`` and bucket the same scores."""
+        return self.fit(scores).transform(scores)
+
+    @property
+    def boundaries(self) -> List[float]:
+        """The learned bucket boundaries (length ``num_buckets - 1``)."""
+        if self._boundaries is None:
+            raise RuntimeError("ScoreBucketer has not been fitted")
+        return [float(b) for b in self._boundaries]
+
+    def effective_num_buckets(self, scores: Sequence[float]) -> int:
+        """Number of distinct buckets actually produced for ``scores``.
+
+        Heavily skewed score distributions can collapse neighbouring quantile
+        boundaries; callers that need real groups should check this.
+        """
+        return len(set(self.transform(scores)))

@@ -1,0 +1,128 @@
+"""Feature extraction from table rows.
+
+The logistic-regression virtual column (paper Section 4.4) is trained on the
+*available* columns of the table: numeric columns are standardized, and
+categorical/nominal columns with fewer than a configurable number of distinct
+values are one-hot encoded (the paper uses "< 50 different values" to avoid
+overfitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.table import Table
+
+
+def standardize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column-standardize ``matrix``; returns ``(standardized, mean, std)``.
+
+    Constant columns get a std of 1 so they become all-zero rather than NaN.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    means = matrix.mean(axis=0) if matrix.size else np.zeros(matrix.shape[1])
+    stds = matrix.std(axis=0) if matrix.size else np.ones(matrix.shape[1])
+    stds = np.where(stds == 0.0, 1.0, stds)
+    return (matrix - means) / stds, means, stds
+
+
+@dataclass
+class FeatureEncoder:
+    """One-hot + standardization encoder over a table's visible columns.
+
+    Parameters
+    ----------
+    max_categorical_cardinality:
+        Categorical columns with more distinct values than this are skipped
+        (mirrors the paper's "< 50 different values" rule).
+    exclude_columns:
+        Columns never to use as features (e.g. the correlated column when we
+        want an independent predictor, or identifier columns).
+    """
+
+    max_categorical_cardinality: int = 50
+    exclude_columns: Sequence[str] = field(default_factory=tuple)
+    _numeric_columns: List[str] = field(default_factory=list, repr=False)
+    _categorical_levels: Dict[str, List[Any]] = field(default_factory=dict, repr=False)
+    _means: Optional[np.ndarray] = field(default=None, repr=False)
+    _stds: Optional[np.ndarray] = field(default=None, repr=False)
+    _fitted: bool = field(default=False, repr=False)
+
+    def fit(self, table: Table, row_ids: Optional[Sequence[int]] = None) -> "FeatureEncoder":
+        """Learn the encoding from (a subset of) a table."""
+        excluded = set(self.exclude_columns)
+        self._numeric_columns = [
+            column.name
+            for column in table.schema.numeric_columns()
+            if column.name not in excluded
+        ]
+        self._categorical_levels = {}
+        for column in table.schema.categorical_columns():
+            if column.name in excluded:
+                continue
+            levels = table.distinct(column.name)
+            if 1 < len(levels) <= self.max_categorical_cardinality:
+                self._categorical_levels[column.name] = list(levels)
+
+        raw = self._raw_matrix(table, row_ids)
+        if raw.shape[1] == 0:
+            raise ValueError(
+                "no usable feature columns found; provide numeric or low-cardinality "
+                "categorical columns"
+            )
+        _, self._means, self._stds = standardize(raw)
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table, row_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Encode rows into a dense feature matrix (intercept not included)."""
+        if not self._fitted:
+            raise RuntimeError("FeatureEncoder must be fitted before transform")
+        raw = self._raw_matrix(table, row_ids)
+        stds = np.where(self._stds == 0.0, 1.0, self._stds)
+        return (raw - self._means) / stds
+
+    def fit_transform(
+        self, table: Table, row_ids: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Fit on the rows and return their encoding."""
+        self.fit(table, row_ids)
+        return self.transform(table, row_ids)
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Names of the encoded feature dimensions."""
+        names = list(self._numeric_columns)
+        for column, levels in self._categorical_levels.items():
+            names.extend(f"{column}={level!r}" for level in levels)
+        return names
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the encoded feature space."""
+        return len(self._numeric_columns) + sum(
+            len(levels) for levels in self._categorical_levels.values()
+        )
+
+    # -- internal -----------------------------------------------------------------
+    def _raw_matrix(self, table: Table, row_ids: Optional[Sequence[int]]) -> np.ndarray:
+        ids = list(row_ids) if row_ids is not None else list(table.row_ids)
+        columns: List[np.ndarray] = []
+        for name in self._numeric_columns:
+            values = table.column_values(name)
+            columns.append(np.asarray([float(values[i]) for i in ids], dtype=float))
+        for name, levels in self._categorical_levels.items():
+            values = table.column_values(name)
+            level_index = {level: k for k, level in enumerate(levels)}
+            one_hot = np.zeros((len(ids), len(levels)), dtype=float)
+            for row_position, row_id in enumerate(ids):
+                k = level_index.get(values[row_id])
+                if k is not None:
+                    one_hot[row_position, k] = 1.0
+            columns.extend(one_hot.T)
+        if not columns:
+            return np.zeros((len(ids), 0))
+        return np.column_stack(columns)

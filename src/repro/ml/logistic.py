@@ -1,0 +1,169 @@
+"""Logistic regression, implemented from scratch on numpy.
+
+scikit-learn is not available in the offline environment, so this module
+provides the small piece of it the paper needs: a binary logistic regressor
+with L2 regularisation, trained by full-batch gradient descent with a simple
+backtracking step size.  Its probability scores feed the virtual-column
+bucketer (Section 4.4) and the semi-supervised baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stats.random import RandomState, SeedLike, as_random_state
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 regularisation.
+
+    Parameters
+    ----------
+    l2_penalty:
+        Strength of the L2 penalty on the weights (the intercept is not
+        penalised).
+    learning_rate:
+        Initial gradient-descent step size; halved whenever a step fails to
+        decrease the loss.
+    max_iterations:
+        Maximum number of full-batch updates.
+    tolerance:
+        Convergence threshold on the loss decrease.
+    """
+
+    def __init__(
+        self,
+        l2_penalty: float = 1e-3,
+        learning_rate: float = 1.0,
+        max_iterations: int = 500,
+        tolerance: float = 1e-8,
+        random_state: SeedLike = None,
+    ):
+        if l2_penalty < 0:
+            raise ValueError(f"l2_penalty must be non-negative, got {l2_penalty}")
+        self.l2_penalty = l2_penalty
+        self.learning_rate = learning_rate
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.random_state: RandomState = as_random_state(random_state)
+        self.weights: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+        self.converged: bool = False
+        self.n_iterations_: int = 0
+
+    # -- training -----------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: Sequence[int]) -> "LogisticRegression":
+        """Fit on a dense feature matrix and 0/1 labels."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float).ravel()
+        if x.ndim != 2:
+            raise ValueError(f"features must be 2-dimensional, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"features have {x.shape[0]} rows but labels have {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero examples")
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise ValueError("labels must be 0/1")
+
+        n_samples, n_features = x.shape
+        weights = np.zeros(n_features)
+        intercept = 0.0
+
+        # Degenerate single-class training sets: predict the observed class
+        # probability (smoothed) everywhere.
+        if y.min() == y.max():
+            self.weights = weights
+            smoothed = (y.sum() + 1.0) / (n_samples + 2.0)
+            self.intercept = float(np.log(smoothed / (1.0 - smoothed)))
+            self.converged = True
+            self.n_iterations_ = 0
+            return self
+
+        step = self.learning_rate
+        previous_loss = self._loss(x, y, weights, intercept)
+        for iteration in range(self.max_iterations):
+            scores = x @ weights + intercept
+            probabilities = _sigmoid(scores)
+            error = probabilities - y
+            gradient_w = x.T @ error / n_samples + self.l2_penalty * weights
+            gradient_b = float(error.mean())
+
+            # Backtracking: shrink the step until the loss decreases.
+            improved = False
+            for _ in range(30):
+                candidate_w = weights - step * gradient_w
+                candidate_b = intercept - step * gradient_b
+                loss = self._loss(x, y, candidate_w, candidate_b)
+                if loss <= previous_loss + 1e-15:
+                    improved = True
+                    break
+                step /= 2.0
+            if not improved:
+                break
+            weights, intercept = candidate_w, candidate_b
+            self.n_iterations_ = iteration + 1
+            if previous_loss - loss < self.tolerance:
+                self.converged = True
+                previous_loss = loss
+                break
+            previous_loss = loss
+            # Gentle step growth so a conservative start does not stall training.
+            step = min(step * 1.2, self.learning_rate * 10)
+
+        self.weights = weights
+        self.intercept = float(intercept)
+        return self
+
+    def _loss(
+        self, x: np.ndarray, y: np.ndarray, weights: np.ndarray, intercept: float
+    ) -> float:
+        scores = x @ weights + intercept
+        # log(1 + exp(-z*y_signed)) computed stably via logaddexp
+        log_likelihood = np.logaddexp(0.0, scores) - y * scores
+        penalty = 0.5 * self.l2_penalty * float(weights @ weights)
+        return float(log_likelihood.mean()) + penalty
+
+    # -- inference ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        self._check_fitted()
+        x = np.asarray(features, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.weights.shape[0]:
+            raise ValueError(
+                f"features must have shape (n, {self.weights.shape[0]}), got {x.shape}"
+            )
+        return _sigmoid(x @ self.weights + self.intercept)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """0/1 predictions at a probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw linear scores before the sigmoid."""
+        self._check_fitted()
+        x = np.asarray(features, dtype=float)
+        return x @ self.weights + self.intercept
+
+    def accuracy(self, features: np.ndarray, labels: Sequence[int]) -> float:
+        """Fraction of correct predictions."""
+        predictions = self.predict(features)
+        y = np.asarray(labels, dtype=int).ravel()
+        return float((predictions == y).mean())
+
+    def _check_fitted(self) -> None:
+        if self.weights is None:
+            raise RuntimeError("LogisticRegression must be fitted before prediction")

@@ -1,0 +1,109 @@
+"""Self-training semi-supervised classifier ("Learning" baseline substrate).
+
+The paper's "Learning" baseline evaluates a small labelled set of tuples, runs
+semi-supervised learning to infer the predicate for the rest, and returns the
+union of evaluated-true and predicted-true tuples.  The classic self-training
+loop implements that: train a supervised model on the labelled data, move the
+most confidently-predicted unlabelled points into the labelled pool with their
+pseudo-labels, and repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.logistic import LogisticRegression
+from repro.stats.random import SeedLike, as_random_state
+
+
+class SelfTrainingClassifier:
+    """Self-training wrapper around :class:`LogisticRegression`.
+
+    Parameters
+    ----------
+    confidence_threshold:
+        Unlabelled points whose predicted class probability exceeds this
+        threshold get pseudo-labelled each round.
+    max_rounds:
+        Maximum number of self-training rounds.
+    base_model_factory:
+        Callable creating a fresh base model per round; defaults to a lightly
+        regularised :class:`LogisticRegression`.
+    """
+
+    def __init__(
+        self,
+        confidence_threshold: float = 0.85,
+        max_rounds: int = 5,
+        base_model_factory=None,
+        random_state: SeedLike = None,
+    ):
+        if not 0.5 <= confidence_threshold <= 1.0:
+            raise ValueError(
+                f"confidence_threshold must be in [0.5, 1], got {confidence_threshold}"
+            )
+        self.confidence_threshold = confidence_threshold
+        self.max_rounds = max_rounds
+        self._factory = base_model_factory or (
+            lambda: LogisticRegression(l2_penalty=1e-3, max_iterations=300)
+        )
+        self.random_state = as_random_state(random_state)
+        self.model: Optional[LogisticRegression] = None
+        self.rounds_run_: int = 0
+
+    def fit(
+        self,
+        labeled_features: np.ndarray,
+        labels: Sequence[int],
+        unlabeled_features: np.ndarray,
+    ) -> "SelfTrainingClassifier":
+        """Fit from a labelled pool plus an unlabelled pool."""
+        x_labeled = np.asarray(labeled_features, dtype=float)
+        y_labeled = np.asarray(labels, dtype=int).ravel()
+        x_unlabeled = np.asarray(unlabeled_features, dtype=float)
+        if x_labeled.shape[0] != y_labeled.shape[0]:
+            raise ValueError("labeled_features and labels must align")
+
+        pool_x = x_unlabeled.copy()
+        train_x = x_labeled.copy()
+        train_y = y_labeled.copy()
+        self.rounds_run_ = 0
+
+        for _ in range(self.max_rounds):
+            model = self._factory()
+            model.fit(train_x, train_y)
+            self.model = model
+            self.rounds_run_ += 1
+            if pool_x.shape[0] == 0:
+                break
+            probabilities = model.predict_proba(pool_x)
+            confident_positive = probabilities >= self.confidence_threshold
+            confident_negative = probabilities <= 1.0 - self.confidence_threshold
+            confident = confident_positive | confident_negative
+            if not confident.any():
+                break
+            pseudo_labels = (probabilities[confident] >= 0.5).astype(int)
+            train_x = np.vstack([train_x, pool_x[confident]])
+            train_y = np.concatenate([train_y, pseudo_labels])
+            pool_x = pool_x[~confident]
+
+        if self.model is None:
+            model = self._factory()
+            model.fit(train_x, train_y)
+            self.model = model
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities from the final model."""
+        self._check_fitted()
+        return self.model.predict_proba(np.asarray(features, dtype=float))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """0/1 predictions from the final model."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def _check_fitted(self) -> None:
+        if self.model is None:
+            raise RuntimeError("SelfTrainingClassifier must be fitted before prediction")

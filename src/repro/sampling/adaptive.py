@@ -1,0 +1,100 @@
+"""Adaptive choice of the sampling parameter ``num`` (paper Section 4.3).
+
+The paper's recipe: start with a small ``num`` (a small multiple of the
+precision threshold ``alpha``), repeatedly increase it, re-solve the convex
+optimization problem after each increase, and keep an estimate of the total
+cost of the resulting plan.  Cost first falls (better estimates allow cheaper
+plans) and later rises (the sampling itself dominates); stop when it starts
+rising and use the best plan seen.
+
+The search is expressed generically: the caller supplies a callable that maps
+a candidate ``num`` to the *predicted total cost* of running the query with
+that much sampling.  The Intel-Sample pipeline provides that callable by
+actually sampling incrementally and solving Convex Program 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class AdaptiveSamplingResult:
+    """Outcome of the adaptive ``num`` search."""
+
+    best_num: float
+    best_cost: float
+    evaluated_nums: List[float]
+    evaluated_costs: List[float]
+
+    @property
+    def num_rounds(self) -> int:
+        """How many candidate values were evaluated."""
+        return len(self.evaluated_nums)
+
+
+def default_num_schedule(alpha: float, max_multiple: float = 8.0, step: float = 1.0) -> List[float]:
+    """The paper-inspired schedule ``num = z * alpha`` for increasing ``z``.
+
+    The paper observes ``2 <= z <= 5`` usually works; the schedule starts
+    below that and runs a bit past it so the rise in cost is observable.
+    """
+    if alpha <= 0:
+        alpha = 0.1
+    zs: List[float] = []
+    z = 1.0
+    while z <= max_multiple + 1e-9:
+        zs.append(z)
+        z += step
+    return [z * alpha for z in zs]
+
+
+def choose_num_adaptively(
+    cost_for_num: Callable[[float], float],
+    num_schedule: Sequence[float],
+    patience: int = 1,
+) -> AdaptiveSamplingResult:
+    """Walk ``num_schedule`` until the predicted cost starts rising.
+
+    Parameters
+    ----------
+    cost_for_num:
+        Maps a candidate ``num`` to the predicted total query cost.
+    num_schedule:
+        Increasing candidate values; evaluation stops early once the cost has
+        risen for ``patience`` consecutive candidates.
+    patience:
+        Number of consecutive cost increases tolerated before stopping.
+    """
+    schedule = list(num_schedule)
+    if not schedule:
+        raise ValueError("num_schedule must contain at least one candidate")
+    if any(b <= a for a, b in zip(schedule, schedule[1:])):
+        raise ValueError("num_schedule must be strictly increasing")
+
+    evaluated_nums: List[float] = []
+    evaluated_costs: List[float] = []
+    best_num: Optional[float] = None
+    best_cost = float("inf")
+    consecutive_rises = 0
+
+    for candidate in schedule:
+        cost = float(cost_for_num(candidate))
+        evaluated_nums.append(candidate)
+        evaluated_costs.append(cost)
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_num = candidate
+            consecutive_rises = 0
+        else:
+            consecutive_rises += 1
+            if consecutive_rises > patience:
+                break
+
+    return AdaptiveSamplingResult(
+        best_num=float(best_num),
+        best_cost=best_cost,
+        evaluated_nums=evaluated_nums,
+        evaluated_costs=evaluated_costs,
+    )

@@ -1,0 +1,184 @@
+"""Stratified group sampler with cost accounting.
+
+The sampler draws the allocated number of tuples from each group, retrieves
+and evaluates them (charging ``o_r + o_e`` each to the ledger), and records
+per-group outcomes.  Two facts from Section 4.2 matter downstream:
+
+* sampled tuples that evaluated to true can be returned as part of the query
+  result without re-evaluation, and
+* sampled tuples are *sunk cost*: the optimizer's decision variables apply to
+  the remaining ``t_a - F_a`` tuples only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from repro.db.index import GroupIndex
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.stats.beta import BetaPosterior
+from repro.stats.random import RandomState, SeedLike, as_random_state
+
+
+@dataclass
+class GroupSample:
+    """Sampling outcome for one group.
+
+    Attributes
+    ----------
+    group_key:
+        The group's ``A`` value.
+    sampled_row_ids:
+        Row ids that were sampled (retrieved + evaluated).
+    positive_row_ids:
+        The subset of sampled rows that satisfied the predicate.
+    group_size:
+        Total number of tuples in the group (``t_a``).
+    """
+
+    group_key: Hashable
+    sampled_row_ids: List[int] = field(default_factory=list)
+    positive_row_ids: List[int] = field(default_factory=list)
+    group_size: int = 0
+
+    @property
+    def sample_size(self) -> int:
+        """``F_a`` — number of evaluated tuples."""
+        return len(self.sampled_row_ids)
+
+    @property
+    def positives(self) -> int:
+        """``F_a^+`` — sampled tuples satisfying the predicate."""
+        return len(self.positive_row_ids)
+
+    @property
+    def negatives(self) -> int:
+        """``F_a^-`` — sampled tuples failing the predicate."""
+        return self.sample_size - self.positives
+
+    @property
+    def posterior(self) -> BetaPosterior:
+        """The Beta posterior over this group's selectivity."""
+        return BetaPosterior(positives=self.positives, negatives=self.negatives)
+
+    @property
+    def remaining_size(self) -> int:
+        """Number of not-yet-evaluated tuples (``t_a - F_a``)."""
+        return self.group_size - self.sample_size
+
+
+@dataclass
+class SampleOutcome:
+    """Sampling outcome across all groups."""
+
+    samples: Dict[Hashable, GroupSample]
+
+    @property
+    def total_sampled(self) -> int:
+        """Total number of evaluated tuples across groups."""
+        return sum(sample.sample_size for sample in self.samples.values())
+
+    @property
+    def total_positives(self) -> int:
+        """Total number of sampled tuples satisfying the predicate."""
+        return sum(sample.positives for sample in self.samples.values())
+
+    def posterior(self, group_key: Hashable) -> BetaPosterior:
+        """Posterior for one group (uninformed when the group was never sampled)."""
+        sample = self.samples.get(group_key)
+        if sample is None:
+            return BetaPosterior.uninformed()
+        return sample.posterior
+
+    def positive_row_ids(self) -> List[int]:
+        """All sampled rows that satisfied the predicate (free query output)."""
+        rows: List[int] = []
+        for sample in self.samples.values():
+            rows.extend(sample.positive_row_ids)
+        return rows
+
+    def sampled_row_ids(self) -> List[int]:
+        """All sampled rows."""
+        rows: List[int] = []
+        for sample in self.samples.values():
+            rows.extend(sample.sampled_row_ids)
+        return rows
+
+    def merge(self, other: "SampleOutcome") -> "SampleOutcome":
+        """Combine two outcomes (used by adaptive sampling rounds)."""
+        merged: Dict[Hashable, GroupSample] = {}
+        for key in set(self.samples) | set(other.samples):
+            left = self.samples.get(key)
+            right = other.samples.get(key)
+            if left is None:
+                merged[key] = right
+                continue
+            if right is None:
+                merged[key] = left
+                continue
+            merged[key] = GroupSample(
+                group_key=key,
+                sampled_row_ids=left.sampled_row_ids + right.sampled_row_ids,
+                positive_row_ids=left.positive_row_ids + right.positive_row_ids,
+                group_size=max(left.group_size, right.group_size),
+            )
+        return SampleOutcome(samples=merged)
+
+
+class GroupSampler:
+    """Draws and evaluates stratified samples over a group index."""
+
+    def __init__(self, random_state: SeedLike = None):
+        self.random_state: RandomState = as_random_state(random_state)
+
+    def sample(
+        self,
+        table: Table,
+        index: GroupIndex,
+        udf: UserDefinedFunction,
+        allocation: Mapping[Hashable, int],
+        ledger: CostLedger,
+        already_sampled: Optional[SampleOutcome] = None,
+    ) -> SampleOutcome:
+        """Sample according to ``allocation``, charging ``ledger``.
+
+        ``already_sampled`` lets adaptive callers top up an earlier outcome
+        without re-evaluating rows they already paid for; the returned outcome
+        contains only the *new* rows (merge with the old outcome if needed).
+        """
+        samples: Dict[Hashable, GroupSample] = {}
+        for group_key, row_ids in index.items():
+            requested = int(allocation.get(group_key, 0))
+            previously = (
+                set(already_sampled.samples[group_key].sampled_row_ids)
+                if already_sampled is not None and group_key in already_sampled.samples
+                else set()
+            )
+            available = [r for r in row_ids if r not in previously]
+            count = max(0, min(requested, len(available)))
+            sample = GroupSample(group_key=group_key, group_size=len(row_ids))
+            if count > 0:
+                chosen_positions = self.random_state.choice(
+                    len(available), size=count, replace=False
+                )
+                chosen = [available[int(i)] for i in _as_iterable(chosen_positions)]
+                for row_id in chosen:
+                    ledger.charge_retrieval()
+                    ledger.charge_evaluation()
+                    outcome = udf.evaluate_row(table, row_id)
+                    sample.sampled_row_ids.append(row_id)
+                    if outcome:
+                        sample.positive_row_ids.append(row_id)
+            samples[group_key] = sample
+        return SampleOutcome(samples=samples)
+
+
+def _as_iterable(value):
+    """numpy ``choice`` returns a scalar for size=1 in some call styles."""
+    try:
+        iter(value)
+        return value
+    except TypeError:
+        return [value]

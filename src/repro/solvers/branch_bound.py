@@ -1,0 +1,170 @@
+"""A small branch-and-bound solver for 0/1 integer programs.
+
+The perfect-information problem (paper Section 3.1) is an integer linear
+program over the boolean decision variables ``R_a`` and ``E_a``.  It is
+NP-hard in the number of groups, but the number of groups in practice is tiny
+(7–10 in the paper's datasets), so an exact branch-and-bound with LP
+relaxation bounds is perfectly adequate and lets us report true optima as a
+baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solvers.linear import (
+    InfeasibleProblemError,
+    LinearProgram,
+    solve_linear_program,
+)
+
+
+@dataclass
+class IntegerProgram:
+    """``minimize c @ x`` with ``x`` binary, ``A_ge @ x >= b_ge``.
+
+    Implication constraints ``x_i >= x_j`` (used for ``R_a >= E_a``) are
+    expressed as ordinary >= rows by the caller.
+    """
+
+    objective: Sequence[float]
+    constraints_ge: List[Tuple[Sequence[float], float]] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary decision variables."""
+        return len(self.objective)
+
+    def is_feasible(self, x: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """Check all >= constraints at a 0/1 point."""
+        vector = np.asarray(x, dtype=float)
+        for row, bound in self.constraints_ge:
+            if float(np.dot(row, vector)) < bound - tolerance:
+                return False
+        return True
+
+    def cost(self, x: Sequence[float]) -> float:
+        """Objective value at a point."""
+        return float(np.dot(self.objective, np.asarray(x, dtype=float)))
+
+
+@dataclass(frozen=True)
+class IntegerSolution:
+    """Solution of an :class:`IntegerProgram`."""
+
+    values: np.ndarray
+    objective_value: float
+    nodes_explored: int
+    optimal: bool
+
+
+class BranchAndBoundSolver:
+    """Depth-first branch and bound with LP-relaxation lower bounds."""
+
+    def __init__(self, max_nodes: int = 200_000, brute_force_threshold: int = 16):
+        self.max_nodes = max_nodes
+        self.brute_force_threshold = brute_force_threshold
+
+    def solve(self, program: IntegerProgram) -> IntegerSolution:
+        """Solve ``program`` exactly (brute force for tiny instances)."""
+        n = program.num_variables
+        if n <= self.brute_force_threshold:
+            return self._brute_force(program)
+        return self._branch_and_bound(program)
+
+    # -- exact enumeration ------------------------------------------------------
+    def _brute_force(self, program: IntegerProgram) -> IntegerSolution:
+        best_vector: Optional[np.ndarray] = None
+        best_cost = float("inf")
+        explored = 0
+        for assignment in itertools.product((0.0, 1.0), repeat=program.num_variables):
+            explored += 1
+            if not program.is_feasible(assignment):
+                continue
+            cost = program.cost(assignment)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_vector = np.asarray(assignment, dtype=float)
+        if best_vector is None:
+            raise InfeasibleProblemError("integer program has no feasible 0/1 point")
+        return IntegerSolution(
+            values=best_vector,
+            objective_value=best_cost,
+            nodes_explored=explored,
+            optimal=True,
+        )
+
+    # -- branch and bound --------------------------------------------------------
+    def _branch_and_bound(self, program: IntegerProgram) -> IntegerSolution:
+        n = program.num_variables
+        best_vector: Optional[np.ndarray] = None
+        best_cost = float("inf")
+        explored = 0
+        # Each node fixes a prefix of variables: (fixed_values list)
+        stack: List[List[float]] = [[]]
+
+        while stack:
+            if explored >= self.max_nodes:
+                break
+            fixed = stack.pop()
+            explored += 1
+            relaxation = self._relaxation(program, fixed)
+            if relaxation is None:
+                continue  # infeasible branch
+            lower_bound, fractional = relaxation
+            if lower_bound >= best_cost - 1e-12:
+                continue  # cannot improve
+            if len(fixed) == n:
+                candidate = np.asarray(fixed, dtype=float)
+                if program.is_feasible(candidate):
+                    cost = program.cost(candidate)
+                    if cost < best_cost - 1e-12:
+                        best_cost = cost
+                        best_vector = candidate
+                continue
+            # Round the LP relaxation as an incumbent heuristic.
+            rounded = np.round(fractional)
+            if program.is_feasible(rounded):
+                cost = program.cost(rounded)
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_vector = rounded
+            next_index = len(fixed)
+            # Explore the branch suggested by the relaxation first.
+            preferred = 1.0 if fractional[next_index] >= 0.5 else 0.0
+            stack.append(fixed + [1.0 - preferred])
+            stack.append(fixed + [preferred])
+
+        if best_vector is None:
+            raise InfeasibleProblemError("integer program has no feasible 0/1 point")
+        return IntegerSolution(
+            values=best_vector,
+            objective_value=best_cost,
+            nodes_explored=explored,
+            optimal=explored < self.max_nodes,
+        )
+
+    def _relaxation(
+        self, program: IntegerProgram, fixed: List[float]
+    ) -> Optional[Tuple[float, np.ndarray]]:
+        n = program.num_variables
+        bounds: List[Tuple[float, float]] = []
+        for index in range(n):
+            if index < len(fixed):
+                bounds.append((fixed[index], fixed[index]))
+            else:
+                bounds.append((0.0, 1.0))
+        lp = LinearProgram(
+            objective=list(program.objective),
+            constraints_ge=[(list(row), bound) for row, bound in program.constraints_ge],
+            bounds=bounds,
+        )
+        try:
+            solution = solve_linear_program(lp)
+        except InfeasibleProblemError:
+            return None
+        return solution.objective_value, solution.values

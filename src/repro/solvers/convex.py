@@ -1,0 +1,192 @@
+"""Convex-programming wrapper.
+
+The estimated-selectivity programs of Sections 3.3 and 4.2 minimize a linear
+cost subject to constraints of the form::
+
+    linear(x)  -  e_rho * sqrt(convex quadratic(x))  >=  0
+
+The left-hand side is concave, so the feasible set is convex and any local
+solver finds the global optimum.  This module wraps :func:`scipy.optimize.minimize`
+(SLSQP) with:
+
+* multiple deterministic starting points (all-evaluate, all-retrieve,
+  mid-point, plus caller-provided warm starts such as the BiGreedy solution),
+* explicit feasibility checking of every candidate, and
+* a typed error when no feasible point is found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.solvers.linear import InfeasibleProblemError
+
+ConstraintFn = Callable[[np.ndarray], float]
+
+
+@dataclass
+class ConvexProblem:
+    """``minimize objective @ x`` subject to ``g_i(x) >= 0`` and box bounds.
+
+    Attributes
+    ----------
+    objective:
+        Linear cost vector.
+    inequality_constraints:
+        Callables ``g_i`` that must satisfy ``g_i(x) >= 0`` at a feasible
+        point.  Each must be concave for the solution to be globally optimal,
+        which is the case for all programs in the paper.
+    linear_inequalities:
+        ``(row, bound)`` pairs meaning ``row @ x >= bound`` (used for the
+        ``R_a >= E_a`` coupling constraints).
+    bounds:
+        Per-variable ``(low, high)``; defaults to ``[0, 1]``.
+    """
+
+    objective: Sequence[float]
+    inequality_constraints: List[ConstraintFn] = field(default_factory=list)
+    linear_inequalities: List[Tuple[Sequence[float], float]] = field(default_factory=list)
+    bounds: Optional[List[Tuple[float, float]]] = None
+
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables."""
+        return len(self.objective)
+
+    def cost(self, x: np.ndarray) -> float:
+        """Objective value at ``x``."""
+        return float(np.dot(np.asarray(self.objective, dtype=float), x))
+
+    def violation(self, x: np.ndarray, tolerance: float = 1e-7) -> float:
+        """Maximum constraint violation at ``x`` (0 when feasible)."""
+        worst = 0.0
+        for constraint in self.inequality_constraints:
+            worst = max(worst, -float(constraint(x)))
+        for row, bound in self.linear_inequalities:
+            worst = max(worst, bound - float(np.dot(row, x)))
+        bounds = self.bounds or [(0.0, 1.0)] * self.num_variables
+        for value, (low, high) in zip(x, bounds):
+            worst = max(worst, low - value, value - high)
+        return max(0.0, worst - tolerance if worst > tolerance else worst)
+
+    def is_feasible(self, x: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Whether ``x`` satisfies every constraint within ``tolerance``."""
+        return self.violation(x) <= tolerance
+
+
+@dataclass(frozen=True)
+class ConvexSolution:
+    """Solution of a :class:`ConvexProblem`."""
+
+    values: np.ndarray
+    objective_value: float
+    feasible: bool
+    status: str
+
+    def __iter__(self):
+        return iter(self.values)
+
+
+class ConvexSolver:
+    """SLSQP-based solver with warm starts and feasibility verification."""
+
+    def __init__(
+        self,
+        max_iterations: int = 300,
+        tolerance: float = 1e-9,
+        feasibility_tolerance: float = 1e-5,
+    ):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.feasibility_tolerance = feasibility_tolerance
+
+    def solve(
+        self,
+        problem: ConvexProblem,
+        warm_starts: Optional[Sequence[Sequence[float]]] = None,
+    ) -> ConvexSolution:
+        """Solve ``problem``, trying several starting points.
+
+        Returns the best feasible candidate found.  Raises
+        :class:`InfeasibleProblemError` when every attempt fails the
+        feasibility check.
+        """
+        n = problem.num_variables
+        bounds = problem.bounds or [(0.0, 1.0)] * n
+        starts: List[np.ndarray] = []
+        if warm_starts:
+            starts.extend(np.clip(np.asarray(s, dtype=float), 0.0, 1.0) for s in warm_starts)
+        highs = np.asarray([b[1] for b in bounds], dtype=float)
+        lows = np.asarray([b[0] for b in bounds], dtype=float)
+        starts.append(highs.copy())                  # all retrieve + evaluate
+        starts.append((lows + highs) / 2.0)          # mid point
+        starts.append(lows + 0.9 * (highs - lows))   # near the top
+
+        objective_vector = np.asarray(problem.objective, dtype=float)
+
+        def objective(x: np.ndarray) -> float:
+            return float(np.dot(objective_vector, x))
+
+        def objective_grad(x: np.ndarray) -> np.ndarray:
+            return objective_vector
+
+        scipy_constraints = [
+            {"type": "ineq", "fun": constraint}
+            for constraint in problem.inequality_constraints
+        ]
+        for row, bound in problem.linear_inequalities:
+            row_array = np.asarray(row, dtype=float)
+            scipy_constraints.append(
+                {
+                    "type": "ineq",
+                    "fun": (lambda x, r=row_array, b=bound: float(np.dot(r, x) - b)),
+                    "jac": (lambda x, r=row_array: r),
+                }
+            )
+
+        best: Optional[ConvexSolution] = None
+        for start in starts:
+            result = minimize(
+                objective,
+                start,
+                jac=objective_grad,
+                bounds=bounds,
+                constraints=scipy_constraints,
+                method="SLSQP",
+                options={"maxiter": self.max_iterations, "ftol": self.tolerance},
+            )
+            candidate = np.clip(np.asarray(result.x, dtype=float), lows, highs)
+            feasible = problem.is_feasible(candidate, self.feasibility_tolerance)
+            if not feasible:
+                continue
+            cost = problem.cost(candidate)
+            if best is None or cost < best.objective_value:
+                best = ConvexSolution(
+                    values=candidate,
+                    objective_value=cost,
+                    feasible=True,
+                    status="optimal" if result.success else "feasible",
+                )
+        if best is not None:
+            return best
+
+        # Final fall-back: check whether the starting points themselves are
+        # feasible (e.g. the all-evaluate plan); use the cheapest feasible one.
+        feasible_starts = [
+            s for s in starts if problem.is_feasible(s, self.feasibility_tolerance)
+        ]
+        if feasible_starts:
+            cheapest = min(feasible_starts, key=problem.cost)
+            return ConvexSolution(
+                values=np.asarray(cheapest, dtype=float),
+                objective_value=problem.cost(cheapest),
+                feasible=True,
+                status="fallback",
+            )
+        raise InfeasibleProblemError(
+            "convex program has no feasible point among solver attempts"
+        )

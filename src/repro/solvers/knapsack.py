@@ -1,0 +1,117 @@
+"""Minimum-knapsack machinery.
+
+Theorem 3.2 of the paper proves the perfect-information problem NP-hard by a
+reduction from *minimum knapsack*: choose a subset ``S'`` with total value at
+least ``V`` while minimizing total weight.  This module provides
+
+* an exact dynamic program (pseudo-polynomial in the value target) used both
+  by the perfect-information solver on small instances and by tests that
+  exercise the reduction, and
+* the classical greedy 2-approximation used as a fast fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """An item with a weight (cost to pick) and a value (contribution)."""
+
+    identifier: object
+    weight: float
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0 or self.value < 0:
+            raise ValueError("weights and values must be non-negative")
+
+
+def min_knapsack_dp(
+    items: Sequence[KnapsackItem], value_target: float, scale: int = 1
+) -> Tuple[List[KnapsackItem], float]:
+    """Exact minimum-knapsack: cheapest subset with total value >= target.
+
+    Values are discretised by ``scale`` (values are multiplied by ``scale``
+    and rounded); pass a larger scale for fractional values needing precision.
+
+    Returns ``(chosen_items, total_weight)``.  Raises ``ValueError`` when the
+    target is unreachable even with every item selected.
+    """
+    if value_target <= 0:
+        return [], 0.0
+    total_value = sum(item.value for item in items)
+    if total_value < value_target - 1e-12:
+        raise ValueError(
+            f"value target {value_target} unreachable; total available value is {total_value}"
+        )
+
+    scaled_values = [int(round(item.value * scale)) for item in items]
+    scaled_target = int(math.ceil(value_target * scale - 1e-9))
+    scaled_target = max(scaled_target, 0)
+
+    # dp[v] = minimal weight achieving scaled value exactly >= v (capped at target)
+    infinity = float("inf")
+    dp: List[float] = [infinity] * (scaled_target + 1)
+    choice: List[dict] = [dict() for _ in range(scaled_target + 1)]
+    dp[0] = 0.0
+
+    for index, item in enumerate(items):
+        item_value = scaled_values[index]
+        new_dp = dp[:]
+        new_choice = [dict(c) for c in choice]
+        for achieved in range(scaled_target + 1):
+            if dp[achieved] == infinity:
+                continue
+            target_after = min(scaled_target, achieved + item_value)
+            candidate_weight = dp[achieved] + item.weight
+            if candidate_weight < new_dp[target_after] - 1e-15:
+                new_dp[target_after] = candidate_weight
+                picked = dict(choice[achieved])
+                picked[index] = True
+                new_choice[target_after] = picked
+        dp = new_dp
+        choice = new_choice
+
+    if dp[scaled_target] == infinity:
+        raise ValueError("minimum knapsack target unreachable after discretisation")
+    chosen_indices = sorted(choice[scaled_target].keys())
+    chosen = [items[i] for i in chosen_indices]
+    return chosen, dp[scaled_target]
+
+
+def min_knapsack_greedy(
+    items: Sequence[KnapsackItem], value_target: float
+) -> Tuple[List[KnapsackItem], float]:
+    """Greedy minimum-knapsack: pick items by value/weight ratio until covered.
+
+    Not optimal in general but fast; used as a warm start and in property
+    tests as an upper bound on the optimal weight.
+    """
+    if value_target <= 0:
+        return [], 0.0
+    total_value = sum(item.value for item in items)
+    if total_value < value_target - 1e-12:
+        raise ValueError(
+            f"value target {value_target} unreachable; total available value is {total_value}"
+        )
+
+    def ratio(item: KnapsackItem) -> float:
+        if item.weight == 0:
+            return float("inf")
+        return item.value / item.weight
+
+    chosen: List[KnapsackItem] = []
+    accumulated = 0.0
+    for item in sorted(items, key=ratio, reverse=True):
+        if accumulated >= value_target - 1e-12:
+            break
+        if item.value <= 0:
+            continue
+        chosen.append(item)
+        accumulated += item.value
+    weight = sum(item.weight for item in chosen)
+    return chosen, weight

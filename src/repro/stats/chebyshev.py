@@ -1,0 +1,40 @@
+"""Chebyshev bounds used by the estimated-selectivity convex programs.
+
+Section 3.3 of the paper keeps the precision constraint ``Q >= 0`` satisfied
+with probability ``rho`` by demanding ``E[Q] >= e_rho * Dev(Q)`` where
+``e_rho = 1 / sqrt(1 - rho)``.  This is the one-sided consequence of
+Chebyshev's inequality: ``P(Q <= E[Q] - k Dev(Q)) <= 1 / k^2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chebyshev_deviation_factor(rho: float) -> float:
+    """The multiplier ``e_rho = 1 / sqrt(1 - rho)`` from the paper.
+
+    Requiring the expectation to exceed ``e_rho`` standard deviations ensures
+    the random quantity is non-negative with probability at least ``rho``.
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(
+            f"satisfaction probability rho must be in [0, 1), got {rho}"
+        )
+    return 1.0 / math.sqrt(1.0 - rho)
+
+
+def chebyshev_tail_bound(num_deviations: float) -> float:
+    """Upper bound on the probability of deviating ``k`` standard deviations."""
+    if num_deviations <= 0:
+        return 1.0
+    return min(1.0, 1.0 / num_deviations**2)
+
+
+def required_deviations(failure_probability: float) -> float:
+    """Number of standard deviations needed for a given failure probability."""
+    if not 0.0 < failure_probability <= 1.0:
+        raise ValueError(
+            f"failure_probability must be in (0, 1], got {failure_probability}"
+        )
+    return 1.0 / math.sqrt(failure_probability)

@@ -1,0 +1,111 @@
+"""Hoeffding concentration bounds (paper Section 3.2 and Appendix 10.1).
+
+The perfect-selectivity linear program does not enforce the precision/recall
+constraints in expectation alone: it demands a safety margin so that the
+realized (random) precision and recall still meet the user's thresholds with
+probability at least ``rho``.  The margins come from Hoeffding's inequality
+applied to the per-tuple indicator variables:
+
+* precision indicators live in ``[-alpha, 1 - alpha]`` — width 1,
+* recall indicators live in ``[0, 1 - beta]`` — width ``1 - beta``.
+
+For a sum of ``n`` independent variables with ranges of width ``w_i``,
+
+``P(S - E[S] <= -t) <= exp(-2 t^2 / sum_i w_i^2)``
+
+so requiring the right-hand side to be at most ``1 - rho`` gives
+
+``t = sqrt( ln(1 / (1 - rho)) * sum_i w_i^2 / 2 )``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def hoeffding_bound(total_squared_range: float, failure_probability: float) -> float:
+    """Margin ``t`` such that a Hoeffding sum stays within ``t`` of its mean.
+
+    Parameters
+    ----------
+    total_squared_range:
+        ``sum_i (b_i - a_i)^2`` over the independent bounded summands.
+    failure_probability:
+        Acceptable probability of the sum falling more than ``t`` below its
+        expectation (``1 - rho`` in the paper).
+    """
+    if total_squared_range < 0:
+        raise ValueError(
+            f"total_squared_range must be non-negative, got {total_squared_range}"
+        )
+    if not 0.0 < failure_probability <= 1.0:
+        raise ValueError(
+            "failure_probability must be in (0, 1], got " f"{failure_probability}"
+        )
+    if failure_probability >= 1.0:
+        return 0.0
+    return math.sqrt(
+        math.log(1.0 / failure_probability) * total_squared_range / 2.0
+    )
+
+
+def hoeffding_precision_margin(total_tuples: float, rho: float) -> float:
+    """The paper's ``h^p_rho`` margin for the precision constraint.
+
+    Each tuple contributes an indicator bounded in an interval of width 1, so
+    the squared-range sum is just the number of tuples.
+    """
+    _validate_rho(rho)
+    if total_tuples < 0:
+        raise ValueError(f"total_tuples must be non-negative, got {total_tuples}")
+    return hoeffding_bound(total_tuples, 1.0 - rho)
+
+
+def hoeffding_recall_margin(total_tuples: float, beta: float, rho: float) -> float:
+    """The paper's ``h^r_rho`` margin for the recall constraint.
+
+    Each tuple contributes an indicator bounded in an interval of width
+    ``1 - beta``.
+    """
+    _validate_rho(rho)
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    if total_tuples < 0:
+        raise ValueError(f"total_tuples must be non-negative, got {total_tuples}")
+    return hoeffding_bound(total_tuples * (1.0 - beta) ** 2, 1.0 - rho)
+
+
+def hoeffding_sample_size(margin: float, failure_probability: float) -> int:
+    """Number of bounded-[0,1] samples needed for a mean estimate within ``margin``.
+
+    Inverts the two-sided Hoeffding bound; handy for sanity-checking sampling
+    budgets in tests and examples.
+    """
+    if margin <= 0.0:
+        raise ValueError(f"margin must be positive, got {margin}")
+    if not 0.0 < failure_probability < 1.0:
+        raise ValueError(
+            f"failure_probability must be in (0, 1), got {failure_probability}"
+        )
+    n = math.log(2.0 / failure_probability) / (2.0 * margin**2)
+    return int(math.ceil(n))
+
+
+def hoeffding_tail_probability(
+    margin: float, ranges: Sequence[float]
+) -> float:
+    """Upper bound on ``P(S - E[S] <= -margin)`` for summands with given ranges."""
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    total = sum(float(r) ** 2 for r in ranges)
+    if total == 0.0:
+        return 0.0 if margin > 0 else 1.0
+    return math.exp(-2.0 * margin**2 / total)
+
+
+def _validate_rho(rho: float) -> None:
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(
+            f"satisfaction probability rho must be in [0, 1), got {rho}"
+        )

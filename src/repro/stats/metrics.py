@@ -1,0 +1,119 @@
+"""Information-retrieval metrics (paper Section 2).
+
+The paper measures an approximate result ``R`` against the correct result
+``C`` with precision ``|R ∩ C| / |R|`` and recall ``|R ∩ C| / |C|``.  These
+helpers operate either on explicit sets of tuple identifiers or on raw counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable
+
+
+def precision(returned: AbstractSet, correct: AbstractSet) -> float:
+    """Fraction of returned items that are correct.
+
+    An empty result is assigned precision 1.0 (nothing wrong was returned);
+    this matches how the paper treats the degenerate all-discard plan.
+    """
+    if not returned:
+        return 1.0
+    return len(returned & correct) / len(returned)
+
+
+def recall(returned: AbstractSet, correct: AbstractSet) -> float:
+    """Fraction of correct items that were returned.
+
+    If there are no correct items at all, recall is trivially 1.0.
+    """
+    if not correct:
+        return 1.0
+    return len(returned & correct) / len(correct)
+
+
+def f1_score(returned: AbstractSet, correct: AbstractSet) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(returned, correct)
+    r = recall(returned, correct)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def precision_from_counts(true_positives: int, returned_total: int) -> float:
+    """Precision from raw counts."""
+    _validate_count_pair(true_positives, returned_total, "returned_total")
+    if returned_total == 0:
+        return 1.0
+    return true_positives / returned_total
+
+
+def recall_from_counts(true_positives: int, correct_total: int) -> float:
+    """Recall from raw counts."""
+    _validate_count_pair(true_positives, correct_total, "correct_total")
+    if correct_total == 0:
+        return 1.0
+    return true_positives / correct_total
+
+
+def _validate_count_pair(true_positives: int, total: int, name: str) -> None:
+    if true_positives < 0 or total < 0:
+        raise ValueError("counts must be non-negative")
+    if true_positives > total:
+        raise ValueError(
+            f"true_positives ({true_positives}) cannot exceed {name} ({total})"
+        )
+
+
+@dataclass(frozen=True)
+class ResultQuality:
+    """Precision/recall summary of one query execution.
+
+    Attributes
+    ----------
+    precision, recall:
+        The standard IR metrics.
+    returned_count:
+        Number of tuples in the approximate result.
+    correct_count:
+        Number of tuples in the exact result.
+    true_positive_count:
+        Size of the intersection.
+    """
+
+    precision: float
+    recall: float
+    returned_count: int
+    correct_count: int
+    true_positive_count: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+    def satisfies(self, alpha: float, beta: float) -> bool:
+        """Whether this result meets precision ``alpha`` and recall ``beta``.
+
+        A tiny tolerance absorbs floating point noise in the comparison; the
+        quantities themselves are ratios of integer counts.
+        """
+        eps = 1e-12
+        return self.precision >= alpha - eps and self.recall >= beta - eps
+
+
+def result_quality(returned: Iterable, correct: Iterable) -> ResultQuality:
+    """Compute a :class:`ResultQuality` from two collections of identifiers."""
+    returned_set = set(returned)
+    correct_set = set(correct)
+    intersection = returned_set & correct_set
+    return ResultQuality(
+        precision=precision(returned_set, correct_set),
+        recall=recall(returned_set, correct_set),
+        returned_count=len(returned_set),
+        correct_count=len(correct_set),
+        true_positive_count=len(intersection),
+    )

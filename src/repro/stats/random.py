@@ -1,0 +1,128 @@
+"""Seeded random-number management.
+
+Every stochastic component in the library (samplers, probabilistic executors,
+dataset generators, baselines) accepts either an integer seed or a
+:class:`RandomState`.  Centralising the conversion in one place keeps the
+experiments reproducible and lets a single experiment seed fan out into
+independent child streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, "RandomState", None]
+
+
+class RandomState:
+    """A thin, picklable wrapper around :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        An integer seed, another ``RandomState`` (shared stream), a numpy
+        ``Generator`` (wrapped as-is) or ``None`` for OS entropy.
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        if isinstance(seed, RandomState):
+            self._generator = seed.generator
+        elif isinstance(seed, np.random.Generator):
+            self._generator = seed
+        else:
+            self._generator = np.random.default_rng(seed)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator."""
+        return self._generator
+
+    # -- convenience wrappers -------------------------------------------------
+    def random(self, size=None):
+        """Uniform floats in ``[0, 1)``."""
+        return self._generator.random(size)
+
+    def integers(self, low: int, high: Optional[int] = None, size=None):
+        """Uniform integers in ``[low, high)``."""
+        return self._generator.integers(low, high, size=size)
+
+    def choice(self, values, size=None, replace: bool = True, p=None):
+        """Sample from ``values``."""
+        return self._generator.choice(values, size=size, replace=replace, p=p)
+
+    def shuffle(self, values) -> None:
+        """Shuffle ``values`` in place."""
+        self._generator.shuffle(values)
+
+    def permutation(self, n_or_values):
+        """Return a permuted copy."""
+        return self._generator.permutation(n_or_values)
+
+    def binomial(self, n, p, size=None):
+        """Binomial draws."""
+        return self._generator.binomial(n, p, size=size)
+
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        """Gaussian draws."""
+        return self._generator.normal(loc, scale, size=size)
+
+    def beta(self, a, b, size=None):
+        """Beta draws."""
+        return self._generator.beta(a, b, size=size)
+
+    def bernoulli(self, p, size=None):
+        """Bernoulli draws returned as a boolean array (or scalar)."""
+        draws = self._generator.random(size)
+        return draws < p
+
+    def spawn(self, count: int) -> List["RandomState"]:
+        """Create ``count`` statistically independent child streams."""
+        seeds = self._generator.integers(0, 2**31 - 1, size=count)
+        return [RandomState(int(s)) for s in seeds]
+
+    def child(self) -> "RandomState":
+        """Create a single independent child stream."""
+        return self.spawn(1)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RandomState({self._generator!r})"
+
+
+def as_random_state(seed: SeedLike) -> RandomState:
+    """Coerce ``seed`` into a :class:`RandomState`."""
+    if isinstance(seed, RandomState):
+        return seed
+    return RandomState(seed)
+
+
+def spawn_children(seed: SeedLike, count: int) -> List[RandomState]:
+    """Spawn ``count`` independent random states derived from ``seed``."""
+    return as_random_state(seed).spawn(count)
+
+
+def sample_without_replacement(
+    rng: SeedLike, population: Sequence, k: int
+) -> List:
+    """Draw ``k`` distinct elements from ``population`` uniformly at random."""
+    state = as_random_state(rng)
+    population = list(population)
+    if k >= len(population):
+        return population
+    indices = state.choice(len(population), size=k, replace=False)
+    return [population[int(i)] for i in np.atleast_1d(indices)]
+
+
+def stable_hash_seed(*parts: Iterable) -> int:
+    """Derive a deterministic 32-bit seed from arbitrary hashable parts.
+
+    Useful when an experiment wants per-(dataset, iteration) seeds that do not
+    depend on Python's randomised ``hash``.
+    """
+    acc = 2166136261
+    for part in parts:
+        for byte in repr(part).encode("utf8"):
+            acc ^= byte
+            acc = (acc * 16777619) % (2**32)
+    return acc

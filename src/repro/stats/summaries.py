@@ -1,0 +1,78 @@
+"""Small summary-statistics helpers shared by experiments and dataset reports.
+
+Table 3 of the paper characterises each dataset's group structure with the
+standard deviation of group sizes, the standard deviation of group
+selectivities and the Pearson correlation between size and selectivity.  The
+experiment harness reports means and deviations of repeated runs.  Both live
+here so the experiment code stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean/deviation/extent summary of a numeric series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (useful for report rendering)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarize_series(values: Sequence[float]) -> SeriesSummary:
+    """Summarise a non-empty numeric series."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty series")
+    return SeriesSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=0)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def mean_and_deviation(values: Sequence[float]) -> tuple[float, float]:
+    """Convenience accessor returning ``(mean, population std)``."""
+    summary = summarize_series(values)
+    return summary.mean, summary.std
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length series.
+
+    Returns 0.0 when either series is constant (the correlation is undefined
+    there, and 0.0 is the neutral value for the Table 3 style reports).
+    """
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError(
+            f"series must have equal length, got {x.size} and {y.size}"
+        )
+    if x.size < 2:
+        raise ValueError("correlation requires at least two points")
+    x_std = x.std(ddof=0)
+    y_std = y.std(ddof=0)
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    covariance = float(((x - x.mean()) * (y - y.mean())).mean())
+    return covariance / (x_std * y_std)

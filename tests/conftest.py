@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the package importable even without an installed distribution (the
+# offline environment cannot build editable wheels).
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.constraints import CostModel, QueryConstraints  # noqa: E402
+from repro.core.groups import SelectivityModel  # noqa: E402
+from repro.datasets.lending_club import load_lending_club  # noqa: E402
+from repro.datasets.toy import toy_credit_table, toy_credit_udf  # noqa: E402
+from repro.db.index import GroupIndex  # noqa: E402
+from repro.db.udf import CostLedger  # noqa: E402
+
+
+@pytest.fixture
+def toy_table():
+    """The paper's Table 1 example relation."""
+    return toy_credit_table()
+
+
+@pytest.fixture
+def toy_udf():
+    """The credit-check UDF over the toy relation."""
+    return toy_credit_udf()
+
+
+@pytest.fixture
+def toy_index(toy_table):
+    """Group index on the toy relation's correlated attribute A."""
+    return GroupIndex(toy_table, "A")
+
+
+@pytest.fixture
+def toy_truth(toy_table):
+    """Row ids of the toy relation's correct tuples."""
+    labels = toy_table.column_values("f", allow_hidden=True)
+    return {row_id for row_id, value in enumerate(labels) if value}
+
+
+@pytest.fixture
+def default_constraints():
+    """The paper's default constraints: alpha = beta = rho = 0.8."""
+    return QueryConstraints(alpha=0.8, beta=0.8, rho=0.8)
+
+
+@pytest.fixture
+def default_cost_model():
+    """The paper's default cost model: o_r = 1, o_e = 3."""
+    return CostModel(retrieval_cost=1.0, evaluation_cost=3.0)
+
+
+@pytest.fixture
+def default_ledger():
+    """A fresh ledger with the default unit costs."""
+    return CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+
+
+@pytest.fixture
+def example_model():
+    """The paper's Example 3.1 model: three groups of 1000 tuples."""
+    return SelectivityModel.from_exact_counts(
+        {1: (900, 100), 2: (500, 500), 3: (100, 900)}
+    )
+
+
+@pytest.fixture
+def selectivity_model():
+    """A perfect-selectivity model matching Example 3.3."""
+    return SelectivityModel.from_selectivities(
+        sizes={1: 1000, 2: 1000, 3: 1000},
+        selectivities={1: 0.9, 2: 0.5, 3: 0.1},
+    )
+
+
+@pytest.fixture(scope="session")
+def small_lending_club():
+    """A small (5%) Lending-Club-like dataset shared across tests."""
+    return load_lending_club(random_state=123, scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def tiny_lending_club():
+    """A tiny (2%) Lending-Club-like dataset for the slowest paths."""
+    return load_lending_club(random_state=321, scale=0.02)

@@ -1,0 +1,166 @@
+"""Tests for the perfect-selectivity LP and the BiGreedy algorithm (Section 3.2)."""
+
+import pytest
+
+from repro.core.bigreedy import bigreedy_feasibility_conditions, solve_bigreedy
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.core.hoeffding_lp import (
+    compute_margins,
+    recall_target,
+    solve_perfect_selectivity_lp,
+)
+from repro.solvers.linear import InfeasibleProblemError
+
+
+def constraint_values(model, plan, alpha):
+    """LHS of the precision and recall expectations for a plan."""
+    precision_lhs = 0.0
+    recall_lhs = 0.0
+    for group in model:
+        decision = plan.decision(group.key)
+        r, e = decision.retrieve_probability, decision.evaluate_probability
+        precision_lhs += group.remaining * group.selectivity * (1.0 - alpha) * r
+        precision_lhs -= group.remaining * (1.0 - group.selectivity) * alpha * (r - e)
+        recall_lhs += group.remaining * group.selectivity * r
+    return precision_lhs, recall_lhs
+
+
+class TestMargins:
+    def test_margins_positive_for_probabilistic_guarantee(self, selectivity_model):
+        margins = compute_margins(selectivity_model, QueryConstraints(0.8, 0.8, 0.8))
+        assert margins.precision_margin > 0.0
+        assert margins.recall_margin > 0.0
+
+    def test_recall_margin_zero_when_beta_one(self, selectivity_model):
+        margins = compute_margins(selectivity_model, QueryConstraints(0.8, 1.0, 0.8))
+        assert margins.recall_margin == 0.0
+
+    def test_precision_margin_zero_when_alpha_trivial(self, selectivity_model):
+        margins = compute_margins(selectivity_model, QueryConstraints(0.0, 0.8, 0.8))
+        assert margins.precision_margin == 0.0
+
+    def test_recall_target_formula(self, selectivity_model):
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        margins = compute_margins(selectivity_model, constraints)
+        target = recall_target(selectivity_model, constraints, margins.recall_margin)
+        assert target == pytest.approx(0.8 * 1500 + margins.recall_margin)
+
+
+class TestBiGreedy:
+    def test_constraints_satisfied_with_margins(self, selectivity_model):
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        solution = solve_bigreedy(selectivity_model, constraints)
+        precision_lhs, recall_lhs = constraint_values(
+            selectivity_model, solution.plan, constraints.alpha
+        )
+        assert precision_lhs >= solution.margins.precision_margin - 1e-6
+        assert recall_lhs >= recall_target(
+            selectivity_model, constraints, solution.margins.recall_margin
+        ) - 1e-6
+
+    def test_retrieves_high_selectivity_groups_first(self, selectivity_model):
+        solution = solve_bigreedy(selectivity_model, QueryConstraints(0.8, 0.8, 0.8))
+        plan = solution.plan
+        assert plan.decision(1).retrieve_probability >= plan.decision(2).retrieve_probability
+        assert plan.decision(2).retrieve_probability >= plan.decision(3).retrieve_probability
+
+    def test_evaluates_low_selectivity_retrieved_groups_first(self, selectivity_model):
+        solution = solve_bigreedy(selectivity_model, QueryConstraints(0.9, 0.9, 0.8))
+        plan = solution.plan
+        # Among retrieved groups, the lower-selectivity one should carry the
+        # larger (conditional) evaluation probability.
+        assert (
+            plan.decision(2).conditional_evaluate_probability
+            >= plan.decision(1).conditional_evaluate_probability - 1e-9
+        )
+
+    def test_group_one_not_evaluated_in_paper_example(self, selectivity_model):
+        # Selectivity 0.9 > alpha 0.8: returning it without evaluation is fine.
+        solution = solve_bigreedy(selectivity_model, QueryConstraints(0.8, 0.8, 0.8))
+        assert solution.plan.decision(1).evaluate_probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_browsing_scenario_forces_evaluation(self, selectivity_model):
+        solution = solve_bigreedy(selectivity_model, QueryConstraints(1.0, 0.8, 0.8))
+        for key, decision in solution.plan:
+            assert decision.evaluate_probability == pytest.approx(
+                decision.retrieve_probability
+            )
+
+    def test_beta_one_retrieves_everything_with_positive_selectivity(self, selectivity_model):
+        solution = solve_bigreedy(selectivity_model, QueryConstraints(0.8, 1.0, 0.8))
+        for group in selectivity_model:
+            if group.selectivity > 0:
+                assert solution.plan.decision(group.key).retrieve_probability == pytest.approx(1.0)
+
+    def test_infeasible_when_groups_too_small(self):
+        # One group of 3 tuples cannot absorb the Hoeffding margin for rho=0.99.
+        model = SelectivityModel.from_selectivities(
+            sizes={"a": 3}, selectivities={"a": 0.5}
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solve_bigreedy(model, QueryConstraints(0.8, 0.8, 0.99))
+
+    def test_cost_decreases_with_looser_constraints(self, selectivity_model):
+        tight = solve_bigreedy(selectivity_model, QueryConstraints(0.9, 0.9, 0.8))
+        loose = solve_bigreedy(selectivity_model, QueryConstraints(0.6, 0.6, 0.8))
+        assert loose.expected_cost <= tight.expected_cost + 1e-9
+
+    def test_empty_model(self):
+        solution = solve_bigreedy(SelectivityModel([]), QueryConstraints(0.8, 0.8, 0.8))
+        assert solution.expected_cost == 0.0
+
+    def test_feasibility_conditions_hold_for_paper_example(self, selectivity_model):
+        assert bigreedy_feasibility_conditions(
+            selectivity_model, QueryConstraints(0.8, 0.8, 0.8)
+        )
+
+    def test_feasibility_conditions_fail_for_tiny_model(self):
+        model = SelectivityModel.from_selectivities(sizes={"a": 3}, selectivities={"a": 0.5})
+        assert not bigreedy_feasibility_conditions(model, QueryConstraints(0.8, 0.8, 0.99))
+
+
+class TestLpEquivalence:
+    def test_bigreedy_matches_scipy_lp_cost(self, selectivity_model):
+        """BiGreedy solves the same LP the scipy solver does (Theorem 3.8)."""
+        for alpha, beta in [(0.8, 0.8), (0.9, 0.7), (0.7, 0.9), (0.6, 0.95)]:
+            constraints = QueryConstraints(alpha, beta, 0.8)
+            greedy = solve_bigreedy(selectivity_model, constraints)
+            lp = solve_perfect_selectivity_lp(selectivity_model, constraints)
+            assert greedy.expected_cost == pytest.approx(lp.expected_cost, rel=1e-4)
+
+    def test_lp_constraints_satisfied(self, selectivity_model):
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        lp = solve_perfect_selectivity_lp(selectivity_model, constraints)
+        precision_lhs, recall_lhs = constraint_values(
+            selectivity_model, lp.plan, constraints.alpha
+        )
+        assert precision_lhs >= lp.margins.precision_margin - 1e-6
+        assert recall_lhs >= recall_target(
+            selectivity_model, constraints, lp.margins.recall_margin
+        ) - 1e-6
+
+    def test_lp_handles_browsing_scenario(self, selectivity_model):
+        lp = solve_perfect_selectivity_lp(selectivity_model, QueryConstraints(1.0, 0.8, 0.8))
+        for key, decision in lp.plan:
+            assert decision.evaluate_probability == pytest.approx(
+                decision.retrieve_probability, abs=1e-6
+            )
+
+    def test_lp_empty_model(self):
+        lp = solve_perfect_selectivity_lp(SelectivityModel([]), QueryConstraints(0.8, 0.8, 0.8))
+        assert lp.expected_cost == 0.0
+
+    def test_costs_scale_with_group_sizes(self):
+        small = SelectivityModel.from_selectivities(
+            sizes={1: 100, 2: 100, 3: 100}, selectivities={1: 0.9, 2: 0.5, 3: 0.1}
+        )
+        large = SelectivityModel.from_selectivities(
+            sizes={1: 10_000, 2: 10_000, 3: 10_000}, selectivities={1: 0.9, 2: 0.5, 3: 0.1}
+        )
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        cost_small = solve_bigreedy(small, constraints).expected_cost
+        cost_large = solve_bigreedy(large, constraints).expected_cost
+        # Asymptotic optimality: the per-tuple cost shrinks as n grows because
+        # the Hoeffding margins are O(sqrt(n)).
+        assert cost_large / 10_000 < cost_small / 100

@@ -1,0 +1,166 @@
+"""Tests for correlated-column selection and the virtual column (Section 4.4)."""
+
+import pytest
+
+from repro.core.column_selection import (
+    LabeledSample,
+    build_virtual_column,
+    candidate_correlated_columns,
+    draw_labeled_sample,
+    estimate_column_cost,
+    select_correlated_column,
+)
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.db.index import GroupIndex
+from repro.db.udf import CostLedger
+
+
+@pytest.fixture
+def labeled_sample(small_lending_club):
+    table = small_lending_club.table
+    udf = small_lending_club.make_udf("label_sample")
+    ledger = CostLedger()
+    return draw_labeled_sample(
+        table, udf, ledger, fraction=0.1, minimum_size=100, random_state=7
+    ), ledger
+
+
+class TestLabeledSample:
+    def test_sampling_charges_costs(self, small_lending_club):
+        table = small_lending_club.table
+        udf = small_lending_club.make_udf("charge")
+        ledger = CostLedger()
+        sample = draw_labeled_sample(table, udf, ledger, fraction=0.05, random_state=1)
+        assert sample.size == ledger.evaluated_count == ledger.retrieved_count
+        assert sample.size >= 50
+
+    def test_minimum_size_enforced(self, small_lending_club):
+        table = small_lending_club.table
+        udf = small_lending_club.make_udf("minimum")
+        sample = draw_labeled_sample(
+            table, udf, CostLedger(), fraction=0.0001, minimum_size=30, random_state=1
+        )
+        assert sample.size == 30
+
+    def test_invalid_fraction_rejected(self, small_lending_club):
+        with pytest.raises(ValueError):
+            draw_labeled_sample(
+                small_lending_club.table, small_lending_club.make_udf("bad"),
+                CostLedger(), fraction=0.0,
+            )
+
+    def test_positives_subset_of_rows(self, labeled_sample):
+        sample, _ = labeled_sample
+        assert set(sample.positives) <= set(sample.row_ids)
+
+    def test_to_sample_outcome_partitions_by_group(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        index = GroupIndex(small_lending_club.table, "grade")
+        outcome = sample.to_sample_outcome(index)
+        assert outcome.total_sampled == sample.size
+        assert outcome.total_positives == len(sample.positives)
+
+
+class TestCandidateColumns:
+    def test_candidates_exclude_wide_and_excluded_columns(self, small_lending_club):
+        candidates = candidate_correlated_columns(
+            small_lending_club.table, labeled_size=400, exclude_columns=("record_id",)
+        )
+        assert "grade" in candidates
+        assert "record_id" not in candidates
+        assert "income" not in candidates  # numeric, not categorical
+
+    def test_cap_relaxed_when_nothing_qualifies(self, small_lending_club):
+        # With a labelled size of 1 the sqrt cap would be 1; the floor of 10
+        # still lets the real columns through.
+        candidates = candidate_correlated_columns(
+            small_lending_club.table, labeled_size=1, exclude_columns=("record_id",)
+        )
+        assert "grade" in candidates
+
+
+class TestColumnCostEstimation:
+    def test_correlated_column_cheaper_than_noise(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        grade_cost = estimate_column_cost(
+            small_lending_club.table, "grade", sample, constraints
+        )
+        noise_cost = estimate_column_cost(
+            small_lending_club.table, "noise_1", sample, constraints
+        )
+        assert grade_cost < noise_cost
+
+    def test_selection_picks_the_grade_column(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        result = select_correlated_column(
+            small_lending_club.table,
+            sample,
+            QueryConstraints(0.8, 0.8, 0.8),
+            CostModel(),
+            exclude_columns=("record_id",),
+        )
+        assert result.best_column in ("grade", "grade_band")
+        assert result.estimated_costs[result.best_column] == min(
+            result.estimated_costs.values()
+        )
+
+    def test_explicit_candidates_respected(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        result = select_correlated_column(
+            small_lending_club.table,
+            sample,
+            QueryConstraints(0.8, 0.8, 0.8),
+            candidate_columns=["noise_1", "noise_2"],
+        )
+        assert result.best_column in ("noise_1", "noise_2")
+
+    def test_no_candidates_raises(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        with pytest.raises(ValueError):
+            select_correlated_column(
+                small_lending_club.table,
+                sample,
+                QueryConstraints(0.8, 0.8, 0.8),
+                candidate_columns=[],
+            )
+
+
+class TestVirtualColumn:
+    def test_virtual_column_added_to_table(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        result = build_virtual_column(
+            small_lending_club.table, sample, num_buckets=8,
+            exclude_columns=("record_id",), random_state=3,
+        )
+        assert result.column_name in result.table.schema.column_names
+        assert result.table.num_rows == small_lending_club.table.num_rows
+        assert len(result.scores) == small_lending_club.table.num_rows
+
+    def test_buckets_are_correlated_with_the_label(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        result = build_virtual_column(
+            small_lending_club.table, sample, num_buckets=5,
+            exclude_columns=("record_id",), random_state=3,
+        )
+        labels = small_lending_club.table.column_values(
+            small_lending_club.label_column, allow_hidden=True
+        )
+        buckets = result.table.column_values(result.column_name)
+        by_bucket = {}
+        for bucket, label in zip(buckets, labels):
+            by_bucket.setdefault(bucket, []).append(bool(label))
+        selectivities = {b: sum(v) / len(v) for b, v in by_bucket.items() if len(v) > 20}
+        # Spread between best and worst bucket shows the virtual column carries signal.
+        assert max(selectivities.values()) - min(selectivities.values()) > 0.15
+
+    def test_empty_labeled_sample_rejected(self, small_lending_club):
+        with pytest.raises(ValueError):
+            build_virtual_column(small_lending_club.table, LabeledSample())
+
+    def test_original_table_untouched(self, small_lending_club, labeled_sample):
+        sample, _ = labeled_sample
+        build_virtual_column(
+            small_lending_club.table, sample, exclude_columns=("record_id",)
+        )
+        assert "udf_score_bucket" not in small_lending_club.table.schema.column_names

@@ -1,0 +1,190 @@
+"""Tests for the Section 5 extensions: budget, multi-predicate, join-aware."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.extensions.budget import solve_budgeted_recall
+from repro.core.extensions.join import JoinGroup, solve_join_aware
+from repro.core.extensions.multi_predicate import (
+    MultiPredicateGroup,
+    PredicateAction,
+    solve_multi_predicate,
+)
+from repro.core.groups import SelectivityModel
+
+
+@pytest.fixture
+def budget_model():
+    return SelectivityModel.from_selectivities(
+        sizes={1: 1000, 2: 1000, 3: 1000},
+        selectivities={1: 0.9, 2: 0.5, 3: 0.1},
+    )
+
+
+class TestBudgetedRecall:
+    def test_budget_is_respected(self, budget_model):
+        solution = solve_budgeted_recall(
+            budget_model, precision_bound=0.8, rho=0.8, budget=2000.0
+        )
+        assert solution.expected_cost <= 2000.0 + 1e-6
+
+    def test_larger_budget_returns_more(self, budget_model):
+        small = solve_budgeted_recall(budget_model, 0.8, 0.8, budget=1000.0)
+        large = solve_budgeted_recall(budget_model, 0.8, 0.8, budget=4000.0)
+        assert large.expected_correct_returned >= small.expected_correct_returned - 1e-6
+
+    def test_zero_budget_returns_nothing(self, budget_model):
+        solution = solve_budgeted_recall(budget_model, 0.8, 0.8, budget=0.0)
+        assert solution.expected_correct_returned == pytest.approx(0.0, abs=1e-6)
+
+    def test_huge_budget_reaches_full_recall(self, budget_model):
+        solution = solve_budgeted_recall(budget_model, 0.5, 0.8, budget=1e9)
+        assert solution.expected_recall > 0.95
+
+    def test_precision_constraint_respected_in_expectation(self, budget_model):
+        alpha = 0.8
+        solution = solve_budgeted_recall(budget_model, alpha, 0.8, budget=3000.0)
+        correct = solution.plan.expected_returned_correct(budget_model)
+        incorrect = solution.plan.expected_returned_incorrect(budget_model)
+        if correct + incorrect > 0:
+            assert correct / (correct + incorrect) >= alpha - 1e-6
+
+    def test_negative_budget_rejected(self, budget_model):
+        with pytest.raises(ValueError):
+            solve_budgeted_recall(budget_model, 0.8, 0.8, budget=-1.0)
+
+    def test_empty_model(self):
+        solution = solve_budgeted_recall(SelectivityModel([]), 0.8, 0.8, budget=10.0)
+        assert solution.expected_cost == 0.0
+
+
+@pytest.fixture
+def two_predicate_groups():
+    return [
+        MultiPredicateGroup(key="hi", size=1000, selectivities=(0.9, 0.8)),
+        MultiPredicateGroup(key="mid", size=1000, selectivities=(0.6, 0.5)),
+        MultiPredicateGroup(key="lo", size=1000, selectivities=(0.2, 0.3)),
+    ]
+
+
+class TestMultiPredicate:
+    def test_joint_selectivity(self):
+        group = MultiPredicateGroup(key="g", size=10, selectivities=(0.5, 0.4))
+        assert group.joint_selectivity == pytest.approx(0.2)
+
+    def test_solution_meets_expected_constraints(self, two_predicate_groups):
+        constraints = QueryConstraints(alpha=0.7, beta=0.7, rho=0.8)
+        solution = solve_multi_predicate(two_predicate_groups, constraints)
+        total_correct = sum(g.size * g.joint_selectivity for g in two_predicate_groups)
+        assert solution.expected_returned_correct >= 0.7 * total_correct - 1e-6
+        if solution.expected_returned_total > 0:
+            assert (
+                solution.expected_returned_correct / solution.expected_returned_total
+                >= 0.7 - 1e-6
+            )
+
+    def test_action_probabilities_are_a_distribution(self, two_predicate_groups):
+        constraints = QueryConstraints(alpha=0.7, beta=0.7, rho=0.8)
+        solution = solve_multi_predicate(two_predicate_groups, constraints)
+        for group in two_predicate_groups:
+            total = solution.plan.retrieve_probability(group.key)
+            assert -1e-9 <= total <= 1.0 + 1e-6
+
+    def test_high_joint_selectivity_group_not_fully_evaluated(self, two_predicate_groups):
+        constraints = QueryConstraints(alpha=0.7, beta=0.7, rho=0.8)
+        solution = solve_multi_predicate(two_predicate_groups, constraints)
+        both_evaluated = solution.plan.action_probability(
+            "hi", (PredicateAction.EVALUATE, PredicateAction.EVALUATE)
+        )
+        assert both_evaluated < 0.9
+
+    def test_cost_grows_with_predicate_count(self):
+        constraints = QueryConstraints(alpha=0.7, beta=0.7, rho=0.8)
+        one = solve_multi_predicate(
+            [MultiPredicateGroup(key="g", size=1000, selectivities=(0.5,))], constraints
+        )
+        two = solve_multi_predicate(
+            [MultiPredicateGroup(key="g", size=1000, selectivities=(0.5, 0.5))],
+            constraints,
+        )
+        assert two.expected_cost >= one.expected_cost - 1e-6
+
+    def test_mismatched_predicate_counts_rejected(self):
+        groups = [
+            MultiPredicateGroup(key="a", size=10, selectivities=(0.5,)),
+            MultiPredicateGroup(key="b", size=10, selectivities=(0.5, 0.5)),
+        ]
+        with pytest.raises(ValueError):
+            solve_multi_predicate(groups, QueryConstraints(0.5, 0.5, 0.8))
+
+    def test_empty_groups(self):
+        solution = solve_multi_predicate([], QueryConstraints(0.5, 0.5, 0.8))
+        assert solution.expected_cost == 0.0
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPredicateGroup(key="g", size=-1, selectivities=(0.5,))
+
+
+@pytest.fixture
+def join_groups():
+    return [
+        JoinGroup(key=("A", "big"), size=500, selectivity=0.9, fanout=10.0),
+        JoinGroup(key=("A", "small"), size=500, selectivity=0.9, fanout=1.0),
+        JoinGroup(key=("B", "big"), size=500, selectivity=0.3, fanout=10.0),
+        JoinGroup(key=("B", "small"), size=500, selectivity=0.3, fanout=1.0),
+    ]
+
+
+class TestJoinAware:
+    def test_constraints_hold_on_weighted_output(self, join_groups):
+        constraints = QueryConstraints(alpha=0.7, beta=0.7, rho=0.8)
+        solution = solve_join_aware(join_groups, constraints)
+        weighted_correct = sum(
+            g.size * g.fanout * g.selectivity for g in join_groups
+        )
+        assert solution.expected_output_correct >= 0.7 * weighted_correct - 1e-6
+        if solution.expected_output_total > 0:
+            assert (
+                solution.expected_output_correct / solution.expected_output_total
+                >= 0.7 - 1e-6
+            )
+
+    def test_high_fanout_low_selectivity_group_prioritised_for_evaluation(self, join_groups):
+        constraints = QueryConstraints(alpha=0.8, beta=0.8, rho=0.8)
+        solution = solve_join_aware(join_groups, constraints)
+        big = solution.plan.decision(("B", "big"))
+        small = solution.plan.decision(("B", "small"))
+        # The big-fanout incorrect tuples damage weighted precision ten times
+        # more, so when they are retrieved they must be (at least as) evaluated.
+        if big.retrieve_probability > 0.1 and small.retrieve_probability > 0.1:
+            assert (
+                big.conditional_evaluate_probability
+                >= small.conditional_evaluate_probability - 1e-6
+            )
+
+    def test_uniform_fanout_reduces_to_plain_problem(self):
+        constraints = QueryConstraints(alpha=0.8, beta=0.8, rho=0.8)
+        groups = [
+            JoinGroup(key=k, size=1000, selectivity=s, fanout=1.0)
+            for k, s in ((1, 0.9), (2, 0.5), (3, 0.1))
+        ]
+        solution = solve_join_aware(groups, constraints)
+        from repro.core.bigreedy import solve_bigreedy
+
+        model = SelectivityModel.from_selectivities(
+            sizes={1: 1000, 2: 1000, 3: 1000},
+            selectivities={1: 0.9, 2: 0.5, 3: 0.1},
+        )
+        plain = solve_bigreedy(model, constraints)
+        assert solution.expected_cost == pytest.approx(plain.expected_cost, rel=0.05)
+
+    def test_empty_groups(self):
+        solution = solve_join_aware([], QueryConstraints(0.8, 0.8, 0.8))
+        assert solution.expected_cost == 0.0
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGroup(key="x", size=10, selectivity=0.5, fanout=-1.0)

@@ -1,0 +1,139 @@
+"""Tests for the perfect-information optimizer (paper Section 3.1)."""
+
+import pytest
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.core.perfect_info import (
+    greedy_perfect_information,
+    knapsack_to_perfect_information,
+    solve_perfect_information,
+)
+from repro.solvers.knapsack import KnapsackItem, min_knapsack_dp
+
+
+class TestExactSolver:
+    def test_paper_example_3_1(self, example_model, default_cost_model):
+        """The paper's Example 3.1: return group 1, evaluate group 2, drop group 3."""
+        constraints = QueryConstraints(alpha=0.9, beta=0.9, rho=0.8)
+        solution = solve_perfect_information(example_model, constraints, default_cost_model)
+        plan = solution.plan
+        assert plan.decision(1).retrieve_probability == 1.0
+        assert plan.decision(1).evaluate_probability == 0.0
+        assert plan.decision(2).retrieve_probability == 1.0
+        assert plan.decision(2).evaluate_probability == 1.0
+        assert plan.decision(3).retrieve_probability == 0.0
+        # Cost: 1000 retrievals (group 1) + 1000 retrieve+evaluate (group 2).
+        assert solution.cost == pytest.approx(1000 * 1.0 + 1000 * 4.0)
+
+    def test_constraints_hold_for_returned_plan(self, example_model):
+        constraints = QueryConstraints(alpha=0.9, beta=0.9, rho=0.8)
+        solution = solve_perfect_information(example_model, constraints)
+        plan = solution.plan
+        returned_correct = sum(
+            group.correct_count * plan.decision(group.key).retrieve_probability
+            for group in example_model
+        )
+        returned_incorrect = sum(
+            group.incorrect_count
+            * (
+                plan.decision(group.key).retrieve_probability
+                - plan.decision(group.key).evaluate_probability
+            )
+            for group in example_model
+        )
+        total_correct = sum(group.correct_count for group in example_model)
+        assert returned_correct >= 0.9 * total_correct - 1e-9
+        assert returned_correct / (returned_correct + returned_incorrect) >= 0.9 - 1e-9
+
+    def test_relaxed_constraints_cost_no_more(self, example_model):
+        strict = solve_perfect_information(
+            example_model, QueryConstraints(alpha=0.9, beta=0.9, rho=0.8)
+        )
+        relaxed = solve_perfect_information(
+            example_model, QueryConstraints(alpha=0.5, beta=0.5, rho=0.8)
+        )
+        assert relaxed.cost <= strict.cost + 1e-9
+
+    def test_zero_recall_requires_nothing(self, example_model):
+        solution = solve_perfect_information(
+            example_model, QueryConstraints(alpha=0.5, beta=0.0, rho=0.8)
+        )
+        assert solution.cost == pytest.approx(0.0)
+
+    def test_full_precision_and_recall_evaluates_everything_retrieved(self, example_model):
+        solution = solve_perfect_information(
+            example_model, QueryConstraints(alpha=1.0, beta=1.0, rho=0.8)
+        )
+        plan = solution.plan
+        for group in example_model:
+            decision = plan.decision(group.key)
+            if group.correct_count > 0:
+                assert decision.retrieve_probability == 1.0
+            # Any group containing incorrect tuples that is retrieved must be evaluated.
+            if decision.retrieve_probability == 1.0 and group.incorrect_count > 0:
+                assert decision.evaluate_probability == 1.0
+
+    def test_requires_exact_counts(self, selectivity_model):
+        with pytest.raises(ValueError):
+            solve_perfect_information(
+                selectivity_model, QueryConstraints(alpha=0.8, beta=0.8, rho=0.8)
+            )
+
+    def test_deterministic_plan(self, example_model, default_constraints):
+        solution = solve_perfect_information(example_model, default_constraints)
+        assert solution.plan.is_deterministic
+        assert solution.optimal
+
+
+class TestGreedyHeuristic:
+    def test_greedy_feasible_and_not_better_than_exact(self, example_model):
+        constraints = QueryConstraints(alpha=0.9, beta=0.9, rho=0.8)
+        exact = solve_perfect_information(example_model, constraints)
+        greedy = greedy_perfect_information(example_model, constraints)
+        assert greedy.cost >= exact.cost - 1e-9
+
+    def test_greedy_matches_exact_on_paper_example(self, example_model):
+        constraints = QueryConstraints(alpha=0.9, beta=0.9, rho=0.8)
+        exact = solve_perfect_information(example_model, constraints)
+        greedy = greedy_perfect_information(example_model, constraints)
+        assert greedy.cost == pytest.approx(exact.cost)
+
+    def test_greedy_plan_is_deterministic(self, example_model, default_constraints):
+        greedy = greedy_perfect_information(example_model, default_constraints)
+        assert greedy.plan.is_deterministic
+        assert not greedy.optimal
+
+
+class TestKnapsackReduction:
+    def test_reduction_preserves_optimal_selection(self):
+        """Theorem 3.2: minimum knapsack reduces to Problem 1 with alpha = 0."""
+        items = [
+            KnapsackItem("x", weight=4, value=3),
+            KnapsackItem("y", weight=5, value=4),
+            KnapsackItem("z", weight=9, value=6),
+        ]
+        target = 7.0
+        _, knapsack_weight = min_knapsack_dp(items, target)
+
+        model, constraints = knapsack_to_perfect_information(items, target)
+        solution = solve_perfect_information(model, constraints, CostModel(1.0, 0.0))
+
+        # The retrieval cost of the Problem 1 solution equals the (scaled)
+        # knapsack weight: selected groups have size w_s * scale.
+        selected = [
+            group.key for group in model
+            if solution.plan.decision(group.key).retrieve_probability > 0.5
+        ]
+        selected_value = sum(
+            item.value for item in items if item.identifier in selected
+        )
+        selected_weight = sum(
+            item.weight for item in items if item.identifier in selected
+        )
+        assert selected_value >= target - 1e-9
+        assert selected_weight == pytest.approx(knapsack_weight)
+
+    def test_reduction_rejects_empty_instance(self):
+        with pytest.raises(ValueError):
+            knapsack_to_perfect_information([], 1.0)

@@ -1,0 +1,191 @@
+"""End-to-end tests for the Intel-Sample pipeline and the Optimal oracle."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveIntelSample
+from repro.core.constraints import QueryConstraints
+from repro.core.pipeline import IntelSample, OptimalOracle
+from repro.db.udf import CostLedger
+from repro.sampling.schemes import FixedFractionScheme, TwoThirdPowerScheme
+from repro.stats.metrics import result_quality
+
+
+@pytest.fixture
+def constraints():
+    return QueryConstraints(alpha=0.8, beta=0.8, rho=0.8)
+
+
+class TestIntelSample:
+    def test_meets_constraints_with_designated_column(
+        self, small_lending_club, constraints
+    ):
+        dataset = small_lending_club
+        satisfied = 0
+        runs = 5
+        for seed in range(runs):
+            ledger = CostLedger()
+            result = IntelSample(random_state=seed).answer(
+                dataset.table,
+                dataset.make_udf(f"intel_{seed}"),
+                constraints,
+                ledger,
+                correlated_column="grade",
+            )
+            quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+            if quality.satisfies(constraints.alpha, constraints.beta):
+                satisfied += 1
+        # rho = 0.8: allow at most one violation in five runs.
+        assert satisfied >= runs - 1
+
+    def test_cheaper_than_evaluating_everything(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        ledger = CostLedger()
+        IntelSample(random_state=1).answer(
+            dataset.table, dataset.make_udf("cheap"), constraints, ledger,
+            correlated_column="grade",
+        )
+        assert ledger.evaluated_count < dataset.num_rows
+
+    def test_report_metadata_present(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        result = IntelSample(random_state=2).answer(
+            dataset.table, dataset.make_udf("meta"), constraints, CostLedger(),
+            correlated_column="grade",
+        )
+        report = result.metadata["report"]
+        assert report.correlated_column == "grade"
+        assert report.sample_size > 0
+        assert report.plan is not None
+        assert result.metadata["strategy"] == "intel_sample"
+
+    def test_automatic_column_selection(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        result = IntelSample(random_state=3).answer(
+            dataset.table, dataset.make_udf("auto"), constraints, CostLedger()
+        )
+        report = result.metadata["report"]
+        assert report.correlated_column in dataset.candidate_columns()
+        assert report.column_costs is not None
+
+    def test_virtual_column_pipeline(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        ledger = CostLedger()
+        result = IntelSample(random_state=4, use_virtual_column=True).answer(
+            dataset.table, dataset.make_udf("virtual"), constraints, ledger
+        )
+        report = result.metadata["report"]
+        assert report.used_virtual_column
+        assert report.correlated_column == "udf_score_bucket"
+        quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+        assert quality.recall > 0.6  # sanity, not the probabilistic guarantee
+
+    def test_custom_sampling_scheme(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        scheme = FixedFractionScheme(0.05)
+        result = IntelSample(random_state=5, sampling_scheme=scheme).answer(
+            dataset.table, dataset.make_udf("scheme"), constraints, CostLedger(),
+            correlated_column="grade",
+        )
+        expected_samples = scheme.total_allocation(
+            {g: len(ids) for g, ids in dataset.table.group_row_ids("grade").items()}
+        )
+        assert result.metadata["report"].sample_size == expected_samples
+
+    def test_run_via_query_protocol(self, small_lending_club, constraints):
+        from repro.db.predicate import UdfPredicate
+        from repro.db.query import SelectQuery
+
+        dataset = small_lending_club
+        udf = dataset.make_udf("query_proto")
+        query = SelectQuery(
+            table=dataset.table.name,
+            predicate=UdfPredicate(udf),
+            alpha=0.8, beta=0.8, rho=0.8,
+            correlated_column="grade",
+        )
+        result = IntelSample(random_state=6).run(dataset.table, query, CostLedger())
+        assert len(result.row_ids) > 0
+
+    def test_multi_udf_query_rejected(self, small_lending_club):
+        from repro.db.predicate import AndPredicate, UdfPredicate
+        from repro.db.query import SelectQuery
+
+        dataset = small_lending_club
+        query = SelectQuery(
+            table=dataset.table.name,
+            predicate=AndPredicate(
+                [UdfPredicate(dataset.make_udf("u1")), UdfPredicate(dataset.make_udf("u2"))]
+            ),
+            alpha=0.8, beta=0.8, rho=0.8,
+        )
+        with pytest.raises(ValueError):
+            IntelSample(random_state=0).run(dataset.table, query, CostLedger())
+
+
+class TestOptimalOracle:
+    def test_oracle_cheaper_than_intel_sample(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        oracle_ledger = CostLedger()
+        OptimalOracle(random_state=1).answer(
+            dataset.table, dataset.make_udf("oracle"), constraints, oracle_ledger,
+            correlated_column="grade",
+        )
+        intel_ledger = CostLedger()
+        IntelSample(random_state=1).answer(
+            dataset.table, dataset.make_udf("intel_vs"), constraints, intel_ledger,
+            correlated_column="grade",
+        )
+        assert oracle_ledger.total_cost <= intel_ledger.total_cost
+
+    def test_oracle_meets_constraints_most_of_the_time(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        satisfied = 0
+        for seed in range(5):
+            ledger = CostLedger()
+            result = OptimalOracle(random_state=seed).answer(
+                dataset.table, dataset.make_udf(f"oracle_{seed}"), constraints, ledger,
+                correlated_column="grade",
+            )
+            quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+            if quality.satisfies(constraints.alpha, constraints.beta):
+                satisfied += 1
+        assert satisfied >= 4
+
+    def test_oracle_requires_column(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        with pytest.raises(ValueError):
+            OptimalOracle().answer(
+                dataset.table, dataset.make_udf("nocol"), constraints, CostLedger()
+            )
+
+
+class TestAdaptiveIntelSample:
+    def test_adaptive_runs_and_reports_rounds(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        ledger = CostLedger()
+        result = AdaptiveIntelSample("grade", random_state=0).answer(
+            dataset.table, dataset.make_udf("adaptive"), constraints, ledger
+        )
+        report = result.metadata["report"]
+        assert report.num_rounds >= 1
+        assert report.chosen_num in [round.num for round in report.rounds]
+        assert ledger.evaluated_count < dataset.num_rows
+
+    def test_adaptive_quality_reasonable(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        result = AdaptiveIntelSample("grade", random_state=1).answer(
+            dataset.table, dataset.make_udf("adaptive_q"), constraints, CostLedger()
+        )
+        quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+        assert quality.precision >= 0.7
+        assert quality.recall >= 0.7
+
+    def test_custom_schedule_and_patience(self, small_lending_club, constraints):
+        dataset = small_lending_club
+        strategy = AdaptiveIntelSample(
+            "grade", num_schedule=[0.5, 1.0, 2.0], patience=0, random_state=2
+        )
+        result = strategy.answer(
+            dataset.table, dataset.make_udf("adaptive_sched"), constraints, CostLedger()
+        )
+        assert result.metadata["report"].num_rounds <= 3

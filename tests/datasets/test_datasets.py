@@ -1,0 +1,161 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_names,
+    dataset_spec,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import GroupSpec, SyntheticDatasetSpec, generate_dataset
+from repro.datasets.toy import toy_credit_table, toy_credit_udf
+from repro.db.index import GroupIndex
+from repro.experiments.tables import PAPER_TABLE2, PAPER_TABLE3
+from repro.stats.summaries import pearson_correlation, summarize_series
+
+
+class TestGroupSpec:
+    def test_positive_count_rounding(self):
+        assert GroupSpec(value="a", size=10, selectivity=0.25).positive_count == 2
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            GroupSpec(value="a", size=-1, selectivity=0.5)
+        with pytest.raises(ValueError):
+            GroupSpec(value="a", size=1, selectivity=1.5)
+
+
+class TestSyntheticSpec:
+    def test_totals(self):
+        spec = SyntheticDatasetSpec(
+            name="mini",
+            correlated_column="g",
+            groups=(GroupSpec("a", 100, 0.8), GroupSpec("b", 300, 0.2)),
+        )
+        assert spec.total_size == 400
+        assert spec.overall_selectivity == pytest.approx((80 + 60) / 400)
+
+    def test_scaling_preserves_proportions(self):
+        spec = dataset_spec("lending_club")
+        scaled = spec.scaled(0.1)
+        assert scaled.total_size == pytest.approx(spec.total_size * 0.1, rel=0.01)
+        assert scaled.group_selectivities == spec.group_selectivities
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_spec("lending_club").scaled(0.0)
+
+    def test_size_selectivity_correlation_sign(self):
+        assert dataset_spec("lending_club").size_selectivity_correlation() > 0.5
+        assert dataset_spec("marketing").size_selectivity_correlation() < -0.5
+
+
+class TestGeneration:
+    def test_generated_table_realises_spec_exactly(self):
+        spec = SyntheticDatasetSpec(
+            name="mini",
+            correlated_column="g",
+            groups=(GroupSpec("a", 200, 0.75), GroupSpec("b", 100, 0.2)),
+        )
+        bundle = generate_dataset(spec, random_state=0)
+        index = GroupIndex(bundle.table, "g")
+        labels = bundle.table.column_values(bundle.label_column, allow_hidden=True)
+        assert index.group_size("a") == 200
+        positives_a = sum(1 for row_id in index.row_ids("a") if labels[row_id])
+        assert positives_a == 150
+        positives_b = sum(1 for row_id in index.row_ids("b") if labels[row_id])
+        assert positives_b == 20
+
+    def test_generation_is_deterministic_given_seed(self):
+        spec = dataset_spec("prosper").scaled(0.02)
+        a = generate_dataset(spec, random_state=5)
+        b = generate_dataset(spec, random_state=5)
+        assert a.table.column_values("grade") == b.table.column_values("grade")
+
+    def test_bundle_helpers(self, small_lending_club):
+        bundle = small_lending_club
+        truth = bundle.ground_truth_row_ids()
+        assert len(truth) == pytest.approx(
+            bundle.num_rows * bundle.overall_selectivity, abs=1
+        )
+        assert bundle.correlated_column in bundle.candidate_columns()
+        assert "record_id" in bundle.table.schema.column_names
+
+    def test_udf_reveals_hidden_label(self, small_lending_club):
+        udf = small_lending_club.make_udf("reveal")
+        truth = small_lending_club.ground_truth_row_ids()
+        assert udf.evaluate_row(small_lending_club.table, next(iter(truth)))
+
+    def test_label_column_is_hidden(self, small_lending_club):
+        from repro.db.errors import ColumnNotFoundError
+
+        with pytest.raises(ColumnNotFoundError):
+            small_lending_club.table.column_values(small_lending_club.label_column)
+
+
+class TestRegistry:
+    def test_all_datasets_registered(self):
+        assert set(dataset_names()) == set(DATASET_NAMES)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+        with pytest.raises(KeyError):
+            dataset_spec("nope")
+
+    def test_load_all(self):
+        bundles = load_all_datasets(random_state=0, scale=0.01)
+        assert set(bundles) == set(DATASET_NAMES)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_selectivity_matches_table2(self, name):
+        spec = dataset_spec(name)
+        assert spec.overall_selectivity == pytest.approx(
+            PAPER_TABLE2[name]["selectivity"], abs=0.02
+        )
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_group_structure_matches_table3(self, name):
+        spec = dataset_spec(name)
+        paper = PAPER_TABLE3[name]
+        assert len(spec.groups) == paper["num_groups"]
+        size_std = summarize_series(spec.group_sizes).std
+        assert size_std == pytest.approx(paper["size_dev"], rel=0.25)
+        selectivity_std = summarize_series(spec.group_selectivities).std
+        assert selectivity_std == pytest.approx(paper["selectivity_dev"], abs=0.06)
+        correlation = pearson_correlation(spec.group_sizes, spec.group_selectivities)
+        # Sign and rough magnitude must match the paper.
+        assert correlation * paper["correlation"] > 0
+        assert abs(correlation - paper["correlation"]) < 0.35
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_row_counts_match_paper(self, name):
+        expected = {
+            "lending_club": 53_000,
+            "prosper": 30_000,
+            "census": 45_000,
+            "marketing": 41_000,
+        }[name]
+        assert dataset_spec(name).total_size == expected
+
+
+class TestToyExample:
+    def test_table1_shape(self):
+        table = toy_credit_table()
+        assert table.num_rows == 12
+        assert table.distinct("A") == [1, 2, 3]
+
+    def test_table1_correct_tuples(self):
+        table = toy_credit_table()
+        labels = table.column_values("f", allow_hidden=True)
+        correct = [i for i, value in enumerate(labels) if value]
+        # Tuples 1-4, 6 and 12 in the paper's 1-based numbering.
+        assert correct == [0, 1, 2, 3, 5, 11]
+
+    def test_toy_udf(self):
+        table = toy_credit_table()
+        udf = toy_credit_udf()
+        assert udf.evaluate_row(table, 0) is True
+        assert udf.evaluate_row(table, 8) is False

@@ -1,0 +1,144 @@
+"""Tests for the catalog, query description and engine."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine
+from repro.db.errors import DuplicateObjectError, TableNotFoundError
+from repro.db.predicate import ColumnPredicate, UdfPredicate
+from repro.db.query import SelectQuery
+from repro.db.udf import UserDefinedFunction
+
+
+@pytest.fixture
+def toy_catalog(toy_table, toy_udf):
+    catalog = Catalog()
+    catalog.register_table(toy_table)
+    catalog.register_udf(toy_udf)
+    return catalog
+
+
+@pytest.fixture
+def toy_query(toy_udf):
+    return SelectQuery(
+        table="toy_credit",
+        predicate=UdfPredicate(toy_udf),
+        alpha=1.0,
+        beta=1.0,
+        rho=0.95,
+    )
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, toy_catalog, toy_table):
+        assert toy_catalog.table("toy_credit") is toy_table
+        assert toy_catalog.has_table("toy_credit")
+        assert toy_catalog.table_names() == ["toy_credit"]
+
+    def test_duplicate_table_rejected(self, toy_catalog, toy_table):
+        with pytest.raises(DuplicateObjectError):
+            toy_catalog.register_table(toy_table)
+
+    def test_replace_table(self, toy_catalog, toy_table):
+        toy_catalog.register_table(toy_table, replace=True)
+        assert len(toy_catalog) == 1
+
+    def test_missing_table(self, toy_catalog):
+        with pytest.raises(TableNotFoundError):
+            toy_catalog.table("missing")
+
+    def test_drop_table(self, toy_catalog):
+        toy_catalog.drop_table("toy_credit")
+        assert not toy_catalog.has_table("toy_credit")
+
+    def test_udf_lookup(self, toy_catalog, toy_udf):
+        assert toy_catalog.udf(toy_udf.name) is toy_udf
+
+
+class TestSelectQuery:
+    def test_exactness(self, toy_udf):
+        query = SelectQuery("t", UdfPredicate(toy_udf), alpha=1.0, beta=1.0, rho=1.0)
+        assert query.is_exact
+
+    def test_approximate_query(self, toy_udf):
+        query = SelectQuery("t", UdfPredicate(toy_udf), alpha=0.8, beta=0.8, rho=0.8)
+        assert not query.is_exact
+
+    def test_invalid_alpha_rejected(self, toy_udf):
+        with pytest.raises(ValueError):
+            SelectQuery("t", UdfPredicate(toy_udf), alpha=1.2)
+
+    def test_invalid_rho_rejected(self, toy_udf):
+        with pytest.raises(ValueError):
+            SelectQuery("t", UdfPredicate(toy_udf), alpha=0.8, beta=0.8, rho=1.0)
+
+    def test_udf_predicate_discovery(self, toy_udf):
+        cheap = ColumnPredicate("A", "==", 1)
+        query = SelectQuery("t", cheap & UdfPredicate(toy_udf))
+        assert len(query.udf_predicates) == 1
+
+    def test_describe_mentions_constraints(self, toy_udf):
+        query = SelectQuery("t", UdfPredicate(toy_udf), alpha=0.9, beta=0.7, rho=0.8)
+        description = query.describe()
+        assert "0.9" in description and "0.7" in description
+
+
+class TestEngineExact:
+    def test_exact_execution_returns_ground_truth(self, toy_catalog, toy_query, toy_truth):
+        engine = Engine(toy_catalog)
+        result = engine.execute(toy_query)
+        assert result.row_id_set == toy_truth
+
+    def test_exact_execution_charges_full_cost(self, toy_catalog, toy_query, toy_table):
+        engine = Engine(toy_catalog, retrieval_cost=1.0, evaluation_cost=3.0)
+        result = engine.execute(toy_query)
+        n = toy_table.num_rows
+        assert result.ledger.retrieved_count == n
+        assert result.ledger.evaluated_count == n
+        assert result.total_cost == pytest.approx(n * 4.0)
+
+    def test_cheap_predicates_filter_before_udf(self, toy_catalog, toy_udf):
+        query = SelectQuery(
+            table="toy_credit",
+            predicate=UdfPredicate(toy_udf),
+            cheap_predicates=[ColumnPredicate("A", "==", 1)],
+            alpha=1.0,
+            beta=1.0,
+            rho=0.95,
+        )
+        engine = Engine(toy_catalog)
+        result = engine.execute(query)
+        assert result.row_id_set == {0, 1, 2, 3}
+        assert result.ledger.evaluated_count == 4
+
+    def test_ground_truth_charges_nothing(self, toy_catalog, toy_query, toy_udf):
+        engine = Engine(toy_catalog)
+        truth = engine.ground_truth(toy_query)
+        assert truth == {0, 1, 2, 3, 5, 11}
+
+    def test_audit_reports_quality(self, toy_catalog, toy_query):
+        engine = Engine(toy_catalog)
+        result = engine.execute(toy_query, audit=True)
+        assert result.quality is not None
+        assert result.quality.precision == 1.0
+        assert result.quality.recall == 1.0
+
+
+class TestEngineWithStrategy:
+    def test_custom_strategy_invoked(self, toy_catalog, toy_udf):
+        class EverythingStrategy:
+            def run(self, table, query, ledger):
+                from repro.db.engine import QueryResult
+
+                ledger.charge_retrieval(table.num_rows)
+                return QueryResult(row_ids=list(table.row_ids), ledger=ledger)
+
+        query = SelectQuery(
+            "toy_credit", UdfPredicate(toy_udf), alpha=0.4, beta=0.8, rho=0.8
+        )
+        engine = Engine(toy_catalog)
+        result = engine.execute(query, strategy=EverythingStrategy(), audit=True)
+        assert len(result) == 12
+        # Returning everything gives recall 1 and precision = 6/12.
+        assert result.quality.recall == 1.0
+        assert result.quality.precision == pytest.approx(0.5)

@@ -1,0 +1,139 @@
+"""Tests for the group index and predicate expressions."""
+
+import pytest
+
+from repro.db.errors import ColumnNotFoundError
+from repro.db.index import GroupIndex
+from repro.db.predicate import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    UdfPredicate,
+)
+from repro.db.udf import CostLedger, UserDefinedFunction
+
+
+class TestGroupIndex:
+    def test_groups_match_table(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        assert index.num_groups == 3
+        assert index.group_size(1) == 4
+        assert index.group_size(2) == 3
+        assert index.group_size(3) == 5
+
+    def test_row_ids_partition_the_table(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        all_ids = sorted(sum((index.row_ids(v) for v in index.values), []))
+        assert all_ids == list(range(toy_table.num_rows))
+
+    def test_total_rows(self, toy_table):
+        assert GroupIndex(toy_table, "A").total_rows() == toy_table.num_rows
+
+    def test_missing_value_gives_empty_group(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        assert index.row_ids(99) == []
+        assert index.group_size(99) == 0
+
+    def test_contains(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        assert 1 in index
+        assert 99 not in index
+
+    def test_unknown_column_rejected(self, toy_table):
+        with pytest.raises(ColumnNotFoundError):
+            GroupIndex(toy_table, "nope")
+
+    def test_group_sizes_mapping(self, toy_table):
+        assert GroupIndex(toy_table, "A").group_sizes() == {1: 4, 2: 3, 3: 5}
+
+    def test_hidden_column_requires_flag(self, toy_table):
+        with pytest.raises(ColumnNotFoundError):
+            GroupIndex(toy_table, "f")
+        index = GroupIndex(toy_table, "f", allow_hidden=True)
+        assert index.num_groups == 2
+
+
+class TestColumnPredicate:
+    def test_equality(self, toy_table):
+        predicate = ColumnPredicate("A", "==", 1)
+        assert predicate.evaluate(toy_table, 0)
+        assert not predicate.evaluate(toy_table, 5)
+
+    def test_comparison_operators(self, toy_table):
+        assert ColumnPredicate("A", ">", 2).evaluate(toy_table, 8)
+        assert ColumnPredicate("A", "<=", 1).evaluate(toy_table, 3)
+        assert ColumnPredicate("A", "!=", 3).evaluate(toy_table, 0)
+
+    def test_in_operator(self, toy_table):
+        assert ColumnPredicate("A", "in", (1, 2)).evaluate(toy_table, 5)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnPredicate("A", "~=", 1)
+
+    def test_not_expensive(self):
+        assert not ColumnPredicate("A", "==", 1).is_expensive
+
+
+class TestUdfPredicate:
+    def test_evaluation_and_cost_charging(self, toy_table, toy_udf):
+        predicate = UdfPredicate(toy_udf)
+        ledger = CostLedger()
+        assert predicate.evaluate(toy_table, 0, ledger)
+        assert not predicate.evaluate(toy_table, 4, ledger)
+        assert ledger.evaluated_count == 2
+
+    def test_expected_false(self, toy_table, toy_udf):
+        predicate = UdfPredicate(toy_udf, expected=False)
+        assert predicate.evaluate(toy_table, 4)
+
+    def test_is_expensive(self, toy_udf):
+        assert UdfPredicate(toy_udf).is_expensive
+
+    def test_udfs_iteration(self, toy_udf):
+        assert list(UdfPredicate(toy_udf).udfs()) == [toy_udf]
+
+
+class TestCombinators:
+    def test_and_or_not(self, toy_table, toy_udf):
+        cheap = ColumnPredicate("A", "==", 2)
+        expensive = UdfPredicate(toy_udf)
+        conjunction = cheap & expensive
+        assert isinstance(conjunction, AndPredicate)
+        # Tuple 5 has A == 2 and f == True.
+        assert conjunction.evaluate(toy_table, 5)
+        # Tuple 4 has A == 2 but f == False.
+        assert not conjunction.evaluate(toy_table, 4)
+
+        disjunction = cheap | expensive
+        assert isinstance(disjunction, OrPredicate)
+        assert disjunction.evaluate(toy_table, 0)  # f true even though A != 2
+
+        negation = ~cheap
+        assert isinstance(negation, NotPredicate)
+        assert negation.evaluate(toy_table, 0)
+
+    def test_and_evaluates_cheap_predicates_first(self, toy_table):
+        calls = []
+
+        def tracking_udf(row):
+            calls.append(row["A"])
+            return True
+
+        udf = UserDefinedFunction("track", tracking_udf)
+        predicate = AndPredicate([UdfPredicate(udf), ColumnPredicate("A", "==", 1)])
+        # Row 5 has A == 2, so the cheap predicate fails and the UDF is skipped.
+        assert not predicate.evaluate(toy_table, 5)
+        assert calls == []
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            AndPredicate([])
+        with pytest.raises(ValueError):
+            OrPredicate([])
+
+    def test_nested_udf_discovery(self, toy_udf):
+        inner = AndPredicate([UdfPredicate(toy_udf), ColumnPredicate("A", "==", 1)])
+        outer = NotPredicate(inner)
+        assert list(outer.udfs()) == [toy_udf]

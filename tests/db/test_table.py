@@ -1,0 +1,179 @@
+"""Tests for the in-memory table and schema machinery."""
+
+import pytest
+
+from repro.db.column import Column, ColumnType
+from repro.db.errors import ColumnNotFoundError, SchemaMismatchError
+from repro.db.schema import Schema
+from repro.db.table import Table
+
+
+@pytest.fixture
+def people_table():
+    return Table.from_columns(
+        name="people",
+        columns={
+            "name": ["ann", "bob", "cara", "dan"],
+            "age": [34, 28, 41, 55],
+            "city": ["sf", "sf", "nyc", "la"],
+            "rich": [True, False, True, False],
+        },
+        column_types={
+            "name": ColumnType.TEXT,
+            "age": ColumnType.NUMERIC,
+            "city": ColumnType.CATEGORICAL,
+            "rich": ColumnType.BOOLEAN,
+        },
+        hidden_columns=("rich",),
+    )
+
+
+class TestConstruction:
+    def test_from_rows_infers_schema(self):
+        table = Table.from_rows("t", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert table.num_rows == 2
+        assert table.schema.column("a").column_type == ColumnType.NUMERIC
+        assert table.schema.column("b").column_type == ColumnType.CATEGORICAL
+
+    def test_from_columns_basic_shape(self, people_table):
+        assert people_table.num_rows == 4
+        assert people_table.num_columns == 4
+        assert len(people_table) == 4
+
+    def test_inconsistent_column_lengths_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Table.from_columns("t", {"a": [1, 2], "b": [1]})
+
+    def test_missing_column_data_rejected(self):
+        schema = Schema.from_types(a="numeric", b="numeric")
+        with pytest.raises(SchemaMismatchError):
+            Table("t", schema, {"a": [1, 2]})
+
+    def test_unknown_column_data_rejected(self):
+        schema = Schema.from_types(a="numeric")
+        with pytest.raises(SchemaMismatchError):
+            Table("t", schema, {"a": [1], "zz": [2]})
+
+
+class TestAccess:
+    def test_column_values(self, people_table):
+        assert people_table.column_values("city") == ["sf", "sf", "nyc", "la"]
+
+    def test_hidden_column_blocked_by_default(self, people_table):
+        with pytest.raises(ColumnNotFoundError):
+            people_table.column_values("rich")
+
+    def test_hidden_column_visible_when_allowed(self, people_table):
+        assert people_table.column_values("rich", allow_hidden=True) == [
+            True, False, True, False,
+        ]
+
+    def test_row_excludes_hidden_by_default(self, people_table):
+        row = people_table.row(0)
+        assert "rich" not in row
+        assert row["name"] == "ann"
+
+    def test_row_includes_hidden_when_asked(self, people_table):
+        assert people_table.row(0, include_hidden=True)["rich"] is True
+
+    def test_value_access(self, people_table):
+        assert people_table.value(2, "age") == 41
+
+    def test_row_id_out_of_range(self, people_table):
+        with pytest.raises(IndexError):
+            people_table.row(99)
+
+    def test_distinct_preserves_order(self, people_table):
+        assert people_table.distinct("city") == ["sf", "nyc", "la"]
+
+    def test_num_distinct(self, people_table):
+        assert people_table.num_distinct("city") == 3
+
+    def test_rows_iterator(self, people_table):
+        rows = list(people_table.rows())
+        assert len(rows) == 4
+        assert all("rich" not in row for row in rows)
+
+
+class TestDerivation:
+    def test_select_rows(self, people_table):
+        subset = people_table.select_rows([1, 3])
+        assert subset.num_rows == 2
+        assert subset.column_values("name") == ["bob", "dan"]
+
+    def test_select_rows_out_of_range(self, people_table):
+        with pytest.raises(IndexError):
+            people_table.select_rows([7])
+
+    def test_with_column_adds_new_column(self, people_table):
+        augmented = people_table.with_column(
+            Column(name="bucket", column_type=ColumnType.CATEGORICAL),
+            ["b1", "b2", "b1", "b2"],
+        )
+        assert augmented.num_columns == 5
+        assert augmented.column_values("bucket") == ["b1", "b2", "b1", "b2"]
+        # The original table is untouched.
+        assert people_table.num_columns == 4
+
+    def test_with_column_replaces_existing(self, people_table):
+        replaced = people_table.with_column(
+            Column(name="city", column_type=ColumnType.CATEGORICAL),
+            ["x", "x", "x", "x"],
+        )
+        assert replaced.num_columns == 4
+        assert replaced.distinct("city") == ["x"]
+
+    def test_with_column_length_mismatch(self, people_table):
+        with pytest.raises(SchemaMismatchError):
+            people_table.with_column(
+                Column(name="bad", column_type=ColumnType.NUMERIC), [1, 2]
+            )
+
+    def test_filter(self, people_table):
+        matches = people_table.filter(lambda row: row["age"] > 30)
+        assert matches == [0, 2, 3]
+
+    def test_group_row_ids(self, people_table):
+        groups = people_table.group_row_ids("city")
+        assert groups == {"sf": [0, 1], "nyc": [2], "la": [3]}
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            Schema([Column("a"), Column("a")])
+
+    def test_visible_column_names(self, people_table):
+        assert "rich" not in people_table.schema.visible_column_names
+
+    def test_categorical_columns(self, people_table):
+        names = [c.name for c in people_table.schema.categorical_columns()]
+        assert "city" in names
+        assert "age" not in names
+
+    def test_numeric_columns(self, people_table):
+        names = [c.name for c in people_table.schema.numeric_columns()]
+        assert names == ["age"]
+
+    def test_column_lookup_error_lists_available(self, people_table):
+        with pytest.raises(ColumnNotFoundError):
+            people_table.schema.column("nope")
+
+    def test_contains(self, people_table):
+        assert "city" in people_table.schema
+        assert "nope" not in people_table.schema
+
+    def test_equality(self):
+        a = Schema.from_types(x="numeric")
+        b = Schema.from_types(x="numeric")
+        assert a == b
+
+    def test_validate_row_missing_column(self):
+        schema = Schema.from_types(a="numeric", b="text")
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row({"a": 1})
+
+    def test_validate_row_type_error(self):
+        schema = Schema.from_types(a="numeric")
+        with pytest.raises(ValueError):
+            schema.validate_row({"a": "not a number"})

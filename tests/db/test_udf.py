@@ -1,0 +1,133 @@
+"""Tests for UDFs and cost ledgers."""
+
+import pytest
+
+from repro.db.errors import BudgetExhaustedError, DuplicateObjectError, UdfNotFoundError
+from repro.db.udf import CostLedger, UdfRegistry, UserDefinedFunction
+
+
+class TestCostLedger:
+    def test_total_cost_formula(self):
+        ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+        ledger.charge_retrieval(10)
+        ledger.charge_evaluation(4)
+        assert ledger.total_cost == pytest.approx(10 * 1.0 + 4 * 3.0)
+
+    def test_default_costs_match_paper(self):
+        ledger = CostLedger()
+        assert ledger.retrieval_cost == 1.0
+        assert ledger.evaluation_cost == 3.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger(retrieval_cost=-1.0)
+
+    def test_budget_enforced(self):
+        ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+        ledger.set_budget(5.0)
+        ledger.charge_evaluation()  # cost 3
+        with pytest.raises(BudgetExhaustedError):
+            ledger.charge_evaluation()  # would exceed 5
+
+    def test_budget_allows_exact_fit(self):
+        ledger = CostLedger(retrieval_cost=1.0, evaluation_cost=3.0)
+        ledger.set_budget(4.0)
+        ledger.charge_evaluation()
+        ledger.charge_retrieval()
+        assert ledger.total_cost == pytest.approx(4.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().set_budget(-1.0)
+
+    def test_reset_clears_counts_not_costs(self):
+        ledger = CostLedger(retrieval_cost=2.0)
+        ledger.charge_retrieval(3)
+        ledger.reset()
+        assert ledger.retrieved_count == 0
+        assert ledger.retrieval_cost == 2.0
+
+    def test_snapshot(self):
+        ledger = CostLedger()
+        ledger.charge_retrieval()
+        snap = ledger.snapshot()
+        assert snap["retrieved"] == 1
+        assert snap["total_cost"] == pytest.approx(1.0)
+
+
+class TestUserDefinedFunction:
+    def test_label_column_udf(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        assert udf.evaluate_row(toy_table, 0) is True
+        assert udf.evaluate_row(toy_table, 4) is False
+
+    def test_call_count_increments(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        udf.evaluate_row(toy_table, 0)
+        udf.evaluate_row(toy_table, 1)
+        assert udf.call_count == 2
+
+    def test_memoization_avoids_recount(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f", evaluation_cost=3.0)
+        udf.evaluate_row(toy_table, 0)
+        udf.evaluate_row(toy_table, 0)
+        assert udf.call_count == 1
+
+    def test_no_memoization_when_disabled(self, toy_table):
+        udf = UserDefinedFunction("g", lambda row: row["A"] == 1, memoize=False)
+        udf.evaluate_row(toy_table, 0)
+        udf.evaluate_row(toy_table, 0)
+        assert udf.call_count == 2
+
+    def test_reset(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        udf.evaluate_row(toy_table, 0)
+        udf.reset()
+        assert udf.call_count == 0
+
+    def test_direct_call_on_row_dict(self):
+        udf = UserDefinedFunction("g", lambda row: row["x"] > 5)
+        assert udf({"x": 10}) is True
+        assert udf({"x": 1}) is False
+
+    def test_missing_label_column_raises(self):
+        udf = UserDefinedFunction.from_label_column("f_check", "missing")
+        with pytest.raises(KeyError):
+            udf({"other": 1})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            UserDefinedFunction("g", lambda row: True, evaluation_cost=-1)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = UdfRegistry()
+        udf = UserDefinedFunction("f", lambda row: True)
+        registry.register(udf)
+        assert registry.get("f") is udf
+        assert "f" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_registration_rejected(self):
+        registry = UdfRegistry()
+        registry.register(UserDefinedFunction("f", lambda row: True))
+        with pytest.raises(DuplicateObjectError):
+            registry.register(UserDefinedFunction("f", lambda row: False))
+
+    def test_replace_allowed_when_requested(self):
+        registry = UdfRegistry()
+        registry.register(UserDefinedFunction("f", lambda row: True))
+        replacement = UserDefinedFunction("f", lambda row: False)
+        registry.register(replacement, replace=True)
+        assert registry.get("f") is replacement
+
+    def test_missing_udf_raises(self):
+        with pytest.raises(UdfNotFoundError):
+            UdfRegistry().get("nope")
+
+    def test_names(self):
+        registry = UdfRegistry()
+        registry.register(UserDefinedFunction("a", lambda row: True))
+        registry.register(UserDefinedFunction("b", lambda row: True))
+        assert registry.names() == ["a", "b"]

@@ -1,0 +1,166 @@
+"""Tests for the experiment harness and the table/figure drivers."""
+
+import pytest
+
+from repro.experiments.experiment1 import figure1a, figure2a_2b, savings_summary
+from repro.experiments.experiment2 import figure3b, optimum_of
+from repro.experiments.experiment3 import figure2c, is_convex_increasing
+from repro.experiments.harness import (
+    ExperimentConfig,
+    make_strategy,
+    run_strategy,
+)
+from repro.experiments.report import format_mapping, format_series, format_table
+from repro.experiments.tables import (
+    PAPER_TABLE2,
+    table1_example,
+    table2_savings,
+    table3_group_statistics,
+)
+
+#: A deliberately tiny configuration so the drivers run in seconds.
+FAST = ExperimentConfig(scale=0.03, iterations=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fast_dataset():
+    return FAST.load("lending_club")
+
+
+class TestConfig:
+    def test_constraint_and_cost_objects(self):
+        config = ExperimentConfig(alpha=0.7, beta=0.9, rho=0.85, evaluation_cost=5.0)
+        assert config.constraints.alpha == 0.7
+        assert config.constraints.beta == 0.9
+        assert config.cost_model.evaluation_cost == 5.0
+        assert config.new_ledger().evaluation_cost == 5.0
+
+    def test_with_constraints_copy(self):
+        config = ExperimentConfig()
+        updated = config.with_constraints(alpha=0.9)
+        assert updated.alpha == 0.9
+        assert config.alpha == 0.8
+
+    def test_dataset_loading_is_deterministic(self):
+        a = FAST.load("prosper")
+        b = FAST.load("prosper")
+        assert a.table.column_values("grade") == b.table.column_values("grade")
+
+
+class TestRunStrategy:
+    def test_naive_stats(self, fast_dataset):
+        stats = run_strategy("naive", fast_dataset, FAST)
+        assert stats.num_runs == FAST.iterations
+        assert stats.mean_evaluations > 0
+        assert stats.mean_precision == 1.0
+
+    def test_intel_sample_cheaper_than_naive(self, fast_dataset):
+        naive = run_strategy("naive", fast_dataset, FAST)
+        intel = run_strategy("intel_sample", fast_dataset, FAST)
+        assert intel.mean_evaluations < naive.mean_evaluations
+
+    def test_optimal_cheapest(self, fast_dataset):
+        optimal = run_strategy("optimal", fast_dataset, FAST)
+        intel = run_strategy("intel_sample", fast_dataset, FAST)
+        assert optimal.mean_cost <= intel.mean_cost + 1e-6
+
+    def test_unknown_strategy_rejected(self, fast_dataset):
+        with pytest.raises(ValueError):
+            make_strategy("bogus", FAST, fast_dataset, seed=0)
+
+    def test_strategy_factory_types(self, fast_dataset):
+        from repro.baselines import LearningBaseline, NaiveBaseline
+        from repro.core.pipeline import IntelSample, OptimalOracle
+
+        assert isinstance(make_strategy("naive", FAST, fast_dataset, 0), NaiveBaseline)
+        assert isinstance(make_strategy("learning", FAST, fast_dataset, 0), LearningBaseline)
+        assert isinstance(make_strategy("optimal", FAST, fast_dataset, 0), OptimalOracle)
+        assert isinstance(
+            make_strategy("intel_sample", FAST, fast_dataset, 0), IntelSample
+        )
+
+
+class TestDrivers:
+    def test_figure1a_structure_and_ordering(self):
+        results = figure1a(FAST, dataset_names=("lending_club",))
+        by_strategy = results["lending_club"]
+        assert set(by_strategy) == {"naive", "intel_sample", "optimal"}
+        assert (
+            by_strategy["optimal"].mean_cost
+            <= by_strategy["intel_sample"].mean_cost + 1e-6
+        )
+        assert (
+            by_strategy["intel_sample"].mean_evaluations
+            < by_strategy["naive"].mean_evaluations
+        )
+
+    def test_savings_summary_rows(self):
+        results = figure1a(FAST, dataset_names=("lending_club",))
+        rows = savings_summary(results)
+        assert rows[0]["dataset"] == "lending_club"
+        assert 0.0 < rows[0]["savings_vs_naive"] < 1.0
+
+    def test_figure2a_2b_rates_in_unit_interval(self):
+        results = figure2a_2b(
+            FAST, rho_values=(0.5, 0.8), dataset_names=("lending_club",), iterations=2
+        )
+        for per_rho in results.values():
+            for rates in per_rho.values():
+                assert 0.0 <= rates["precision_rate"] <= 1.0
+                assert 0.0 <= rates["recall_rate"] <= 1.0
+
+    def test_figure3b_sweep_shape(self):
+        results = figure3b(
+            FAST, dataset_names=("lending_club",), num_values=(1.0, 3.0), iterations=1
+        )
+        series = results["lending_club"]
+        assert set(series) == {1.0, 3.0}
+        assert optimum_of(series) in series
+
+    def test_figure2c_returns_requested_multipliers(self):
+        results = figure2c(
+            FAST, alphas=(0.4, 0.8), num_multipliers=(2.5,), iterations=1
+        )
+        assert set(results) == {2.5}
+        assert set(results[2.5]) == {0.4, 0.8}
+
+    def test_is_convex_increasing_helper(self):
+        assert is_convex_increasing({0.2: 10.0, 0.8: 30.0})
+        assert not is_convex_increasing({0.2: 30.0, 0.8: 10.0})
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        rows = {row["A"]: row for row in table1_example()}
+        assert rows[1]["correct"] == 4
+        assert rows[2]["correct"] == 1
+        assert rows[3]["tuples"] == 5
+
+    def test_table3_shape(self):
+        rows = table3_group_statistics()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["num_groups"] == row["paper_num_groups"]
+
+    def test_table2_savings_positive(self):
+        rows = table2_savings(
+            FAST, dataset_names=("lending_club",), include_ml_baselines=False
+        )
+        assert rows[0]["savings_vs_naive"] > 0.0
+        assert rows[0]["paper_savings_vs_naive"] == PAPER_TABLE2["lending_club"]["savings_vs_naive"]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("|") for line in lines)
+
+    def test_format_series(self):
+        text = format_series({"s1": {1: 2.0}, "s2": {1: 3.0, 2: 4.0}}, x_label="x")
+        assert "s1" in text and "s2" in text and "x" in text
+
+    def test_format_mapping(self):
+        text = format_mapping({"k": 1.0})
+        assert "k" in text

@@ -1,0 +1,111 @@
+"""Integration tests spanning the full stack: engine + strategies + datasets."""
+
+import pytest
+
+from repro.baselines import NaiveBaseline
+from repro.core.constraints import QueryConstraints
+from repro.core.pipeline import IntelSample, OptimalOracle
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine
+from repro.db.predicate import ColumnPredicate, UdfPredicate
+from repro.db.query import SelectQuery
+from repro.db.udf import CostLedger
+
+
+@pytest.fixture
+def environment(small_lending_club):
+    dataset = small_lending_club
+    catalog = Catalog()
+    catalog.register_table(dataset.table)
+    udf = dataset.make_udf("loan_fully_paid")
+    catalog.register_udf(udf)
+    engine = Engine(catalog, retrieval_cost=1.0, evaluation_cost=3.0)
+    return dataset, engine, udf
+
+
+class TestEngineWithStrategies:
+    def test_exact_query_through_engine(self, environment):
+        dataset, engine, udf = environment
+        query = SelectQuery(
+            table=dataset.table.name, predicate=UdfPredicate(udf),
+            alpha=1.0, beta=1.0, rho=0.99,
+        )
+        result = engine.execute(query, audit=True)
+        assert result.quality.precision == 1.0
+        assert result.quality.recall == 1.0
+        assert result.row_id_set == dataset.ground_truth_row_ids()
+
+    def test_intel_sample_through_engine(self, environment):
+        dataset, engine, udf = environment
+        query = SelectQuery(
+            table=dataset.table.name, predicate=UdfPredicate(udf),
+            alpha=0.8, beta=0.8, rho=0.8, correlated_column="grade",
+        )
+        exact_cost = engine.execute(query.__class__(
+            table=query.table, predicate=query.predicate, alpha=1.0, beta=1.0, rho=0.99,
+        )).total_cost
+        result = engine.execute(query, strategy=IntelSample(random_state=0), audit=True)
+        assert result.total_cost < exact_cost
+        assert result.quality.precision >= 0.7
+        assert result.quality.recall >= 0.7
+        assert result.metadata["strategy"] == "intel_sample"
+
+    def test_three_strategies_cost_ordering(self, environment):
+        dataset, engine, udf = environment
+        query = SelectQuery(
+            table=dataset.table.name, predicate=UdfPredicate(udf),
+            alpha=0.8, beta=0.8, rho=0.8, correlated_column="grade",
+        )
+        naive = engine.execute(query, strategy=NaiveBaseline(random_state=1))
+        intel = engine.execute(query, strategy=IntelSample(random_state=1))
+        oracle = engine.execute(query, strategy=OptimalOracle(random_state=1))
+        assert oracle.ledger.evaluated_count <= intel.ledger.evaluated_count
+        assert intel.ledger.evaluated_count < naive.ledger.evaluated_count
+
+    def test_cheap_predicate_combined_with_udf(self, environment):
+        dataset, engine, udf = environment
+        query = SelectQuery(
+            table=dataset.table.name,
+            predicate=UdfPredicate(udf),
+            cheap_predicates=[ColumnPredicate("grade", "in", ("A", "B"))],
+            alpha=1.0, beta=1.0, rho=0.99,
+        )
+        result = engine.execute(query, audit=False)
+        grades = dataset.table.column_values("grade")
+        assert all(grades[row_id] in ("A", "B") for row_id in result.row_ids)
+
+    def test_audit_matches_manual_quality(self, environment):
+        dataset, engine, udf = environment
+        query = SelectQuery(
+            table=dataset.table.name, predicate=UdfPredicate(udf),
+            alpha=0.8, beta=0.8, rho=0.8, correlated_column="grade",
+        )
+        result = engine.execute(query, strategy=IntelSample(random_state=3), audit=True)
+        from repro.stats.metrics import result_quality
+
+        manual = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+        assert result.quality.precision == pytest.approx(manual.precision)
+        assert result.quality.recall == pytest.approx(manual.recall)
+
+
+class TestSavingsShape:
+    def test_savings_grow_with_selectivity(self):
+        """The paper's Table 2 trend: higher selectivity -> larger savings."""
+        from repro.datasets.registry import load_dataset
+
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        savings = {}
+        for name in ("lending_club", "marketing"):
+            dataset = load_dataset(name, random_state=11, scale=0.08)
+            naive_ledger = CostLedger()
+            NaiveBaseline(random_state=0).answer(
+                dataset.table, dataset.make_udf("n"), constraints, naive_ledger
+            )
+            intel_ledger = CostLedger()
+            IntelSample(random_state=0).answer(
+                dataset.table, dataset.make_udf("i"), constraints, intel_ledger,
+                correlated_column=dataset.correlated_column,
+            )
+            savings[name] = 1.0 - intel_ledger.evaluated_count / naive_ledger.evaluated_count
+        assert savings["lending_club"] > savings["marketing"]
+        assert savings["lending_club"] > 0.4

@@ -1,0 +1,87 @@
+"""Reproducibility and edge-case scenarios exercised end to end."""
+
+import pytest
+
+from repro.core.constraints import QueryConstraints
+from repro.core.pipeline import IntelSample
+from repro.db.udf import CostLedger
+from repro.stats.metrics import result_quality
+
+
+class TestReproducibility:
+    def test_same_seed_gives_identical_results(self, small_lending_club):
+        dataset = small_lending_club
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        outputs = []
+        for _ in range(2):
+            ledger = CostLedger()
+            result = IntelSample(random_state=42).answer(
+                dataset.table, dataset.make_udf("repro_a"), constraints, ledger,
+                correlated_column="grade",
+            )
+            outputs.append((sorted(result.row_ids), ledger.evaluated_count))
+        assert outputs[0] == outputs[1]
+
+    def test_different_seeds_differ(self, small_lending_club):
+        dataset = small_lending_club
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        results = []
+        for seed in (1, 2):
+            result = IntelSample(random_state=seed).answer(
+                dataset.table, dataset.make_udf(f"repro_b{seed}"), constraints,
+                CostLedger(), correlated_column="grade",
+            )
+            results.append(sorted(result.row_ids))
+        assert results[0] != results[1]
+
+
+class TestEdgeCaseConstraints:
+    def test_browsing_scenario_yields_perfect_precision(self, small_lending_club):
+        """alpha = 1: every returned tuple must be verified."""
+        dataset = small_lending_club
+        constraints = QueryConstraints(alpha=1.0, beta=0.6, rho=0.8)
+        ledger = CostLedger()
+        result = IntelSample(random_state=3).answer(
+            dataset.table, dataset.make_udf("browse"), constraints, ledger,
+            correlated_column="grade",
+        )
+        quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+        assert quality.precision == 1.0
+        # Every returned tuple was either sampled or evaluated during execution.
+        assert ledger.evaluated_count >= len(result.row_ids)
+
+    def test_trivial_constraints_cost_almost_nothing(self, small_lending_club):
+        dataset = small_lending_club
+        constraints = QueryConstraints(alpha=0.0, beta=0.0, rho=0.5)
+        ledger = CostLedger()
+        result = IntelSample(random_state=4).answer(
+            dataset.table, dataset.make_udf("trivial"), constraints, ledger,
+            correlated_column="grade",
+        )
+        # Only the sampling phase should have been paid for.
+        report = result.metadata["report"]
+        assert ledger.evaluated_count == report.sample_size
+
+    def test_perfect_recall_requirement(self, small_lending_club):
+        dataset = small_lending_club
+        constraints = QueryConstraints(alpha=0.75, beta=1.0, rho=0.8)
+        result = IntelSample(random_state=5).answer(
+            dataset.table, dataset.make_udf("full_recall"), constraints, CostLedger(),
+            correlated_column="grade",
+        )
+        quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+        # beta = 1 forces the plan to retrieve every group with positive
+        # estimated selectivity; on this dataset that is every group.
+        assert quality.recall == pytest.approx(1.0)
+
+    def test_high_rho_is_more_conservative(self, small_lending_club):
+        dataset = small_lending_club
+        costs = {}
+        for rho in (0.5, 0.95):
+            ledger = CostLedger()
+            IntelSample(random_state=6).answer(
+                dataset.table, dataset.make_udf(f"rho_{rho}"),
+                QueryConstraints(0.8, 0.8, rho), ledger, correlated_column="grade",
+            )
+            costs[rho] = ledger.total_cost
+        assert costs[0.95] >= costs[0.5] - 1e-9

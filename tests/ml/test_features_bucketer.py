@@ -1,0 +1,135 @@
+"""Tests for feature encoding and score bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.db.column import ColumnType
+from repro.db.table import Table
+from repro.ml.bucketer import ScoreBucketer
+from repro.ml.features import FeatureEncoder, standardize
+
+
+@pytest.fixture
+def feature_table():
+    return Table.from_columns(
+        name="features",
+        columns={
+            "record_id": [f"r{i}" for i in range(8)],
+            "income": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0],
+            "grade": ["A", "A", "B", "B", "C", "C", "C", "A"],
+            "huge_card": [f"u{i}" for i in range(8)],
+            "label": [True, True, False, False, True, False, True, False],
+        },
+        column_types={
+            "record_id": ColumnType.TEXT,
+            "income": ColumnType.NUMERIC,
+            "grade": ColumnType.CATEGORICAL,
+            "huge_card": ColumnType.CATEGORICAL,
+            "label": ColumnType.BOOLEAN,
+        },
+        hidden_columns=("label",),
+    )
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self):
+        matrix = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        standardized, means, stds = standardize(matrix)
+        assert np.allclose(standardized.mean(axis=0), 0.0)
+        assert np.allclose(standardized.std(axis=0), 1.0)
+
+    def test_constant_column_handled(self):
+        matrix = np.array([[1.0], [1.0], [1.0]])
+        standardized, _, _ = standardize(matrix)
+        assert np.allclose(standardized, 0.0)
+
+
+class TestFeatureEncoder:
+    def test_numeric_and_categorical_encoded(self, feature_table):
+        encoder = FeatureEncoder(exclude_columns=("record_id",))
+        matrix = encoder.fit_transform(feature_table)
+        # income + 3 one-hot grade levels (huge_card excluded by cardinality cap
+        # only if the cap is below 8; the default 50 keeps it, so tighten it).
+        assert matrix.shape[0] == 8
+        assert "income" in encoder.feature_names
+
+    def test_cardinality_cap_excludes_wide_columns(self, feature_table):
+        encoder = FeatureEncoder(max_categorical_cardinality=5, exclude_columns=("record_id",))
+        encoder.fit(feature_table)
+        assert all(not name.startswith("huge_card") for name in encoder.feature_names)
+
+    def test_hidden_columns_never_used(self, feature_table):
+        encoder = FeatureEncoder(exclude_columns=("record_id",))
+        encoder.fit(feature_table)
+        assert all("label" not in name for name in encoder.feature_names)
+
+    def test_excluded_columns_respected(self, feature_table):
+        encoder = FeatureEncoder(exclude_columns=("record_id", "grade"))
+        encoder.fit(feature_table)
+        assert all(not name.startswith("grade") for name in encoder.feature_names)
+
+    def test_transform_subset_of_rows(self, feature_table):
+        encoder = FeatureEncoder(max_categorical_cardinality=5, exclude_columns=("record_id",))
+        encoder.fit(feature_table)
+        matrix = encoder.transform(feature_table, row_ids=[0, 7])
+        assert matrix.shape[0] == 2
+
+    def test_transform_before_fit_raises(self, feature_table):
+        with pytest.raises(RuntimeError):
+            FeatureEncoder().transform(feature_table)
+
+    def test_no_usable_columns_raises(self):
+        table = Table.from_columns(
+            "empty_features",
+            columns={"only_id": [f"x{i}" for i in range(60)]},
+            column_types={"only_id": ColumnType.CATEGORICAL},
+        )
+        with pytest.raises(ValueError):
+            FeatureEncoder().fit(table)
+
+    def test_num_features_matches_names(self, feature_table):
+        encoder = FeatureEncoder(max_categorical_cardinality=5, exclude_columns=("record_id",))
+        encoder.fit(feature_table)
+        assert encoder.num_features == len(encoder.feature_names)
+
+
+class TestScoreBucketer:
+    def test_equal_frequency_buckets(self):
+        scores = np.linspace(0.0, 1.0, 100)
+        bucketer = ScoreBucketer(num_buckets=10)
+        buckets = bucketer.fit_transform(scores)
+        counts = np.bincount(buckets, minlength=10)
+        assert counts.min() >= 9 and counts.max() <= 11
+
+    def test_monotone_in_score(self):
+        scores = [0.1, 0.9, 0.5, 0.3]
+        bucketer = ScoreBucketer(num_buckets=4).fit(scores)
+        buckets = bucketer.transform(scores)
+        assert buckets[1] >= buckets[2] >= buckets[0]
+
+    def test_single_bucket(self):
+        bucketer = ScoreBucketer(num_buckets=1)
+        assert set(bucketer.fit_transform([0.1, 0.5, 0.9])) == {0}
+
+    def test_skewed_scores_collapse_buckets(self):
+        scores = [0.5] * 50 + [0.9]
+        bucketer = ScoreBucketer(num_buckets=10)
+        buckets = bucketer.fit_transform(scores)
+        assert bucketer.effective_num_buckets(scores) < 10
+        assert max(buckets) <= 9
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ScoreBucketer().transform([0.5])
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreBucketer().fit([])
+
+    def test_invalid_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreBucketer(num_buckets=0)
+
+    def test_boundaries_length(self):
+        bucketer = ScoreBucketer(num_buckets=4).fit(np.linspace(0, 1, 50))
+        assert len(bucketer.boundaries) == 3

@@ -1,0 +1,117 @@
+"""Tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+
+
+def make_separable(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+def make_noisy(n=600, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    logits = 1.5 * x[:, 0] - 1.0 * x[:, 1]
+    probabilities = 1.0 / (1.0 + np.exp(-logits))
+    y = (rng.random(n) < probabilities).astype(int)
+    return x, y
+
+
+class TestFitting:
+    def test_learns_separable_data(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        assert model.accuracy(x, y) > 0.95
+
+    def test_learns_noisy_data_reasonably(self):
+        x, y = make_noisy()
+        model = LogisticRegression().fit(x, y)
+        # The generating process is noisy (Bayes accuracy ~0.78), so only a
+        # modest accuracy is achievable.
+        assert model.accuracy(x, y) > 0.70
+
+    def test_probabilities_in_unit_interval(self):
+        x, y = make_noisy()
+        model = LogisticRegression().fit(x, y)
+        probabilities = model.predict_proba(x)
+        assert probabilities.min() >= 0.0
+        assert probabilities.max() <= 1.0
+
+    def test_probabilities_track_labels(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        probabilities = model.predict_proba(x)
+        assert probabilities[y == 1].mean() > probabilities[y == 0].mean()
+
+    def test_single_class_training_set(self):
+        x = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.ones(30, dtype=int)
+        model = LogisticRegression().fit(x, y)
+        assert model.predict_proba(x).mean() > 0.9
+
+    def test_regularization_shrinks_weights(self):
+        x, y = make_separable()
+        weak = LogisticRegression(l2_penalty=1e-4).fit(x, y)
+        strong = LogisticRegression(l2_penalty=10.0).fit(x, y)
+        assert np.linalg.norm(strong.weights) < np.linalg.norm(weak.weights)
+
+    def test_loss_decreases_from_origin(self):
+        x, y = make_noisy()
+        model = LogisticRegression()
+        model.fit(x, y)
+        origin_loss = model._loss(x, y.astype(float), np.zeros(x.shape[1]), 0.0)
+        fitted_loss = model._loss(x, y.astype(float), model.weights, model.intercept)
+        assert fitted_loss <= origin_loss + 1e-12
+
+
+class TestValidation:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((10, 2)), np.zeros(5))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), [0, 1, 2])
+
+    def test_rejects_empty_training_set(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((0, 2)), [])
+
+    def test_rejects_one_dimensional_features(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(10), np.zeros(10))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_predict_with_wrong_width_raises(self):
+        x, y = make_separable(50)
+        model = LogisticRegression().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict_proba(np.zeros((2, 5)))
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2_penalty=-1.0)
+
+
+class TestInference:
+    def test_predict_threshold(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        strict = model.predict(x, threshold=0.9).sum()
+        lenient = model.predict(x, threshold=0.1).sum()
+        assert strict <= lenient
+
+    def test_decision_function_sign_matches_prediction(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        scores = model.decision_function(x)
+        predictions = model.predict(x)
+        assert np.array_equal(predictions, (scores >= 0).astype(int))

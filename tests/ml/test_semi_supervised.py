@@ -1,0 +1,84 @@
+"""Tests for the self-training classifier and multiple imputer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.imputation import MultipleImputer
+from repro.ml.semi_supervised import SelfTrainingClassifier
+
+
+def make_data(n_labeled=60, n_unlabeled=300, seed=0):
+    rng = np.random.default_rng(seed)
+    def gen(n):
+        x = rng.normal(size=(n, 2))
+        y = (x[:, 0] - 0.3 * x[:, 1] > 0).astype(int)
+        return x, y
+    x_l, y_l = gen(n_labeled)
+    x_u, y_u = gen(n_unlabeled)
+    return x_l, y_l, x_u, y_u
+
+
+class TestSelfTraining:
+    def test_predicts_unlabeled_data_well(self):
+        x_l, y_l, x_u, y_u = make_data()
+        model = SelfTrainingClassifier(random_state=0).fit(x_l, y_l, x_u)
+        accuracy = (model.predict(x_u) == y_u).mean()
+        assert accuracy > 0.85
+
+    def test_runs_multiple_rounds(self):
+        x_l, y_l, x_u, _ = make_data()
+        model = SelfTrainingClassifier(max_rounds=4, random_state=0).fit(x_l, y_l, x_u)
+        assert 1 <= model.rounds_run_ <= 4
+
+    def test_empty_unlabeled_pool(self):
+        x_l, y_l, _, _ = make_data(n_unlabeled=0)
+        model = SelfTrainingClassifier(random_state=0).fit(x_l, y_l, np.zeros((0, 2)))
+        assert model.predict(x_l).shape == y_l.shape
+
+    def test_probabilities_in_unit_interval(self):
+        x_l, y_l, x_u, _ = make_data()
+        model = SelfTrainingClassifier(random_state=0).fit(x_l, y_l, x_u)
+        probabilities = model.predict_proba(x_u)
+        assert probabilities.min() >= 0.0 and probabilities.max() <= 1.0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SelfTrainingClassifier(confidence_threshold=0.3)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            SelfTrainingClassifier().fit(np.zeros((5, 2)), [1, 0], np.zeros((3, 2)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SelfTrainingClassifier().predict(np.zeros((2, 2)))
+
+
+class TestMultipleImputer:
+    def test_majority_vote_tracks_labels(self):
+        x_l, y_l, x_u, y_u = make_data()
+        imputer = MultipleImputer(num_imputations=7, random_state=1)
+        summary = imputer.fit_impute(x_l, y_l, x_u)
+        agreement = (summary.majority_positive == (y_u == 1)).mean()
+        assert agreement > 0.8
+
+    def test_inclusion_probabilities_in_unit_interval(self):
+        x_l, y_l, x_u, _ = make_data()
+        summary = MultipleImputer(random_state=1).fit_impute(x_l, y_l, x_u)
+        assert summary.inclusion_probability.min() >= 0.0
+        assert summary.inclusion_probability.max() <= 1.0
+
+    def test_positive_indices_subset(self):
+        x_l, y_l, x_u, _ = make_data()
+        summary = MultipleImputer(random_state=1).fit_impute(x_l, y_l, x_u)
+        indices = summary.positive_indices()
+        assert all(0 <= i < x_u.shape[0] for i in indices)
+
+    def test_empty_unlabeled_pool(self):
+        x_l, y_l, _, _ = make_data()
+        summary = MultipleImputer(random_state=1).fit_impute(x_l, y_l, np.zeros((0, 2)))
+        assert summary.positive_indices() == []
+
+    def test_rejects_zero_imputations(self):
+        with pytest.raises(ValueError):
+            MultipleImputer(num_imputations=0)

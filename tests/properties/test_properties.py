@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bigreedy import solve_bigreedy
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.groups import SelectivityModel
+from repro.core.hoeffding_lp import recall_target
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.solvers.knapsack import KnapsackItem, min_knapsack_dp, min_knapsack_greedy
+from repro.solvers.linear import InfeasibleProblemError
+from repro.stats.beta import BetaPosterior
+from repro.stats.hoeffding import hoeffding_bound
+from repro.stats.metrics import precision, recall, result_quality
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+group_sizes = st.integers(min_value=1, max_value=5000)
+selectivities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def selectivity_models(draw, min_groups=1, max_groups=8):
+    count = draw(st.integers(min_value=min_groups, max_value=max_groups))
+    sizes = {i: draw(group_sizes) for i in range(count)}
+    sels = {i: draw(selectivities) for i in range(count)}
+    return SelectivityModel.from_selectivities(sizes, sels)
+
+
+@st.composite
+def plans_for(draw, model):
+    decisions = {}
+    for group in model:
+        retrieve = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        evaluate = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)) * retrieve
+        decisions[group.key] = GroupDecision(retrieve=retrieve, evaluate=evaluate)
+    return ExecutionPlan(decisions)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+class TestMetricsProperties:
+    @given(
+        returned=st.sets(st.integers(0, 200), max_size=60),
+        correct=st.sets(st.integers(0, 200), max_size=60),
+    )
+    def test_precision_recall_bounded(self, returned, correct):
+        assert 0.0 <= precision(returned, correct) <= 1.0
+        assert 0.0 <= recall(returned, correct) <= 1.0
+
+    @given(
+        returned=st.sets(st.integers(0, 200), max_size=60),
+        correct=st.sets(st.integers(0, 200), max_size=60),
+    )
+    def test_quality_consistent_with_counts(self, returned, correct):
+        quality = result_quality(returned, correct)
+        assert quality.true_positive_count <= quality.returned_count
+        assert quality.true_positive_count <= quality.correct_count
+        assert quality.f1 <= 1.0
+
+    @given(items=st.sets(st.integers(0, 100), min_size=1, max_size=40))
+    def test_perfect_result_has_perfect_metrics(self, items):
+        assert precision(items, items) == 1.0
+        assert recall(items, items) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Beta posterior
+# ---------------------------------------------------------------------------
+class TestBetaProperties:
+    @given(positives=st.integers(0, 500), negatives=st.integers(0, 500))
+    def test_mean_bounded_and_variance_positive(self, positives, negatives):
+        posterior = BetaPosterior(positives, negatives)
+        assert 0.0 < posterior.mean < 1.0
+        assert posterior.variance > 0.0
+
+    @given(positives=st.integers(0, 200), negatives=st.integers(0, 200),
+           extra=st.integers(1, 50))
+    def test_more_positives_never_decrease_mean(self, positives, negatives, extra):
+        base = BetaPosterior(positives, negatives)
+        richer = BetaPosterior(positives + extra, negatives)
+        assert richer.mean >= base.mean
+
+    @given(positives=st.integers(0, 200), negatives=st.integers(0, 200))
+    def test_variance_never_grows_with_more_data(self, positives, negatives):
+        base = BetaPosterior(positives, negatives)
+        more = base.updated(positives + 1, negatives + 1)
+        assert more.variance <= base.variance + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Hoeffding bound
+# ---------------------------------------------------------------------------
+class TestHoeffdingProperties:
+    @given(
+        total=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+        failure=st.floats(min_value=1e-6, max_value=1.0, exclude_max=False),
+    )
+    def test_margin_non_negative_and_monotone(self, total, failure):
+        margin = hoeffding_bound(total, failure)
+        assert margin >= 0.0
+        assert hoeffding_bound(total, min(1.0, failure * 2)) <= margin + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+class TestPlanProperties:
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_expectations_are_bounded(self, data):
+        model = data.draw(selectivity_models())
+        plan = data.draw(plans_for(model))
+        cost_model = CostModel(1.0, 3.0)
+        assert 0.0 <= plan.expected_retrievals(model) <= model.total_size
+        assert 0.0 <= plan.expected_evaluations(model) <= plan.expected_retrievals(model) + 1e-9
+        assert plan.expected_cost(model, cost_model, include_sampling=False) >= 0.0
+        assert 0.0 <= plan.expected_precision(model) <= 1.0
+        assert 0.0 <= plan.expected_recall(model) <= 1.0 + 1e-9
+
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_evaluate_everything_dominates_recall(self, data):
+        model = data.draw(selectivity_models())
+        plan = data.draw(plans_for(model))
+        full = ExecutionPlan.evaluate_everything(model.keys)
+        assert full.expected_recall(model) >= plan.expected_recall(model) - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# BiGreedy
+# ---------------------------------------------------------------------------
+class TestBiGreedyProperties:
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        data=st.data(),
+        alpha=st.floats(min_value=0.0, max_value=0.95),
+        beta=st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_solution_is_feasible_for_the_margined_lp(self, data, alpha, beta):
+        model = data.draw(selectivity_models(min_groups=2, max_groups=6))
+        constraints = QueryConstraints(alpha=alpha, beta=beta, rho=0.8)
+        try:
+            solution = solve_bigreedy(model, constraints)
+        except InfeasibleProblemError:
+            return  # nothing to check: the margined LP genuinely has no solution
+        plan = solution.plan
+        # Probabilities are valid.
+        for key, decision in plan:
+            assert 0.0 <= decision.evaluate_probability <= decision.retrieve_probability <= 1.0
+        # Recall constraint with margin holds.
+        achieved = sum(
+            group.remaining * group.selectivity * plan.decision(group.key).retrieve_probability
+            for group in model
+        )
+        target = recall_target(model, constraints, solution.margins.recall_margin)
+        assert achieved >= target - 1e-6
+        # Precision constraint with margin holds (when applicable).
+        if 0.0 < alpha < 1.0:
+            lhs = 0.0
+            for group in model:
+                decision = plan.decision(group.key)
+                lhs += group.remaining * group.selectivity * (1 - alpha) * decision.retrieve_probability
+                lhs -= group.remaining * (1 - group.selectivity) * alpha * (
+                    decision.retrieve_probability - decision.evaluate_probability
+                )
+            assert lhs >= solution.margins.precision_margin - 1e-6
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_cost_monotone_in_beta(self, data):
+        model = data.draw(selectivity_models(min_groups=2, max_groups=6))
+        try:
+            loose = solve_bigreedy(model, QueryConstraints(0.5, 0.3, 0.8))
+            tight = solve_bigreedy(model, QueryConstraints(0.5, 0.8, 0.8))
+        except InfeasibleProblemError:
+            return
+        assert tight.expected_cost >= loose.expected_cost - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Knapsack
+# ---------------------------------------------------------------------------
+class TestKnapsackProperties:
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        weights=st.lists(st.integers(1, 30), min_size=1, max_size=8),
+        values=st.lists(st.integers(0, 30), min_size=1, max_size=8),
+        target_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_dp_never_worse_than_greedy(self, weights, values, target_fraction):
+        count = min(len(weights), len(values))
+        items = [
+            KnapsackItem(identifier=i, weight=weights[i], value=values[i])
+            for i in range(count)
+        ]
+        total_value = sum(item.value for item in items)
+        target = math.floor(total_value * target_fraction)
+        chosen_dp, weight_dp = min_knapsack_dp(items, target)
+        chosen_greedy, weight_greedy = min_knapsack_greedy(items, target)
+        assert sum(item.value for item in chosen_dp) >= target - 1e-9
+        assert sum(item.value for item in chosen_greedy) >= target - 1e-9
+        assert weight_dp <= weight_greedy + 1e-9

@@ -1,0 +1,84 @@
+"""Tests for the sampling-allocation schemes (paper Section 4.3 / 6.3)."""
+
+import pytest
+
+from repro.sampling.schemes import (
+    ConstantScheme,
+    FixedFractionScheme,
+    TwoThirdPowerScheme,
+)
+
+
+GROUP_SIZES = {"a": 1000, "b": 500, "c": 100, "d": 1}
+
+
+class TestConstantScheme:
+    def test_constant_allocation(self):
+        allocation = ConstantScheme(tuples_per_group=50).allocate(GROUP_SIZES)
+        assert allocation["a"] == 50
+        assert allocation["b"] == 50
+
+    def test_clipped_to_group_size(self):
+        allocation = ConstantScheme(tuples_per_group=500).allocate(GROUP_SIZES)
+        assert allocation["c"] == 100
+        assert allocation["d"] == 1
+
+    def test_minimum_one_sample_per_nonempty_group(self):
+        allocation = ConstantScheme(tuples_per_group=0).allocate(GROUP_SIZES)
+        assert allocation["a"] == 1
+
+    def test_empty_group_gets_zero(self):
+        allocation = ConstantScheme(tuples_per_group=5).allocate({"a": 0, "b": 10})
+        assert allocation["a"] == 0
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantScheme(tuples_per_group=-1)
+
+
+class TestTwoThirdPowerScheme:
+    def test_matches_rule_of_thumb(self):
+        scheme = TwoThirdPowerScheme(num=2.0)
+        total = sum(GROUP_SIZES.values())
+        expected = round(2.0 * 1000 * total ** (-1 / 3))
+        assert scheme.allocate(GROUP_SIZES)["a"] == expected
+
+    def test_allocation_proportional_to_group_size(self):
+        allocation = TwoThirdPowerScheme(num=2.0).allocate(GROUP_SIZES)
+        assert allocation["a"] > allocation["b"] > allocation["c"]
+
+    def test_total_grows_sublinearly_with_table_size(self):
+        scheme = TwoThirdPowerScheme(num=2.0)
+        small = scheme.total_allocation({"a": 1000, "b": 1000})
+        large = scheme.total_allocation({"a": 8000, "b": 8000})
+        # Total samples should grow like n^(2/3): x8 size -> x4 samples.
+        assert large < 8 * small
+        assert large > 2 * small
+
+    def test_larger_num_samples_more(self):
+        small = TwoThirdPowerScheme(num=1.0).total_allocation(GROUP_SIZES)
+        large = TwoThirdPowerScheme(num=4.0).total_allocation(GROUP_SIZES)
+        assert large > small
+
+    def test_negative_num_rejected(self):
+        with pytest.raises(ValueError):
+            TwoThirdPowerScheme(num=-0.5)
+
+
+class TestFixedFractionScheme:
+    def test_five_percent_of_each_group(self):
+        allocation = FixedFractionScheme(fraction=0.05).allocate(GROUP_SIZES)
+        assert allocation["a"] == 50
+        assert allocation["b"] == 25
+
+    def test_minimum_one_sample(self):
+        allocation = FixedFractionScheme(fraction=0.001).allocate(GROUP_SIZES)
+        assert allocation["c"] == 1
+
+    def test_full_fraction_samples_everything(self):
+        allocation = FixedFractionScheme(fraction=1.0).allocate(GROUP_SIZES)
+        assert allocation == {"a": 1000, "b": 500, "c": 100, "d": 1}
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            FixedFractionScheme(fraction=1.5)

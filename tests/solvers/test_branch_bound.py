@@ -1,0 +1,75 @@
+"""Tests for the 0/1 branch-and-bound solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.solvers.branch_bound import BranchAndBoundSolver, IntegerProgram
+from repro.solvers.linear import InfeasibleProblemError
+
+
+def brute_force_optimum(program: IntegerProgram):
+    best = None
+    for assignment in itertools.product((0.0, 1.0), repeat=program.num_variables):
+        if program.is_feasible(assignment):
+            cost = program.cost(assignment)
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+class TestIntegerProgram:
+    def test_feasibility_check(self):
+        program = IntegerProgram(objective=[1.0, 1.0])
+        program.constraints_ge.append(([1.0, 1.0], 1.0))
+        assert program.is_feasible([1.0, 0.0])
+        assert not program.is_feasible([0.0, 0.0])
+
+    def test_cost(self):
+        program = IntegerProgram(objective=[2.0, 5.0])
+        assert program.cost([1.0, 1.0]) == pytest.approx(7.0)
+
+
+class TestBranchAndBound:
+    def test_small_cover_problem(self):
+        # Choose cheapest subset covering value >= 2.
+        program = IntegerProgram(objective=[3.0, 2.0, 2.5])
+        program.constraints_ge.append(([1.0, 1.0, 1.0], 2.0))
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.objective_value == pytest.approx(4.5)
+
+    def test_brute_force_and_bnb_agree(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            n = 6
+            objective = rng.uniform(1.0, 5.0, size=n).tolist()
+            program = IntegerProgram(objective=objective)
+            weights = rng.uniform(0.5, 2.0, size=n)
+            program.constraints_ge.append((weights.tolist(), float(weights.sum() * 0.4)))
+            solver = BranchAndBoundSolver(brute_force_threshold=0)  # force B&B
+            solution = solver.solve(program)
+            assert solution.objective_value == pytest.approx(
+                brute_force_optimum(program), abs=1e-6
+            )
+
+    def test_infeasible_program_raises(self):
+        program = IntegerProgram(objective=[1.0])
+        program.constraints_ge.append(([1.0], 2.0))
+        with pytest.raises(InfeasibleProblemError):
+            BranchAndBoundSolver().solve(program)
+
+    def test_solution_is_binary(self):
+        program = IntegerProgram(objective=[1.0, 1.0, 1.0])
+        program.constraints_ge.append(([1.0, 2.0, 3.0], 3.5))
+        solution = BranchAndBoundSolver(brute_force_threshold=0).solve(program)
+        assert set(np.round(solution.values, 6)) <= {0.0, 1.0}
+
+    def test_implication_constraint(self):
+        # x0 >= x1 encoded as a >= row; forcing x1 = 1 must force x0 = 1.
+        program = IntegerProgram(objective=[5.0, 1.0])
+        program.constraints_ge.append(([1.0, -1.0], 0.0))
+        program.constraints_ge.append(([0.0, 1.0], 1.0))
+        solution = BranchAndBoundSolver().solve(program)
+        assert solution.values[0] == pytest.approx(1.0)
+        assert solution.values[1] == pytest.approx(1.0)

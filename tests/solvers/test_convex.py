@@ -1,0 +1,89 @@
+"""Tests for the SLSQP-backed convex solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers.convex import ConvexProblem, ConvexSolver
+from repro.solvers.linear import InfeasibleProblemError
+
+
+def make_socp_problem():
+    """minimize x + y subject to x + y - sqrt((1-x)^2 + (1-y)^2) >= 0."""
+
+    def constraint(v):
+        x, y = v
+        return x + y - math.sqrt((1 - x) ** 2 + (1 - y) ** 2)
+
+    return ConvexProblem(objective=[1.0, 1.0], inequality_constraints=[constraint])
+
+
+class TestConvexProblem:
+    def test_cost(self):
+        problem = ConvexProblem(objective=[2.0, 3.0])
+        assert problem.cost(np.array([1.0, 1.0])) == pytest.approx(5.0)
+
+    def test_violation_zero_for_feasible_point(self):
+        problem = make_socp_problem()
+        assert problem.violation(np.array([1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_violation_positive_for_infeasible_point(self):
+        problem = make_socp_problem()
+        assert problem.violation(np.array([0.0, 0.0])) > 0.0
+
+    def test_bounds_violation_detected(self):
+        problem = ConvexProblem(objective=[1.0])
+        assert problem.violation(np.array([1.5])) > 0.0
+
+    def test_linear_inequality_violation(self):
+        problem = ConvexProblem(objective=[1.0, 1.0])
+        problem.linear_inequalities.append(([1.0, -1.0], 0.0))  # x >= y
+        assert problem.is_feasible(np.array([0.5, 0.2]))
+        assert not problem.is_feasible(np.array([0.2, 0.5]))
+
+
+class TestConvexSolver:
+    def test_solves_socp_like_problem(self):
+        problem = make_socp_problem()
+        solution = ConvexSolver().solve(problem)
+        assert solution.feasible
+        # The symmetric optimum is around x = y ~ 0.414 (cost ~ 0.83).
+        assert solution.objective_value < 1.0
+        assert problem.is_feasible(solution.values, 1e-5)
+
+    def test_warm_start_is_used_or_beaten(self):
+        problem = make_socp_problem()
+        warm = [0.9, 0.9]
+        solution = ConvexSolver().solve(problem, warm_starts=[warm])
+        assert solution.objective_value <= problem.cost(np.array(warm)) + 1e-6
+
+    def test_linear_coupling_respected(self):
+        problem = ConvexProblem(objective=[1.0, -1.0])
+        problem.linear_inequalities.append(([1.0, -1.0], 0.0))  # x >= y
+        solution = ConvexSolver().solve(problem)
+        assert solution.values[0] >= solution.values[1] - 1e-6
+
+    def test_infeasible_problem_raises(self):
+        problem = ConvexProblem(
+            objective=[1.0],
+            inequality_constraints=[lambda v: v[0] - 2.0],  # impossible in [0, 1]
+        )
+        with pytest.raises(InfeasibleProblemError):
+            ConvexSolver().solve(problem)
+
+    def test_unconstrained_problem_goes_to_lower_bound(self):
+        problem = ConvexProblem(objective=[1.0, 1.0])
+        solution = ConvexSolver().solve(problem)
+        assert solution.objective_value == pytest.approx(0.0, abs=1e-6)
+
+    def test_fallback_to_feasible_start(self):
+        # A constraint whose gradient is zero almost everywhere can defeat
+        # SLSQP; the solver must still return some feasible point.
+        def nasty(v):
+            return 1.0 if v[0] > 0.95 else -1.0
+
+        problem = ConvexProblem(objective=[1.0], inequality_constraints=[nasty])
+        solution = ConvexSolver().solve(problem)
+        assert solution.feasible
+        assert nasty(solution.values) >= 0.0

@@ -1,0 +1,71 @@
+"""Tests for the minimum-knapsack machinery."""
+
+import pytest
+
+from repro.solvers.knapsack import KnapsackItem, min_knapsack_dp, min_knapsack_greedy
+
+
+def items_from(tuples):
+    return [KnapsackItem(identifier=i, weight=w, value=v) for i, (w, v) in enumerate(tuples)]
+
+
+class TestMinKnapsackDp:
+    def test_simple_optimal_choice(self):
+        # Items: (weight, value).  Target value 5: best is item 1 alone (w=4).
+        items = items_from([(3, 3), (4, 5), (5, 4)])
+        chosen, weight = min_knapsack_dp(items, 5)
+        assert weight == pytest.approx(4)
+        assert [item.identifier for item in chosen] == [1]
+
+    def test_combination_beats_single_item(self):
+        items = items_from([(2, 3), (2, 3), (7, 6)])
+        chosen, weight = min_knapsack_dp(items, 6)
+        assert weight == pytest.approx(4)
+        assert len(chosen) == 2
+
+    def test_zero_target_selects_nothing(self):
+        items = items_from([(1, 1)])
+        chosen, weight = min_knapsack_dp(items, 0)
+        assert chosen == []
+        assert weight == 0.0
+
+    def test_unreachable_target_rejected(self):
+        items = items_from([(1, 1), (1, 1)])
+        with pytest.raises(ValueError):
+            min_knapsack_dp(items, 5)
+
+    def test_fractional_values_with_scaling(self):
+        items = [
+            KnapsackItem("a", weight=1.0, value=0.6),
+            KnapsackItem("b", weight=1.0, value=0.5),
+            KnapsackItem("c", weight=3.0, value=1.2),
+        ]
+        chosen, weight = min_knapsack_dp(items, 1.0, scale=10)
+        assert weight == pytest.approx(2.0)
+        assert {item.identifier for item in chosen} == {"a", "b"}
+
+    def test_negative_item_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("x", weight=-1, value=1)
+
+
+class TestMinKnapsackGreedy:
+    def test_greedy_covers_target(self):
+        items = items_from([(3, 3), (4, 5), (5, 4)])
+        chosen, weight = min_knapsack_greedy(items, 5)
+        assert sum(item.value for item in chosen) >= 5
+
+    def test_greedy_never_beats_dp(self):
+        items = items_from([(2, 3), (2, 3), (7, 6), (1, 1), (4, 5)])
+        for target in (1, 3, 5, 8, 10):
+            _, dp_weight = min_knapsack_dp(items, target)
+            _, greedy_weight = min_knapsack_greedy(items, target)
+            assert greedy_weight >= dp_weight - 1e-9
+
+    def test_greedy_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            min_knapsack_greedy(items_from([(1, 1)]), 10)
+
+    def test_greedy_zero_target(self):
+        chosen, weight = min_knapsack_greedy(items_from([(1, 1)]), 0)
+        assert chosen == [] and weight == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the LP wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.linear import (
+    InfeasibleProblemError,
+    LinearProgram,
+    solve_linear_program,
+)
+
+
+class TestLinearProgram:
+    def test_simple_minimization(self):
+        # minimize x + 2y subject to x + y >= 1, bounds [0, 1].
+        program = LinearProgram(objective=[1.0, 2.0])
+        program.add_ge([1.0, 1.0], 1.0)
+        solution = solve_linear_program(program)
+        assert solution.objective_value == pytest.approx(1.0)
+        assert solution.values[0] == pytest.approx(1.0)
+        assert solution.values[1] == pytest.approx(0.0)
+
+    def test_equality_constraint(self):
+        program = LinearProgram(objective=[1.0, 1.0])
+        program.add_eq([1.0, -1.0], 0.0)
+        program.add_ge([1.0, 1.0], 1.0)
+        solution = solve_linear_program(program)
+        assert solution.values[0] == pytest.approx(solution.values[1])
+
+    def test_custom_bounds(self):
+        program = LinearProgram(objective=[-1.0], bounds=[(0.0, 5.0)])
+        solution = solve_linear_program(program)
+        assert solution.values[0] == pytest.approx(5.0)
+
+    def test_infeasible_problem_raises(self):
+        program = LinearProgram(objective=[1.0])
+        program.add_ge([1.0], 2.0)  # impossible with bound [0, 1]
+        with pytest.raises(InfeasibleProblemError):
+            solve_linear_program(program)
+
+    def test_constraint_dimension_checked(self):
+        program = LinearProgram(objective=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            program.add_ge([1.0], 1.0)
+        with pytest.raises(ValueError):
+            program.add_eq([1.0, 2.0, 3.0], 1.0)
+
+    def test_solution_is_iterable(self):
+        program = LinearProgram(objective=[1.0, 1.0])
+        program.add_ge([1.0, 0.0], 0.5)
+        solution = solve_linear_program(program)
+        values = list(solution)
+        assert len(values) == 2
+
+    def test_num_variables(self):
+        assert LinearProgram(objective=[1.0, 2.0, 3.0]).num_variables == 3
+
+    def test_multiple_constraints_all_respected(self):
+        program = LinearProgram(objective=[1.0, 1.0, 1.0])
+        program.add_ge([1.0, 0.0, 0.0], 0.3)
+        program.add_ge([0.0, 1.0, 0.0], 0.4)
+        program.add_ge([1.0, 1.0, 1.0], 1.0)
+        solution = solve_linear_program(program)
+        x = np.asarray(solution.values)
+        assert x[0] >= 0.3 - 1e-9
+        assert x[1] >= 0.4 - 1e-9
+        assert x.sum() >= 1.0 - 1e-9

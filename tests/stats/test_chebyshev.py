@@ -1,0 +1,57 @@
+"""Tests for the Chebyshev machinery used by the Section 3.3 programs."""
+
+import math
+
+import pytest
+
+from repro.stats.chebyshev import (
+    chebyshev_deviation_factor,
+    chebyshev_tail_bound,
+    required_deviations,
+)
+
+
+class TestDeviationFactor:
+    def test_matches_paper_e_rho(self):
+        assert chebyshev_deviation_factor(0.8) == pytest.approx(1.0 / math.sqrt(0.2))
+
+    def test_grows_with_rho(self):
+        assert chebyshev_deviation_factor(0.95) > chebyshev_deviation_factor(0.5)
+
+    def test_rho_zero_is_one(self):
+        assert chebyshev_deviation_factor(0.0) == pytest.approx(1.0)
+
+    def test_rejects_rho_one(self):
+        with pytest.raises(ValueError):
+            chebyshev_deviation_factor(1.0)
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(ValueError):
+            chebyshev_deviation_factor(-0.1)
+
+
+class TestTailBound:
+    def test_two_deviations(self):
+        assert chebyshev_tail_bound(2.0) == pytest.approx(0.25)
+
+    def test_bound_never_exceeds_one(self):
+        assert chebyshev_tail_bound(0.5) == 1.0
+
+    def test_non_positive_deviations_give_trivial_bound(self):
+        assert chebyshev_tail_bound(0.0) == 1.0
+        assert chebyshev_tail_bound(-1.0) == 1.0
+
+    def test_consistent_with_deviation_factor(self):
+        # Using e_rho deviations should give a failure probability <= 1 - rho.
+        rho = 0.8
+        k = chebyshev_deviation_factor(rho)
+        assert chebyshev_tail_bound(k) <= (1.0 - rho) + 1e-12
+
+
+class TestRequiredDeviations:
+    def test_inverse_relationship(self):
+        assert required_deviations(0.25) == pytest.approx(2.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            required_deviations(0.0)

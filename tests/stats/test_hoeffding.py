@@ -1,0 +1,106 @@
+"""Tests for the Hoeffding margins used by the Section 3.2 LP."""
+
+import math
+
+import pytest
+
+from repro.stats.hoeffding import (
+    hoeffding_bound,
+    hoeffding_precision_margin,
+    hoeffding_recall_margin,
+    hoeffding_sample_size,
+    hoeffding_tail_probability,
+)
+
+
+class TestHoeffdingBound:
+    def test_closed_form(self):
+        # t = sqrt(ln(1/delta) * W / 2)
+        assert hoeffding_bound(100.0, 0.1) == pytest.approx(
+            math.sqrt(math.log(10.0) * 100.0 / 2.0)
+        )
+
+    def test_zero_range_gives_zero_margin(self):
+        assert hoeffding_bound(0.0, 0.05) == 0.0
+
+    def test_margin_grows_with_confidence(self):
+        assert hoeffding_bound(100.0, 0.01) > hoeffding_bound(100.0, 0.2)
+
+    def test_margin_grows_with_range(self):
+        assert hoeffding_bound(400.0, 0.1) == pytest.approx(2 * hoeffding_bound(100.0, 0.1))
+
+    def test_failure_probability_one_means_no_margin(self):
+        assert hoeffding_bound(100.0, 1.0) == 0.0
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(-1.0, 0.1)
+
+    def test_rejects_zero_failure_probability(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(10.0, 0.0)
+
+
+class TestPrecisionRecallMargins:
+    def test_precision_margin_scales_with_sqrt_n(self):
+        assert hoeffding_precision_margin(4000, 0.8) == pytest.approx(
+            2 * hoeffding_precision_margin(1000, 0.8)
+        )
+
+    def test_recall_margin_shrinks_with_beta(self):
+        # Tighter beta -> narrower per-tuple range -> smaller margin.
+        assert hoeffding_recall_margin(1000, 0.9, 0.8) < hoeffding_recall_margin(
+            1000, 0.5, 0.8
+        )
+
+    def test_recall_margin_zero_at_beta_one(self):
+        assert hoeffding_recall_margin(1000, 1.0, 0.8) == 0.0
+
+    def test_margins_increase_with_rho(self):
+        assert hoeffding_precision_margin(1000, 0.95) > hoeffding_precision_margin(
+            1000, 0.5
+        )
+
+    def test_margin_is_sublinear_in_n(self):
+        # O(sqrt(n)): doubling n should not double the margin.
+        assert hoeffding_precision_margin(2000, 0.8) < 2 * hoeffding_precision_margin(
+            1000, 0.8
+        )
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            hoeffding_precision_margin(100, 1.0)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            hoeffding_recall_margin(100, 1.5, 0.8)
+
+    def test_rejects_negative_tuples(self):
+        with pytest.raises(ValueError):
+            hoeffding_precision_margin(-5, 0.8)
+
+
+class TestSampleSizeAndTails:
+    def test_sample_size_inverse_of_bound(self):
+        n = hoeffding_sample_size(0.05, 0.1)
+        # With n samples the two-sided tail at margin 0.05 is at most 0.1.
+        assert 2 * math.exp(-2 * n * 0.05**2) <= 0.1 + 1e-9
+
+    def test_sample_size_grows_with_precision(self):
+        assert hoeffding_sample_size(0.01, 0.1) > hoeffding_sample_size(0.1, 0.1)
+
+    def test_tail_probability_decreases_with_margin(self):
+        ranges = [1.0] * 100
+        assert hoeffding_tail_probability(20.0, ranges) < hoeffding_tail_probability(
+            5.0, ranges
+        )
+
+    def test_tail_probability_capped_at_one(self):
+        assert hoeffding_tail_probability(0.0, [1.0]) == 1.0
+
+    def test_tail_probability_zero_ranges(self):
+        assert hoeffding_tail_probability(1.0, []) == 0.0
+
+    def test_sample_size_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.0, 0.1)

@@ -1,0 +1,101 @@
+"""Tests for the precision/recall metrics (paper Section 2)."""
+
+import pytest
+
+from repro.stats.metrics import (
+    ResultQuality,
+    f1_score,
+    precision,
+    precision_from_counts,
+    recall,
+    recall_from_counts,
+    result_quality,
+)
+
+
+class TestPrecisionRecall:
+    def test_paper_definitions(self):
+        returned = {1, 2, 3, 4}
+        correct = {3, 4, 5, 6, 7, 8}
+        assert precision(returned, correct) == pytest.approx(2 / 4)
+        assert recall(returned, correct) == pytest.approx(2 / 6)
+
+    def test_perfect_result(self):
+        items = {1, 2, 3}
+        assert precision(items, items) == 1.0
+        assert recall(items, items) == 1.0
+
+    def test_empty_result_has_perfect_precision(self):
+        assert precision(set(), {1, 2}) == 1.0
+
+    def test_empty_result_has_zero_recall(self):
+        assert recall(set(), {1, 2}) == 0.0
+
+    def test_no_correct_tuples_gives_perfect_recall(self):
+        assert recall({1, 2}, set()) == 1.0
+
+    def test_disjoint_sets(self):
+        assert precision({1}, {2}) == 0.0
+        assert recall({1}, {2}) == 0.0
+
+
+class TestF1:
+    def test_balanced_case(self):
+        returned = {1, 2}
+        correct = {2, 3}
+        p, r = 0.5, 0.5
+        assert f1_score(returned, correct) == pytest.approx(2 * p * r / (p + r))
+
+    def test_zero_when_nothing_overlaps(self):
+        assert f1_score({1}, {2}) == 0.0
+
+
+class TestCountForms:
+    def test_precision_from_counts(self):
+        assert precision_from_counts(8, 10) == pytest.approx(0.8)
+
+    def test_recall_from_counts(self):
+        assert recall_from_counts(8, 16) == pytest.approx(0.5)
+
+    def test_zero_denominators(self):
+        assert precision_from_counts(0, 0) == 1.0
+        assert recall_from_counts(0, 0) == 1.0
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(ValueError):
+            precision_from_counts(11, 10)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            recall_from_counts(-1, 10)
+
+
+class TestResultQuality:
+    def test_result_quality_counts(self):
+        quality = result_quality([1, 2, 3], [2, 3, 4, 5])
+        assert quality.returned_count == 3
+        assert quality.correct_count == 4
+        assert quality.true_positive_count == 2
+        assert quality.precision == pytest.approx(2 / 3)
+        assert quality.recall == pytest.approx(2 / 4)
+
+    def test_satisfies_respects_both_bounds(self):
+        quality = ResultQuality(
+            precision=0.85, recall=0.75, returned_count=10, correct_count=10,
+            true_positive_count=8,
+        )
+        assert quality.satisfies(0.8, 0.7)
+        assert not quality.satisfies(0.8, 0.8)
+        assert not quality.satisfies(0.9, 0.7)
+
+    def test_satisfies_tolerates_floating_point(self):
+        quality = result_quality(range(10), range(10))
+        assert quality.satisfies(1.0, 1.0)
+
+    def test_f1_property(self):
+        quality = result_quality([1, 2], [2, 3])
+        assert quality.f1 == pytest.approx(0.5)
+
+    def test_duplicates_are_collapsed(self):
+        quality = result_quality([1, 1, 2], [2])
+        assert quality.returned_count == 2

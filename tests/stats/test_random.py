@@ -1,0 +1,81 @@
+"""Tests for the seeded random-state helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stats.random import (
+    RandomState,
+    as_random_state,
+    sample_without_replacement,
+    spawn_children,
+    stable_hash_seed,
+)
+
+
+class TestRandomState:
+    def test_same_seed_same_stream(self):
+        a = RandomState(42).random(5)
+        b = RandomState(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomState(1).random(100)
+        b = RandomState(2).random(100)
+        assert not np.allclose(a, b)
+
+    def test_wrapping_a_random_state_shares_the_stream(self):
+        base = RandomState(7)
+        wrapped = RandomState(base)
+        first = base.random()
+        second = wrapped.random()
+        assert first != second  # the stream advanced, proving it is shared
+
+    def test_bernoulli_respects_probability(self):
+        rng = RandomState(0)
+        draws = rng.bernoulli(0.2, size=20_000)
+        assert 0.17 < draws.mean() < 0.23
+
+    def test_spawn_produces_independent_children(self):
+        children = RandomState(3).spawn(2)
+        assert not np.allclose(children[0].random(10), children[1].random(10))
+
+    def test_child_is_deterministic_given_parent_seed(self):
+        a = RandomState(11).child().random(3)
+        b = RandomState(11).child().random(3)
+        assert np.allclose(a, b)
+
+    def test_integers_within_bounds(self):
+        values = RandomState(5).integers(0, 10, size=100)
+        assert values.min() >= 0 and values.max() < 10
+
+    def test_permutation_is_a_permutation(self):
+        perm = RandomState(9).permutation(20)
+        assert sorted(perm) == list(range(20))
+
+
+class TestHelpers:
+    def test_as_random_state_idempotent(self):
+        state = RandomState(1)
+        assert as_random_state(state) is state
+
+    def test_spawn_children_count(self):
+        assert len(spawn_children(0, 4)) == 4
+
+    def test_sample_without_replacement_distinct(self):
+        sample = sample_without_replacement(0, list(range(50)), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_without_replacement_whole_population(self):
+        population = [1, 2, 3]
+        assert sorted(sample_without_replacement(0, population, 10)) == population
+
+    def test_stable_hash_seed_deterministic(self):
+        assert stable_hash_seed("a", 1, 2.5) == stable_hash_seed("a", 1, 2.5)
+
+    def test_stable_hash_seed_varies_with_input(self):
+        assert stable_hash_seed("a", 1) != stable_hash_seed("a", 2)
+
+    def test_stable_hash_seed_in_32_bit_range(self):
+        seed = stable_hash_seed("dataset", "strategy", 123456789)
+        assert 0 <= seed < 2**32

@@ -1,0 +1,58 @@
+"""Tests for the summary-statistics helpers."""
+
+import pytest
+
+from repro.stats.summaries import (
+    mean_and_deviation,
+    pearson_correlation,
+    summarize_series,
+)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize_series([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_population_std(self):
+        summary = summarize_series([2.0, 4.0])
+        assert summary.std == pytest.approx(1.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([])
+
+    def test_as_dict_round_trip(self):
+        summary = summarize_series([5.0])
+        assert summary.as_dict()["count"] == 1
+
+    def test_mean_and_deviation_helper(self):
+        mean, std = mean_and_deviation([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        assert pearson_correlation([1, 1, 1], [2, 4, 6]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+    def test_bounded_in_unit_interval(self):
+        value = pearson_correlation([1, 5, 2, 8, 3], [2, 1, 9, 4, 7])
+        assert -1.0 <= value <= 1.0
