@@ -20,6 +20,44 @@ Quickstart::
     )
     print(len(result.row_ids), "tuples returned for", ledger.evaluated_count, "UDF calls")
 
+Serving repeated workloads
+--------------------------
+
+The one-shot pipeline above recomputes selectivity estimates, the chosen
+correlated column and the solved plan on every call.  For repeated traffic
+against a shared catalog, :mod:`repro.serving` amortises that work behind a
+thread-safe :class:`~repro.serving.QueryService`:
+
+* a **statistics cache** memoises labelled samples and per-column sampling
+  outcomes per ``(table, predicate)``, with TTL + LRU eviction and hit/miss
+  accounting, so new constraint combinations reuse paid-for UDF evidence;
+* a **plan cache** keyed on a canonical query signature (reordered
+  predicates hash equal) lets repeated queries skip column selection and
+  the convex-program solve entirely;
+* **sessions** enforce per-client UDF-cost budgets through the ledger's
+  hard budget, degrading cached plans with the budget-constrained solver
+  when a client cannot afford the full plan;
+* a vectorised :class:`~repro.serving.BatchExecutor` replaces the
+  tuple-at-a-time execution loop with one NumPy pass per group.
+
+::
+
+    from repro import Catalog, Engine, QueryService, SelectQuery, UdfPredicate
+
+    catalog = Catalog()
+    catalog.register_table(dataset.table)
+    catalog.register_udf(udf)
+    service = QueryService(Engine(catalog))
+    query = SelectQuery(dataset.table.name, UdfPredicate(udf),
+                        alpha=0.8, beta=0.8, rho=0.8)
+    cold = service.submit(query, seed=0)   # plans, samples, solves
+    warm = service.submit(query, seed=1)   # cache hit: execution only
+    print(service.metrics()["plan_cache"]["hit_rate"])
+
+``examples/serving_workload.py`` replays a 1000-query trace and prints the
+cache hit rates; ``benchmarks/test_serving_throughput.py`` measures the
+cold-versus-warm throughput gap.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """
@@ -55,8 +93,16 @@ from repro.db import (
     UserDefinedFunction,
 )
 from repro.sampling import ConstantScheme, FixedFractionScheme, TwoThirdPowerScheme
+from repro.serving import (
+    AdmissionError,
+    BatchExecutor,
+    PlanCache,
+    QueryService,
+    SessionManager,
+    StatisticsCache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -99,4 +145,11 @@ __all__ = [
     "NaiveBaseline",
     "LearningBaseline",
     "MultipleImputationBaseline",
+    # serving
+    "QueryService",
+    "BatchExecutor",
+    "PlanCache",
+    "StatisticsCache",
+    "SessionManager",
+    "AdmissionError",
 ]

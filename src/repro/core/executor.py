@@ -14,7 +14,7 @@ group and, tuple by tuple,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional, Protocol, Set
 
 from repro.core.plan import ExecutionPlan
 from repro.db.index import GroupIndex
@@ -72,6 +72,28 @@ class ExecutionResult:
     def retrievals(self) -> int:
         """Number of tuple retrievals charged to the ledger."""
         return self.ledger.retrieved_count
+
+
+class ExecutorBackend(Protocol):
+    """Protocol shared by plan-execution backends.
+
+    :class:`PlanExecutor` is the paper-faithful tuple-at-a-time reference
+    backend; :class:`repro.serving.batch_executor.BatchExecutor` is the
+    vectorised serving backend.  Strategies accept any implementation via
+    their ``executor_factory`` hook, so the same pipeline can run on either.
+    """
+
+    def execute(
+        self,
+        table: Table,
+        index: GroupIndex,
+        udf: UserDefinedFunction,
+        plan: ExecutionPlan,
+        ledger: CostLedger,
+        sample_outcome: Optional[SampleOutcome] = None,
+    ) -> ExecutionResult:  # pragma: no cover - protocol definition
+        """Run ``plan`` over every group of ``index``, charging ``ledger``."""
+        ...
 
 
 class PlanExecutor:

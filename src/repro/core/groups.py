@@ -17,9 +17,12 @@ ordered collection the optimizers iterate over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.db.index import GroupIndex
+from repro.db.table import Table
 from repro.sampling.sampler import SampleOutcome
 from repro.stats.beta import BetaPosterior
 
@@ -203,10 +206,34 @@ class SelectivityModel:
         cls, index: GroupIndex, positive_row_ids: Iterable[int]
     ) -> "SelectivityModel":
         """Build a perfect-information model from the true positive set."""
-        positives = set(positive_row_ids)
+        positives = np.fromiter(set(positive_row_ids), dtype=np.intp)
         counts = {}
-        for key, row_ids in index.items():
-            correct = sum(1 for row_id in row_ids if row_id in positives)
+        for key in index.values:
+            row_ids = index.row_id_array(key)
+            correct = int(np.isin(row_ids, positives).sum()) if positives.size else 0
+            counts[key] = (correct, len(row_ids) - correct)
+        return cls.from_exact_counts(counts)
+
+    @classmethod
+    def from_label_array(
+        cls,
+        index: GroupIndex,
+        table: Table,
+        label_column: str,
+        positive_value: Any = True,
+    ) -> "SelectivityModel":
+        """Build a perfect-information model straight from a hidden label column.
+
+        Vectorised over :meth:`Table.column_array` — one pass over the label
+        array instead of one dict-building row access per tuple, which is the
+        hot path when oracles and auditors read ground truth on every query.
+        """
+        labels = table.column_array(label_column, allow_hidden=True)
+        mask = np.asarray(labels == positive_value, dtype=bool)
+        counts = {}
+        for key in index.values:
+            row_ids = index.row_id_array(key)
+            correct = int(mask[row_ids].sum())
             counts[key] = (correct, len(row_ids) - correct)
         return cls.from_exact_counts(counts)
 

@@ -15,7 +15,7 @@ query layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Mapping, Optional
 
 from repro.core.bigreedy import solve_bigreedy
 from repro.core.column_selection import (
@@ -25,7 +25,7 @@ from repro.core.column_selection import (
     select_correlated_column,
 )
 from repro.core.constraints import CostModel, QueryConstraints
-from repro.core.executor import PlanExecutor
+from repro.core.executor import ExecutorBackend, PlanExecutor
 from repro.core.groups import SelectivityModel
 from repro.core.plan import ExecutionPlan
 from repro.core.sampling_program import solve_with_samples
@@ -75,6 +75,11 @@ class IntelSampleReport:
     expected_cost: float
     used_fallback: bool
     column_costs: Optional[dict] = None
+    # Serving hooks: the raw statistics a caching layer needs to amortise
+    # repeated queries (see repro.serving).
+    labeled: Optional[LabeledSample] = None
+    sample_outcome: Optional[SampleOutcome] = None
+    working_table: Optional[Table] = None
 
 
 class IntelSample:
@@ -96,6 +101,11 @@ class IntelSample:
     column_sample_fraction:
         Fraction of rows labelled up-front for column selection / virtual
         column training (the paper uses 1%).
+    executor_factory:
+        Optional factory mapping a :class:`RandomState` to an
+        :class:`~repro.core.executor.ExecutorBackend`; defaults to the
+        tuple-at-a-time :class:`PlanExecutor`.  The serving layer passes the
+        vectorised :class:`~repro.serving.batch_executor.BatchExecutor` here.
     """
 
     def __init__(
@@ -107,6 +117,7 @@ class IntelSample:
         independent: bool = True,
         column_sample_fraction: float = 0.01,
         random_state: SeedLike = None,
+        executor_factory: Optional[Callable[[RandomState], ExecutorBackend]] = None,
     ):
         self.sampling_scheme = sampling_scheme
         self.correlated_column = correlated_column
@@ -115,6 +126,7 @@ class IntelSample:
         self.independent = independent
         self.column_sample_fraction = column_sample_fraction
         self.random_state: RandomState = as_random_state(random_state)
+        self.executor_factory = executor_factory
 
     # -- engine strategy protocol ---------------------------------------------------
     def run(self, table: Table, query: SelectQuery, ledger: CostLedger) -> QueryResult:
@@ -132,26 +144,38 @@ class IntelSample:
         constraints: QueryConstraints,
         ledger: Optional[CostLedger] = None,
         correlated_column: Optional[str] = None,
+        cached_labeled: Optional[LabeledSample] = None,
+        cached_outcomes: Optional[Mapping[str, SampleOutcome]] = None,
     ) -> QueryResult:
-        """Run the full pipeline and return the approximate result."""
+        """Run the full pipeline and return the approximate result.
+
+        ``cached_labeled`` and ``cached_outcomes`` inject statistics whose
+        UDF cost was paid by an earlier query (see
+        :class:`repro.serving.stats_cache.StatisticsCache`): an injected
+        labelled sample skips the up-front labelling draw, and an injected
+        per-column :class:`SampleOutcome` counts toward the sampling
+        allocation so only the shortfall (usually nothing) is sampled fresh.
+        """
         ledger = ledger if ledger is not None else CostLedger()
         cost_model = _cost_model_from_ledger(ledger)
         column = correlated_column or self.correlated_column
+        udf_counters_before = udf.counter_snapshot()
 
-        labeled = LabeledSample()
+        labeled = cached_labeled if cached_labeled is not None else LabeledSample()
         column_costs = None
         used_virtual = False
         working_table = table
 
         # Step 0 — find a correlated column if none was designated.
         if column is None:
-            labeled = draw_labeled_sample(
-                table,
-                udf,
-                ledger,
-                fraction=self.column_sample_fraction,
-                random_state=self.random_state.child(),
-            )
+            if not labeled.size:
+                labeled = draw_labeled_sample(
+                    table,
+                    udf,
+                    ledger,
+                    fraction=self.column_sample_fraction,
+                    random_state=self.random_state.child(),
+                )
             if self.use_virtual_column:
                 exclude = [name for name in ("record_id",) if table.schema.has_column(name)]
                 virtual = build_virtual_column(
@@ -177,11 +201,45 @@ class IntelSample:
 
         # Step 1 — group by the correlated column.
         index = GroupIndex(working_table, column)
-        prior = labeled.to_sample_outcome(index) if labeled.size else None
+        cached_outcome = (cached_outcomes or {}).get(column)
+        if cached_outcome is not None:
+            # A caching layer stores the merged outcome of earlier runs.  Any
+            # labelled rows it does not already cover (e.g. a sample drawn
+            # fresh this run) are folded in rather than discarded — their UDF
+            # cost is paid, so they count as evidence and as sunk samples.
+            prior = cached_outcome
+            if labeled.size:
+                covered = {
+                    row_id
+                    for sample in cached_outcome.samples.values()
+                    for row_id in sample.sampled_row_ids
+                }
+                extra = LabeledSample(
+                    outcomes={
+                        row_id: outcome
+                        for row_id, outcome in labeled.outcomes.items()
+                        if row_id not in covered
+                    }
+                )
+                if extra.size:
+                    prior = cached_outcome.merge(extra.to_sample_outcome(index))
+        else:
+            prior = labeled.to_sample_outcome(index) if labeled.size else None
 
         # Step 2 — sample to estimate selectivities.
         scheme = self.sampling_scheme or TwoThirdPowerScheme(num=2.5 * constraints.alpha)
         allocation = scheme.allocate(index.group_sizes())
+        if cached_outcome is not None:
+            # Cached samples count toward the allocation: only the shortfall
+            # is drawn (and paid for) fresh.
+            allocation = {
+                key: max(
+                    0,
+                    int(requested)
+                    - (prior.samples[key].sample_size if key in prior.samples else 0),
+                )
+                for key, requested in allocation.items()
+            }
         sampler = GroupSampler(random_state=self.random_state.child())
         new_outcome = sampler.sample(
             working_table, index, udf, allocation, ledger, already_sampled=prior
@@ -210,7 +268,11 @@ class IntelSample:
             used_fallback = True
 
         # Step 4 — execute.
-        executor = PlanExecutor(random_state=self.random_state.child())
+        executor_rng = self.random_state.child()
+        if self.executor_factory is not None:
+            executor: ExecutorBackend = self.executor_factory(executor_rng)
+        else:
+            executor = PlanExecutor(random_state=executor_rng)
         result = executor.execute(
             working_table, index, udf, plan, ledger, sample_outcome=outcome
         )
@@ -224,6 +286,9 @@ class IntelSample:
             expected_cost=expected_cost,
             used_fallback=used_fallback,
             column_costs=column_costs,
+            labeled=labeled,
+            sample_outcome=outcome,
+            working_table=working_table,
         )
         return QueryResult(
             row_ids=result.returned_row_ids,
@@ -233,6 +298,7 @@ class IntelSample:
                 "report": report,
                 "evaluations": ledger.evaluated_count,
                 "retrievals": ledger.retrieved_count,
+                "udf_cache": udf.counter_delta(udf_counters_before),
             },
         )
 
@@ -278,13 +344,13 @@ class OptimalOracle:
             raise ValueError("OptimalOracle requires an explicit correlated column")
         index = GroupIndex(table, column)
 
-        # Peek at the ground truth without charging costs (unrealistic, by design).
-        free_ledger = CostLedger(retrieval_cost=0.0, evaluation_cost=0.0)
-        positives = set()
-        for row_id in table.row_ids:
-            if udf.evaluate_row(table, row_id):
-                positives.add(row_id)
-        del free_ledger
+        # Peek at the ground truth without charging costs (unrealistic, by
+        # design) — in oracle mode, so the peek leaves no trace in the UDF's
+        # memo cache or counters that later accounting could mistake for
+        # paid-for work.
+        with udf.oracle_mode():
+            outcomes = udf.evaluate_rows(table, table.row_ids)
+        positives = {row_id for row_id, flag in enumerate(outcomes) if flag}
         model = SelectivityModel.from_ground_truth(index, positives)
 
         try:

@@ -10,10 +10,12 @@ the database layer stays free of optimizer logic.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Set
+from typing import Any, Dict, List, Optional, Protocol, Set, Union
 
 from repro.db.catalog import Catalog
+from repro.db.errors import DuplicateObjectError, UnsupportedQueryError
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger
@@ -79,6 +81,56 @@ class Engine:
         self.catalog = catalog
         self.retrieval_cost = retrieval_cost
         self.evaluation_cost = evaluation_cost
+        self._strategies: Dict[str, EvaluationStrategy] = {}
+
+    # -- strategy registry -------------------------------------------------------
+    def register_strategy(
+        self, name: str, strategy: EvaluationStrategy, replace: bool = False
+    ) -> None:
+        """Register an approximate evaluation strategy under ``name``.
+
+        Registered names can be referenced from ``SelectQuery.strategy`` or
+        passed as the ``strategy`` argument of :meth:`execute`.
+        """
+        if not callable(getattr(strategy, "run", None)):
+            raise UnsupportedQueryError(
+                strategy, available=self._strategies
+            )
+        if name in self._strategies and not replace:
+            raise DuplicateObjectError(f"strategy {name!r} already registered")
+        self._strategies[name] = strategy
+
+    def strategy(self, name: str) -> EvaluationStrategy:
+        """Look up a registered strategy by name."""
+        try:
+            return self._strategies[name]
+        except KeyError:
+            raise UnsupportedQueryError(name, available=self._strategies) from None
+
+    def strategy_names(self) -> List[str]:
+        """Names of all registered strategies."""
+        return list(self._strategies.keys())
+
+    def resolve_strategy(
+        self,
+        strategy: Union[str, EvaluationStrategy, None],
+        query: Optional[SelectQuery] = None,
+    ) -> Optional[EvaluationStrategy]:
+        """Coerce a strategy argument (or the query's named strategy) to an object.
+
+        Raises :class:`UnsupportedQueryError` — instead of a bare ``KeyError``
+        or a later ``AttributeError`` — when the name is unknown or the object
+        does not implement the strategy protocol.
+        """
+        if strategy is None and query is not None:
+            strategy = query.strategy
+        if strategy is None:
+            return None
+        if isinstance(strategy, str):
+            return self.strategy(strategy)
+        if not callable(getattr(strategy, "run", None)):
+            raise UnsupportedQueryError(strategy, available=self._strategies)
+        return strategy
 
     def new_ledger(self) -> CostLedger:
         """A fresh cost ledger with this engine's unit costs."""
@@ -93,32 +145,44 @@ class Engine:
         table = self.catalog.table(query.table)
         ledger = ledger or self.new_ledger()
         candidates = self._apply_cheap_predicates(table, query)
+        udf_counters_before = self._udf_counters(query)
         matched: List[int] = []
         for row_id in candidates:
             ledger.charge_retrieval()
             if query.predicate.evaluate(table, row_id, ledger):
                 matched.append(row_id)
-        return QueryResult(row_ids=matched, ledger=ledger)
+        return QueryResult(
+            row_ids=matched,
+            ledger=ledger,
+            metadata={
+                "strategy": "exact",
+                "udf_cache": self._udf_counter_delta(query, udf_counters_before),
+            },
+        )
 
     # -- approximate execution -----------------------------------------------------
     def execute(
         self,
         query: SelectQuery,
-        strategy: Optional[EvaluationStrategy] = None,
+        strategy: Union[str, EvaluationStrategy, None] = None,
         audit: bool = False,
     ) -> QueryResult:
         """Execute ``query``.
 
-        Exact queries (or calls without a strategy) use exhaustive
-        evaluation.  Otherwise the strategy runs with a fresh ledger.  With
-        ``audit=True`` the engine additionally computes the ground-truth
-        result (without charging any cost) and attaches precision/recall.
+        ``strategy`` may be a strategy object, the name of a strategy
+        registered via :meth:`register_strategy`, or ``None`` (falling back to
+        the query's own named strategy, if any).  Exact queries — or calls
+        that resolve to no strategy — use exhaustive evaluation.  Otherwise
+        the strategy runs with a fresh ledger.  With ``audit=True`` the
+        engine additionally computes the ground-truth result (without
+        charging any cost) and attaches precision/recall.
         """
-        if query.is_exact or strategy is None:
+        resolved = self.resolve_strategy(strategy, query)
+        if query.is_exact or resolved is None:
             result = self.execute_exact(query)
         else:
             table = self.catalog.table(query.table)
-            result = strategy.run(table, query, self.new_ledger())
+            result = resolved.run(table, query, self.new_ledger())
         if audit:
             result.quality = self.audit(query, result)
         return result
@@ -134,17 +198,43 @@ class Engine:
         return result_quality(result.row_ids, truth)
 
     def ground_truth(self, query: SelectQuery) -> Set[int]:
-        """The exact answer set, computed outside the cost model."""
+        """The exact answer set, computed outside the cost model.
+
+        Runs every UDF in oracle mode so that peeking at the truth leaves no
+        trace — no memo-cache writes, no counter advances.  Otherwise a
+        single audit would make every row look already-paid-for to the
+        serving layer's cost accounting.
+        """
         table = self.catalog.table(query.table)
         candidates = self._apply_cheap_predicates(table, query)
         free_ledger = CostLedger(retrieval_cost=0.0, evaluation_cost=0.0)
-        return {
-            row_id
-            for row_id in candidates
-            if query.predicate.evaluate(table, row_id, free_ledger)
-        }
+        with ExitStack() as stack:
+            for predicate in query.udf_predicates:
+                stack.enter_context(predicate.udf.oracle_mode())
+            return {
+                row_id
+                for row_id in candidates
+                if query.predicate.evaluate(table, row_id, free_ledger)
+            }
 
     # -- helpers --------------------------------------------------------------------
+    def _udf_counters(self, query: SelectQuery) -> Dict[str, Dict[str, int]]:
+        return {
+            predicate.udf.name: predicate.udf.counter_snapshot()
+            for predicate in query.udf_predicates
+        }
+
+    def _udf_counter_delta(
+        self, query: SelectQuery, before: Dict[str, Dict[str, int]]
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-UDF hit/miss counter deltas accumulated during this execution."""
+        return {
+            predicate.udf.name: predicate.udf.counter_delta(
+                before.get(predicate.udf.name, {})
+            )
+            for predicate in query.udf_predicates
+        }
+
     def _apply_cheap_predicates(self, table: Table, query: SelectQuery) -> List[int]:
         row_ids = list(table.row_ids)
         for cheap in query.cheap_predicates:

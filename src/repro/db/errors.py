@@ -43,6 +43,18 @@ class DuplicateObjectError(DatabaseError):
     """An object (table, UDF) with the same name already exists."""
 
 
+class UnsupportedQueryError(DatabaseError):
+    """A query asked for an evaluation strategy the engine cannot provide."""
+
+    def __init__(self, strategy, available=None):
+        self.strategy = strategy
+        self.available = sorted(available) if available is not None else None
+        message = f"unsupported evaluation strategy {strategy!r}"
+        if self.available is not None:
+            message += f"; registered strategies: {self.available}"
+        super().__init__(message)
+
+
 class BudgetExhaustedError(DatabaseError):
     """A UDF call was attempted after its cost budget ran out."""
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Sequence
 
+import numpy as np
+
 from repro.db.errors import ColumnNotFoundError
 from repro.db.table import Table
 
@@ -25,6 +27,7 @@ class GroupIndex:
         self._groups: Dict[Any, List[int]] = table.group_row_ids(
             column, allow_hidden=allow_hidden
         )
+        self._arrays: Dict[Any, np.ndarray] = {}
 
     # -- lookup -----------------------------------------------------------------
     @property
@@ -40,6 +43,19 @@ class GroupIndex:
     def row_ids(self, value: Any) -> List[int]:
         """Row ids in the group for ``value`` (empty list when absent)."""
         return list(self._groups.get(value, []))
+
+    def row_id_array(self, value: Any) -> np.ndarray:
+        """Row ids in the group for ``value`` as a cached, read-only array.
+
+        Groups never change after construction, so batch executors and
+        vectorised statistics can share one array per group without copying.
+        """
+        array = self._arrays.get(value)
+        if array is None:
+            array = np.asarray(self._groups.get(value, ()), dtype=np.intp)
+            array.setflags(write=False)
+            self._arrays[value] = array
+        return array
 
     def group_size(self, value: Any) -> int:
         """Number of tuples in the group for ``value`` (``t_a``)."""

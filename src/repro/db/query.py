@@ -36,6 +36,11 @@ class SelectQuery:
     correlated_column:
         Optional explicit choice of the correlated attribute ``A``; ``None``
         lets the optimizer pick one (Section 4.4).
+    strategy:
+        Optional name of a registered evaluation strategy (see
+        :meth:`repro.db.engine.Engine.register_strategy`).  ``None`` leaves
+        strategy selection to the caller; an unknown name raises
+        :class:`~repro.db.errors.UnsupportedQueryError` at execution time.
     """
 
     table: str
@@ -45,6 +50,7 @@ class SelectQuery:
     beta: float = 1.0
     rho: float = 0.95
     correlated_column: Optional[str] = None
+    strategy: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name, value in (("alpha", self.alpha), ("beta", self.beta)):

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.db.column import Column, ColumnType, distinct_values
 from repro.db.errors import ColumnNotFoundError, SchemaMismatchError
 from repro.db.schema import Schema
@@ -42,6 +44,7 @@ class Table:
             name: list(values) for name, values in columns.items()
         }
         self._num_rows = next(iter(lengths.values())) if lengths else 0
+        self._arrays: Dict[str, np.ndarray] = {}
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -121,6 +124,32 @@ class Table:
                 column, self.schema.visible_column_names
             )
         return list(self._data[column])
+
+    def column_array(self, column: str, allow_hidden: bool = False) -> np.ndarray:
+        """All values of a column as a cached, read-only NumPy array.
+
+        Tables are immutable after construction, so the array is built once
+        per column and shared by every caller (batch executors, vectorised
+        group statistics, UDF fast paths).  Callers must not write to it;
+        the write flag is cleared to enforce that.
+        """
+        column_def = self.schema.column(column)
+        if column_def.hidden and not allow_hidden:
+            raise ColumnNotFoundError(column, self.schema.visible_column_names)
+        array = self._arrays.get(column)
+        if array is None:
+            values = self._data[column]
+            try:
+                array = np.asarray(values)
+                if array.ndim != 1 or len(array) != len(values):
+                    raise ValueError("sequence-valued cells")
+            except ValueError:
+                # Ragged/sequence-valued cells: fall back to an object array.
+                array = np.empty(len(values), dtype=object)
+                array[:] = values
+            array.setflags(write=False)
+            self._arrays[column] = array
+        return array
 
     def value(self, row_id: int, column: str, allow_hidden: bool = False) -> Any:
         """Value of one cell."""

@@ -13,8 +13,11 @@ Section 6.1 — but any callable works.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+
+import numpy as np
 
 from repro.db.errors import BudgetExhaustedError, DuplicateObjectError, UdfNotFoundError
 from repro.db.table import Table
@@ -124,6 +127,14 @@ class UserDefinedFunction:
         self.memoize = memoize
         self._cache: Dict[int, bool] = {}
         self.call_count = 0
+        #: Row evaluations answered from the memo cache (no function call).
+        self.cache_hits = 0
+        #: Row evaluations that had to invoke the underlying function.
+        self.cache_misses = 0
+        #: Set by :meth:`from_label_column`; enables vectorised evaluation.
+        self.label_column: Optional[str] = None
+        self.positive_value: Any = True
+        self._oracle_depth = 0
 
     @classmethod
     def from_label_column(
@@ -145,28 +156,128 @@ class UserDefinedFunction:
 
         udf = cls(name=name, func=reveal, evaluation_cost=evaluation_cost)
         udf.label_column = label_column
+        udf.positive_value = positive_value
         return udf
+
+    @contextmanager
+    def oracle_mode(self):
+        """Side-effect-free evaluation for auditors and ground-truth readers.
+
+        Inside the context, evaluations read the memo cache but never write
+        it and never advance any counter — so peeking at the truth (which no
+        real system could do for free) cannot make later *paid* evaluations
+        look already-paid-for to serving-layer accounting.
+        """
+        self._oracle_depth += 1
+        try:
+            yield self
+        finally:
+            self._oracle_depth -= 1
 
     def evaluate_row(self, table: Table, row_id: int) -> bool:
         """Evaluate the UDF on one row of ``table`` (charges one call)."""
+        if self._oracle_depth:
+            if self.memoize and row_id in self._cache:
+                return self._cache[row_id]
+            return bool(self._func(table.row(row_id, include_hidden=True)))
         if self.memoize and row_id in self._cache:
+            self.cache_hits += 1
             return self._cache[row_id]
         row = table.row(row_id, include_hidden=True)
         result = bool(self._func(row))
         self.call_count += 1
+        self.cache_misses += 1
         if self.memoize:
             self._cache[row_id] = result
         return result
 
+    def evaluate_rows(self, table: Table, row_ids: Iterable[int]) -> np.ndarray:
+        """Evaluate the UDF on many rows at once, returning a boolean array.
+
+        Memoised rows are answered from the cache (counted as hits); only the
+        remaining rows invoke the function.  Label-column UDFs take a
+        vectorised fast path through :meth:`Table.column_array`; arbitrary
+        callables fall back to per-row dict evaluation.  Counter semantics
+        match :meth:`evaluate_row`: ``call_count``/``cache_misses`` advance
+        once per actual function evaluation.
+        """
+        oracle = bool(self._oracle_depth)
+        ids: List[int] = [int(r) for r in row_ids]
+        results = np.empty(len(ids), dtype=bool)
+        pending_positions: List[int] = []
+        pending_ids: List[int] = []
+        if self.memoize and self._cache:
+            for position, row_id in enumerate(ids):
+                cached = self._cache.get(row_id)
+                if cached is None:
+                    pending_positions.append(position)
+                    pending_ids.append(row_id)
+                else:
+                    results[position] = cached
+            if not oracle:
+                self.cache_hits += len(ids) - len(pending_ids)
+        else:
+            pending_positions = list(range(len(ids)))
+            pending_ids = ids
+        if pending_ids:
+            if self.label_column is not None and table.schema.has_column(self.label_column):
+                labels = table.column_array(self.label_column, allow_hidden=True)
+                fresh = labels[np.asarray(pending_ids, dtype=np.intp)] == self.positive_value
+                fresh = np.asarray(fresh, dtype=bool)
+            else:
+                fresh = np.fromiter(
+                    (bool(self._func(table.row(r, include_hidden=True))) for r in pending_ids),
+                    dtype=bool,
+                    count=len(pending_ids),
+                )
+            results[np.asarray(pending_positions, dtype=np.intp)] = fresh
+            if not oracle:
+                self.call_count += len(pending_ids)
+                self.cache_misses += len(pending_ids)
+                if self.memoize:
+                    for row_id, outcome in zip(pending_ids, fresh):
+                        self._cache[row_id] = bool(outcome)
+        return results
+
+    def is_memoized(self, row_id: int) -> bool:
+        """Whether the UDF value for ``row_id`` is already cached."""
+        return self.memoize and row_id in self._cache
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        """Memoisation counters as a plain dict (for result metadata)."""
+        return {
+            "calls": self.call_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_size": len(self._cache),
+        }
+
+    def counter_delta(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Counter advance since a :meth:`counter_snapshot` was taken.
+
+        Counters are plain (unlocked) attributes shared by everyone holding
+        the UDF, so under concurrent execution a delta attributes whatever
+        happened on the UDF in the window — treat per-request deltas as
+        approximate when requests share a UDF across threads.
+        """
+        now = self.counter_snapshot()
+        return {
+            name: now[name] - before.get(name, 0)
+            for name in ("calls", "cache_hits", "cache_misses")
+        }
+
     def __call__(self, row: Mapping[str, Any]) -> bool:
         """Evaluate directly on a row dict (charges one call, no memoisation)."""
         self.call_count += 1
+        self.cache_misses += 1
         return bool(self._func(row))
 
     def reset(self) -> None:
-        """Clear the memo cache and call counter."""
+        """Clear the memo cache and every counter."""
         self._cache.clear()
         self.call_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UserDefinedFunction({self.name!r}, cost={self.evaluation_cost})"

@@ -1,0 +1,50 @@
+"""repro.serving — concurrent query serving with statistics/plan caching.
+
+The one-shot pipeline in :mod:`repro.core` recomputes selectivity estimates,
+the correlated column and the solved plan on every call.  This package adds
+the serving layer a repeated workload needs:
+
+* :class:`QueryService` — thread-safe front-end over a shared catalog;
+* :class:`StatisticsCache` — memoised labelled samples and per-column
+  sample outcomes (TTL + LRU, hit/miss accounted);
+* :class:`PlanCache` / :class:`CachedPlan` — solved plans keyed by
+  canonical query signature;
+* :class:`SessionManager` / :class:`ClientSession` / :class:`AdmissionError`
+  — per-client UDF-cost budgets and admission control;
+* :class:`BatchExecutor` — vectorised plan execution backend;
+* :func:`plan_signature` / :func:`canonical_predicate` — signature
+  canonicalisation.
+
+See the "Serving repeated workloads" section of the top-level package
+docstring and ``examples/serving_workload.py`` for a full tour.
+"""
+
+from repro.serving.batch_executor import BatchExecutor
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.plan_cache import CachedPlan, PlanCache
+from repro.serving.service import QueryService
+from repro.serving.session import AdmissionError, ClientSession, SessionManager
+from repro.serving.signature import (
+    canonical_predicate,
+    plan_signature,
+    statistics_key,
+    strategy_fingerprint,
+)
+from repro.serving.stats_cache import StatisticsCache
+
+__all__ = [
+    "AdmissionError",
+    "BatchExecutor",
+    "CachedPlan",
+    "CacheStats",
+    "ClientSession",
+    "LRUCache",
+    "PlanCache",
+    "QueryService",
+    "SessionManager",
+    "StatisticsCache",
+    "canonical_predicate",
+    "plan_signature",
+    "statistics_key",
+    "strategy_fingerprint",
+]

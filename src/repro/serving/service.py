@@ -1,0 +1,470 @@
+"""The concurrent query-serving front-end.
+
+:class:`QueryService` accepts many (possibly concurrent) ``SelectQuery``
+requests against one shared :class:`~repro.db.catalog.Catalog` and amortises
+the expensive statistical work across them:
+
+* **plan cache** — a repeated query signature skips column selection,
+  labelling, sampling *and* the convex-program solve; only the (cheap,
+  per-request-seeded) probabilistic execution runs.
+* **statistics cache** — a new signature over an already-profiled
+  ``(table, predicate)`` reuses the labelled sample and per-column sample
+  outcomes, paying only the sampling shortfall before solving.
+* **admission/sessions** — per-client UDF-cost budgets enforced through the
+  ledger's hard budget, with a budget-constrained re-solve
+  (:func:`~repro.core.extensions.budget.solve_budgeted_recall`) when a
+  cached plan would overrun what the client can still afford.
+* **batched execution** — warm plans execute on the vectorised
+  :class:`~repro.serving.batch_executor.BatchExecutor` by default.
+
+Thread safety: cache structures are individually locked, and cold
+signatures are computed under a per-signature single-flight lock so N
+concurrent identical requests plan once.  Each request carries its own seed
+and ledger, so a warm service is deterministic per request regardless of
+thread interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Optional, Tuple, Union
+
+from repro.core.constraints import CostModel, QueryConstraints
+from repro.core.executor import ExecutorBackend, PlanExecutor
+from repro.core.extensions.budget import solve_budgeted_recall
+from repro.core.pipeline import IntelSample
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine, QueryResult
+from repro.db.errors import UnsupportedQueryError
+from repro.db.query import SelectQuery
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.serving.batch_executor import BatchExecutor
+from repro.serving.plan_cache import CachedPlan, PlanCache
+from repro.serving.session import ClientSession, SessionManager
+from repro.serving.stats_cache import StatisticsCache
+from repro.serving.signature import plan_signature
+from repro.stats.random import RandomState, SeedLike, as_random_state
+
+#: Executor backend names accepted by :class:`QueryService`.
+_BACKENDS = ("batch", "serial")
+
+
+class QueryService:
+    """Serves repeated approximate queries with statistics/plan caching.
+
+    Parameters
+    ----------
+    catalog:
+        The shared catalog, or an :class:`Engine` wrapping one.
+    strategy_factory:
+        Maps a per-request :class:`RandomState` to a strategy instance; the
+        default builds an :class:`IntelSample` wired to this service's
+        executor backend.  The factory must produce identically-configured
+        strategies — the configuration is part of every plan signature.
+    plan_cache_size / stats_cache_size:
+        LRU bounds for the two caches (``0`` disables caching).
+    ttl:
+        Optional time-to-live in seconds applied to both caches.
+    executor:
+        ``"batch"`` (vectorised, default) or ``"serial"`` for warm-plan
+        execution and for the pipeline's execution step.
+    sessions:
+        Session manager for admission control; a default (unlimited-budget)
+        manager is created when omitted.
+    free_memoized:
+        Serving accounting: do not re-charge evaluations whose value the
+        UDF already memoised (a real system never pays twice for the same
+        tuple).  Cold pipeline runs always use the paper's accounting.
+    """
+
+    def __init__(
+        self,
+        catalog: Union[Catalog, Engine],
+        strategy_factory: Optional[Callable[[RandomState], object]] = None,
+        plan_cache_size: Optional[int] = 256,
+        stats_cache_size: Optional[int] = 256,
+        ttl: Optional[float] = None,
+        executor: str = "batch",
+        sessions: Optional[SessionManager] = None,
+        default_budget: Optional[float] = None,
+        free_memoized: bool = True,
+    ):
+        if executor not in _BACKENDS:
+            raise ValueError(f"executor must be one of {_BACKENDS}, got {executor!r}")
+        self.engine = catalog if isinstance(catalog, Engine) else Engine(catalog)
+        self.catalog = self.engine.catalog
+        self.executor_backend = executor
+        self.free_memoized = free_memoized
+        self.plan_cache = PlanCache(max_size=plan_cache_size, ttl=ttl)
+        self.stats_cache = StatisticsCache(max_size=stats_cache_size, ttl=ttl)
+        self.sessions = sessions or SessionManager(default_budget=default_budget)
+        self.strategy_factory = strategy_factory or self._default_strategy_factory
+        # A configured-but-unseeded instance whose settings fingerprint every
+        # plan signature this service produces.
+        self._strategy_prototype = self.strategy_factory(as_random_state(0))
+        self._metrics_lock = threading.Lock()
+        self._metrics: Dict[str, int] = {
+            "queries": 0,
+            "exact_queries": 0,
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "pipeline_runs": 0,
+            "solver_calls": 0,
+            "degraded_plans": 0,
+            "rejected": 0,
+        }
+        # signature -> [lock, participant refcount]
+        self._flight_locks: Dict[Hashable, list] = {}
+        self._flight_guard = threading.Lock()
+
+    # -- construction helpers -----------------------------------------------------
+    def _default_strategy_factory(self, random_state: RandomState) -> IntelSample:
+        return IntelSample(
+            random_state=random_state,
+            executor_factory=self._make_executor,
+        )
+
+    def _make_executor(self, random_state: RandomState) -> ExecutorBackend:
+        if self.executor_backend == "batch":
+            # The cold pipeline keeps the paper's charging semantics
+            # (free_memoized=False); serving accounting applies on warm paths.
+            return BatchExecutor(random_state=random_state)
+        return PlanExecutor(random_state=random_state)
+
+    def _warm_executor(self, random_state: RandomState) -> ExecutorBackend:
+        if self.executor_backend == "batch":
+            return BatchExecutor(
+                random_state=random_state, free_memoized=self.free_memoized
+            )
+        return PlanExecutor(random_state=random_state)
+
+    def _cost_model(self) -> CostModel:
+        return CostModel(
+            retrieval_cost=self.engine.retrieval_cost,
+            evaluation_cost=self.engine.evaluation_cost,
+        )
+
+    def _count(self, metric: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self._metrics[metric] += amount
+
+    def _flight_lock(self, signature: Hashable) -> threading.Lock:
+        """Join the single-flight for ``signature`` (refcounted)."""
+        with self._flight_guard:
+            entry = self._flight_locks.get(signature)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._flight_locks[signature] = entry
+            entry[1] += 1
+            return entry[0]
+
+    def _release_flight(self, signature: Hashable, lock: threading.Lock) -> None:
+        """Leave the single-flight; the last participant drops the registry entry."""
+        with self._flight_guard:
+            entry = self._flight_locks.get(signature)
+            if entry is not None and entry[0] is lock:
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    del self._flight_locks[signature]
+
+    # -- submission ----------------------------------------------------------------
+    def submit(
+        self,
+        query: SelectQuery,
+        client_id: Optional[str] = None,
+        seed: SeedLike = None,
+        audit: bool = False,
+    ) -> QueryResult:
+        """Answer one query, reusing cached statistics and plans when possible.
+
+        ``seed`` controls all request-local randomness, making a warm
+        service deterministic per request.  ``client_id`` routes the request
+        through the admission layer; a client whose budget ran out gets an
+        :class:`~repro.serving.session.AdmissionError` and a query that
+        would overrun mid-flight is stopped by the ledger's hard budget.
+        With ``audit=True`` the result carries ground-truth precision/recall.
+        """
+        self._count("queries")
+        session: Optional[ClientSession] = None
+        reservation: Optional[float] = None
+        if client_id is not None:
+            session = self.sessions.session(client_id)
+        budgeted = session is not None and session.budget is not None
+
+        # Budgeted clients execute one request at a time: admission and the
+        # budget reservation then always see settled state, so a concurrent
+        # arrival queues behind its sibling instead of being rejected (or
+        # jointly overspending).  Unbudgeted clients run fully in parallel.
+        if budgeted:
+            session.execution_lock.acquire()
+        try:
+            if session is not None:
+                try:
+                    self.sessions.admit(client_id)
+                except Exception:
+                    self._count("rejected")
+                    raise
+                reservation = session.reserve()
+
+            ledger = self.engine.new_ledger()
+            if reservation is not None:
+                ledger.set_budget(reservation)
+
+            try:
+                if query.is_exact:
+                    self._count("exact_queries")
+                    result = self.engine.execute_exact(query, ledger)
+                else:
+                    result = self._submit_approximate(query, ledger, seed, session)
+            finally:
+                if session is not None:
+                    session.settle(ledger.total_cost, reservation)
+        finally:
+            if budgeted:
+                session.execution_lock.release()
+
+        if audit:
+            result.quality = self.engine.audit(query, result)
+        if session is not None:
+            result.metadata["session"] = session.snapshot()
+        return result
+
+    def _submit_approximate(
+        self,
+        query: SelectQuery,
+        ledger: CostLedger,
+        seed: SeedLike,
+        session: Optional[ClientSession],
+    ) -> QueryResult:
+        if query.strategy is not None:
+            # Named strategies bypass the caches: resolve through the engine
+            # (raising UnsupportedQueryError for unknown names) and run as-is.
+            strategy = self.engine.resolve_strategy(query.strategy, None)
+            table = self.catalog.table(query.table)
+            self._count("pipeline_runs")
+            self._count("solver_calls")
+            return strategy.run(table, query, ledger)
+
+        signature = plan_signature(query, self._cost_model(), self._strategy_prototype)
+        entry = self._live_entry(signature, query)
+        if entry is not None:
+            self._count("plan_hits")
+            return self._execute_cached(query, entry, ledger, seed, session, signature)
+
+        if not self.plan_cache.enabled:
+            self._count("plan_misses")
+            return self._plan_and_execute(query, ledger, seed, signature)
+
+        # Single-flight: concurrent cold requests for one signature plan once.
+        lock = self._flight_lock(signature)
+        try:
+            with lock:
+                # Re-check without recounting: the pre-lock lookup already
+                # recorded this request's cache outcome; a waiter whose plan
+                # was computed by the flight leader records its hit here.
+                entry = self._live_entry(signature, query, record=False)
+                if entry is not None:
+                    self.plan_cache.note_hit()
+                    self._count("plan_hits")
+                    return self._execute_cached(
+                        query, entry, ledger, seed, session, signature
+                    )
+                self._count("plan_misses")
+                return self._plan_and_execute(query, ledger, seed, signature)
+        finally:
+            # The last participant drops the registry entry, keeping the lock
+            # dict bounded by in-flight signatures, not historical ones.
+            self._release_flight(signature, lock)
+
+    def _live_entry(
+        self, signature: Tuple, query: SelectQuery, record: bool = True
+    ) -> Optional[CachedPlan]:
+        """A cached plan that still refers to the catalog's current table.
+
+        Re-registering a table under the same name invalidates every plan
+        computed against the old data; identity (not name) is the check.
+        """
+        entry = self.plan_cache.get(signature, record=record)
+        if entry is None:
+            return None
+        if entry.base_table is not self.catalog.table(query.table):
+            return None
+        return entry
+
+    # -- cold path ------------------------------------------------------------------
+    def _plan_and_execute(
+        self,
+        query: SelectQuery,
+        ledger: CostLedger,
+        seed: SeedLike,
+        signature: Tuple,
+    ) -> QueryResult:
+        """Full pipeline run, seeded with cached statistics where available."""
+        table = self.catalog.table(query.table)
+        udf = self._query_udf(query)
+        constraints = QueryConstraints(alpha=query.alpha, beta=query.beta, rho=query.rho)
+        strategy = self.strategy_factory(as_random_state(seed))
+
+        cached_labeled = None
+        cached_outcomes: Dict[str, object] = {}
+        if self.stats_cache.enabled:
+            cached_labeled = self.stats_cache.get_labeled(table, query.predicate)
+            candidate_columns = tuple(
+                column.name for column in table.schema.categorical_columns()
+            )
+            cached_outcomes = self.stats_cache.outcomes_for(
+                table, query.predicate, candidate_columns
+            )
+
+        self._count("pipeline_runs")
+        self._count("solver_calls")
+        result = strategy.answer(
+            table,
+            udf,
+            constraints,
+            ledger,
+            correlated_column=query.correlated_column,
+            cached_labeled=cached_labeled,
+            cached_outcomes=cached_outcomes or None,
+        )
+
+        report = result.metadata.get("report")
+        if report is not None:
+            self._store(signature, table, query, report)
+        result.metadata["plan_cache"] = "miss"
+        result.metadata["stats_cache"] = {
+            "labeled_hit": cached_labeled is not None,
+            "outcome_hits": sorted(cached_outcomes),
+        }
+        return result
+
+    def _store(self, signature: Tuple, table: Table, query: SelectQuery, report) -> None:
+        """Persist the statistics and plan produced by a pipeline run."""
+        working_table = getattr(report, "working_table", None)
+        outcome = getattr(report, "sample_outcome", None)
+        labeled = getattr(report, "labeled", None)
+        if working_table is None or report.plan is None:
+            return
+        if self.stats_cache.enabled:
+            if labeled is not None:
+                self.stats_cache.put_labeled(table, query.predicate, labeled)
+            # Virtual columns live on a derived table whose bucketing depends
+            # on the training sample; their outcomes are only reusable through
+            # the plan entry, not across signatures.
+            if outcome is not None and not report.used_virtual_column:
+                self.stats_cache.put_outcome(
+                    table, query.predicate, report.correlated_column, outcome
+                )
+        expected_execution = report.plan.expected_cost(
+            report.model, self._cost_model(), include_sampling=False
+        )
+        self.plan_cache.put(
+            signature,
+            CachedPlan(
+                column=report.correlated_column,
+                plan=report.plan,
+                model=report.model,
+                sample_outcome=outcome,
+                working_table=working_table,
+                base_table=table,
+                expected_execution_cost=expected_execution,
+                used_virtual_column=report.used_virtual_column,
+                used_fallback=report.used_fallback,
+            ),
+        )
+
+    # -- warm path ------------------------------------------------------------------
+    def _execute_cached(
+        self,
+        query: SelectQuery,
+        entry: CachedPlan,
+        ledger: CostLedger,
+        seed: SeedLike,
+        session: Optional[ClientSession],
+        signature: Tuple,
+    ) -> QueryResult:
+        """Execute a cached plan: no labelling, no sampling, no solver."""
+        udf = self._query_udf(query)
+        udf_counters_before = udf.counter_snapshot()
+        index = self.stats_cache.get_index(entry.working_table, entry.column)
+
+        plan = entry.plan
+        degraded = False
+        allowance = ledger.budget
+        if allowance is not None and entry.expected_execution_cost > allowance:
+            # Budget-constrained degradation: maximise recall within this
+            # request's granted allowance while keeping the precision bound.
+            solution = solve_budgeted_recall(
+                entry.model,
+                precision_bound=query.alpha,
+                rho=query.rho,
+                budget=allowance,
+                cost_model=self._cost_model(),
+            )
+            plan = solution.plan
+            degraded = True
+            self._count("solver_calls")
+            self._count("degraded_plans")
+            if session is not None:
+                session.degraded += 1
+
+        executor = self._warm_executor(as_random_state(seed))
+        execution = executor.execute(
+            entry.working_table,
+            index,
+            udf,
+            plan,
+            ledger,
+            sample_outcome=entry.sample_outcome,
+        )
+        return QueryResult(
+            row_ids=execution.returned_row_ids,
+            ledger=ledger,
+            metadata={
+                "strategy": "intel_sample",
+                "plan_cache": "hit",
+                "degraded_to_budget": degraded,
+                "correlated_column": entry.column,
+                "used_virtual_column": entry.used_virtual_column,
+                "evaluations": ledger.evaluated_count,
+                "retrievals": ledger.retrieved_count,
+                "udf_cache": udf.counter_delta(udf_counters_before),
+            },
+        )
+
+    # -- helpers -------------------------------------------------------------------
+    def _query_udf(self, query: SelectQuery) -> UserDefinedFunction:
+        predicates = query.udf_predicates
+        if not predicates:
+            raise ValueError(
+                "approximate query has no UDF predicate to optimize; run it "
+                "exactly (alpha=beta=1) or add a UdfPredicate"
+            )
+        if len(predicates) > 1:
+            raise ValueError(
+                "the serving pipeline handles a single UDF predicate; use "
+                "repro.core.extensions.multi_predicate for conjunctions"
+            )
+        return predicates[0].udf
+
+    def metrics(self) -> Dict[str, object]:
+        """Serving metrics plus cache hit/miss statistics."""
+        with self._metrics_lock:
+            counters = dict(self._metrics)
+        return {
+            **counters,
+            "plan_cache": self.plan_cache.snapshot(),
+            "stats_cache": self.stats_cache.snapshot(),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan and statistic (sessions are kept)."""
+        self.plan_cache.clear()
+        self.stats_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryService(tables={self.catalog.table_names()}, "
+            f"executor={self.executor_backend!r}, plans={len(self.plan_cache)})"
+        )

@@ -1,0 +1,133 @@
+"""Canonical query signatures for the serving caches.
+
+Two queries should share cached statistics and plans whenever they are
+*semantically* identical, even if they were built differently: ``A AND B``
+versus ``B AND A``, a float constraint written as ``0.8`` versus
+``0.8000000000001``, the same UDF referenced through two predicate objects.
+This module maps queries, constraints and strategy configurations onto
+hashable tuples with those equivalences folded away:
+
+* conjunction/disjunction children are sorted into a canonical order, so
+  reordered predicates produce equal keys;
+* floats are rounded to 12 significant decimals, absorbing representation
+  noise without conflating genuinely different constraints;
+* UDFs are identified by name (the registry enforces uniqueness).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.core.constraints import CostModel
+from repro.db.predicate import (
+    AndPredicate,
+    ColumnPredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    UdfPredicate,
+)
+from repro.db.query import SelectQuery
+
+#: Decimal places kept when folding float noise out of signature components.
+_FLOAT_DECIMALS = 12
+
+
+def _canonical_value(value: Any) -> Hashable:
+    """Make an arbitrary predicate operand hashable and stable."""
+    if isinstance(value, float):
+        return round(value, _FLOAT_DECIMALS)
+    if isinstance(value, (str, int, bool, type(None))):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        parts = tuple(sorted((_canonical_value(v) for v in value), key=repr))
+        return ("collection", parts)
+    return ("repr", repr(value))
+
+
+def canonical_predicate(predicate: Predicate) -> Tuple:
+    """A hashable canonical form of a predicate tree.
+
+    Children of AND/OR nodes are sorted (by the repr of their own canonical
+    form) so that logically identical conjunctions hash equal regardless of
+    the order they were written in.
+    """
+    if isinstance(predicate, ColumnPredicate):
+        return ("col", predicate.column, predicate.op, _canonical_value(predicate.value))
+    if isinstance(predicate, UdfPredicate):
+        return ("udf", predicate.udf.name, bool(predicate.expected))
+    if isinstance(predicate, (AndPredicate, OrPredicate)):
+        tag = "and" if isinstance(predicate, AndPredicate) else "or"
+        children = tuple(
+            sorted((canonical_predicate(child) for child in predicate.children), key=repr)
+        )
+        return (tag, children)
+    if isinstance(predicate, NotPredicate):
+        return ("not", canonical_predicate(predicate.child))
+    # Unknown predicate classes fall back to their repr: still hashable, just
+    # without reordering equivalence.
+    return ("opaque", type(predicate).__name__, repr(predicate))
+
+
+def statistics_key(table_name: str, predicate: Predicate) -> Tuple:
+    """Cache key for per-(table, predicate) statistics (labelled samples)."""
+    return ("stats", table_name, canonical_predicate(predicate))
+
+
+def model_key(table_name: str, predicate: Predicate, column: str) -> Tuple:
+    """Cache key for per-(table, column, predicate) selectivity evidence."""
+    return ("model", table_name, column, canonical_predicate(predicate))
+
+
+def strategy_fingerprint(strategy: Any) -> Tuple:
+    """A hashable fingerprint of a strategy's plan-affecting configuration.
+
+    Duck-typed over the attributes shared by the pipeline strategies; unknown
+    strategies contribute their class name only (callers wanting finer keys
+    can expose a ``fingerprint()`` method, which wins when present).
+    """
+    explicit = getattr(strategy, "fingerprint", None)
+    if callable(explicit):
+        return tuple(explicit())
+    parts = [type(strategy).__name__]
+    for attribute in (
+        "correlated_column",
+        "use_virtual_column",
+        "num_buckets",
+        "independent",
+        "column_sample_fraction",
+    ):
+        if hasattr(strategy, attribute):
+            parts.append((attribute, _canonical_value(getattr(strategy, attribute))))
+    scheme = getattr(strategy, "sampling_scheme", None)
+    parts.append(("sampling_scheme", repr(scheme) if scheme is not None else None))
+    return tuple(parts)
+
+
+def plan_signature(
+    query: SelectQuery,
+    cost_model: CostModel,
+    strategy: Optional[Any] = None,
+) -> Tuple:
+    """The canonical plan-cache key for a query under a cost model + strategy.
+
+    Reordered (cheap or expensive) predicates, float representation noise in
+    the constraints, and distinct-but-identical strategy instances all map to
+    the same signature.
+    """
+    cheap = tuple(
+        sorted((canonical_predicate(p) for p in query.cheap_predicates), key=repr)
+    )
+    return (
+        "plan",
+        query.table,
+        canonical_predicate(query.predicate),
+        cheap,
+        round(query.alpha, _FLOAT_DECIMALS),
+        round(query.beta, _FLOAT_DECIMALS),
+        round(query.rho, _FLOAT_DECIMALS),
+        query.correlated_column,
+        round(cost_model.retrieval_cost, _FLOAT_DECIMALS),
+        round(cost_model.evaluation_cost, _FLOAT_DECIMALS),
+        strategy_fingerprint(strategy) if strategy is not None else None,
+    )

@@ -1,0 +1,150 @@
+"""Statistics cache: memoised selectivity evidence shared across queries.
+
+The expensive part of answering a query is statistical: labelling a uniform
+sample for column selection, and stratified per-group sampling to estimate
+selectivities.  Both depend only on ``(table, predicate)`` — not on the
+constraints — so two queries with different ``alpha``/``beta`` against the
+same table and UDF can share them.  :class:`StatisticsCache` memoises
+
+* the labelled sample per ``(table, predicate)``,
+* the merged :class:`~repro.sampling.sampler.SampleOutcome` (and the
+  selectivity model derived from it) per ``(table, column, predicate)``, and
+* the :class:`~repro.db.index.GroupIndex` per ``(table identity, column)``,
+
+each behind its own TTL/size-bounded :class:`~repro.serving.cache.LRUCache`
+with hit/miss accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.core.column_selection import LabeledSample
+from repro.db.index import GroupIndex
+from repro.db.predicate import Predicate
+from repro.db.table import Table
+from repro.sampling.sampler import SampleOutcome
+from repro.serving.cache import LRUCache
+from repro.serving.signature import model_key, statistics_key
+
+
+class StatisticsCache:
+    """Memoises labelled samples, sample outcomes and group indexes."""
+
+    def __init__(
+        self,
+        max_size: Optional[int] = 256,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.labeled_samples = LRUCache(max_size=max_size, ttl=ttl, clock=clock)
+        self.sample_outcomes = LRUCache(max_size=max_size, ttl=ttl, clock=clock)
+        # Group indexes are pure derived structure (no UDF cost behind them),
+        # so they are never expired, only size-bounded.
+        self.indexes = LRUCache(max_size=max_size, clock=clock)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether statistics caching is on at all."""
+        return self.labeled_samples.enabled
+
+    # Entries are keyed by table *identity* and store the table reference
+    # alongside the payload: statistics computed against a table that was
+    # later re-registered under the same name must never leak into queries
+    # over the replacement (row ids would not line up).
+    @staticmethod
+    def _labeled_key(table: Table, predicate: Predicate) -> Hashable:
+        return (id(table), statistics_key(table.name, predicate))
+
+    @staticmethod
+    def _outcome_key(table: Table, predicate: Predicate, column: str) -> Hashable:
+        return (id(table), model_key(table.name, predicate, column))
+
+    def _validated(self, cache: LRUCache, key: Hashable, table: Table):
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        stored_table, payload = entry
+        if stored_table is not table:
+            return None
+        return payload
+
+    # -- labelled samples ---------------------------------------------------------
+    def get_labeled(self, table: Table, predicate: Predicate) -> Optional[LabeledSample]:
+        """The cached labelled sample for ``(table, predicate)``, if any."""
+        return self._validated(
+            self.labeled_samples, self._labeled_key(table, predicate), table
+        )
+
+    def put_labeled(
+        self, table: Table, predicate: Predicate, labeled: LabeledSample
+    ) -> None:
+        """Store a labelled sample (no-op for empty samples)."""
+        if labeled is not None and labeled.size:
+            self.labeled_samples.put(
+                self._labeled_key(table, predicate), (table, labeled)
+            )
+
+    # -- per-column sample outcomes ----------------------------------------------
+    def get_outcome(
+        self, table: Table, predicate: Predicate, column: str
+    ) -> Optional[SampleOutcome]:
+        """The cached (merged) sample outcome for one correlated column."""
+        return self._validated(
+            self.sample_outcomes, self._outcome_key(table, predicate, column), table
+        )
+
+    def outcomes_for(
+        self, table: Table, predicate: Predicate, columns: Tuple[str, ...]
+    ) -> Dict[str, SampleOutcome]:
+        """Cached outcomes for each of ``columns`` (absent columns omitted)."""
+        found: Dict[str, SampleOutcome] = {}
+        for column in columns:
+            outcome = self.get_outcome(table, predicate, column)
+            if outcome is not None:
+                found[column] = outcome
+        return found
+
+    def put_outcome(
+        self,
+        table: Table,
+        predicate: Predicate,
+        column: str,
+        outcome: SampleOutcome,
+    ) -> None:
+        """Store (replacing) the merged sample outcome for a column."""
+        if outcome is not None:
+            self.sample_outcomes.put(
+                self._outcome_key(table, predicate, column), (table, outcome)
+            )
+
+    # -- group indexes -------------------------------------------------------------
+    def get_index(self, table: Table, column: str) -> GroupIndex:
+        """A shared :class:`GroupIndex`, built at most once per (table, column).
+
+        Keyed on the table's identity (not its name) because virtual-column
+        pipelines derive same-named tables with different contents; the table
+        reference held by the cached index keeps the identity stable.
+        """
+        key: Hashable = ("index", id(table), column)
+        index = self.indexes.get(key)
+        if index is not None and index.table is table:
+            return index
+        index = GroupIndex(table, column)
+        self.indexes.put(key, index)
+        return index
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss statistics of every underlying cache."""
+        return {
+            "labeled_samples": self.labeled_samples.stats.snapshot(),
+            "sample_outcomes": self.sample_outcomes.stats.snapshot(),
+            "indexes": self.indexes.stats.snapshot(),
+        }
+
+    def clear(self) -> None:
+        """Drop all cached statistics."""
+        self.labeled_samples.clear()
+        self.sample_outcomes.clear()
+        self.indexes.clear()

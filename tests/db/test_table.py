@@ -55,6 +55,39 @@ class TestConstruction:
             Table("t", schema, {"a": [1], "zz": [2]})
 
 
+class TestColumnArray:
+    def test_matches_column_values(self, people_table):
+        array = people_table.column_array("city")
+        assert list(array) == people_table.column_values("city")
+
+    def test_cached_and_read_only(self, people_table):
+        first = people_table.column_array("city")
+        second = people_table.column_array("city")
+        assert first is second
+        with pytest.raises(ValueError):
+            first[0] = "boston"
+
+    def test_ragged_cells_fall_back_to_object_array(self):
+        table = Table.from_columns(
+            name="ragged",
+            columns={"tags": [[1, 2], [1], [3, 4, 5]]},
+            column_types={"tags": ColumnType.TEXT},
+        )
+        array = table.column_array("tags")
+        assert array.dtype == object
+        assert list(array) == [[1, 2], [1], [3, 4, 5]]
+
+    def test_hidden_column_blocked_by_default(self, people_table):
+        with pytest.raises(ColumnNotFoundError):
+            people_table.column_array("rich")
+        assert list(people_table.column_array("rich", allow_hidden=True)) == [
+            True,
+            False,
+            True,
+            False,
+        ]
+
+
 class TestAccess:
     def test_column_values(self, people_table):
         assert people_table.column_values("city") == ["sf", "sf", "nyc", "la"]

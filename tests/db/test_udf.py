@@ -85,6 +85,60 @@ class TestUserDefinedFunction:
         udf.reset()
         assert udf.call_count == 0
 
+    def test_hit_miss_counters(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        udf.evaluate_row(toy_table, 0)
+        udf.evaluate_row(toy_table, 0)
+        udf.evaluate_row(toy_table, 1)
+        assert udf.cache_misses == 2
+        assert udf.cache_hits == 1
+        snap = udf.counter_snapshot()
+        assert snap["cache_hits"] == 1 and snap["cache_misses"] == 2
+        udf.reset()
+        assert udf.cache_hits == udf.cache_misses == 0
+
+    def test_evaluate_rows_matches_per_row(self, toy_table):
+        bulk = UserDefinedFunction.from_label_column("f_bulk", "f")
+        single = UserDefinedFunction.from_label_column("f_single", "f")
+        rows = list(toy_table.row_ids)
+        outcomes = bulk.evaluate_rows(toy_table, rows)
+        assert [bool(o) for o in outcomes] == [single.evaluate_row(toy_table, r) for r in rows]
+        assert bulk.call_count == single.call_count == len(rows)
+
+    def test_evaluate_rows_serves_memoized_rows_from_cache(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        udf.evaluate_rows(toy_table, [0, 1, 2])
+        udf.evaluate_rows(toy_table, [1, 2, 3])
+        assert udf.cache_hits == 2
+        assert udf.cache_misses == 4
+        assert udf.call_count == 4
+
+    def test_oracle_mode_leaves_no_trace(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        with udf.oracle_mode():
+            assert udf.evaluate_row(toy_table, 0) is True
+        assert udf.call_count == 0
+        assert udf.cache_misses == 0
+        assert udf.counter_snapshot()["cache_size"] == 0
+        # Paid evaluation afterwards is charged normally.
+        udf.evaluate_row(toy_table, 0)
+        assert udf.call_count == 1
+
+    def test_oracle_mode_covers_bulk_evaluation(self, toy_table):
+        udf = UserDefinedFunction.from_label_column("f_check", "f")
+        with udf.oracle_mode():
+            outcomes = udf.evaluate_rows(toy_table, list(toy_table.row_ids))
+        assert bool(outcomes[0]) is True
+        assert udf.call_count == 0
+        assert udf.counter_snapshot()["cache_size"] == 0
+
+    def test_evaluate_rows_generic_callable(self, toy_table):
+        udf = UserDefinedFunction("g", lambda row: row["A"] == 1)
+        outcomes = udf.evaluate_rows(toy_table, list(toy_table.row_ids))
+        assert [bool(o) for o in outcomes] == [
+            value == 1 for value in toy_table.column_values("A")
+        ]
+
     def test_direct_call_on_row_dict(self):
         udf = UserDefinedFunction("g", lambda row: row["x"] > 5)
         assert udf({"x": 10}) is True

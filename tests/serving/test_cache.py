@@ -1,0 +1,104 @@
+"""Tests for the serving-layer LRU/TTL cache."""
+
+import pytest
+
+from repro.serving.cache import LRUCache
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        cache = LRUCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats.evictions == 0
+
+    def test_zero_size_disables_cache(self):
+        cache = LRUCache(max_size=0)
+        cache.put("a", 1)
+        assert not cache.enabled
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = LRUCache(max_size=None)
+        for i in range(500):
+            cache.put(i, i)
+        assert len(cache) == 500
+        assert cache.stats.evictions == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_size=-1)
+
+
+class TestTTL:
+    def test_expired_entries_count_as_misses(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=10, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(4.9)
+        assert cache.get("a") == 1
+        clock.advance(0.2)
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+
+    def test_contains_respects_ttl(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=10, ttl=1.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        clock.advance(2.0)
+        assert "a" not in cache
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(ttl=0.0)
+
+
+class TestStats:
+    def test_hit_rate_accounting(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        snapshot = cache.stats.snapshot()
+        assert snapshot["puts"] == 1

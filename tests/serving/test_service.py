@@ -1,0 +1,304 @@
+"""Tests for the QueryService front-end: caching, concurrency, admission."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.db.catalog import Catalog
+from repro.db.engine import Engine
+from repro.db.errors import BudgetExhaustedError, UnsupportedQueryError
+from repro.db.predicate import ColumnPredicate, UdfPredicate
+from repro.db.query import SelectQuery
+from repro.serving import AdmissionError, QueryService
+from repro.stats.metrics import result_quality
+
+
+@pytest.fixture(scope="module")
+def serving_dataset():
+    return load_dataset("lending_club", random_state=42, scale=0.03)
+
+
+@pytest.fixture
+def serving_setup(serving_dataset):
+    catalog = Catalog()
+    catalog.register_table(serving_dataset.table)
+    udf = serving_dataset.make_udf("served")
+    catalog.register_udf(udf)
+    return serving_dataset, catalog, udf
+
+
+def _query(dataset, udf, alpha=0.8, beta=0.8, column="grade", cheap=()):
+    return SelectQuery(
+        table=dataset.table.name,
+        predicate=UdfPredicate(udf),
+        cheap_predicates=list(cheap),
+        alpha=alpha,
+        beta=beta,
+        rho=0.8,
+        correlated_column=column,
+    )
+
+
+class TestPlanCaching:
+    def test_repeated_query_skips_solver_and_sampling(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+
+        cold = service.submit(query, seed=0)
+        assert cold.metadata["plan_cache"] == "miss"
+        warm = service.submit(query, seed=1)
+        assert warm.metadata["plan_cache"] == "hit"
+        metrics = service.metrics()
+        assert metrics["pipeline_runs"] == 1
+        assert metrics["plan_hits"] == 1
+        # Warm execution pays only for rows never evaluated before; the bulk
+        # of its evaluations come from the memo cache filled by the cold run.
+        assert warm.metadata["udf_cache"]["calls"] < cold.metadata["udf_cache"]["calls"] / 4
+
+    def test_reordered_cheap_predicates_share_plan(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        a = ColumnPredicate("grade", "!=", "G")
+        b = ColumnPredicate("grade", "!=", "F")
+        service.submit(_query(dataset, udf, cheap=[a, b]), seed=0)
+        warm = service.submit(_query(dataset, udf, cheap=[b, a]), seed=1)
+        assert warm.metadata["plan_cache"] == "hit"
+
+    def test_warm_results_stay_within_constraints(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        service.submit(query, seed=0)
+        satisfied = 0
+        runs = 5
+        for seed in range(runs):
+            result = service.submit(query, seed=seed + 100)
+            quality = result_quality(result.row_ids, dataset.ground_truth_row_ids())
+            if quality.satisfies(query.alpha, query.beta):
+                satisfied += 1
+        assert satisfied >= runs - 1
+
+    def test_statistics_reused_across_constraints(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        service.submit(_query(dataset, udf, alpha=0.8, beta=0.8), seed=0)
+        other = service.submit(_query(dataset, udf, alpha=0.7, beta=0.9), seed=1)
+        # Different constraints -> new plan, but the sampling evidence is
+        # reused so no fresh UDF evaluations are charged.
+        assert other.metadata["plan_cache"] == "miss"
+        assert "grade" in other.metadata["stats_cache"]["outcome_hits"]
+        assert other.ledger.evaluated_count == 0
+
+    def test_disabled_caches_always_plan(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog), plan_cache_size=0, stats_cache_size=0)
+        query = _query(dataset, udf)
+        service.submit(query, seed=0)
+        service.submit(query, seed=1)
+        assert service.metrics()["pipeline_runs"] == 2
+
+    def test_exact_queries_bypass_caches(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        exact = SelectQuery(
+            table=dataset.table.name,
+            predicate=UdfPredicate(udf),
+            alpha=1.0,
+            beta=1.0,
+            rho=0.95,
+        )
+        result = service.submit(exact, seed=0)
+        assert set(result.row_ids) == dataset.ground_truth_row_ids()
+        assert service.metrics()["exact_queries"] == 1
+
+    def test_audit_does_not_prepay_future_queries(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        # Auditing peeks at every row's truth; that peek must not fill the
+        # memo cache, or warm accounting would charge nothing ever after.
+        service.submit(query, seed=0, audit=True)
+        assert udf.counter_snapshot()["cache_size"] < dataset.num_rows
+        warm = service.submit(query, seed=1)
+        assert warm.ledger.retrieved_count > 0
+
+    def test_unknown_named_strategy_raises(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = SelectQuery(
+            table=dataset.table.name,
+            predicate=UdfPredicate(udf),
+            alpha=0.8,
+            beta=0.8,
+            rho=0.8,
+            strategy="does_not_exist",
+        )
+        with pytest.raises(UnsupportedQueryError):
+            service.submit(query, seed=0)
+
+
+class TestConcurrency:
+    def test_concurrent_replay_matches_serial(self, serving_setup):
+        """N threads over a warm shared service reproduce the serial replay."""
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        queries = [
+            _query(dataset, udf, alpha=0.8, beta=0.8),
+            _query(dataset, udf, alpha=0.7, beta=0.9),
+            _query(dataset, udf, alpha=0.75, beta=0.85),
+        ]
+        # Warm every signature, then snapshot a serial replay.
+        for position, query in enumerate(queries):
+            service.submit(query, seed=1000 + position)
+        trace = [(queries[i % len(queries)], 7 * i + 13) for i in range(48)]
+        serial = [service.submit(query, seed=seed).row_ids for query, seed in trace]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = list(
+                pool.map(lambda item: service.submit(item[0], seed=item[1]).row_ids, trace)
+            )
+        assert concurrent == serial
+
+    def test_single_flight_plans_once(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        barrier = threading.Barrier(6)
+
+        def request(seed):
+            barrier.wait()
+            return service.submit(query, seed=seed)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(request, range(6)))
+        assert all(len(result.row_ids) > 0 for result in results)
+        assert service.metrics()["pipeline_runs"] == 1
+
+    def test_concurrent_distinct_clients(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        service.submit(query, seed=0)  # warm
+
+        def request(client):
+            return service.submit(query, client_id=f"client_{client % 4}", seed=client)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(request, range(32)))
+        sessions = service.sessions.snapshot()
+        assert len(sessions) == 4
+        assert sum(s["admitted"] for s in sessions.values()) == 32
+
+
+class TestAdmission:
+    def test_zero_budget_client_rejected(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        service.sessions.session("broke", budget=0.0)
+        with pytest.raises(AdmissionError):
+            service.submit(_query(dataset, udf), client_id="broke", seed=0)
+        assert service.sessions.session("broke").rejected == 1
+
+    def test_tiny_budget_stopped_mid_flight(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        service.sessions.session("tiny", budget=20.0)
+        with pytest.raises(BudgetExhaustedError):
+            service.submit(_query(dataset, udf), client_id="tiny", seed=0)
+        # The ledger stopped at the budget, and the spend was settled.
+        assert service.sessions.session("tiny").spent <= 20.0 + 1e-9
+
+    def test_warm_plan_degrades_to_remaining_budget(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        cold = service.submit(query, seed=0)
+        assert cold.metadata["plan_cache"] == "miss"
+        # A budget well below the cached plan's expected execution cost
+        # triggers the budget-constrained re-solve instead of a failure.
+        service.sessions.session("capped", budget=100.0)
+        result = service.submit(query, client_id="capped", seed=1)
+        assert result.metadata["plan_cache"] == "hit"
+        assert result.metadata["degraded_to_budget"] is True
+        assert result.ledger.total_cost <= 100.0 + 1e-9
+        assert service.metrics()["degraded_plans"] == 1
+
+    def test_concurrent_requests_cannot_jointly_overspend(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        cold = service.submit(query, seed=0)
+        budget = cold.ledger.total_cost * 1.5  # enough for ~1.5 full queries
+        service.sessions.session("shared", budget=budget)
+
+        def request(seed):
+            try:
+                return service.submit(query, client_id="shared", seed=seed)
+            except (AdmissionError, BudgetExhaustedError):
+                return None
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(request, range(12)))
+        session = service.sessions.session("shared")
+        assert session.spent <= budget + 1e-6
+        assert session.reserved == pytest.approx(0.0)
+
+    def test_budgeted_client_concurrency_queues_not_rejects(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        warm_cost = service.submit(query, seed=0).ledger.total_cost
+        # Plenty of budget for every request: concurrent arrivals must queue
+        # behind each other, not bounce off an in-flight sibling's reservation.
+        service.sessions.session("queued", budget=100 * max(warm_cost, 1.0))
+
+        def request(seed):
+            return service.submit(query, client_id="queued", seed=seed)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(request, range(6)))
+        assert all(result is not None for result in results)
+        assert service.sessions.session("queued").rejected == 0
+
+    def test_reregistered_table_invalidates_caches(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        service.submit(query, seed=0)
+        assert service.submit(query, seed=1).metadata["plan_cache"] == "hit"
+        # Replace the table with a smaller copy under the same name: stale
+        # plans/statistics would return row ids that do not exist any more.
+        smaller = dataset.table.select_rows(range(50), name=dataset.table.name)
+        catalog.register_table(smaller, replace=True)
+        result = service.submit(query, seed=2)
+        assert result.metadata["plan_cache"] == "miss"
+        assert all(0 <= row_id < 50 for row_id in result.row_ids)
+
+    def test_unbudgeted_clients_unrestricted(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        for seed in range(3):
+            service.submit(query, client_id="free", seed=seed)
+        session = service.sessions.session("free")
+        assert session.admitted == 3
+        assert session.spent > 0
+
+
+class TestUdfCounters:
+    def test_metadata_reports_hits_and_misses(self, serving_setup):
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        cold = service.submit(query, seed=0)
+        assert cold.metadata["udf_cache"]["cache_misses"] > 0
+        warm = service.submit(query, seed=1)
+        meta = warm.metadata["udf_cache"]
+        # Cache effectiveness is observable end-to-end: the warm pass is
+        # dominated by memo hits, with few (often zero) fresh calls.
+        assert meta["cache_hits"] > 0
+        assert meta["cache_misses"] < cold.metadata["udf_cache"]["cache_misses"] / 4
+        assert meta["calls"] == meta["cache_misses"]

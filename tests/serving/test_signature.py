@@ -1,0 +1,138 @@
+"""Tests for canonical query signatures (plan-cache keys)."""
+
+from repro.core.constraints import CostModel
+from repro.db.predicate import AndPredicate, ColumnPredicate, NotPredicate, OrPredicate, UdfPredicate
+from repro.db.query import SelectQuery
+from repro.db.udf import UserDefinedFunction
+from repro.serving.signature import canonical_predicate, plan_signature, strategy_fingerprint
+
+
+def _udf(name="f"):
+    return UserDefinedFunction(name=name, func=lambda row: True)
+
+
+class TestCanonicalPredicate:
+    def test_reordered_conjunction_hashes_equal(self):
+        udf = _udf()
+        a = ColumnPredicate("grade", "==", "A")
+        b = ColumnPredicate("income", ">", 50_000)
+        c = UdfPredicate(udf)
+        left = AndPredicate([a, b, c])
+        right = AndPredicate([c, a, b])
+        assert canonical_predicate(left) == canonical_predicate(right)
+        assert hash(canonical_predicate(left)) == hash(canonical_predicate(right))
+
+    def test_reordered_disjunction_hashes_equal(self):
+        a = ColumnPredicate("x", "==", 1)
+        b = ColumnPredicate("y", "==", 2)
+        assert canonical_predicate(OrPredicate([a, b])) == canonical_predicate(
+            OrPredicate([b, a])
+        )
+
+    def test_and_differs_from_or(self):
+        a = ColumnPredicate("x", "==", 1)
+        b = ColumnPredicate("y", "==", 2)
+        assert canonical_predicate(AndPredicate([a, b])) != canonical_predicate(
+            OrPredicate([a, b])
+        )
+
+    def test_negation_distinguished(self):
+        a = ColumnPredicate("x", "==", 1)
+        assert canonical_predicate(a) != canonical_predicate(NotPredicate(a))
+
+    def test_udf_identified_by_name_and_polarity(self):
+        u = _udf("check")
+        assert canonical_predicate(UdfPredicate(u)) == canonical_predicate(
+            UdfPredicate(_udf("check"))
+        )
+        assert canonical_predicate(UdfPredicate(u, expected=True)) != canonical_predicate(
+            UdfPredicate(u, expected=False)
+        )
+
+    def test_collection_operands_order_insensitive(self):
+        left = ColumnPredicate("grade", "in", ["A", "B", "C"])
+        right = ColumnPredicate("grade", "in", ["C", "A", "B"])
+        assert canonical_predicate(left) == canonical_predicate(right)
+
+
+class TestPlanSignature:
+    def _query(self, udf, cheap):
+        return SelectQuery(
+            table="loans",
+            predicate=UdfPredicate(udf),
+            cheap_predicates=list(cheap),
+            alpha=0.8,
+            beta=0.8,
+            rho=0.8,
+            correlated_column="grade",
+        )
+
+    def test_reordered_cheap_predicates_hash_equal(self):
+        udf = _udf()
+        a = ColumnPredicate("grade", "==", "A")
+        b = ColumnPredicate("term", "==", 36)
+        cost = CostModel()
+        first = plan_signature(self._query(udf, [a, b]), cost)
+        second = plan_signature(self._query(udf, [b, a]), cost)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_float_noise_folded(self):
+        udf = _udf()
+        query = self._query(udf, [])
+        noisy = SelectQuery(
+            table="loans",
+            predicate=UdfPredicate(udf),
+            alpha=0.8 + 1e-15,
+            beta=0.8,
+            rho=0.8,
+            correlated_column="grade",
+        )
+        cost = CostModel()
+        assert plan_signature(query, cost) == plan_signature(noisy, cost)
+
+    def test_different_constraints_differ(self):
+        udf = _udf()
+        query = self._query(udf, [])
+        other = SelectQuery(
+            table="loans",
+            predicate=UdfPredicate(udf),
+            alpha=0.9,
+            beta=0.8,
+            rho=0.8,
+            correlated_column="grade",
+        )
+        cost = CostModel()
+        assert plan_signature(query, cost) != plan_signature(other, cost)
+
+    def test_cost_model_part_of_key(self):
+        udf = _udf()
+        query = self._query(udf, [])
+        assert plan_signature(query, CostModel(1.0, 3.0)) != plan_signature(
+            query, CostModel(1.0, 10.0)
+        )
+
+    def test_identically_configured_strategies_share_keys(self):
+        from repro.core.pipeline import IntelSample
+
+        udf = _udf()
+        query = self._query(udf, [])
+        cost = CostModel()
+        first = plan_signature(query, cost, IntelSample(random_state=1))
+        second = plan_signature(query, cost, IntelSample(random_state=99))
+        assert first == second  # the seed is not plan-affecting configuration
+
+    def test_differently_configured_strategies_differ(self):
+        from repro.core.pipeline import IntelSample
+
+        udf = _udf()
+        query = self._query(udf, [])
+        cost = CostModel()
+        assert plan_signature(query, cost, IntelSample()) != plan_signature(
+            query, cost, IntelSample(use_virtual_column=True)
+        )
+
+    def test_strategy_fingerprint_hashable(self):
+        from repro.core.pipeline import IntelSample
+
+        hash(strategy_fingerprint(IntelSample()))
