@@ -1,0 +1,135 @@
+"""Diff a fresh ``BENCH_serving.json`` against the committed baseline.
+
+The serving-throughput benchmark emits deterministic *work counters* (UDF
+evaluations, solver calls, warm/cold amortisation ratio, plan-cache hit
+rate) alongside noisy wall-clock numbers.  This script compares only the
+counters, with a relative tolerance, and exits non-zero when any counter
+regressed beyond it — the ``bench-regression`` CI job runs it against the
+baseline committed in the repository so solver or caching changes cannot
+silently degrade the serving path.
+
+Counters that *improved* beyond the tolerance do not fail the build, but are
+reported loudly: a drifted baseline hides future regressions, so the
+benchmark should be re-run and ``BENCH_serving.json`` re-committed.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --baseline /tmp/BENCH_serving.baseline.json \
+        --fresh benchmarks/BENCH_serving.json \
+        --tolerance 0.15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Tuple
+
+#: ``(json path, lower_is_better)`` for every gated counter.  Wall-clock
+#: fields (seconds, queries_per_second) are deliberately absent: they vary
+#: with runner load and would make the gate flaky.
+GATED_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("cold.udf_evaluations", True),
+    ("cold.solver_calls", True),
+    ("warm.udf_evaluations", True),
+    ("warm.solver_calls", True),
+    ("warm.work", True),
+    ("work_ratio_cold_over_warm", False),
+    ("warm.plan_cache.hit_rate", False),
+)
+
+
+def _lookup(payload: dict, dotted: str) -> float:
+    node = payload
+    for part in dotted.split("."):
+        node = node[part]
+    return float(node)
+
+
+def _classify(
+    baseline: float, fresh: float, lower_is_better: bool, tolerance: float
+) -> str:
+    """One of ``ok`` / ``regression`` / ``improvement`` for a counter pair."""
+    scale = max(abs(baseline), 1e-12)
+    drift = (fresh - baseline) / scale
+    if abs(drift) <= tolerance:
+        return "ok"
+    got_worse = drift > 0 if lower_is_better else drift < 0
+    return "regression" if got_worse else "improvement"
+
+
+def compare(
+    baseline: dict, fresh: dict, tolerance: float
+) -> Iterator[Tuple[str, float, float, str]]:
+    """Yield ``(counter, baseline_value, fresh_value, verdict)`` rows."""
+    for dotted, lower_is_better in GATED_COUNTERS:
+        try:
+            base_value = _lookup(baseline, dotted)
+            fresh_value = _lookup(fresh, dotted)
+        except (KeyError, TypeError):
+            # A missing counter means the benchmark schema changed without
+            # re-baselining — that is itself a regression of the gate.
+            yield dotted, float("nan"), float("nan"), "missing"
+            continue
+        yield dotted, base_value, fresh_value, _classify(
+            base_value, fresh_value, lower_is_better, tolerance
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="baseline JSON to gate against — a copy of the *committed* "
+        "BENCH_serving.json taken before running the benchmark (the "
+        "benchmark rewrites the file in place, so there is deliberately "
+        "no default: it would compare the fresh file to itself)",
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True, help="freshly generated JSON to gate"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative drift per counter (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+
+    rows = list(compare(baseline, fresh, args.tolerance))
+    width = max(len(name) for name, *_ in rows)
+    print(f"benchmark counter gate (tolerance ±{args.tolerance:.0%})")
+    for name, base_value, fresh_value, verdict in rows:
+        marker = {"ok": " ", "improvement": "+", "regression": "!", "missing": "?"}[
+            verdict
+        ]
+        print(
+            f"  {marker} {name:<{width}}  baseline={base_value:<12g} "
+            f"fresh={fresh_value:<12g} {verdict}"
+        )
+
+    regressions = [name for name, *_rest, verdict in rows if verdict in ("regression", "missing")]
+    improvements = [name for name, *_rest, verdict in rows if verdict == "improvement"]
+    if improvements:
+        print(
+            "note: counters improved beyond tolerance "
+            f"({', '.join(improvements)}); re-run the benchmark and commit the "
+            "fresh BENCH_serving.json so the baseline keeps gating."
+        )
+    if regressions:
+        print(f"FAIL: {len(regressions)} counter(s) regressed: {', '.join(regressions)}")
+        return 1
+    print("OK: all gated counters within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

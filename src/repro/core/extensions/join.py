@@ -12,7 +12,7 @@ cost stays per-``T``-tuple.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Sequence, Tuple
+from typing import Dict, Hashable, Sequence
 
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.core.plan import ExecutionPlan, GroupDecision

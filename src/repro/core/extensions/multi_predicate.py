@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.solvers.linear import LinearProgram, solve_linear_program

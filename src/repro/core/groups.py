@@ -16,8 +16,8 @@ ordered collection the optimizers iterate over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional
 
 import numpy as np
 

@@ -73,6 +73,41 @@ def recall_target(
     return constraints.beta * expected_correct + margin
 
 
+@dataclass(frozen=True)
+class PrecisionHeadroom:
+    """How much margined-precision slack a model can buy, per cost channel.
+
+    The precision constraint's left-hand side grows through two channels:
+
+    * retrieving a tuple of group ``a`` unevaluated (paid at ``o_r``)
+      contributes ``s_a - alpha`` — positive only on high-selectivity groups;
+    * retrieving *and* evaluating it (paid at ``o_r + o_e``) contributes
+      ``s_a * (1 - alpha)``, which dominates the first channel by the
+      filtered false-positive mass ``alpha * (1 - s_a)``.
+
+    ``retrieval`` is the headroom of the first channel alone — the quantity
+    Theorem 3.8's pre-condition compares against ``h^p_rho``.  ``total`` is
+    the absolute ceiling (retrieve and evaluate everything); the margined LP
+    is precision-feasible iff ``total >= h^p_rho``.
+    """
+
+    retrieval: float
+    total: float
+
+
+def precision_headroom(
+    model: SelectivityModel, constraints: QueryConstraints
+) -> PrecisionHeadroom:
+    """Per-channel precision headroom of ``model`` under ``constraints``."""
+    alpha = constraints.alpha
+    retrieval = 0.0
+    total = 0.0
+    for group in model:
+        retrieval += max(group.remaining * (group.selectivity - alpha), 0.0)
+        total += group.remaining * group.selectivity * (1.0 - alpha)
+    return PrecisionHeadroom(retrieval=retrieval, total=total)
+
+
 def solve_perfect_selectivity_lp(
     model: SelectivityModel,
     constraints: QueryConstraints,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.core.constraints import CostModel, QueryConstraints
-from repro.core.groups import GroupStatistics, SelectivityModel
+from repro.core.groups import SelectivityModel
 from repro.core.plan import ExecutionPlan, GroupDecision
 from repro.solvers.branch_bound import BranchAndBoundSolver, IntegerProgram
 from repro.solvers.knapsack import KnapsackItem

@@ -246,8 +246,11 @@ class IntelSample:
         )
         outcome: SampleOutcome = new_outcome if prior is None else prior.merge(new_outcome)
 
-        # Step 3 — solve Convex Program 4.1 (falling back to exhaustive
-        # evaluation if the margined program is infeasible).
+        # Step 3 — solve Convex Program 4.1.  Since the PR-2 joint repair,
+        # the solvers raise InfeasibleProblemError only when the margined
+        # program genuinely has no solution (not merely because the greedy
+        # ran out of evaluation headroom), so the exhaustive fallback is the
+        # *only* remaining answer rather than a conservative default.
         used_fallback = False
         try:
             solution = solve_with_samples(
@@ -353,11 +356,17 @@ class OptimalOracle:
         positives = {row_id for row_id, flag in enumerate(outcomes) if flag}
         model = SelectivityModel.from_ground_truth(index, positives)
 
+        # BiGreedy attains the LP optimum on every feasible input, so the
+        # oracle never needs a second opinion from the scipy LP: an
+        # InfeasibleProblemError here means the margined LP itself has no
+        # solution and evaluating everything is the only correct plan.
+        used_fallback = False
         try:
             solution = solve_bigreedy(model, constraints, cost_model)
             plan = solution.plan
         except InfeasibleProblemError:
             plan = ExecutionPlan.evaluate_everything(index.values)
+            used_fallback = True
 
         executor = PlanExecutor(random_state=self.random_state.child())
         result = executor.execute(table, index, udf, plan, ledger)
@@ -367,6 +376,7 @@ class OptimalOracle:
             metadata={
                 "strategy": "optimal_oracle",
                 "plan": plan,
+                "used_fallback": used_fallback,
                 "evaluations": ledger.evaluated_count,
                 "retrievals": ledger.retrieved_count,
             },

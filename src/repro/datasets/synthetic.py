@@ -12,16 +12,15 @@ experiments need.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.db.column import Column, ColumnType
+from repro.db.column import ColumnType
 from repro.db.table import Table
 from repro.db.udf import UserDefinedFunction
-from repro.stats.random import RandomState, SeedLike, as_random_state
+from repro.stats.random import SeedLike, as_random_state
 from repro.stats.summaries import pearson_correlation
 
 

@@ -19,6 +19,7 @@ from repro.db.errors import DuplicateObjectError, UnsupportedQueryError
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger
+from repro.solvers.linear import InfeasibleProblemError
 from repro.stats.metrics import ResultQuality, result_quality
 
 
@@ -182,7 +183,16 @@ class Engine:
             result = self.execute_exact(query)
         else:
             table = self.catalog.table(query.table)
-            result = resolved.run(table, query, self.new_ledger())
+            try:
+                result = resolved.run(table, query, self.new_ledger())
+            except InfeasibleProblemError as error:
+                # The built-in strategies fall back internally, but a custom
+                # strategy may let a genuinely infeasible margined program
+                # escape.  Exhaustive evaluation is always a correct answer,
+                # so the engine absorbs the error rather than failing the
+                # query; the metadata records why the plan was abandoned.
+                result = self.execute_exact(query)
+                result.metadata["fallback_reason"] = f"infeasible constraints: {error}"
         if audit:
             result.quality = self.audit(query, result)
         return result

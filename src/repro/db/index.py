@@ -8,7 +8,7 @@ value of a categorical column to the row ids carrying it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Sequence
+from typing import Any, Dict, Iterator, List
 
 import numpy as np
 

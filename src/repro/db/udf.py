@@ -14,7 +14,7 @@ Section 6.1 — but any callable works.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
 
 import numpy as np

@@ -11,7 +11,7 @@ aggregates evaluations, retrievals, cost and achieved precision/recall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -21,12 +21,7 @@ from repro.core.pipeline import IntelSample, OptimalOracle
 from repro.datasets.registry import load_dataset
 from repro.datasets.synthetic import DatasetBundle
 from repro.db.udf import CostLedger
-from repro.sampling.schemes import (
-    ConstantScheme,
-    FixedFractionScheme,
-    SamplingScheme,
-    TwoThirdPowerScheme,
-)
+from repro.sampling.schemes import FixedFractionScheme, SamplingScheme
 from repro.stats.metrics import result_quality
 from repro.stats.random import stable_hash_seed
 

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.datasets.registry import DATASET_NAMES, dataset_spec
 from repro.datasets.toy import toy_credit_table

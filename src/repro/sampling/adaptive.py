@@ -15,7 +15,7 @@ actually sampling incrementally and solving Convex Program 4.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 

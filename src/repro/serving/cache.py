@@ -127,6 +127,13 @@ class LRUCache:
         with self._lock:
             self.stats.hits += 1
 
+    def note_miss(self) -> None:
+        """Count a miss for an unrecorded lookup — e.g. an entry that was
+        found but failed a caller-side liveness check (stale solver version,
+        re-registered table) and will not be used."""
+        with self._lock:
+            self.stats.misses += 1
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) ``key``, evicting the LRU entry if needed."""
         if not self.enabled:

@@ -20,6 +20,15 @@ from repro.db.table import Table
 from repro.sampling.sampler import SampleOutcome
 from repro.serving.cache import LRUCache
 
+#: Version of the plan-producing solver stack.  Folded into every plan
+#: signature and stamped on every :class:`CachedPlan`, so plans solved by an
+#: older solver can never be replayed after an upgrade (neither within a
+#: process nor through any externalised signature).  History: 1 — PR 1's
+#: original serving layer; 2 — PR 2's joint phase-2 repair in
+#: :func:`repro.core.bigreedy.solve_bigreedy`, which changes the optimal
+#: plans (and their expected costs) for loose-recall queries.
+PLAN_CACHE_VERSION = 2
+
 
 @dataclass(frozen=True)
 class CachedPlan:
@@ -51,6 +60,9 @@ class CachedPlan:
         Whether ``column`` is a derived virtual column.
     used_fallback:
         Whether the solver fell back to evaluate-everything.
+    solver_version:
+        The :data:`PLAN_CACHE_VERSION` of the solver stack that produced the
+        plan; the service refuses to replay entries from any other version.
     """
 
     column: str
@@ -62,6 +74,7 @@ class CachedPlan:
     expected_execution_cost: float
     used_virtual_column: bool = False
     used_fallback: bool = False
+    solver_version: int = PLAN_CACHE_VERSION
 
 
 class PlanCache:
@@ -92,6 +105,10 @@ class PlanCache:
     def note_hit(self) -> None:
         """Record a hit observed outside :meth:`get` (single-flight waiters)."""
         self._cache.note_hit()
+
+    def note_miss(self) -> None:
+        """Record a miss observed outside :meth:`get` (dead entries)."""
+        self._cache.note_miss()
 
     def put(self, signature: Tuple, entry: CachedPlan) -> None:
         """Store a solved plan under its canonical signature."""

@@ -40,7 +40,7 @@ from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.serving.batch_executor import BatchExecutor
-from repro.serving.plan_cache import CachedPlan, PlanCache
+from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
 from repro.serving.session import ClientSession, SessionManager
 from repro.serving.stats_cache import StatisticsCache
 from repro.serving.signature import plan_signature
@@ -284,13 +284,28 @@ class QueryService:
 
         Re-registering a table under the same name invalidates every plan
         computed against the old data; identity (not name) is the check.
+        Entries stamped with a different solver version are likewise dead:
+        the signature already embeds the version, so this only triggers for
+        entries injected from external snapshots — but a stale plan silently
+        re-executing after a solver upgrade is the one failure mode this
+        cache must never have.
+
+        Hit/miss statistics are recorded only after the liveness checks, so
+        a dead entry counts as the miss it behaves as (the bench-regression
+        CI gate watches the reported hit rate).
         """
-        entry = self.plan_cache.get(signature, record=record)
-        if entry is None:
-            return None
-        if entry.base_table is not self.catalog.table(query.table):
-            return None
-        return entry
+        entry = self.plan_cache.get(signature, record=False)
+        live = (
+            entry is not None
+            and entry.solver_version == PLAN_CACHE_VERSION
+            and entry.base_table is self.catalog.table(query.table)
+        )
+        if record:
+            if live:
+                self.plan_cache.note_hit()
+            else:
+                self.plan_cache.note_miss()
+        return entry if live else None
 
     # -- cold path ------------------------------------------------------------------
     def _plan_and_execute(

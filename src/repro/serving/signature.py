@@ -28,6 +28,7 @@ from repro.db.predicate import (
     UdfPredicate,
 )
 from repro.db.query import SelectQuery
+from repro.serving.plan_cache import PLAN_CACHE_VERSION
 
 #: Decimal places kept when folding float noise out of signature components.
 _FLOAT_DECIMALS = 12
@@ -113,13 +114,16 @@ def plan_signature(
 
     Reordered (cheap or expensive) predicates, float representation noise in
     the constraints, and distinct-but-identical strategy instances all map to
-    the same signature.
+    the same signature.  The signature embeds
+    :data:`~repro.serving.plan_cache.PLAN_CACHE_VERSION`, so plans produced
+    by an older solver stack can never collide with current ones.
     """
     cheap = tuple(
         sorted((canonical_predicate(p) for p in query.cheap_predicates), key=repr)
     )
     return (
         "plan",
+        PLAN_CACHE_VERSION,
         query.table,
         canonical_predicate(query.predicate),
         cheap,

@@ -7,6 +7,7 @@ from repro.core.constraints import CostModel, QueryConstraints
 from repro.core.groups import SelectivityModel
 from repro.core.hoeffding_lp import (
     compute_margins,
+    precision_headroom,
     recall_target,
     solve_perfect_selectivity_lp,
 )
@@ -118,6 +119,69 @@ class TestBiGreedy:
     def test_feasibility_conditions_fail_for_tiny_model(self):
         model = SelectivityModel.from_selectivities(sizes={"a": 3}, selectivities={"a": 0.5})
         assert not bigreedy_feasibility_conditions(model, QueryConstraints(0.8, 0.8, 0.99))
+
+    def test_browsing_mode_evaluates_fractional_marginal_group(self):
+        """Regression: E_a == R_a must cover fractional phase-1 mass too.
+
+        ``bigreedy_feasibility_conditions`` calls precision "trivially ok"
+        for ``alpha >= 1 - 1e-12``, which is only sound because the browsing
+        branch evaluates *everything* it retrieves — including the marginal
+        group a loose recall bound leaves fractional.
+        """
+        model = SelectivityModel.from_selectivities(
+            sizes={"hi": 2000, "lo": 2000}, selectivities={"hi": 0.9, "lo": 0.2}
+        )
+        constraints = QueryConstraints(alpha=1.0, beta=0.4, rho=0.8)
+        assert bigreedy_feasibility_conditions(model, constraints)
+        solution = solve_bigreedy(model, constraints)
+        fractional = [
+            decision
+            for _key, decision in solution.plan
+            if 0.0 < decision.retrieve_probability < 1.0
+        ]
+        assert fractional, "the loose recall bound should leave a fractional group"
+        for _key, decision in solution.plan:
+            assert decision.evaluate == decision.retrieve
+
+    def test_repair_retrieves_beyond_the_recall_target(self):
+        """Regression for the ROADMAP gap: the eval-only phase 2 declared
+        this loose-recall problem infeasible (evaluating every retrieved
+        tuple cannot absorb the precision margin) although retrieving more
+        of the high-selectivity group makes it feasible — and ~cheap."""
+        model = SelectivityModel.from_selectivities(
+            sizes={"rich": 5000, "junk": 5000},
+            selectivities={"rich": 0.95, "junk": 0.01},
+        )
+        constraints = QueryConstraints(alpha=0.9, beta=0.05, rho=0.8)
+        solution = solve_bigreedy(model, constraints)
+        lp = solve_perfect_selectivity_lp(model, constraints)
+        assert solution.expected_cost == pytest.approx(lp.expected_cost, rel=1e-6)
+        precision_lhs, recall_lhs = constraint_values(
+            model, solution.plan, constraints.alpha
+        )
+        assert precision_lhs >= solution.margins.precision_margin - 1e-6
+        assert recall_lhs >= recall_target(
+            model, constraints, solution.margins.recall_margin
+        ) - 1e-6
+
+
+class TestPrecisionHeadroom:
+    def test_channel_headrooms_for_paper_example(self, selectivity_model):
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        headroom = precision_headroom(selectivity_model, constraints)
+        # Only group 1 (s = 0.9) clears alpha = 0.8 for the o_r channel; the
+        # o_r + o_e ceiling counts every group's (1 - alpha)-scaled positives.
+        assert headroom.retrieval == pytest.approx(1000 * (0.9 - 0.8))
+        assert headroom.total == pytest.approx(1000 * (0.9 + 0.5 + 0.1) * 0.2)
+        assert headroom.total >= headroom.retrieval
+
+    def test_feasibility_condition_matches_retrieval_channel(self, selectivity_model):
+        constraints = QueryConstraints(0.8, 0.8, 0.8)
+        margins = compute_margins(selectivity_model, constraints)
+        headroom = precision_headroom(selectivity_model, constraints)
+        assert bigreedy_feasibility_conditions(selectivity_model, constraints) == (
+            margins.precision_margin < headroom.retrieval
+        )
 
 
 class TestLpEquivalence:

@@ -142,3 +142,23 @@ class TestEngineWithStrategy:
         # Returning everything gives recall 1 and precision = 6/12.
         assert result.quality.recall == 1.0
         assert result.quality.precision == pytest.approx(0.5)
+
+    def test_infeasible_strategy_falls_back_to_exact(self, toy_catalog, toy_udf):
+        """A strategy that lets a genuinely infeasible margined program
+        escape gets absorbed by the engine: exhaustive evaluation is always
+        a correct answer, and the metadata records why."""
+        from repro.solvers.linear import InfeasibleProblemError
+
+        class InfeasibleStrategy:
+            def run(self, table, query, ledger):
+                raise InfeasibleProblemError("margined LP has no solution")
+
+        query = SelectQuery(
+            "toy_credit", UdfPredicate(toy_udf), alpha=0.8, beta=0.8, rho=0.8
+        )
+        engine = Engine(toy_catalog)
+        result = engine.execute(query, strategy=InfeasibleStrategy(), audit=True)
+        assert result.metadata["strategy"] == "exact"
+        assert "infeasible" in result.metadata["fallback_reason"]
+        assert result.quality.precision == 1.0
+        assert result.quality.recall == 1.0

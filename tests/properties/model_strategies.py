@@ -1,0 +1,17 @@
+"""Shared hypothesis strategies for the property suites."""
+
+from hypothesis import strategies as st
+
+from repro.core.groups import SelectivityModel
+
+group_sizes = st.integers(min_value=1, max_value=5000)
+selectivities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def selectivity_models(draw, min_groups=1, max_groups=8):
+    """A random perfect-selectivity model with ``min_groups..max_groups`` groups."""
+    count = draw(st.integers(min_value=min_groups, max_value=max_groups))
+    sizes = {i: draw(group_sizes) for i in range(count)}
+    sels = {i: draw(selectivities) for i in range(count)}
+    return SelectivityModel.from_selectivities(sizes, sels)

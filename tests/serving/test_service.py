@@ -67,6 +67,48 @@ class TestPlanCaching:
         warm = service.submit(_query(dataset, udf, cheap=[b, a]), seed=1)
         assert warm.metadata["plan_cache"] == "hit"
 
+    def test_stale_solver_version_entries_are_not_replayed(self, serving_setup):
+        """A plan solved by an older solver stack must re-plan, not replay.
+
+        The signature embeds PLAN_CACHE_VERSION, so live processes can never
+        produce a collision; this simulates an entry restored from an
+        external snapshot by rewriting a fresh entry's version stamp.
+        """
+        from dataclasses import replace
+
+        from repro.core.constraints import CostModel
+        from repro.serving.plan_cache import PLAN_CACHE_VERSION
+        from repro.serving.signature import plan_signature
+
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        query = _query(dataset, udf)
+        service.submit(query, seed=0)
+
+        cost_model = CostModel(
+            retrieval_cost=service.engine.retrieval_cost,
+            evaluation_cost=service.engine.evaluation_cost,
+        )
+        signature = plan_signature(query, cost_model, service._strategy_prototype)
+        entry = service.plan_cache.get(signature, record=False)
+        assert entry is not None
+        assert entry.solver_version == PLAN_CACHE_VERSION
+        service.plan_cache.put(
+            signature, replace(entry, solver_version=PLAN_CACHE_VERSION - 1)
+        )
+
+        misses_before = service.plan_cache.snapshot()["misses"]
+        hits_before = service.plan_cache.snapshot()["hits"]
+        result = service.submit(query, seed=1)
+        assert result.metadata["plan_cache"] == "miss"
+        refreshed = service.plan_cache.get(signature, record=False)
+        assert refreshed.solver_version == PLAN_CACHE_VERSION
+        # The dead entry must be accounted as the miss it behaved as, not as
+        # a hit (the bench-regression gate watches the reported hit rate).
+        stats = service.plan_cache.snapshot()
+        assert stats["misses"] == misses_before + 1
+        assert stats["hits"] == hits_before
+
     def test_warm_results_stay_within_constraints(self, serving_setup):
         dataset, catalog, udf = serving_setup
         service = QueryService(Engine(catalog))

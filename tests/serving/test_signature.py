@@ -112,6 +112,15 @@ class TestPlanSignature:
             query, CostModel(1.0, 10.0)
         )
 
+    def test_solver_version_part_of_key(self):
+        from repro.serving.plan_cache import PLAN_CACHE_VERSION
+
+        udf = _udf()
+        signature = plan_signature(self._query(udf, []), CostModel())
+        assert PLAN_CACHE_VERSION in signature
+        # Plans from a previous solver stack can never share a signature.
+        assert signature.index(PLAN_CACHE_VERSION) == 1
+
     def test_identically_configured_strategies_share_keys(self):
         from repro.core.pipeline import IntelSample
 

@@ -1,0 +1,101 @@
+"""Tests for the benchmark-regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parents[1] / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _payload(cold_evals=1000, warm_evals=100, ratio=10.0, hit_rate=0.95):
+    return {
+        "cold": {"udf_evaluations": cold_evals, "solver_calls": 80, "work": cold_evals + 80},
+        "warm": {
+            "udf_evaluations": warm_evals,
+            "solver_calls": 4,
+            "work": warm_evals + 4,
+            "plan_cache": {"hit_rate": hit_rate},
+        },
+        "work_ratio_cold_over_warm": ratio,
+        "seconds": 1.23,
+    }
+
+
+def _run(tmp_path, baseline, fresh, tolerance=0.15):
+    base_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(fresh))
+    return compare_bench.main(
+        [
+            "--baseline",
+            str(base_path),
+            "--fresh",
+            str(fresh_path),
+            "--tolerance",
+            str(tolerance),
+        ]
+    )
+
+
+class TestClassify:
+    def test_within_tolerance_is_ok(self):
+        assert compare_bench._classify(100.0, 110.0, True, 0.15) == "ok"
+        assert compare_bench._classify(100.0, 90.0, False, 0.15) == "ok"
+
+    def test_lower_is_better_regression(self):
+        assert compare_bench._classify(100.0, 120.0, True, 0.15) == "regression"
+        assert compare_bench._classify(100.0, 80.0, True, 0.15) == "improvement"
+
+    def test_higher_is_better_regression(self):
+        assert compare_bench._classify(10.0, 8.0, False, 0.15) == "regression"
+        assert compare_bench._classify(10.0, 12.0, False, 0.15) == "improvement"
+
+    def test_zero_baseline_does_not_divide_by_zero(self):
+        assert compare_bench._classify(0.0, 0.0, True, 0.15) == "ok"
+        assert compare_bench._classify(0.0, 1.0, True, 0.15) == "regression"
+
+
+class TestGate:
+    def test_identical_payloads_pass(self, tmp_path):
+        assert _run(tmp_path, _payload(), _payload()) == 0
+
+    def test_small_drift_passes(self, tmp_path):
+        assert _run(tmp_path, _payload(), _payload(cold_evals=1100, warm_evals=105)) == 0
+
+    def test_work_regression_fails(self, tmp_path):
+        assert _run(tmp_path, _payload(), _payload(warm_evals=200)) == 1
+
+    def test_amortisation_ratio_regression_fails(self, tmp_path):
+        assert _run(tmp_path, _payload(), _payload(ratio=5.0)) == 1
+
+    def test_large_improvement_passes_but_notes_stale_baseline(self, tmp_path, capsys):
+        assert _run(tmp_path, _payload(), _payload(warm_evals=10, ratio=30.0)) == 0
+        out = capsys.readouterr().out
+        assert "re-run the benchmark" in out
+
+    def test_missing_counter_fails(self, tmp_path):
+        broken = _payload()
+        del broken["work_ratio_cold_over_warm"]
+        assert _run(tmp_path, _payload(), broken) == 1
+
+    def test_gate_accepts_the_committed_baseline(self):
+        """The committed BENCH_serving.json must pass against itself."""
+        committed = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_serving.json"
+        )
+        payload = json.loads(committed.read_text())
+        rows = list(compare_bench.compare(payload, payload, 0.15))
+        assert rows, "no gated counters found in the committed baseline"
+        assert all(verdict == "ok" for *_rest, verdict in rows)
+
+    def test_wall_clock_fields_are_not_gated(self):
+        gated = {name for name, _ in compare_bench.GATED_COUNTERS}
+        assert not any("seconds" in name or "queries_per_second" in name for name in gated)
