@@ -1,23 +1,32 @@
-"""Diff a fresh ``BENCH_serving.json`` against the committed baseline.
+"""Diff a fresh benchmark JSON against the committed baseline.
 
-The serving-throughput benchmark emits deterministic *work counters* (UDF
-evaluations, solver calls, warm/cold amortisation ratio, plan-cache hit
-rate) alongside noisy wall-clock numbers.  This script compares only the
-counters, with a relative tolerance, and exits non-zero when any counter
-regressed beyond it — the ``bench-regression`` CI job runs it against the
-baseline committed in the repository so solver or caching changes cannot
-silently degrade the serving path.
+The serving-throughput benchmarks emit deterministic *work counters* (UDF
+evaluations, solver calls, group-index builds, bulk vs per-row UDF API
+calls, warm/cold amortisation ratio, plan-cache hit rate) alongside noisy
+wall-clock numbers.  This script compares only the counters, with a
+relative tolerance, and exits non-zero when any counter regressed beyond
+it — the ``bench-regression`` CI job runs it against the baselines
+committed in the repository so solver, caching or vectorisation changes
+cannot silently degrade the serving path.
+
+Two profiles select which counters are gated:
+
+* ``serving`` (default) — the cold/warm trace replay of
+  ``BENCH_serving.json``;
+* ``coldpath`` — the ~25k-row cold scaling point of
+  ``BENCH_coldpath.json``.
 
 Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
-benchmark should be re-run and ``BENCH_serving.json`` re-committed.
+benchmark should be re-run and the baseline JSON re-committed.
 
 Usage::
 
     python benchmarks/compare_bench.py \
         --baseline /tmp/BENCH_serving.baseline.json \
         --fresh benchmarks/BENCH_serving.json \
-        --tolerance 0.15
+        --tolerance 0.15 \
+        --profile serving
 """
 
 from __future__ import annotations
@@ -26,20 +35,42 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Tuple
 
-#: ``(json path, lower_is_better)`` for every gated counter.  Wall-clock
-#: fields (seconds, queries_per_second) are deliberately absent: they vary
-#: with runner load and would make the gate flaky.
+#: ``(json path, lower_is_better)`` for every gated counter, per profile.
+#: Wall-clock fields (seconds, queries_per_second) are deliberately absent:
+#: they vary with runner load and would make the gate flaky.  The
+#: ``group_index_builds`` / ``udf_*_calls`` counters are the cold-path
+#: vectorisation gate: index builds must stay amortised by the shared table
+#: cache and UDF work must stay batched (per-row API calls pinned at 0).
 GATED_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("cold.udf_evaluations", True),
     ("cold.solver_calls", True),
+    ("cold.group_index_builds", True),
+    ("cold.udf_bulk_calls", True),
+    ("cold.udf_row_calls", True),
     ("warm.udf_evaluations", True),
     ("warm.solver_calls", True),
     ("warm.work", True),
+    ("warm.group_index_builds", True),
+    ("warm.udf_row_calls", True),
     ("work_ratio_cold_over_warm", False),
     ("warm.plan_cache.hit_rate", False),
 )
+
+COLDPATH_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("rows", False),
+    ("cold.udf_evaluations", True),
+    ("cold.solver_calls", True),
+    ("cold.group_index_builds", True),
+    ("cold.udf_bulk_calls", True),
+    ("cold.udf_row_calls", True),
+)
+
+PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
+    "serving": GATED_COUNTERS,
+    "coldpath": COLDPATH_COUNTERS,
+}
 
 
 def _lookup(payload: dict, dotted: str) -> float:
@@ -62,10 +93,10 @@ def _classify(
 
 
 def compare(
-    baseline: dict, fresh: dict, tolerance: float
+    baseline: dict, fresh: dict, tolerance: float, profile: str = "serving"
 ) -> Iterator[Tuple[str, float, float, str]]:
     """Yield ``(counter, baseline_value, fresh_value, verdict)`` rows."""
-    for dotted, lower_is_better in GATED_COUNTERS:
+    for dotted, lower_is_better in PROFILES[profile]:
         try:
             base_value = _lookup(baseline, dotted)
             fresh_value = _lookup(fresh, dotted)
@@ -99,14 +130,23 @@ def main(argv=None) -> int:
         default=0.15,
         help="allowed relative drift per counter (default: 0.15)",
     )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="serving",
+        help="which benchmark's counters to gate (default: serving)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
 
-    rows = list(compare(baseline, fresh, args.tolerance))
+    rows = list(compare(baseline, fresh, args.tolerance, args.profile))
     width = max(len(name) for name, *_ in rows)
-    print(f"benchmark counter gate (tolerance ±{args.tolerance:.0%})")
+    print(
+        f"benchmark counter gate "
+        f"(profile {args.profile}, tolerance ±{args.tolerance:.0%})"
+    )
     for name, base_value, fresh_value, verdict in rows:
         marker = {"ok": " ", "improvement": "+", "regression": "!", "missing": "?"}[
             verdict
@@ -122,7 +162,7 @@ def main(argv=None) -> int:
         print(
             "note: counters improved beyond tolerance "
             f"({', '.join(improvements)}); re-run the benchmark and commit the "
-            "fresh BENCH_serving.json so the baseline keeps gating."
+            "fresh baseline JSON so the gate keeps gating."
         )
     if regressions:
         print(f"FAIL: {len(regressions)} counter(s) regressed: {', '.join(regressions)}")

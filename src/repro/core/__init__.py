@@ -8,7 +8,8 @@ Public surface:
   :func:`solve_perfect_selectivity_lp` and :func:`solve_bigreedy`
   (Section 3.2), :func:`solve_estimated_selectivity` (Section 3.3),
   :func:`solve_with_samples` (Section 4.2),
-* execution — :class:`PlanExecutor`,
+* execution — :class:`BatchExecutor` (vectorised default) and
+  :class:`PlanExecutor` (tuple-at-a-time reference),
 * end-to-end strategies — :class:`IntelSample`, :class:`AdaptiveIntelSample`,
   :class:`OptimalOracle`,
 * column selection — :func:`select_correlated_column`,
@@ -31,7 +32,13 @@ from repro.core.column_selection import (
 )
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.core.estimated import EstimatedSolution, solve_estimated_selectivity
-from repro.core.executor import ExecutionResult, GroupExecutionCounts, PlanExecutor
+from repro.core.executor import (
+    BatchExecutor,
+    ExecutionResult,
+    ExecutorBackend,
+    GroupExecutionCounts,
+    PlanExecutor,
+)
 from repro.core.groups import GroupStatistics, SelectivityModel
 from repro.core.hoeffding_lp import (
     LpSolution,
@@ -76,6 +83,8 @@ __all__ = [
     "solve_with_samples",
     "solve_from_model",
     "PlanExecutor",
+    "BatchExecutor",
+    "ExecutorBackend",
     "ExecutionResult",
     "GroupExecutionCounts",
     "IntelSample",

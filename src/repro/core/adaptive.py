@@ -12,15 +12,14 @@ found with everything sampled so far.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.constraints import CostModel, QueryConstraints
-from repro.core.executor import PlanExecutor
+from repro.core.executor import BatchExecutor, ExecutorBackend
 from repro.core.groups import SelectivityModel
 from repro.core.plan import ExecutionPlan
 from repro.core.sampling_program import solve_with_samples
 from repro.db.engine import QueryResult
-from repro.db.index import GroupIndex
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.sampling.adaptive import default_num_schedule
@@ -70,6 +69,12 @@ class AdaptiveIntelSample:
     patience:
         Number of consecutive predicted-cost increases tolerated before the
         search stops.
+    executor_factory:
+        Optional factory mapping a :class:`RandomState` to an
+        :class:`~repro.core.executor.ExecutorBackend`; defaults to the
+        vectorised :class:`~repro.core.executor.BatchExecutor` (pass
+        ``lambda rng: PlanExecutor(random_state=rng)`` for the
+        tuple-at-a-time reference backend).
     """
 
     def __init__(
@@ -79,12 +84,14 @@ class AdaptiveIntelSample:
         patience: int = 1,
         independent: bool = True,
         random_state: SeedLike = None,
+        executor_factory: Optional[Callable[[RandomState], ExecutorBackend]] = None,
     ):
         self.correlated_column = correlated_column
         self.num_schedule = list(num_schedule) if num_schedule is not None else None
         self.patience = patience
         self.independent = independent
         self.random_state: RandomState = as_random_state(random_state)
+        self.executor_factory = executor_factory
 
     def answer(
         self,
@@ -99,7 +106,7 @@ class AdaptiveIntelSample:
             retrieval_cost=ledger.retrieval_cost,
             evaluation_cost=ledger.evaluation_cost,
         )
-        index = GroupIndex(table, self.correlated_column)
+        index = table.group_index(self.correlated_column)
         schedule = self.num_schedule or default_num_schedule(constraints.alpha)
         sampler = GroupSampler(random_state=self.random_state.child())
 
@@ -155,7 +162,11 @@ class AdaptiveIntelSample:
                     break
 
         assert best_plan is not None and best_model is not None and outcome is not None
-        executor = PlanExecutor(random_state=self.random_state.child())
+        executor_rng = self.random_state.child()
+        if self.executor_factory is not None:
+            executor: ExecutorBackend = self.executor_factory(executor_rng)
+        else:
+            executor = BatchExecutor(random_state=executor_rng)
         result = executor.execute(
             table, index, udf, best_plan, ledger, sample_outcome=outcome
         )

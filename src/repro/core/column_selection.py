@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.bigreedy import solve_bigreedy
 from repro.core.constraints import CostModel, QueryConstraints
@@ -56,24 +58,44 @@ class LabeledSample:
         """Labelled rows that satisfied the predicate."""
         return [row_id for row_id, outcome in self.outcomes.items() if outcome]
 
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The labelled rows as parallel ``(row_ids, outcomes)`` arrays."""
+        ids = np.fromiter(self.outcomes.keys(), dtype=np.intp, count=len(self.outcomes))
+        flags = np.fromiter(
+            self.outcomes.values(), dtype=bool, count=len(self.outcomes)
+        )
+        return ids, flags
+
     def to_sample_outcome(self, index: GroupIndex) -> SampleOutcome:
         """Re-express the labelled rows as a per-group :class:`SampleOutcome`.
 
         This lets the pipeline reuse the labelled rows both as selectivity
         evidence and as already-paid-for output for whichever correlated
-        column ends up being chosen.
+        column ends up being chosen.  Group membership comes from the index's
+        per-row codes — one vectorised gather instead of a membership dict
+        over the whole table.
         """
-        by_group: Dict = {}
-        membership: Dict[int, object] = {}
-        for key, row_ids in index.items():
-            by_group[key] = GroupSample(group_key=key, group_size=len(row_ids))
-            for row_id in row_ids:
-                membership[row_id] = key
-        for row_id, outcome in self.outcomes.items():
-            key = membership.get(row_id)
-            if key is None:
-                continue
-            sample = by_group[key]
+        by_group: Dict = {
+            key: GroupSample(group_key=key, group_size=len(row_ids))
+            for key, row_ids in index.items()
+        }
+        if not self.outcomes:
+            return SampleOutcome(samples=by_group)
+        labeled_ids, flags = self.as_arrays()
+        # Labelled rows outside the indexed table (e.g. a sample drawn on the
+        # full table re-expressed against a sub-table's index) are skipped,
+        # matching the historical membership-dict behaviour.
+        in_range = (labeled_ids >= 0) & (labeled_ids < index.total_rows())
+        if not in_range.all():
+            labeled_ids, flags = labeled_ids[in_range], flags[in_range]
+            if not labeled_ids.size:
+                return SampleOutcome(samples=by_group)
+        codes = index.codes_for_rows(labeled_ids)
+        keys = index.values
+        for row_id, code, outcome in zip(
+            labeled_ids.tolist(), codes.tolist(), flags.tolist()
+        ):
+            sample = by_group[keys[code]]
             sample.sampled_row_ids.append(row_id)
             if outcome:
                 sample.positive_row_ids.append(row_id)
@@ -94,12 +116,14 @@ def draw_labeled_sample(
     rng = as_random_state(random_state)
     count = max(minimum_size, int(round(fraction * table.num_rows)))
     count = min(count, table.num_rows)
-    chosen = rng.choice(table.num_rows, size=count, replace=False)
+    chosen = np.atleast_1d(rng.choice(table.num_rows, size=count, replace=False))
+    # Bulk charge + one batched UDF call: identical counter/ledger totals to
+    # the historical per-row loop, minus the per-tuple python overhead.
+    ledger.charge_retrieval(int(chosen.size))
+    ledger.charge_evaluation(int(chosen.size))
+    outcomes = udf.evaluate_rows(table, chosen)
     sample = LabeledSample()
-    for row_id in (int(r) for r in chosen):
-        ledger.charge_retrieval()
-        ledger.charge_evaluation()
-        sample.outcomes[row_id] = udf.evaluate_row(table, row_id)
+    sample.outcomes.update(zip(chosen.tolist(), outcomes.tolist()))
     return sample
 
 
@@ -113,6 +137,14 @@ class ColumnSelectionResult:
     best_column: str
     estimated_costs: Dict[str, float]
     candidate_columns: List[str]
+
+
+def _column_cardinality(table: Table, column: str) -> int:
+    """Distinct-value count of a column, vectorised where numpy can sort it."""
+    try:
+        return int(np.unique(table.column_array(column)).size)
+    except TypeError:  # mixed-type object columns numpy cannot sort
+        return table.num_distinct(column)
 
 
 def candidate_correlated_columns(
@@ -136,11 +168,13 @@ def candidate_correlated_columns(
     # sqrt(t) distinct values at most, but never below 10 so that small labelled
     # samples (scaled-down datasets, tests) do not exclude every real column.
     soft_cap = max(10, int(math.sqrt(max(labeled_size, 1))))
+    # Cheap vectorised cardinality check first — a full GroupIndex is only
+    # built (and cached on the table) for columns that can actually qualify;
+    # near-unique columns are discarded without paying O(rows) per group.
+    cardinality = {name: _column_cardinality(table, name) for name in categorical}
     for cap in (soft_cap, hard_cap):
         qualifying = [
-            name
-            for name in categorical
-            if 2 <= table.num_distinct(name) <= cap
+            name for name in categorical if 2 <= cardinality[name] <= cap
         ]
         if qualifying:
             return qualifying
@@ -161,22 +195,37 @@ def estimate_column_cost(
     an infeasible optimization falls back to the evaluate-everything cost so
     that uninformative columns are never preferred.
     """
-    index = GroupIndex(table, column)
-    outcomes_by_group: Dict = {key: [] for key in index.values}
-    membership: Dict[int, object] = {}
-    for key, row_ids in index.items():
-        for row_id in row_ids:
-            membership[row_id] = key
-    for row_id, outcome in labeled.outcomes.items():
-        key = membership.get(row_id)
-        if key is not None:
-            outcomes_by_group[key].append(outcome)
+    labeled_ids, labeled_flags = labeled.as_arrays()
+    return _estimate_column_cost_from_arrays(
+        table, column, labeled_ids, labeled_flags, constraints, cost_model
+    )
 
-    sizes = {key: index.group_size(key) for key in index.values}
-    selectivities = {}
-    for key, outcomes in outcomes_by_group.items():
-        posterior = BetaPosterior.from_labels(outcomes)
-        selectivities[key] = posterior.mean
+
+def _estimate_column_cost_from_arrays(
+    table: Table,
+    column: str,
+    labeled_ids: np.ndarray,
+    labeled_flags: np.ndarray,
+    constraints: QueryConstraints,
+    cost_model: CostModel,
+) -> float:
+    """Cost estimate sharing one factorised labelled sample across columns.
+
+    The labelled rows are factorised against the column's shared
+    :class:`GroupIndex` with two ``bincount`` calls, so evaluating a new
+    candidate column never re-walks the table — this is what makes the
+    column search O(columns) instead of O(columns × rows).
+    """
+    index = table.group_index(column)
+    totals, positives = index.label_counts(labeled_ids, labeled_flags)
+    sizes = index.group_sizes()
+    selectivities = {
+        key: BetaPosterior(
+            positives=int(positives[code]),
+            negatives=int(totals[code] - positives[code]),
+        ).mean
+        for code, key in enumerate(index.values)
+    }
     model = SelectivityModel.from_selectivities(sizes, selectivities)
     try:
         solution = solve_bigreedy(model, constraints, cost_model)
@@ -204,8 +253,14 @@ def select_correlated_column(
             "no candidate correlated columns found; consider building a virtual "
             "column with build_virtual_column()"
         )
+    # One factorised labelled sample shared by every candidate column: the
+    # (row_ids, outcomes) arrays are built once, each column then groups them
+    # with two bincounts over its cached index.
+    labeled_ids, labeled_flags = labeled.as_arrays()
     costs = {
-        column: estimate_column_cost(table, column, labeled, constraints, cost_model)
+        column: _estimate_column_cost_from_arrays(
+            table, column, labeled_ids, labeled_flags, constraints, cost_model
+        )
         for column in candidates
     }
     best = min(costs, key=costs.get)

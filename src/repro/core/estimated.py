@@ -138,7 +138,15 @@ def _solve_independent(
     def split(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return x[:k], x[k:]
 
+    # Constraint gradients are supplied analytically: with only numerical
+    # differentiation SLSQP re-evaluates each nonlinear constraint 2k+1
+    # times per jacobian, which dominated the cold query path.
     if 0.0 < alpha < _ALPHA_CERTAIN:
+        precision_expect_grad_r = (
+            (1.0 - alpha) * remaining * selectivity
+            - alpha * remaining * (1.0 - selectivity)
+        )
+        precision_expect_grad_e = alpha * remaining * (1.0 - selectivity)
 
         def precision_constraint(x: np.ndarray) -> float:
             retrieve, evaluate = split(x)
@@ -155,11 +163,26 @@ def _solve_independent(
             )
             return (expectation - e_rho * math.sqrt(max(var, 0.0))) * scale
 
-        problem.inequality_constraints.append(precision_constraint)
+        def precision_jacobian(x: np.ndarray) -> np.ndarray:
+            retrieve, evaluate = split(x)
+            deviation = retrieve - alpha * evaluate
+            var = float(
+                np.sum(remaining**2 * variance * deviation**2 + 0.25 * remaining)
+            )
+            std = math.sqrt(max(var, 1e-18))
+            var_grad_r = remaining**2 * variance * deviation / std
+            grad_r = precision_expect_grad_r - e_rho * var_grad_r
+            grad_e = precision_expect_grad_e + e_rho * alpha * var_grad_r
+            return np.concatenate([grad_r, grad_e]) * scale
+
+        problem.inequality_constraints.append(
+            (precision_constraint, precision_jacobian)
+        )
 
     expected_total_correct = float(
         np.sum(sampled_positives) + np.sum(remaining * selectivity)
     )
+    recall_expect_grad_r = remaining * selectivity
 
     def recall_constraint(x: np.ndarray) -> float:
         retrieve, _ = split(x)
@@ -173,7 +196,17 @@ def _solve_independent(
         )
         return (expectation - e_rho * math.sqrt(max(var, 0.0))) * scale
 
-    problem.inequality_constraints.append(recall_constraint)
+    def recall_jacobian(x: np.ndarray) -> np.ndarray:
+        retrieve, _ = split(x)
+        deviation = retrieve - beta
+        var = float(
+            np.sum(remaining**2 * variance * deviation**2 + 0.25 * remaining)
+        )
+        std = math.sqrt(max(var, 1e-18))
+        grad_r = recall_expect_grad_r - e_rho * remaining**2 * variance * deviation / std
+        return np.concatenate([grad_r, np.zeros_like(grad_r)]) * scale
+
+    problem.inequality_constraints.append((recall_constraint, recall_jacobian))
 
     solver = solver or ConvexSolver()
     warm_starts = []

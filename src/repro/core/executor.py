@@ -1,20 +1,50 @@
 """Probabilistic plan execution (paper Section 3.2, "Execution" step).
 
-Given an :class:`~repro.core.plan.ExecutionPlan`, the executor walks every
-group and, tuple by tuple,
+Given an :class:`~repro.core.plan.ExecutionPlan`, an executor walks every
+group and
 
-1. retrieves the tuple with probability ``R_a`` (charging ``o_r``),
-2. if retrieved, evaluates it with probability ``E_a / R_a`` (charging
+1. retrieves each tuple with probability ``R_a`` (charging ``o_r``),
+2. evaluates each retrieved tuple with probability ``E_a / R_a`` (charging
    ``o_e``); evaluated tuples are returned only when the UDF passes,
    unevaluated retrieved tuples are returned unconditionally,
 3. skips tuples that were already evaluated during sampling — their positive
    members are added to the output for free, exactly as Section 4.2 allows.
+
+Two backends implement this contract:
+
+* :class:`PlanExecutor` — the paper-faithful tuple-at-a-time reference:
+  python loops, one ledger charge per tuple, one UDF call per evaluated row;
+* :class:`BatchExecutor` — the vectorised default: one NumPy pass per group
+  and one bulk :meth:`~repro.db.udf.UserDefinedFunction.evaluate_rows` call.
+
+Shared coin discipline
+----------------------
+
+Both backends consume the random stream identically, so for a fixed seed
+they produce *exactly* the same returned row ids and ledger counts — the
+differential property tests in ``tests/properties`` pin this.  Per group, in
+:attr:`GroupIndex.values` order:
+
+* ``R_a <= 0``: the group is skipped, no coins drawn;
+* retrieval coins: none when ``R_a >= 1`` (every candidate retrieved),
+  otherwise one uniform per candidate tuple in row order;
+* evaluation coins: none when ``E_a/R_a <= 0`` (nothing evaluated) or
+  ``E_a/R_a >= 1`` (every retrieved tuple evaluated), otherwise one uniform
+  per *retrieved* tuple in row order.
+
+Each tuple still sees an independent Bernoulli trial — the discipline only
+fixes where its coin sits in the stream (numpy's block and scalar ``random``
+draws are stream-identical), which is what makes a vectorised backend
+bit-compatible with the serial reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Protocol, Set
+from functools import cached_property
+from typing import Dict, FrozenSet, Hashable, List, Optional, Protocol
+
+import numpy as np
 
 from repro.core.plan import ExecutionPlan
 from repro.db.index import GroupIndex
@@ -53,10 +83,10 @@ class ExecutionResult:
     ledger: CostLedger
     group_counts: Dict[Hashable, GroupExecutionCounts] = field(default_factory=dict)
 
-    @property
-    def returned_set(self) -> Set[int]:
-        """Returned row ids as a set."""
-        return set(self.returned_row_ids)
+    @cached_property
+    def returned_set(self) -> FrozenSet[int]:
+        """Returned row ids as a read-only set (built once, then cached)."""
+        return frozenset(self.returned_row_ids)
 
     @property
     def total_cost(self) -> float:
@@ -77,9 +107,9 @@ class ExecutionResult:
 class ExecutorBackend(Protocol):
     """Protocol shared by plan-execution backends.
 
+    :class:`BatchExecutor` is the vectorised default;
     :class:`PlanExecutor` is the paper-faithful tuple-at-a-time reference
-    backend; :class:`repro.serving.batch_executor.BatchExecutor` is the
-    vectorised serving backend.  Strategies accept any implementation via
+    kept for differential testing.  Strategies accept any implementation via
     their ``executor_factory`` hook, so the same pipeline can run on either.
     """
 
@@ -96,8 +126,28 @@ class ExecutorBackend(Protocol):
         ...
 
 
+def _sampled_positives(
+    sample_outcome: Optional[SampleOutcome],
+) -> tuple[Dict[Hashable, np.ndarray], List[int]]:
+    """Per-group already-sampled row-id arrays plus the free positive output."""
+    sampled_ids: Dict[Hashable, np.ndarray] = {}
+    returned: List[int] = []
+    if sample_outcome is not None:
+        for key, sample in sample_outcome.samples.items():
+            if sample.sampled_row_ids:
+                sampled_ids[key] = np.asarray(sample.sampled_row_ids, dtype=np.intp)
+            returned.extend(int(r) for r in sample.positive_row_ids)
+    return sampled_ids, returned
+
+
 class PlanExecutor:
-    """Executes plans against a table, group index and UDF."""
+    """Tuple-at-a-time reference executor (paper-faithful accounting).
+
+    Retrieval and evaluation are charged tuple by tuple and every evaluated
+    row goes through the per-row UDF entry point, exactly as the paper's
+    cost model narrates execution.  Use :class:`BatchExecutor` (the default
+    everywhere) for speed; this backend exists to keep it honest.
+    """
 
     def __init__(self, random_state: SeedLike = None):
         self.random_state: RandomState = as_random_state(random_state)
@@ -118,34 +168,42 @@ class PlanExecutor:
         probabilistic pass and their positive members join the output
         directly.
         """
-        returned: List[int] = []
+        sampled_ids, returned = _sampled_positives(sample_outcome)
         group_counts: Dict[Hashable, GroupExecutionCounts] = {}
-
-        sampled_ids: Dict[Hashable, Set[int]] = {}
-        if sample_outcome is not None:
-            for key, sample in sample_outcome.samples.items():
-                sampled_ids[key] = set(sample.sampled_row_ids)
-                returned.extend(sample.positive_row_ids)
 
         for key, row_ids in index.items():
             decision = plan.decision(key)
             counts = GroupExecutionCounts()
             group_counts[key] = counts
-            already = sampled_ids.get(key, set())
             retrieve_probability = decision.retrieve_probability
             conditional_evaluate = decision.conditional_evaluate_probability
             if retrieve_probability <= 0.0:
                 continue
+            already = sampled_ids.get(key)
+            already_set = set(already.tolist()) if already is not None else ()
+
+            # Phase 1 — one retrieval coin per candidate tuple, in row order
+            # (no coins when retrieval is certain; see the coin discipline).
+            retrieved: List[int] = []
             for row_id in row_ids:
-                if row_id in already:
+                row_id = int(row_id)
+                if row_id in already_set:
                     continue
-                if self.random_state.random() >= retrieve_probability:
-                    continue
+                if (
+                    retrieve_probability >= 1.0
+                    or self.random_state.random() < retrieve_probability
+                ):
+                    retrieved.append(row_id)
+
+            # Phase 2 — retrieve/evaluate tuple by tuple, charging as we go.
+            for row_id in retrieved:
                 ledger.charge_retrieval()
-                evaluate = (
-                    conditional_evaluate > 0.0
-                    and self.random_state.random() < conditional_evaluate
-                )
+                if conditional_evaluate <= 0.0:
+                    evaluate = False
+                elif conditional_evaluate >= 1.0:
+                    evaluate = True
+                else:
+                    evaluate = self.random_state.random() < conditional_evaluate
                 if evaluate:
                     ledger.charge_evaluation()
                     outcome = udf.evaluate_row(table, row_id)
@@ -162,6 +220,117 @@ class PlanExecutor:
                     # the algorithm (the counts split is filled by auditing).
                     counts.returned += 1
                     returned.append(row_id)
+
+        return ExecutionResult(
+            returned_row_ids=returned,
+            ledger=ledger,
+            group_counts=group_counts,
+        )
+
+
+class BatchExecutor:
+    """Vectorised executor: one NumPy pass and one bulk UDF call per group.
+
+    The default backend for :class:`~repro.core.pipeline.IntelSample`,
+    :class:`~repro.core.pipeline.OptimalOracle` and the serving layer.
+    Thanks to the shared coin discipline it is *seed-for-seed identical* to
+    :class:`PlanExecutor`: same returned row ids, same ledger counts.  The
+    observable differences are performance and charging granularity — the
+    ledger is charged in per-group blocks, so a hard budget stops a group
+    before any of its UDF work happens instead of mid-group.
+
+    ``free_memoized=True`` switches the ledger accounting to serving
+    semantics: rows whose UDF value is already memoised are not re-charged,
+    mirroring a production system that never pays twice for the same
+    expensive predicate.  The default (``False``) keeps the paper's
+    accounting, where every execution-phase evaluation is charged.
+    """
+
+    def __init__(self, random_state: SeedLike = None, free_memoized: bool = False):
+        self.random_state: RandomState = as_random_state(random_state)
+        self.free_memoized = free_memoized
+
+    def execute(
+        self,
+        table: Table,
+        index: GroupIndex,
+        udf: UserDefinedFunction,
+        plan: ExecutionPlan,
+        ledger: CostLedger,
+        sample_outcome: Optional[SampleOutcome] = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` over every group of ``index`` (vectorised)."""
+        sampled_ids, returned = _sampled_positives(sample_outcome)
+        group_counts: Dict[Hashable, GroupExecutionCounts] = {}
+
+        rng = self.random_state.generator
+        for key, rows in index.items():
+            decision = plan.decision(key)
+            counts = GroupExecutionCounts()
+            group_counts[key] = counts
+            retrieve_probability = decision.retrieve_probability
+            conditional_evaluate = decision.conditional_evaluate_probability
+            if retrieve_probability <= 0.0:
+                continue
+
+            already = sampled_ids.get(key)
+            if already is not None:
+                candidates = rows[~np.isin(rows, already)]
+            else:
+                candidates = rows
+            if candidates.size == 0:
+                continue
+
+            # One retrieval coin per candidate tuple, drawn in a single block.
+            if retrieve_probability >= 1.0:
+                retrieved = candidates
+            else:
+                retrieved = candidates[rng.random(candidates.size) < retrieve_probability]
+            if retrieved.size == 0:
+                continue
+            ledger.charge_retrieval(int(retrieved.size))
+
+            if conditional_evaluate <= 0.0:
+                counts.returned += int(retrieved.size)
+                returned.extend(int(r) for r in retrieved)
+                continue
+
+            if conditional_evaluate >= 1.0:
+                evaluate_mask = np.ones(retrieved.size, dtype=bool)
+            else:
+                evaluate_mask = rng.random(retrieved.size) < conditional_evaluate
+            to_evaluate = retrieved[evaluate_mask]
+
+            # Keep every retrieved-but-unevaluated row; evaluated rows are
+            # kept only when the UDF passes.  ``keep_mask`` preserves the
+            # group's row order in the output, matching the serial backend.
+            keep_mask = ~evaluate_mask
+            if to_evaluate.size:
+                # Charge before evaluating (the serial backend's order), so a
+                # hard budget stops the batch before any UDF work happens and
+                # no un-paid-for values land in the memo cache.
+                if self.free_memoized:
+                    charge = int(to_evaluate.size) - int(
+                        udf.memoized_mask(to_evaluate).sum()
+                    )
+                else:
+                    charge = int(to_evaluate.size)
+                if charge:
+                    ledger.charge_evaluation(charge)
+                outcomes = udf.evaluate_rows(table, to_evaluate)
+                positives = int(outcomes.sum())
+                negatives = int(to_evaluate.size) - positives
+                counts.evaluated_correct += positives
+                counts.retrieved_correct += positives
+                counts.evaluated_incorrect += negatives
+                counts.retrieved_incorrect += negatives
+                counts.returned += positives
+                keep_mask = keep_mask.copy()
+                keep_mask[np.flatnonzero(evaluate_mask)] = outcomes
+
+            unevaluated = int(retrieved.size) - int(to_evaluate.size)
+            counts.returned += unevaluated
+            returned.extend(int(r) for r in retrieved[keep_mask])
 
         return ExecutionResult(
             returned_row_ids=returned,

@@ -205,13 +205,23 @@ class SelectivityModel:
     def from_ground_truth(
         cls, index: GroupIndex, positive_row_ids: Iterable[int]
     ) -> "SelectivityModel":
-        """Build a perfect-information model from the true positive set."""
+        """Build a perfect-information model from the true positive set.
+
+        One ``bincount`` over the index's per-row group codes replaces the
+        per-group membership tests of the dict-based construction.
+        """
         positives = np.fromiter(set(positive_row_ids), dtype=np.intp)
-        counts = {}
-        for key in index.values:
-            row_ids = index.row_id_array(key)
-            correct = int(np.isin(row_ids, positives).sum()) if positives.size else 0
-            counts[key] = (correct, len(row_ids) - correct)
+        sizes = index.size_array()
+        if positives.size:
+            correct = np.bincount(
+                index.codes_for_rows(positives), minlength=index.num_groups
+            )
+        else:
+            correct = np.zeros(index.num_groups, dtype=np.intp)
+        counts = {
+            key: (int(correct[code]), int(sizes[code] - correct[code]))
+            for code, key in enumerate(index.values)
+        }
         return cls.from_exact_counts(counts)
 
     @classmethod
@@ -224,17 +234,21 @@ class SelectivityModel:
     ) -> "SelectivityModel":
         """Build a perfect-information model straight from a hidden label column.
 
-        Vectorised over :meth:`Table.column_array` — one pass over the label
-        array instead of one dict-building row access per tuple, which is the
-        hot path when oracles and auditors read ground truth on every query.
+        Vectorised over :meth:`Table.column_array` and the index codes — one
+        pass over the label array instead of one dict-building row access per
+        tuple, which is the hot path when oracles and auditors read ground
+        truth on every query.
         """
         labels = table.column_array(label_column, allow_hidden=True)
         mask = np.asarray(labels == positive_value, dtype=bool)
-        counts = {}
-        for key in index.values:
-            row_ids = index.row_id_array(key)
-            correct = int(mask[row_ids].sum())
-            counts[key] = (correct, len(row_ids) - correct)
+        sizes = index.size_array()
+        correct = np.bincount(
+            index.codes, weights=mask, minlength=index.num_groups
+        ).astype(np.intp)
+        counts = {
+            key: (int(correct[code]), int(sizes[code] - correct[code]))
+            for code, key in enumerate(index.values)
+        }
         return cls.from_exact_counts(counts)
 
     # -- aggregate quantities ---------------------------------------------------------

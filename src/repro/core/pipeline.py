@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
+import numpy as np
+
 from repro.core.bigreedy import solve_bigreedy
 from repro.core.column_selection import (
     LabeledSample,
@@ -25,12 +27,11 @@ from repro.core.column_selection import (
     select_correlated_column,
 )
 from repro.core.constraints import CostModel, QueryConstraints
-from repro.core.executor import ExecutorBackend, PlanExecutor
+from repro.core.executor import BatchExecutor, ExecutorBackend
 from repro.core.groups import SelectivityModel
 from repro.core.plan import ExecutionPlan
 from repro.core.sampling_program import solve_with_samples
 from repro.db.engine import QueryResult
-from repro.db.index import GroupIndex
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
@@ -104,8 +105,10 @@ class IntelSample:
     executor_factory:
         Optional factory mapping a :class:`RandomState` to an
         :class:`~repro.core.executor.ExecutorBackend`; defaults to the
-        tuple-at-a-time :class:`PlanExecutor`.  The serving layer passes the
-        vectorised :class:`~repro.serving.batch_executor.BatchExecutor` here.
+        vectorised :class:`~repro.core.executor.BatchExecutor`.  Pass
+        ``lambda rng: PlanExecutor(random_state=rng)`` to run on the
+        tuple-at-a-time reference backend (seed-for-seed identical results,
+        paper-faithful per-tuple charging).
     """
 
     def __init__(
@@ -199,8 +202,9 @@ class IntelSample:
                 column = selection.best_column
                 column_costs = selection.estimated_costs
 
-        # Step 1 — group by the correlated column.
-        index = GroupIndex(working_table, column)
+        # Step 1 — group by the correlated column (shared cached index: the
+        # serving layer and repeated queries reuse the same factorisation).
+        index = working_table.group_index(column)
         cached_outcome = (cached_outcomes or {}).get(column)
         if cached_outcome is not None:
             # A caching layer stores the merged outcome of earlier runs.  Any
@@ -275,7 +279,7 @@ class IntelSample:
         if self.executor_factory is not None:
             executor: ExecutorBackend = self.executor_factory(executor_rng)
         else:
-            executor = PlanExecutor(random_state=executor_rng)
+            executor = BatchExecutor(random_state=executor_rng)
         result = executor.execute(
             working_table, index, udf, plan, ledger, sample_outcome=outcome
         )
@@ -318,9 +322,11 @@ class OptimalOracle:
         self,
         correlated_column: Optional[str] = None,
         random_state: SeedLike = None,
+        executor_factory: Optional[Callable[[RandomState], ExecutorBackend]] = None,
     ):
         self.correlated_column = correlated_column
         self.random_state: RandomState = as_random_state(random_state)
+        self.executor_factory = executor_factory
 
     def run(self, table: Table, query: SelectQuery, ledger: CostLedger) -> QueryResult:
         """Engine strategy entry point."""
@@ -345,7 +351,7 @@ class OptimalOracle:
         column = correlated_column or self.correlated_column
         if column is None:
             raise ValueError("OptimalOracle requires an explicit correlated column")
-        index = GroupIndex(table, column)
+        index = table.group_index(column)
 
         # Peek at the ground truth without charging costs (unrealistic, by
         # design) — in oracle mode, so the peek leaves no trace in the UDF's
@@ -353,7 +359,7 @@ class OptimalOracle:
         # paid-for work.
         with udf.oracle_mode():
             outcomes = udf.evaluate_rows(table, table.row_ids)
-        positives = {row_id for row_id, flag in enumerate(outcomes) if flag}
+        positives = np.flatnonzero(outcomes)
         model = SelectivityModel.from_ground_truth(index, positives)
 
         # BiGreedy attains the LP optimum on every feasible input, so the
@@ -368,7 +374,11 @@ class OptimalOracle:
             plan = ExecutionPlan.evaluate_everything(index.values)
             used_fallback = True
 
-        executor = PlanExecutor(random_state=self.random_state.child())
+        executor_rng = self.random_state.child()
+        if self.executor_factory is not None:
+            executor: ExecutorBackend = self.executor_factory(executor_rng)
+        else:
+            executor = BatchExecutor(random_state=executor_rng)
         result = executor.execute(table, index, udf, plan, ledger)
         return QueryResult(
             row_ids=result.returned_row_ids,

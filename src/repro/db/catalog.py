@@ -44,6 +44,15 @@ class Catalog:
             raise TableNotFoundError(name)
         del self._tables[name]
 
+    def group_index(self, table_name: str, column: str):
+        """The shared :class:`~repro.db.index.GroupIndex` for a table column.
+
+        Delegates to :meth:`Table.group_index`, so the engine, the pipeline
+        and the serving layer all see one index per (table, column) — a
+        re-registered table brings a fresh cache with it.
+        """
+        return self.table(table_name).group_index(column)
+
     # -- udfs -------------------------------------------------------------------
     def register_udf(self, udf: UserDefinedFunction, replace: bool = False) -> None:
         """Register a UDF."""

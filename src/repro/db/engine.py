@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Set, Union
+from functools import cached_property
+from typing import Any, Dict, FrozenSet, List, Optional, Protocol, Set, Union
 
 from repro.db.catalog import Catalog
 from repro.db.errors import DuplicateObjectError, UnsupportedQueryError
@@ -46,10 +47,10 @@ class QueryResult:
     quality: Optional[ResultQuality] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
-    @property
-    def row_id_set(self) -> Set[int]:
-        """The returned row ids as a set."""
-        return set(self.row_ids)
+    @cached_property
+    def row_id_set(self) -> FrozenSet[int]:
+        """The returned row ids as a read-only set (built once, then cached)."""
+        return frozenset(self.row_ids)
 
     @property
     def total_cost(self) -> float:

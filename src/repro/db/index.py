@@ -4,11 +4,19 @@ The paper's cost model "implies we have some type of index on A so we can
 reach the examined tuples with constant cost independent of the discarded
 tuples" (Section 2).  :class:`GroupIndex` is that index: it maps each distinct
 value of a categorical column to the row ids carrying it.
+
+The index is *array-native*: construction factorises the column into an
+integer ``codes`` array (one group code per row, in first-appearance order of
+the distinct values) plus one read-only row-id array per group.  Group
+membership lookups, per-group gathers and label aggregation are then O(1)
+vectorised operations instead of per-tuple dict walks, and the same index
+object is shared between the engine, the pipeline and the serving layer via
+:meth:`repro.db.table.Table.group_index` instead of being rebuilt per query.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,69 +24,204 @@ from repro.db.errors import ColumnNotFoundError
 from repro.db.table import Table
 
 
+def _dict_factorise(cells: Sequence[Any]) -> Tuple[List[Any], np.ndarray]:
+    """Reference dict-based factorisation over the original python values.
+
+    Byte-for-byte the grouping of :meth:`Table.group_row_ids` — used when
+    numpy's ``unique`` would change semantics (unsortable mixed-type cells,
+    or NaNs, which ``np.unique`` collapses while dict grouping keys each
+    occurrence by object equality/identity).
+    """
+    lookup: Dict[Any, int] = {}
+    codes = np.empty(len(cells), dtype=np.intp)
+    values: List[Any] = []
+    for position, value in enumerate(cells):
+        code = lookup.get(value)
+        if code is None:
+            code = len(values)
+            lookup[value] = code
+            values.append(value)
+        codes[position] = code
+    return values, codes
+
+
+def _factorise(
+    array: np.ndarray, cells_supplier: Callable[[], Sequence[Any]]
+) -> Tuple[List[Any], np.ndarray]:
+    """Factorise a column into first-appearance-ordered values + codes.
+
+    Returns ``(values, codes)`` where ``values[codes[i]] == array[i]`` and
+    ``values`` preserves the order in which distinct values first appear —
+    the same order the historical dict-based grouping produced.
+    ``cells_supplier`` lazily yields the column's original python values for
+    the reference fallback when numpy cannot reproduce dict semantics.
+    """
+    if array.dtype.kind == "f" and bool(np.isnan(array).any()):
+        # np.unique merges NaNs into one group; the dict reference does not.
+        return _dict_factorise(cells_supplier())
+    try:
+        uniques, first_index, inverse = np.unique(
+            array, return_index=True, return_inverse=True
+        )
+    except TypeError:  # unsortable mixed-type object cells
+        return _dict_factorise(cells_supplier())
+    # np.unique sorts; remap sorted codes to first-appearance order.
+    appearance_order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(uniques), dtype=np.intp)
+    rank[appearance_order] = np.arange(len(uniques), dtype=np.intp)
+    codes = rank[inverse.reshape(-1)]
+    values = [
+        value.item() if isinstance(value, np.generic) else value
+        for value in (uniques[i] for i in appearance_order)
+    ]
+    return values, codes
+
+
 class GroupIndex:
-    """Value → row-id index over one categorical column of a table."""
+    """Value → row-id index over one categorical column of a table.
+
+    Prefer :meth:`repro.db.table.Table.group_index` over direct construction:
+    the table keeps one cached index per column, shared by every caller, so
+    repeated queries never re-group the same data.
+    """
+
+    #: Total number of index constructions since process start.  The serving
+    #: benchmarks read this to prove the shared cache amortises index builds
+    #: (a wall-clock-independent counter the CI gate can hold steady).
+    builds_total: int = 0
 
     def __init__(self, table: Table, column: str, allow_hidden: bool = False):
         if not table.schema.has_column(column):
             raise ColumnNotFoundError(column, table.schema.column_names)
         self.table = table
         self.column = column
-        self._groups: Dict[Any, List[int]] = table.group_row_ids(
-            column, allow_hidden=allow_hidden
+        array = table.column_array(column, allow_hidden=allow_hidden)
+        values, codes = _factorise(
+            array, lambda: table.column_values(column, allow_hidden=allow_hidden)
         )
-        self._arrays: Dict[Any, np.ndarray] = {}
+        codes.setflags(write=False)
+        self._values: List[Any] = values
+        self._codes: np.ndarray = codes
+        self._code_by_value: Dict[Any, int] = {
+            value: code for code, value in enumerate(values)
+        }
+        # One read-only row-id array per group, each ascending in row order
+        # (stable sort over row position), sliced out of a single argsort.
+        order = np.argsort(codes, kind="stable")
+        boundaries = np.searchsorted(codes[order], np.arange(len(values) + 1))
+        self._row_id_arrays: List[np.ndarray] = []
+        for code in range(len(values)):
+            rows = np.ascontiguousarray(
+                order[boundaries[code] : boundaries[code + 1]]
+            )
+            rows.setflags(write=False)
+            self._row_id_arrays.append(rows)
+        self._sizes: List[int] = [int(rows.size) for rows in self._row_id_arrays]
+        self._empty: np.ndarray = np.empty(0, dtype=np.intp)
+        self._empty.setflags(write=False)
+        GroupIndex.builds_total += 1
 
     # -- lookup -----------------------------------------------------------------
     @property
     def values(self) -> List[Any]:
         """Distinct indexed values (group keys), in first-appearance order."""
-        return list(self._groups.keys())
+        return list(self._values)
 
     @property
     def num_groups(self) -> int:
         """Number of distinct groups."""
-        return len(self._groups)
+        return len(self._values)
 
-    def row_ids(self, value: Any) -> List[int]:
-        """Row ids in the group for ``value`` (empty list when absent)."""
-        return list(self._groups.get(value, []))
+    @property
+    def codes(self) -> np.ndarray:
+        """Read-only per-row group codes (``values[codes[i]]`` is row i's key).
 
-    def row_id_array(self, value: Any) -> np.ndarray:
+        The codes array is what makes shared statistics cheap: labelling a
+        sample for *all* candidate columns at once is one fancy-index per
+        column instead of one dict walk per (column, row) pair.
+        """
+        return self._codes
+
+    def code_of(self, value: Any) -> int:
+        """The integer group code for ``value`` (-1 when absent)."""
+        return self._code_by_value.get(value, -1)
+
+    def codes_for_rows(self, row_ids: Sequence[int]) -> np.ndarray:
+        """Group codes of ``row_ids`` in one vectorised gather."""
+        return self._codes[np.asarray(row_ids, dtype=np.intp)]
+
+    def row_ids(self, value: Any) -> np.ndarray:
         """Row ids in the group for ``value`` as a cached, read-only array.
 
-        Groups never change after construction, so batch executors and
-        vectorised statistics can share one array per group without copying.
+        The array is built once at construction and shared by every caller
+        (empty when the value is absent); callers must not write to it.
         """
-        array = self._arrays.get(value)
-        if array is None:
-            array = np.asarray(self._groups.get(value, ()), dtype=np.intp)
-            array.setflags(write=False)
-            self._arrays[value] = array
-        return array
+        code = self._code_by_value.get(value)
+        if code is None:
+            return self._empty
+        return self._row_id_arrays[code]
+
+    def row_id_array(self, value: Any) -> np.ndarray:
+        """Alias of :meth:`row_ids`, kept for the serving layer's vocabulary."""
+        return self.row_ids(value)
 
     def group_size(self, value: Any) -> int:
         """Number of tuples in the group for ``value`` (``t_a``)."""
-        return len(self._groups.get(value, ()))
+        code = self._code_by_value.get(value)
+        return 0 if code is None else self._sizes[code]
 
     def group_sizes(self) -> Dict[Any, int]:
         """All group sizes keyed by value."""
-        return {value: len(ids) for value, ids in self._groups.items()}
+        return dict(zip(self._values, self._sizes))
+
+    def size_array(self) -> np.ndarray:
+        """Group sizes as an array aligned with :attr:`values` order."""
+        return np.asarray(self._sizes, dtype=np.intp)
 
     def __contains__(self, value: object) -> bool:
-        return value in self._groups
+        return value in self._code_by_value
 
     def __iter__(self) -> Iterator[Any]:
-        return iter(self._groups)
+        return iter(self._values)
 
-    def items(self) -> Iterator[tuple[Any, List[int]]]:
-        """Iterate ``(value, row_ids)`` pairs."""
-        for value, ids in self._groups.items():
-            yield value, list(ids)
+    def items(self) -> Iterator[Tuple[Any, np.ndarray]]:
+        """Iterate ``(value, row_ids)`` pairs over cached read-only arrays."""
+        return zip(self._values, self._row_id_arrays)
 
     def total_rows(self) -> int:
         """Total number of indexed rows."""
-        return sum(len(ids) for ids in self._groups.values())
+        return int(self._codes.size)
+
+    def label_counts(
+        self, row_ids: Sequence[int], labels: Optional[Sequence[bool]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-group ``(totals, positives)`` for a labelled subset of rows.
+
+        ``row_ids`` are the labelled rows and ``labels`` their boolean UDF
+        outcomes (``None`` counts every row as positive).  Both returned
+        arrays align with :attr:`values` order.  One ``bincount`` per array —
+        this is the factorised aggregation that lets every candidate column
+        share a single labelled sample during column selection.  Row ids
+        outside the indexed table are ignored (matching the historical
+        membership-dict grouping, which skipped unknown rows).
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        in_range = (ids >= 0) & (ids < self._codes.size)
+        if not in_range.all():
+            ids = ids[in_range]
+            if labels is not None:
+                labels = np.asarray(labels, dtype=bool)[in_range]
+        codes = self.codes_for_rows(ids)
+        totals = np.bincount(codes, minlength=self.num_groups)
+        if labels is None:
+            positives = totals.copy()
+        else:
+            positives = np.bincount(
+                codes,
+                weights=np.asarray(labels, dtype=float),
+                minlength=self.num_groups,
+            ).astype(np.intp)
+        return totals, positives
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

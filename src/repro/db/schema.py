@@ -97,6 +97,27 @@ class Schema:
         for name, value in row.items():
             self._by_name[name].validate_value(value)
 
+    def validate_rows(self, rows: Sequence[Mapping[str, Any]]) -> None:
+        """Check many dict rows against the schema in one pass.
+
+        Equivalent to calling :meth:`validate_row` on every row but
+        restructured column-wise: key sets are compared once per row, and
+        value validation only visits columns whose type actually constrains
+        values (numeric/boolean) — categorical and text columns accept
+        anything, so they are skipped entirely instead of per cell.
+        """
+        expected = set(self.column_names)
+        for row in rows:
+            if set(row.keys()) != expected:
+                # Re-raise through the per-row path for its precise message.
+                self.validate_row(row)
+        for column in self._columns:
+            if column.column_type in (ColumnType.NUMERIC, ColumnType.BOOLEAN):
+                name = column.name
+                validate = column.validate_value
+                for row in rows:
+                    validate(row[name])
+
     # -- dunder ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Column]:
         return iter(self._columns)

@@ -131,6 +131,12 @@ class UserDefinedFunction:
         self.cache_hits = 0
         #: Row evaluations that had to invoke the underlying function.
         self.cache_misses = 0
+        #: Paid :meth:`evaluate_row` invocations (per-row API calls).  The
+        #: cold-path benchmarks gate this against :attr:`bulk_calls` to prove
+        #: the pipeline stays batched.
+        self.row_calls = 0
+        #: Paid :meth:`evaluate_rows` invocations (batched API calls).
+        self.bulk_calls = 0
         #: Set by :meth:`from_label_column`; enables vectorised evaluation.
         self.label_column: Optional[str] = None
         self.positive_value: Any = True
@@ -180,6 +186,7 @@ class UserDefinedFunction:
             if self.memoize and row_id in self._cache:
                 return self._cache[row_id]
             return bool(self._func(table.row(row_id, include_hidden=True)))
+        self.row_calls += 1
         if self.memoize and row_id in self._cache:
             self.cache_hits += 1
             return self._cache[row_id]
@@ -202,11 +209,14 @@ class UserDefinedFunction:
         once per actual function evaluation.
         """
         oracle = bool(self._oracle_depth)
-        ids: List[int] = [int(r) for r in row_ids]
-        results = np.empty(len(ids), dtype=bool)
-        pending_positions: List[int] = []
-        pending_ids: List[int] = []
+        id_array = np.asarray(row_ids, dtype=np.intp)
+        if not oracle:
+            self.bulk_calls += 1
         if self.memoize and self._cache:
+            ids = id_array.tolist()
+            results = np.empty(len(ids), dtype=bool)
+            pending_positions: List[int] = []
+            pending_ids: List[int] = []
             for position, row_id in enumerate(ids):
                 cached = self._cache.get(row_id)
                 if cached is None:
@@ -217,31 +227,50 @@ class UserDefinedFunction:
             if not oracle:
                 self.cache_hits += len(ids) - len(pending_ids)
         else:
-            pending_positions = list(range(len(ids)))
-            pending_ids = ids
+            results = np.empty(len(id_array), dtype=bool)
+            pending_positions = []
+            pending_ids = id_array.tolist()
         if pending_ids:
+            pending_array = np.asarray(pending_ids, dtype=np.intp)
             if self.label_column is not None and table.schema.has_column(self.label_column):
                 labels = table.column_array(self.label_column, allow_hidden=True)
-                fresh = labels[np.asarray(pending_ids, dtype=np.intp)] == self.positive_value
-                fresh = np.asarray(fresh, dtype=bool)
+                fresh = np.asarray(
+                    labels[pending_array] == self.positive_value, dtype=bool
+                )
             else:
                 fresh = np.fromiter(
                     (bool(self._func(table.row(r, include_hidden=True))) for r in pending_ids),
                     dtype=bool,
                     count=len(pending_ids),
                 )
-            results[np.asarray(pending_positions, dtype=np.intp)] = fresh
+            if pending_positions:
+                results[np.asarray(pending_positions, dtype=np.intp)] = fresh
+            else:
+                results[:] = fresh
             if not oracle:
                 self.call_count += len(pending_ids)
                 self.cache_misses += len(pending_ids)
                 if self.memoize:
-                    for row_id, outcome in zip(pending_ids, fresh):
-                        self._cache[row_id] = bool(outcome)
+                    self._cache.update(zip(pending_ids, fresh.tolist()))
         return results
 
     def is_memoized(self, row_id: int) -> bool:
         """Whether the UDF value for ``row_id`` is already cached."""
         return self.memoize and row_id in self._cache
+
+    def memoized_mask(self, row_ids: Iterable[int]) -> np.ndarray:
+        """Boolean mask of rows whose UDF value is already memoised.
+
+        Used by serving-accounting executors to charge only un-memoised rows
+        without a per-row ``is_memoized`` call.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        if not self.memoize or not self._cache:
+            return np.zeros(ids.size, dtype=bool)
+        cache = self._cache
+        return np.fromiter(
+            (row_id in cache for row_id in ids.tolist()), dtype=bool, count=ids.size
+        )
 
     def counter_snapshot(self) -> Dict[str, int]:
         """Memoisation counters as a plain dict (for result metadata)."""
@@ -250,6 +279,8 @@ class UserDefinedFunction:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_size": len(self._cache),
+            "row_calls": self.row_calls,
+            "bulk_calls": self.bulk_calls,
         }
 
     def counter_delta(self, before: Mapping[str, int]) -> Dict[str, int]:
@@ -263,13 +294,14 @@ class UserDefinedFunction:
         now = self.counter_snapshot()
         return {
             name: now[name] - before.get(name, 0)
-            for name in ("calls", "cache_hits", "cache_misses")
+            for name in ("calls", "cache_hits", "cache_misses", "row_calls", "bulk_calls")
         }
 
     def __call__(self, row: Mapping[str, Any]) -> bool:
         """Evaluate directly on a row dict (charges one call, no memoisation)."""
         self.call_count += 1
         self.cache_misses += 1
+        self.row_calls += 1
         return bool(self._func(row))
 
     def reset(self) -> None:
@@ -278,6 +310,8 @@ class UserDefinedFunction:
         self.call_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.row_calls = 0
+        self.bulk_calls = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UserDefinedFunction({self.name!r}, cost={self.evaluation_cost})"

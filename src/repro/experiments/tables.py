@@ -51,7 +51,7 @@ def table1_example() -> List[dict]:
                 "tuples": len(row_ids),
                 "correct": correct,
                 "incorrect": len(row_ids) - correct,
-                "selectivity": correct / len(row_ids) if row_ids else 0.0,
+                "selectivity": correct / len(row_ids) if len(row_ids) else 0.0,
             }
         )
     return rows

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional
 
+import numpy as np
+
 from repro.db.index import GroupIndex
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
@@ -147,38 +149,55 @@ class GroupSampler:
         ``already_sampled`` lets adaptive callers top up an earlier outcome
         without re-evaluating rows they already paid for; the returned outcome
         contains only the *new* rows (merge with the old outcome if needed).
+
+        The per-group draws happen first (one vectorised ``choice`` per
+        group, in index order, so the random stream matches the historical
+        per-group sampler); the chosen rows are then retrieved, charged and
+        evaluated in a single batched UDF call across all groups.
         """
         samples: Dict[Hashable, GroupSample] = {}
+        chosen_per_group: List[np.ndarray] = []
         for group_key, row_ids in index.items():
             requested = int(allocation.get(group_key, 0))
-            previously = (
-                set(already_sampled.samples[group_key].sampled_row_ids)
-                if already_sampled is not None and group_key in already_sampled.samples
-                else set()
-            )
-            available = [r for r in row_ids if r not in previously]
-            count = max(0, min(requested, len(available)))
-            sample = GroupSample(group_key=group_key, group_size=len(row_ids))
-            if count > 0:
-                chosen_positions = self.random_state.choice(
-                    len(available), size=count, replace=False
+            if already_sampled is not None and group_key in already_sampled.samples:
+                previously = already_sampled.samples[group_key].sampled_row_ids
+                available = (
+                    row_ids[~np.isin(row_ids, previously)] if previously else row_ids
                 )
-                chosen = [available[int(i)] for i in _as_iterable(chosen_positions)]
-                for row_id in chosen:
-                    ledger.charge_retrieval()
-                    ledger.charge_evaluation()
-                    outcome = udf.evaluate_row(table, row_id)
-                    sample.sampled_row_ids.append(row_id)
-                    if outcome:
-                        sample.positive_row_ids.append(row_id)
-            samples[group_key] = sample
+            else:
+                available = row_ids
+            count = max(0, min(requested, int(len(available))))
+            samples[group_key] = GroupSample(
+                group_key=group_key, group_size=int(len(row_ids))
+            )
+            if count > 0:
+                chosen_positions = np.atleast_1d(
+                    self.random_state.choice(len(available), size=count, replace=False)
+                )
+                chosen = np.asarray(available, dtype=np.intp)[chosen_positions]
+            else:
+                chosen = np.empty(0, dtype=np.intp)
+            chosen_per_group.append(chosen)
+
+        all_chosen = (
+            np.concatenate(chosen_per_group) if chosen_per_group else np.empty(0, dtype=np.intp)
+        )
+        if all_chosen.size:
+            # Bulk charge before the bulk evaluation (same totals as the
+            # historical per-row loop; a hard budget now stops the whole
+            # batch before any UDF work instead of mid-stratum).
+            ledger.charge_retrieval(int(all_chosen.size))
+            ledger.charge_evaluation(int(all_chosen.size))
+            outcomes = udf.evaluate_rows(table, all_chosen)
+        else:
+            outcomes = np.empty(0, dtype=bool)
+
+        offset = 0
+        for sample, chosen in zip(samples.values(), chosen_per_group):
+            if not chosen.size:
+                continue
+            group_outcomes = outcomes[offset : offset + chosen.size]
+            offset += chosen.size
+            sample.sampled_row_ids.extend(chosen.tolist())
+            sample.positive_row_ids.extend(chosen[group_outcomes].tolist())
         return SampleOutcome(samples=samples)
-
-
-def _as_iterable(value):
-    """numpy ``choice`` returns a scalar for size=1 in some call styles."""
-    try:
-        iter(value)
-        return value
-    except TypeError:
-        return [value]

@@ -1,147 +1,13 @@
-"""Vectorised plan execution for the serving layer.
+"""Vectorised plan execution (compatibility re-export).
 
-:class:`BatchExecutor` implements the same
-:class:`~repro.core.executor.ExecutorBackend` protocol as the paper-faithful
-:class:`~repro.core.executor.PlanExecutor`, but replaces the tuple-at-a-time
-retrieve/evaluate loop with one NumPy pass per group:
-
-1. draw every retrieval coin of the group in a single ``random(n)`` call and
-   mask down to the retrieved rows,
-2. draw the conditional evaluation coins for the retrieved rows in a second
-   vectorised call,
-3. evaluate the selected rows through
-   :meth:`~repro.db.udf.UserDefinedFunction.evaluate_rows` (which takes a
-   vectorised fast path over :meth:`~repro.db.table.Table.column_array` for
-   label-revealing UDFs and serves memoised rows from cache).
-
-The backend is distributionally identical to ``PlanExecutor`` — the same
-per-tuple Bernoulli semantics — and fully deterministic for a fixed seed,
-but consumes the random stream in blocks, so a given seed produces a
-different (equally valid) sample path than the serial executor.  For fully
-deterministic plans (all probabilities 0/1) both backends return exactly the
-same rows.
-
-``free_memoized=True`` switches the ledger accounting to serving semantics:
-rows whose UDF value is already memoised are not re-charged, mirroring a
-production system that never pays twice for the same expensive predicate.
-The default (``False``) keeps the paper's accounting, where every
-execution-phase evaluation is charged.
+:class:`BatchExecutor` started life here as the serving layer's private
+backend.  It is now the *default* execution backend for the whole library
+and lives in :mod:`repro.core.executor`, next to the paper-faithful
+:class:`~repro.core.executor.PlanExecutor` it is differential-tested
+against.  This module re-exports it so existing serving-layer imports keep
+working.
 """
 
-from __future__ import annotations
+from repro.core.executor import BatchExecutor
 
-from typing import Dict, Hashable, List, Optional
-
-import numpy as np
-
-from repro.core.executor import ExecutionResult, GroupExecutionCounts
-from repro.core.plan import ExecutionPlan
-from repro.db.index import GroupIndex
-from repro.db.table import Table
-from repro.db.udf import CostLedger, UserDefinedFunction
-from repro.sampling.sampler import SampleOutcome
-from repro.stats.random import RandomState, SeedLike, as_random_state
-
-
-class BatchExecutor:
-    """Executes plans with one vectorised pass per group."""
-
-    def __init__(self, random_state: SeedLike = None, free_memoized: bool = False):
-        self.random_state: RandomState = as_random_state(random_state)
-        self.free_memoized = free_memoized
-
-    def execute(
-        self,
-        table: Table,
-        index: GroupIndex,
-        udf: UserDefinedFunction,
-        plan: ExecutionPlan,
-        ledger: CostLedger,
-        sample_outcome: Optional[SampleOutcome] = None,
-    ) -> ExecutionResult:
-        """Run ``plan`` over every group of ``index`` (vectorised)."""
-        returned: List[int] = []
-        group_counts: Dict[Hashable, GroupExecutionCounts] = {}
-
-        sampled_ids: Dict[Hashable, np.ndarray] = {}
-        if sample_outcome is not None:
-            for key, sample in sample_outcome.samples.items():
-                if sample.sampled_row_ids:
-                    sampled_ids[key] = np.asarray(sample.sampled_row_ids, dtype=np.intp)
-                returned.extend(sample.positive_row_ids)
-
-        rng = self.random_state.generator
-        for key in index.values:
-            decision = plan.decision(key)
-            counts = GroupExecutionCounts()
-            group_counts[key] = counts
-            retrieve_probability = decision.retrieve_probability
-            conditional_evaluate = decision.conditional_evaluate_probability
-            if retrieve_probability <= 0.0:
-                continue
-
-            rows = index.row_id_array(key)
-            already = sampled_ids.get(key)
-            if already is not None:
-                candidates = rows[~np.isin(rows, already)]
-            else:
-                candidates = rows
-            if candidates.size == 0:
-                continue
-
-            # One coin per candidate tuple, drawn in a single block.
-            if retrieve_probability >= 1.0:
-                retrieved = candidates
-            else:
-                retrieved = candidates[rng.random(candidates.size) < retrieve_probability]
-            if retrieved.size == 0:
-                continue
-            ledger.charge_retrieval(int(retrieved.size))
-
-            if conditional_evaluate <= 0.0:
-                counts.returned += int(retrieved.size)
-                returned.extend(int(r) for r in retrieved)
-                continue
-
-            if conditional_evaluate >= 1.0:
-                evaluate_mask = np.ones(retrieved.size, dtype=bool)
-            else:
-                evaluate_mask = rng.random(retrieved.size) < conditional_evaluate
-            to_evaluate = retrieved[evaluate_mask]
-
-            # Keep every retrieved-but-unevaluated row; evaluated rows are
-            # kept only when the UDF passes.  ``keep_mask`` preserves the
-            # group's row order in the output, matching the serial backend.
-            keep_mask = ~evaluate_mask
-            if to_evaluate.size:
-                # Charge before evaluating (the serial backend's order), so a
-                # hard budget stops the batch before any UDF work happens and
-                # no un-paid-for values land in the memo cache.
-                if self.free_memoized:
-                    charge = sum(
-                        1 for row_id in to_evaluate if not udf.is_memoized(int(row_id))
-                    )
-                else:
-                    charge = int(to_evaluate.size)
-                if charge:
-                    ledger.charge_evaluation(charge)
-                outcomes = udf.evaluate_rows(table, to_evaluate)
-                positives = int(outcomes.sum())
-                negatives = int(to_evaluate.size) - positives
-                counts.evaluated_correct += positives
-                counts.retrieved_correct += positives
-                counts.evaluated_incorrect += negatives
-                counts.retrieved_incorrect += negatives
-                counts.returned += positives
-                keep_mask = keep_mask.copy()
-                keep_mask[np.flatnonzero(evaluate_mask)] = outcomes
-
-            unevaluated = int(retrieved.size) - int(to_evaluate.size)
-            counts.returned += unevaluated
-            returned.extend(int(r) for r in retrieved[keep_mask])
-
-        return ExecutionResult(
-            returned_row_ids=returned,
-            ledger=ledger,
-            group_counts=group_counts,
-        )
+__all__ = ["BatchExecutor"]

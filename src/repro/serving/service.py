@@ -30,16 +30,14 @@ import threading
 from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 
 from repro.core.constraints import CostModel, QueryConstraints
-from repro.core.executor import ExecutorBackend, PlanExecutor
+from repro.core.executor import BatchExecutor, ExecutorBackend, PlanExecutor
 from repro.core.extensions.budget import solve_budgeted_recall
 from repro.core.pipeline import IntelSample
 from repro.db.catalog import Catalog
 from repro.db.engine import Engine, QueryResult
-from repro.db.errors import UnsupportedQueryError
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
-from repro.serving.batch_executor import BatchExecutor
 from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
 from repro.serving.session import ClientSession, SessionManager
 from repro.serving.stats_cache import StatisticsCache

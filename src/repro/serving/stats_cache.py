@@ -8,11 +8,15 @@ same table and UDF can share them.  :class:`StatisticsCache` memoises
 
 * the labelled sample per ``(table, predicate)``,
 * the merged :class:`~repro.sampling.sampler.SampleOutcome` (and the
-  selectivity model derived from it) per ``(table, column, predicate)``, and
-* the :class:`~repro.db.index.GroupIndex` per ``(table identity, column)``,
+  selectivity model derived from it) per ``(table, column, predicate)``,
 
 each behind its own TTL/size-bounded :class:`~repro.serving.cache.LRUCache`
-with hit/miss accounting.
+with hit/miss accounting.  Group indexes are no longer cached here: since
+the db layer grew a per-column index cache
+(:meth:`~repro.db.table.Table.group_index`), the serving layer shares the
+*same* index objects as the engine and the cold pipeline — :meth:`get_index`
+delegates to the table and only keeps hit/miss accounting so dashboards
+still see index reuse.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.db.index import GroupIndex
 from repro.db.predicate import Predicate
 from repro.db.table import Table
 from repro.sampling.sampler import SampleOutcome
-from repro.serving.cache import LRUCache
+from repro.serving.cache import CacheStats, LRUCache
 from repro.serving.signature import model_key, statistics_key
 
 
@@ -40,9 +44,9 @@ class StatisticsCache:
     ):
         self.labeled_samples = LRUCache(max_size=max_size, ttl=ttl, clock=clock)
         self.sample_outcomes = LRUCache(max_size=max_size, ttl=ttl, clock=clock)
-        # Group indexes are pure derived structure (no UDF cost behind them),
-        # so they are never expired, only size-bounded.
-        self.indexes = LRUCache(max_size=max_size, clock=clock)
+        # Group indexes live on the tables themselves (Table.group_index);
+        # this only counts how often serving found one already built.
+        self.index_stats = CacheStats()
 
     @property
     def enabled(self) -> bool:
@@ -121,30 +125,30 @@ class StatisticsCache:
 
     # -- group indexes -------------------------------------------------------------
     def get_index(self, table: Table, column: str) -> GroupIndex:
-        """A shared :class:`GroupIndex`, built at most once per (table, column).
+        """The shared :class:`GroupIndex`, built at most once per (table, column).
 
-        Keyed on the table's identity (not its name) because virtual-column
-        pipelines derive same-named tables with different contents; the table
-        reference held by the cached index keeps the identity stable.
+        Delegates to :meth:`Table.group_index` — the same object the engine
+        and the cold pipeline use, so a plan-cache hit never rebuilds an
+        index the cold run already paid for.  Identity is inherent: the
+        index lives on the table instance itself, so a re-registered table
+        (or a derived virtual-column table) brings its own fresh cache.
         """
-        key: Hashable = ("index", id(table), column)
-        index = self.indexes.get(key)
-        if index is not None and index.table is table:
-            return index
-        index = GroupIndex(table, column)
-        self.indexes.put(key, index)
-        return index
+        if table.has_group_index(column):
+            self.index_stats.hits += 1
+        else:
+            self.index_stats.misses += 1
+            self.index_stats.puts += 1
+        return table.group_index(column)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Hit/miss statistics of every underlying cache."""
         return {
             "labeled_samples": self.labeled_samples.stats.snapshot(),
             "sample_outcomes": self.sample_outcomes.stats.snapshot(),
-            "indexes": self.indexes.stats.snapshot(),
+            "indexes": self.index_stats.snapshot(),
         }
 
     def clear(self) -> None:
-        """Drop all cached statistics."""
+        """Drop cached statistics (shared table-resident indexes are kept)."""
         self.labeled_samples.clear()
         self.sample_outcomes.clear()
-        self.indexes.clear()

@@ -18,7 +18,7 @@ solver finds the global optimum.  This module wraps :func:`scipy.optimize.minimi
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.optimize import minimize
@@ -26,6 +26,15 @@ from scipy.optimize import minimize
 from repro.solvers.linear import InfeasibleProblemError
 
 ConstraintFn = Callable[[np.ndarray], float]
+ConstraintJac = Callable[[np.ndarray], np.ndarray]
+#: A constraint is a bare callable (numerically differentiated by SLSQP) or
+#: a ``(fun, jac)`` pair with an analytic gradient — the analytic form turns
+#: every jacobian evaluation from ``2k+1`` function calls into one.
+Constraint = Union[ConstraintFn, Tuple[ConstraintFn, ConstraintJac]]
+
+
+def _constraint_fn(constraint: Constraint) -> ConstraintFn:
+    return constraint[0] if isinstance(constraint, tuple) else constraint
 
 
 @dataclass
@@ -38,8 +47,9 @@ class ConvexProblem:
         Linear cost vector.
     inequality_constraints:
         Callables ``g_i`` that must satisfy ``g_i(x) >= 0`` at a feasible
-        point.  Each must be concave for the solution to be globally optimal,
-        which is the case for all programs in the paper.
+        point, optionally as ``(g_i, grad_g_i)`` pairs carrying an analytic
+        jacobian.  Each must be concave for the solution to be globally
+        optimal, which is the case for all programs in the paper.
     linear_inequalities:
         ``(row, bound)`` pairs meaning ``row @ x >= bound`` (used for the
         ``R_a >= E_a`` coupling constraints).
@@ -48,7 +58,7 @@ class ConvexProblem:
     """
 
     objective: Sequence[float]
-    inequality_constraints: List[ConstraintFn] = field(default_factory=list)
+    inequality_constraints: List[Constraint] = field(default_factory=list)
     linear_inequalities: List[Tuple[Sequence[float], float]] = field(default_factory=list)
     bounds: Optional[List[Tuple[float, float]]] = None
 
@@ -65,7 +75,7 @@ class ConvexProblem:
         """Maximum constraint violation at ``x`` (0 when feasible)."""
         worst = 0.0
         for constraint in self.inequality_constraints:
-            worst = max(worst, -float(constraint(x)))
+            worst = max(worst, -float(_constraint_fn(constraint)(x)))
         for row, bound in self.linear_inequalities:
             worst = max(worst, bound - float(np.dot(row, x)))
         bounds = self.bounds or [(0.0, 1.0)] * self.num_variables
@@ -134,17 +144,28 @@ class ConvexSolver:
         def objective_grad(x: np.ndarray) -> np.ndarray:
             return objective_vector
 
-        scipy_constraints = [
-            {"type": "ineq", "fun": constraint}
-            for constraint in problem.inequality_constraints
-        ]
-        for row, bound in problem.linear_inequalities:
-            row_array = np.asarray(row, dtype=float)
+        scipy_constraints = []
+        for constraint in problem.inequality_constraints:
+            if isinstance(constraint, tuple):
+                fun, jac = constraint
+                scipy_constraints.append({"type": "ineq", "fun": fun, "jac": jac})
+            else:
+                scipy_constraints.append({"type": "ineq", "fun": constraint})
+        if problem.linear_inequalities:
+            # One vector-valued constraint for every linear row: SLSQP calls
+            # a single callback with an exact jacobian instead of one python
+            # closure (numerically differentiated) per coupling row.
+            matrix = np.asarray(
+                [row for row, _ in problem.linear_inequalities], dtype=float
+            )
+            offsets = np.asarray(
+                [bound for _, bound in problem.linear_inequalities], dtype=float
+            )
             scipy_constraints.append(
                 {
                     "type": "ineq",
-                    "fun": (lambda x, r=row_array, b=bound: float(np.dot(r, x) - b)),
-                    "jac": (lambda x, r=row_array: r),
+                    "fun": (lambda x, m=matrix, b=offsets: m @ x - b),
+                    "jac": (lambda x, m=matrix: m),
                 }
             )
 
@@ -171,6 +192,12 @@ class ConvexSolver:
                     feasible=True,
                     status="optimal" if result.success else "feasible",
                 )
+            if result.success:
+                # The program is convex (linear objective over a convex
+                # feasible set), so any converged feasible solve is already
+                # the global optimum — the remaining starts exist only to
+                # rescue a failed solve, not to improve a successful one.
+                break
         if best is not None:
             return best
 

@@ -140,6 +140,15 @@ class TestSampledTupleHandling:
         )
         assert ledger.evaluated_count == toy_table.num_rows - 6
 
+    def test_returned_set_is_cached_and_read_only(self, toy_table, toy_index, toy_udf):
+        plan = ExecutionPlan.evaluate_everything(toy_index.values)
+        result = PlanExecutor(random_state=0).execute(
+            toy_table, toy_index, toy_udf, plan, CostLedger()
+        )
+        first = result.returned_set
+        assert first is result.returned_set  # built once, not per access
+        assert isinstance(first, frozenset)
+
     def test_no_duplicates_in_output(self, toy_table, toy_index, toy_udf, toy_truth):
         outcome = GroupSampler(random_state=0).sample(
             toy_table, toy_index, toy_udf, {1: 4, 2: 3, 3: 5}, CostLedger()

@@ -89,6 +89,13 @@ class TestEngineExact:
         result = engine.execute(toy_query)
         assert result.row_id_set == toy_truth
 
+    def test_row_id_set_is_cached_and_read_only(self, toy_catalog, toy_query):
+        engine = Engine(toy_catalog)
+        result = engine.execute(toy_query)
+        first = result.row_id_set
+        assert first is result.row_id_set  # built once, not per access
+        assert isinstance(first, frozenset)
+
     def test_exact_execution_charges_full_cost(self, toy_catalog, toy_query, toy_table):
         engine = Engine(toy_catalog, retrieval_cost=1.0, evaluation_cost=3.0)
         result = engine.execute(toy_query)

@@ -1,5 +1,6 @@
 """Tests for the group index and predicate expressions."""
 
+import numpy as np
 import pytest
 
 from repro.db.errors import ColumnNotFoundError
@@ -24,7 +25,9 @@ class TestGroupIndex:
 
     def test_row_ids_partition_the_table(self, toy_table):
         index = GroupIndex(toy_table, "A")
-        all_ids = sorted(sum((index.row_ids(v) for v in index.values), []))
+        all_ids = sorted(
+            np.concatenate([index.row_ids(v) for v in index.values]).tolist()
+        )
         assert all_ids == list(range(toy_table.num_rows))
 
     def test_total_rows(self, toy_table):
@@ -32,8 +35,74 @@ class TestGroupIndex:
 
     def test_missing_value_gives_empty_group(self, toy_table):
         index = GroupIndex(toy_table, "A")
-        assert index.row_ids(99) == []
+        assert len(index.row_ids(99)) == 0
         assert index.group_size(99) == 0
+
+    def test_row_ids_are_cached_readonly_views(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        first = index.row_ids(1)
+        assert first is index.row_ids(1)  # no per-access copy
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 99
+
+    def test_codes_align_with_values(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        keys = index.values
+        column = toy_table.column_values("A")
+        assert [keys[c] for c in index.codes.tolist()] == column
+        for value in keys:
+            code = index.code_of(value)
+            assert (index.codes[index.row_ids(value)] == code).all()
+        assert index.code_of("absent") == -1
+
+    def test_grouping_matches_dict_reference(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        reference = toy_table.group_row_ids("A")
+        assert index.values == list(reference.keys())
+        for value, expected in reference.items():
+            assert index.row_ids(value).tolist() == expected
+
+    def test_label_counts(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        labels = toy_table.column_values("f", allow_hidden=True)
+        row_ids = list(toy_table.row_ids)
+        totals, positives = index.label_counts(row_ids, [labels[r] for r in row_ids])
+        assert totals.tolist() == [index.group_size(v) for v in index.values]
+        expected_positives = [
+            sum(1 for r in index.row_ids(v).tolist() if labels[r])
+            for v in index.values
+        ]
+        assert positives.tolist() == expected_positives
+
+    def test_catalog_group_index_delegates_to_table(self, toy_table):
+        from repro.db.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register_table(toy_table)
+        index = catalog.group_index(toy_table.name, "A")
+        assert index is toy_table.group_index("A")
+
+    def test_label_counts_skips_out_of_range_rows(self, toy_table):
+        index = GroupIndex(toy_table, "A")
+        in_range = list(toy_table.row_ids)
+        totals, positives = index.label_counts(
+            in_range + [999, -1], [True] * len(in_range) + [True, True]
+        )
+        assert totals.tolist() == [index.group_size(v) for v in index.values]
+        assert positives.tolist() == totals.tolist()
+
+    def test_table_group_index_is_shared_and_counted(self, toy_table):
+        builds_before = GroupIndex.builds_total
+        first = toy_table.group_index("A")
+        second = toy_table.group_index("A")
+        assert first is second
+        assert toy_table.has_group_index("A")
+        assert GroupIndex.builds_total == builds_before + 1
+        # Hidden-column indexes are cached under a separate key.
+        hidden = toy_table.group_index("f", allow_hidden=True)
+        assert hidden is not first
+        assert toy_table.group_index("f", allow_hidden=True) is hidden
 
     def test_contains(self, toy_table):
         index = GroupIndex(toy_table, "A")

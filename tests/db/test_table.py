@@ -54,6 +54,31 @@ class TestConstruction:
         with pytest.raises(SchemaMismatchError):
             Table("t", schema, {"a": [1], "zz": [2]})
 
+    def test_from_rows_rejects_bad_row_batch(self):
+        schema = Schema.from_types(a="numeric")
+        with pytest.raises(SchemaMismatchError):
+            Table.from_rows("t", [{"a": 1}, {"a": 2, "zz": 3}], schema=schema)
+        with pytest.raises(SchemaMismatchError):
+            Table.from_rows("t", [{"a": 1}, {}], schema=schema)
+        with pytest.raises(ValueError):
+            Table.from_rows("t", [{"a": 1}, {"a": "not numeric"}], schema=schema)
+
+    def test_validate_rows_matches_per_row_validation(self):
+        schema = Schema.from_types(a="numeric", b="categorical", c="boolean")
+        rows = [{"a": 1.5, "b": "x", "c": True}, {"a": 2, "b": "y", "c": False}]
+        schema.validate_rows(rows)  # must not raise
+        for row in rows:
+            schema.validate_row(row)
+
+    def test_from_columns_infers_types_from_iterator_prefix(self):
+        # Type inference only peeks at a bounded prefix; a long column with a
+        # late type change still infers from the first values (documented
+        # 100-value window, matching Schema.infer).
+        values = list(range(200)) + ["tail-string"] * 5
+        table = Table.from_columns("t", {"a": values})
+        assert table.schema.column("a").column_type == ColumnType.NUMERIC
+        assert table.num_rows == len(values)
+
 
 class TestColumnArray:
     def test_matches_column_values(self, people_table):

@@ -14,13 +14,30 @@ compare_bench = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(compare_bench)
 
 
-def _payload(cold_evals=1000, warm_evals=100, ratio=10.0, hit_rate=0.95):
+def _payload(
+    cold_evals=1000,
+    warm_evals=100,
+    ratio=10.0,
+    hit_rate=0.95,
+    cold_index_builds=1,
+    cold_row_calls=0,
+):
     return {
-        "cold": {"udf_evaluations": cold_evals, "solver_calls": 80, "work": cold_evals + 80},
+        "cold": {
+            "udf_evaluations": cold_evals,
+            "solver_calls": 80,
+            "work": cold_evals + 80,
+            "group_index_builds": cold_index_builds,
+            "udf_bulk_calls": 200,
+            "udf_row_calls": cold_row_calls,
+        },
         "warm": {
             "udf_evaluations": warm_evals,
             "solver_calls": 4,
             "work": warm_evals + 4,
+            "group_index_builds": 1,
+            "udf_bulk_calls": 120,
+            "udf_row_calls": 0,
             "plan_cache": {"hit_rate": hit_rate},
         },
         "work_ratio_cold_over_warm": ratio,
@@ -28,21 +45,36 @@ def _payload(cold_evals=1000, warm_evals=100, ratio=10.0, hit_rate=0.95):
     }
 
 
-def _run(tmp_path, baseline, fresh, tolerance=0.15):
+def _coldpath_payload(rows=26500, evals=60000, index_builds=1, row_calls=0):
+    return {
+        "rows": rows,
+        "cold": {
+            "udf_evaluations": evals,
+            "solver_calls": 8,
+            "group_index_builds": index_builds,
+            "udf_bulk_calls": 18,
+            "udf_row_calls": row_calls,
+        },
+        "seconds": 0.5,
+    }
+
+
+def _run(tmp_path, baseline, fresh, tolerance=0.15, profile=None):
     base_path = tmp_path / "baseline.json"
     fresh_path = tmp_path / "fresh.json"
     base_path.write_text(json.dumps(baseline))
     fresh_path.write_text(json.dumps(fresh))
-    return compare_bench.main(
-        [
-            "--baseline",
-            str(base_path),
-            "--fresh",
-            str(fresh_path),
-            "--tolerance",
-            str(tolerance),
-        ]
-    )
+    argv = [
+        "--baseline",
+        str(base_path),
+        "--fresh",
+        str(fresh_path),
+        "--tolerance",
+        str(tolerance),
+    ]
+    if profile is not None:
+        argv += ["--profile", profile]
+    return compare_bench.main(argv)
 
 
 class TestClassify:
@@ -86,6 +118,14 @@ class TestGate:
         del broken["work_ratio_cold_over_warm"]
         assert _run(tmp_path, _payload(), broken) == 1
 
+    def test_index_build_regression_fails(self, tmp_path):
+        """The cold path rebuilding indexes per query must trip the gate."""
+        assert _run(tmp_path, _payload(), _payload(cold_index_builds=80)) == 1
+
+    def test_per_row_udf_regression_fails(self, tmp_path):
+        """Per-row UDF calls creeping back into the cold path must fail."""
+        assert _run(tmp_path, _payload(), _payload(cold_row_calls=500)) == 1
+
     def test_gate_accepts_the_committed_baseline(self):
         """The committed BENCH_serving.json must pass against itself."""
         committed = (
@@ -97,5 +137,41 @@ class TestGate:
         assert all(verdict == "ok" for *_rest, verdict in rows)
 
     def test_wall_clock_fields_are_not_gated(self):
-        gated = {name for name, _ in compare_bench.GATED_COUNTERS}
-        assert not any("seconds" in name or "queries_per_second" in name for name in gated)
+        for counters in compare_bench.PROFILES.values():
+            gated = {name for name, _ in counters}
+            assert not any(
+                "seconds" in name or "queries_per_second" in name for name in gated
+            )
+
+
+class TestColdpathProfile:
+    def test_identical_payloads_pass(self, tmp_path):
+        assert _run(
+            tmp_path, _coldpath_payload(), _coldpath_payload(), profile="coldpath"
+        ) == 0
+
+    def test_eval_regression_fails(self, tmp_path):
+        assert _run(
+            tmp_path,
+            _coldpath_payload(),
+            _coldpath_payload(evals=90000),
+            profile="coldpath",
+        ) == 1
+
+    def test_shrunk_scaling_point_fails(self, tmp_path):
+        """Quietly shrinking the 25k-row bench point counts as a regression."""
+        assert _run(
+            tmp_path,
+            _coldpath_payload(),
+            _coldpath_payload(rows=2650, evals=6000),
+            profile="coldpath",
+        ) == 1
+
+    def test_gate_accepts_the_committed_baseline(self):
+        committed = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_coldpath.json"
+        )
+        payload = json.loads(committed.read_text())
+        rows = list(compare_bench.compare(payload, payload, 0.15, profile="coldpath"))
+        assert rows, "no gated counters found in the committed coldpath baseline"
+        assert all(verdict == "ok" for *_rest, verdict in rows)
