@@ -9,12 +9,16 @@ it — the ``bench-regression`` CI job runs it against the baselines
 committed in the repository so solver, caching or vectorisation changes
 cannot silently degrade the serving path.
 
-Two profiles select which counters are gated:
+Three profiles select which counters are gated:
 
 * ``serving`` (default) — the cold/warm trace replay of
   ``BENCH_serving.json``;
 * ``coldpath`` — the ~25k-row cold scaling point of
-  ``BENCH_coldpath.json``.
+  ``BENCH_coldpath.json``;
+* ``scale`` — the ~520k-row sharded/parallel point of ``BENCH_scale.json``,
+  whose parity deltas (sharded-vs-unsharded work counters) are committed as
+  zero and therefore gated at *exactly* zero (any non-zero delta is an
+  unbounded relative drift).
 
 Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
@@ -67,9 +71,26 @@ COLDPATH_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("cold.udf_row_calls", True),
 )
 
+#: The scale profile pins the sharded/parallel engine to the unsharded one:
+#: the ``parity.*_abs_delta`` counters are absolute sharded-vs-unsharded
+#: differences, committed as 0 — any non-zero fresh value is an unbounded
+#: relative drift, so the ±tolerance gate degenerates to an exact ±0 gate.
+SCALE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("rows", False),
+    ("shards", False),
+    ("workers", False),
+    ("serial.udf_evaluations", True),
+    ("serial.solver_calls", True),
+    ("serial.udf_row_calls", True),
+    ("parity.udf_evaluations_abs_delta", True),
+    ("parity.solver_calls_abs_delta", True),
+    ("parity.row_ids_mismatch", True),
+)
+
 PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "serving": GATED_COUNTERS,
     "coldpath": COLDPATH_COUNTERS,
+    "scale": SCALE_COUNTERS,
 }
 
 
@@ -156,7 +177,7 @@ def main(argv=None) -> int:
             f"fresh={fresh_value:<12g} {verdict}"
         )
 
-    regressions = [name for name, *_rest, verdict in rows if verdict in ("regression", "missing")]
+    regressions = [row for row in rows if row[-1] in ("regression", "missing")]
     improvements = [name for name, *_rest, verdict in rows if verdict == "improvement"]
     if improvements:
         print(
@@ -165,7 +186,23 @@ def main(argv=None) -> int:
             "fresh baseline JSON so the gate keeps gating."
         )
     if regressions:
-        print(f"FAIL: {len(regressions)} counter(s) regressed: {', '.join(regressions)}")
+        # Name each breached counter with its values so the failure is
+        # actionable straight from the CI log, without opening the JSONs.
+        print(f"FAIL: {len(regressions)} counter(s) regressed (tolerance ±{args.tolerance:.0%}):")
+        for name, base_value, fresh_value, verdict in regressions:
+            if verdict == "missing":
+                print(
+                    f"  ! {name}: missing from baseline or fresh payload "
+                    "(benchmark schema changed without re-baselining)"
+                )
+                continue
+            if abs(base_value) < 1e-9:
+                detail = f"delta {fresh_value - base_value:+g} from a zero baseline"
+            else:
+                detail = f"drift {(fresh_value - base_value) / abs(base_value):+.1%}"
+            print(
+                f"  ! {name}: baseline={base_value:g} fresh={fresh_value:g} ({detail})"
+            )
         return 1
     print("OK: all gated counters within tolerance")
     return 0

@@ -96,6 +96,54 @@ execution runs.  The wall-clock-independent counters (``udf_evaluations``,
 ``benchmarks/compare_bench.py`` so neither the statistical work nor the
 batched structure of the cold path can silently regress.
 
+Sharding & parallelism
+~~~~~~~~~~~~~~~~~~~~~~
+
+Past a few tens of thousands of rows a single core becomes the ceiling, so
+the engine scales *out* instead:
+
+* **Shard layout** — :class:`~repro.db.ShardedTable` partitions rows into
+  contiguous shards (each a plain :class:`Table` over its row range; global
+  row ids are the concatenation order).  Build one with
+  ``ShardedTable.from_columns(..., num_shards=8)`` (chunked ingestion — the
+  schema is inferred once and columns are C-level-sliced per shard, never
+  looped per row), ``ShardedTable.from_table`` for an existing table, or
+  ``Catalog.shard_table(name, num_shards)`` to reshard in place.  Group
+  indexes are built per shard — lazily, and in parallel when the table was
+  given ``max_workers`` — and merged into a
+  :class:`~repro.db.MergedGroupIndex` whose codes, row arrays and label
+  counts are **exact** concatenations; property tests pin the merged index
+  (and shard-merged ``SampleOutcome.merge_shards`` /
+  ``SelectivityModel.merge_shards`` statistics — all counts, so merging is
+  exact) equal to the unsharded equivalents, which is why
+  :class:`IntelSample`, :class:`AdaptiveIntelSample` and
+  :class:`OptimalOracle` run unchanged on sharded inputs.
+* **RNG substream discipline** — the sharded
+  :class:`~repro.core.ParallelBatchExecutor` cannot consume one sequential
+  random stream (that would couple every coin to all earlier coins and make
+  results depend on the partition).  Instead each group gets two
+  counter-based SplitMix64 substreams (retrieval and evaluation coins),
+  addressed by the tuple's *position* in the group's candidate list; any
+  worker can generate any slice of any stream independently.  Results are
+  therefore bitwise identical for every shard layout and every
+  ``max_workers`` — the scale benchmark pins sharded-vs-unsharded
+  ``udf_evaluations``/``solver_calls`` at ±0 — though seeds are not
+  comparable with the sequential ``BatchExecutor`` discipline.  Row
+  *selection* for sampling/labelling stays on the strategy's sequential
+  stream; only the (deterministic) bulk UDF evaluations fan across shards.
+* **When parallel beats serial** — the fan-out wins when the per-span NumPy
+  kernels (block RNG, ufunc comparisons, sorts in index builds, bulk label
+  reads) dominate, i.e. large tables (≳100k rows/query) on multi-core
+  hosts: those kernels release the GIL, so ``ThreadPool`` workers genuinely
+  overlap.  On small tables or single cores the python orchestration
+  dominates and ``BatchExecutor`` (or ``max_workers=1``, the documented
+  serial fallback) is the right default — which is why ``"batch"`` remains
+  the library-wide default and ``"parallel"`` is opt-in via
+  ``QueryService(executor="parallel", max_workers=...)`` or
+  ``IntelSample(executor_factory=lambda rng: ParallelBatchExecutor(rng))``.
+  ``benchmarks/BENCH_scale.json`` tracks a ~520k-row point: q/s for serial
+  vs ≥4 workers plus the exact work-counter parity, gated in CI.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """
@@ -109,6 +157,7 @@ from repro.core import (
     GroupStatistics,
     IntelSample,
     OptimalOracle,
+    ParallelBatchExecutor,
     PlanExecutor,
     QueryConstraints,
     SelectivityModel,
@@ -124,8 +173,10 @@ from repro.db import (
     CostLedger,
     Engine,
     GroupIndex,
+    MergedGroupIndex,
     QueryResult,
     SelectQuery,
+    ShardedTable,
     Table,
     UdfPredicate,
     UserDefinedFunction,
@@ -152,6 +203,7 @@ __all__ = [
     "ExecutionPlan",
     "GroupDecision",
     "PlanExecutor",
+    "ParallelBatchExecutor",
     "IntelSample",
     "AdaptiveIntelSample",
     "OptimalOracle",
@@ -164,7 +216,9 @@ __all__ = [
     "Catalog",
     "Engine",
     "Table",
+    "ShardedTable",
     "GroupIndex",
+    "MergedGroupIndex",
     "SelectQuery",
     "QueryResult",
     "UserDefinedFunction",

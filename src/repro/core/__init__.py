@@ -8,7 +8,8 @@ Public surface:
   :func:`solve_perfect_selectivity_lp` and :func:`solve_bigreedy`
   (Section 3.2), :func:`solve_estimated_selectivity` (Section 3.3),
   :func:`solve_with_samples` (Section 4.2),
-* execution — :class:`BatchExecutor` (vectorised default) and
+* execution — :class:`BatchExecutor` (vectorised default),
+  :class:`ParallelBatchExecutor` (sharded, thread-parallel scale-out) and
   :class:`PlanExecutor` (tuple-at-a-time reference),
 * end-to-end strategies — :class:`IntelSample`, :class:`AdaptiveIntelSample`,
   :class:`OptimalOracle`,
@@ -39,6 +40,7 @@ from repro.core.executor import (
     GroupExecutionCounts,
     PlanExecutor,
 )
+from repro.core.parallel import ParallelBatchExecutor, default_max_workers, shared_pool
 from repro.core.groups import GroupStatistics, SelectivityModel
 from repro.core.hoeffding_lp import (
     LpSolution,
@@ -58,6 +60,7 @@ from repro.core.sampling_program import (
     SamplingProgramSolution,
     solve_from_model,
     solve_with_samples,
+    solve_with_shard_outcomes,
 )
 
 __all__ = [
@@ -81,9 +84,13 @@ __all__ = [
     "solve_estimated_selectivity",
     "SamplingProgramSolution",
     "solve_with_samples",
+    "solve_with_shard_outcomes",
     "solve_from_model",
     "PlanExecutor",
     "BatchExecutor",
+    "ParallelBatchExecutor",
+    "default_max_workers",
+    "shared_pool",
     "ExecutorBackend",
     "ExecutionResult",
     "GroupExecutionCounts",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -109,8 +109,15 @@ def draw_labeled_sample(
     fraction: float = 0.01,
     minimum_size: int = 50,
     random_state: SeedLike = None,
+    bulk_evaluator: Optional[Callable[[Table, np.ndarray], np.ndarray]] = None,
 ) -> LabeledSample:
-    """Uniformly sample rows and evaluate the UDF on them (charging costs)."""
+    """Uniformly sample rows and evaluate the UDF on them (charging costs).
+
+    ``bulk_evaluator`` optionally replaces ``udf.evaluate_rows`` for the
+    batched evaluation (the parallel executor's shard fan-out); row selection
+    stays on this function's stream, so the drawn sample is identical either
+    way.
+    """
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
     rng = as_random_state(random_state)
@@ -121,7 +128,8 @@ def draw_labeled_sample(
     # the historical per-row loop, minus the per-tuple python overhead.
     ledger.charge_retrieval(int(chosen.size))
     ledger.charge_evaluation(int(chosen.size))
-    outcomes = udf.evaluate_rows(table, chosen)
+    evaluate = bulk_evaluator if bulk_evaluator is not None else udf.evaluate_rows
+    outcomes = evaluate(table, chosen)
     sample = LabeledSample()
     sample.outcomes.update(zip(chosen.tolist(), outcomes.tolist()))
     return sample

@@ -10,12 +10,17 @@ group and
 3. skips tuples that were already evaluated during sampling — their positive
    members are added to the output for free, exactly as Section 4.2 allows.
 
-Two backends implement this contract:
+Three backends implement this contract:
 
 * :class:`PlanExecutor` — the paper-faithful tuple-at-a-time reference:
   python loops, one ledger charge per tuple, one UDF call per evaluated row;
 * :class:`BatchExecutor` — the vectorised default: one NumPy pass per group
-  and one bulk :meth:`~repro.db.udf.UserDefinedFunction.evaluate_rows` call.
+  and one bulk :meth:`~repro.db.udf.UserDefinedFunction.evaluate_rows` call;
+* :class:`~repro.core.parallel.ParallelBatchExecutor` — the sharded,
+  thread-parallel scale-out backend.  It uses a *different* (counter-based,
+  position-addressable) coin discipline so its results are invariant to
+  shard layout and worker count; seeds are not comparable across the two
+  disciplines, only within each.
 
 Shared coin discipline
 ----------------------
@@ -42,7 +47,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, FrozenSet, Hashable, List, Optional, Protocol
+from typing import Dict, FrozenSet, Hashable, List, Optional, Protocol, Union
 
 import numpy as np
 
@@ -77,16 +82,25 @@ class GroupExecutionCounts:
 
 @dataclass
 class ExecutionResult:
-    """Outcome of executing a plan."""
+    """Outcome of executing a plan.
 
-    returned_row_ids: List[int]
+    ``returned_row_ids`` is a python list from the serial backends and a
+    numpy ``intp`` array from the parallel backend (which never materialises
+    per-row python ints on its critical path); both iterate, index, ``len()``
+    and set-convert identically.
+    """
+
+    returned_row_ids: Union[List[int], np.ndarray]
     ledger: CostLedger
     group_counts: Dict[Hashable, GroupExecutionCounts] = field(default_factory=dict)
 
     @cached_property
     def returned_set(self) -> FrozenSet[int]:
         """Returned row ids as a read-only set (built once, then cached)."""
-        return frozenset(self.returned_row_ids)
+        ids = self.returned_row_ids
+        if isinstance(ids, np.ndarray):
+            return frozenset(ids.tolist())  # C-level python-int conversion
+        return frozenset(ids)
 
     @property
     def total_cost(self) -> float:

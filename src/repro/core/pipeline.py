@@ -52,6 +52,28 @@ def _constraints_from_query(query: SelectQuery) -> QueryConstraints:
     return QueryConstraints(alpha=query.alpha, beta=query.beta, rho=query.rho)
 
 
+def _probe_bulk_evaluator(
+    executor_factory: Optional[Callable[[RandomState], ExecutorBackend]],
+    udf: UserDefinedFunction,
+):
+    """The executor's shard fan-out for bulk UDF evaluation, if it has one.
+
+    A throwaway, fixed-seed instance is built purely to read configuration —
+    the real executor is still created (with its proper child stream) at the
+    execution step, so the pipeline's random-stream consumption is unchanged
+    whether or not the backend is parallel.  UDF outcomes are deterministic,
+    so fanning sampling/labelling evaluations across shards alters wall-clock
+    only, never statistics.
+    """
+    if executor_factory is None:
+        return None
+    probe = executor_factory(as_random_state(0))
+    hook = getattr(probe, "bulk_evaluator", None)
+    if callable(hook):
+        return hook(udf)
+    return None
+
+
 def _udf_from_query(query: SelectQuery) -> UserDefinedFunction:
     predicates = query.udf_predicates
     if not predicates:
@@ -163,6 +185,7 @@ class IntelSample:
         cost_model = _cost_model_from_ledger(ledger)
         column = correlated_column or self.correlated_column
         udf_counters_before = udf.counter_snapshot()
+        bulk_evaluator = _probe_bulk_evaluator(self.executor_factory, udf)
 
         labeled = cached_labeled if cached_labeled is not None else LabeledSample()
         column_costs = None
@@ -178,6 +201,7 @@ class IntelSample:
                     ledger,
                     fraction=self.column_sample_fraction,
                     random_state=self.random_state.child(),
+                    bulk_evaluator=bulk_evaluator,
                 )
             if self.use_virtual_column:
                 exclude = [name for name in ("record_id",) if table.schema.has_column(name)]
@@ -246,7 +270,13 @@ class IntelSample:
             }
         sampler = GroupSampler(random_state=self.random_state.child())
         new_outcome = sampler.sample(
-            working_table, index, udf, allocation, ledger, already_sampled=prior
+            working_table,
+            index,
+            udf,
+            allocation,
+            ledger,
+            already_sampled=prior,
+            bulk_evaluator=bulk_evaluator,
         )
         outcome: SampleOutcome = new_outcome if prior is None else prior.merge(new_outcome)
 
@@ -356,9 +386,13 @@ class OptimalOracle:
         # Peek at the ground truth without charging costs (unrealistic, by
         # design) — in oracle mode, so the peek leaves no trace in the UDF's
         # memo cache or counters that later accounting could mistake for
-        # paid-for work.
+        # paid-for work.  The peek spans the whole table, so it fans across
+        # shards when the backend is parallel (oracle mode is depth-counted
+        # on the shared UDF object, which worker threads observe).
+        bulk_evaluator = _probe_bulk_evaluator(self.executor_factory, udf)
+        evaluate = bulk_evaluator if bulk_evaluator is not None else udf.evaluate_rows
         with udf.oracle_mode():
-            outcomes = udf.evaluate_rows(table, table.row_ids)
+            outcomes = evaluate(table, table.row_ids)
         positives = np.flatnonzero(outcomes)
         model = SelectivityModel.from_ground_truth(index, positives)
 

@@ -27,7 +27,7 @@ from repro.db.errors import (
     TableNotFoundError,
     UdfNotFoundError,
 )
-from repro.db.index import GroupIndex
+from repro.db.index import GroupIndex, MergedGroupIndex
 from repro.db.predicate import (
     AndPredicate,
     ColumnPredicate,
@@ -38,6 +38,7 @@ from repro.db.predicate import (
 )
 from repro.db.query import SelectQuery
 from repro.db.schema import Schema
+from repro.db.sharding import ShardedTable, shard_bounds
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UdfRegistry, UserDefinedFunction
 
@@ -56,6 +57,9 @@ __all__ = [
     "SchemaMismatchError",
     "BudgetExhaustedError",
     "GroupIndex",
+    "MergedGroupIndex",
+    "ShardedTable",
+    "shard_bounds",
     "Predicate",
     "ColumnPredicate",
     "UdfPredicate",

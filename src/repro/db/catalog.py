@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.db.errors import DuplicateObjectError, TableNotFoundError
+from repro.db.sharding import ShardedTable
 from repro.db.table import Table
 from repro.db.udf import UdfRegistry, UserDefinedFunction
 
@@ -43,6 +44,32 @@ class Catalog:
         if name not in self._tables:
             raise TableNotFoundError(name)
         del self._tables[name]
+
+    def shard_table(
+        self,
+        name: str,
+        num_shards: int,
+        max_workers: Optional[int] = None,
+    ) -> ShardedTable:
+        """Replace a registered table with a sharded copy of the same rows.
+
+        The replacement is a fresh table object, so every identity-keyed
+        cache (plans, statistics) correctly treats it as a new generation;
+        row ids, schema and name are unchanged, so queries keep working.
+        Returns the new :class:`~repro.db.sharding.ShardedTable`.
+        """
+        table = self.table(name)
+        if (
+            isinstance(table, ShardedTable)
+            and table.num_shards == num_shards
+            and (max_workers is None or table.max_workers == max_workers)
+        ):
+            return table
+        sharded = ShardedTable.from_table(
+            table, num_shards=num_shards, max_workers=max_workers
+        )
+        self._tables[name] = sharded
+        return sharded
 
     def group_index(self, table_name: str, column: str):
         """The shared :class:`~repro.db.index.GroupIndex` for a table column.

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Dict, FrozenSet, List, Optional, Protocol, Set, Union
 
+import numpy as np
+
 from repro.db.catalog import Catalog
 from repro.db.errors import DuplicateObjectError, UnsupportedQueryError
 from repro.db.query import SelectQuery
@@ -31,7 +33,10 @@ class QueryResult:
     Attributes
     ----------
     row_ids:
-        Row ids returned by the (possibly approximate) evaluation.
+        Row ids returned by the (possibly approximate) evaluation — a python
+        list, or a numpy array when produced by the parallel executor (same
+        iteration/len/set semantics; the array form avoids materialising one
+        python int per returned row on large results).
     ledger:
         The cost ledger charged during evaluation (sampling included).
     quality:
@@ -42,7 +47,7 @@ class QueryResult:
         Free-form strategy diagnostics (chosen column, sample sizes, ...).
     """
 
-    row_ids: List[int]
+    row_ids: Union[List[int], np.ndarray]
     ledger: CostLedger
     quality: Optional[ResultQuality] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
@@ -50,6 +55,8 @@ class QueryResult:
     @cached_property
     def row_id_set(self) -> FrozenSet[int]:
         """The returned row ids as a read-only set (built once, then cached)."""
+        if isinstance(self.row_ids, np.ndarray):
+            return frozenset(self.row_ids.tolist())  # C-level int conversion
         return frozenset(self.row_ids)
 
     @property

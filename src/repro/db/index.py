@@ -99,23 +99,40 @@ class GroupIndex:
         values, codes = _factorise(
             array, lambda: table.column_values(column, allow_hidden=allow_hidden)
         )
+        self._install(values, codes)
+
+    def _install(
+        self,
+        values: List[Any],
+        codes: np.ndarray,
+        row_id_arrays: Optional[List[np.ndarray]] = None,
+    ) -> None:
+        """Finish construction from factorised parts.
+
+        ``row_id_arrays`` (per-group ascending global row ids) may be supplied
+        by subclasses that already know the grouping — :class:`MergedGroupIndex`
+        concatenates per-shard arrays instead of re-sorting the whole table —
+        otherwise they are derived from ``codes`` with one stable argsort.
+        """
         codes.setflags(write=False)
         self._values: List[Any] = values
         self._codes: np.ndarray = codes
         self._code_by_value: Dict[Any, int] = {
             value: code for code, value in enumerate(values)
         }
-        # One read-only row-id array per group, each ascending in row order
-        # (stable sort over row position), sliced out of a single argsort.
-        order = np.argsort(codes, kind="stable")
-        boundaries = np.searchsorted(codes[order], np.arange(len(values) + 1))
-        self._row_id_arrays: List[np.ndarray] = []
-        for code in range(len(values)):
-            rows = np.ascontiguousarray(
-                order[boundaries[code] : boundaries[code + 1]]
-            )
-            rows.setflags(write=False)
-            self._row_id_arrays.append(rows)
+        if row_id_arrays is None:
+            # One read-only row-id array per group, each ascending in row order
+            # (stable sort over row position), sliced out of a single argsort.
+            order = np.argsort(codes, kind="stable")
+            boundaries = np.searchsorted(codes[order], np.arange(len(values) + 1))
+            row_id_arrays = []
+            for code in range(len(values)):
+                rows = np.ascontiguousarray(
+                    order[boundaries[code] : boundaries[code + 1]]
+                )
+                rows.setflags(write=False)
+                row_id_arrays.append(rows)
+        self._row_id_arrays: List[np.ndarray] = row_id_arrays
         self._sizes: List[int] = [int(rows.size) for rows in self._row_id_arrays]
         self._empty: np.ndarray = np.empty(0, dtype=np.intp)
         self._empty.setflags(write=False)
@@ -192,6 +209,17 @@ class GroupIndex:
         """Total number of indexed rows."""
         return int(self._codes.size)
 
+    def span_boundaries(self) -> Tuple[int, ...]:
+        """Contiguous row-id spans the index naturally decomposes into.
+
+        A monolithic index is one span ``(0, total_rows)``; a
+        :class:`MergedGroupIndex` reports its shard boundaries.  The parallel
+        executor partitions work along these spans — thanks to its
+        position-addressable coin streams the partition never changes the
+        result, only where the work runs.
+        """
+        return (0, self.total_rows())
+
     def label_counts(
         self, row_ids: Sequence[int], labels: Optional[Sequence[bool]] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -227,4 +255,94 @@ class GroupIndex:
         return (
             f"GroupIndex(table={self.table.name!r}, column={self.column!r}, "
             f"groups={self.num_groups})"
+        )
+
+
+class MergedGroupIndex(GroupIndex):
+    """Exact concatenation of per-shard group indexes.
+
+    Built by :meth:`repro.db.sharding.ShardedTable.group_index` from one
+    :class:`GroupIndex` per shard.  Every derived statistic is an exact
+    merge — group keys appear in global first-appearance order (each shard's
+    values are already in local first-appearance order, and shards are
+    concatenated in row order), ``codes`` is the concatenation of the shards'
+    codes remapped to global codes, and each group's row-id array is the
+    offset-shifted concatenation of its per-shard arrays (ascending, since
+    shards cover contiguous ascending row ranges).  Property tests pin all of
+    it equal to the :class:`GroupIndex` of the equivalent monolithic table,
+    so optimizers and executors cannot tell a sharded table apart from an
+    unsharded one.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        column: str,
+        shard_indexes: Sequence[GroupIndex],
+        offsets: Sequence[int],
+    ):
+        if len(offsets) != len(shard_indexes) + 1:
+            raise ValueError(
+                f"expected {len(shard_indexes) + 1} offsets for "
+                f"{len(shard_indexes)} shards, got {len(offsets)}"
+            )
+        self.table = table
+        self.column = column
+        self.shard_indexes: List[GroupIndex] = list(shard_indexes)
+        self._offsets: Tuple[int, ...] = tuple(int(o) for o in offsets)
+
+        values: List[Any] = []
+        code_by_value: Dict[Any, int] = {}
+        remaps: List[np.ndarray] = []
+        for shard_index in self.shard_indexes:
+            remap = np.empty(shard_index.num_groups, dtype=np.intp)
+            for local_code, value in enumerate(shard_index._values):
+                merged_code = code_by_value.get(value)
+                if merged_code is None:
+                    merged_code = len(values)
+                    code_by_value[value] = merged_code
+                    values.append(value)
+                remap[local_code] = merged_code
+            remaps.append(remap)
+
+        if self.shard_indexes:
+            codes = np.concatenate(
+                [
+                    remap[shard_index.codes]
+                    for shard_index, remap in zip(self.shard_indexes, remaps)
+                ]
+            ).astype(np.intp, copy=False)
+        else:
+            codes = np.empty(0, dtype=np.intp)
+
+        row_id_arrays: List[np.ndarray] = []
+        for value in values:
+            parts = [
+                shard_index.row_ids(value) + offset
+                for shard_index, offset in zip(self.shard_indexes, self._offsets)
+                if shard_index.group_size(value)
+            ]
+            rows = (
+                np.concatenate(parts).astype(np.intp, copy=False)
+                if parts
+                else np.empty(0, dtype=np.intp)
+            )
+            rows.setflags(write=False)
+            row_id_arrays.append(rows)
+
+        self._install(values, codes, row_id_arrays)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of merged shard indexes."""
+        return len(self.shard_indexes)
+
+    def span_boundaries(self) -> Tuple[int, ...]:
+        """The shard boundaries this index was merged along."""
+        return self._offsets
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MergedGroupIndex(table={self.table.name!r}, column={self.column!r}, "
+            f"groups={self.num_groups}, shards={self.num_shards})"
         )

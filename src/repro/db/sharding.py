@@ -1,0 +1,425 @@
+"""Horizontal sharding: one logical table backed by contiguous row-range shards.
+
+:class:`ShardedTable` partitions a table's rows into contiguous shards, each a
+plain :class:`~repro.db.table.Table` over its own row range.  Global row ids
+are the concatenation order — row ``i`` of shard ``s`` is global row
+``offsets[s] + i`` — so a sharded table is observably identical to the
+monolithic table holding the same rows: every accessor (``column_values``,
+``column_array``, ``row``, ``group_row_ids``...) returns exactly what the
+unsharded equivalent would.
+
+What sharding buys:
+
+* **chunked ingestion** — ``from_columns``/``from_rows`` slice whole columns
+  into shard ranges (C-level slicing, no per-row python loop per shard);
+* **per-shard group indexes** — :meth:`ShardedTable.group_index` builds one
+  :class:`~repro.db.index.GroupIndex` per shard (in parallel when the table
+  was given ``max_workers``) and merges them into a
+  :class:`~repro.db.index.MergedGroupIndex` whose codes/row arrays/label
+  counts are *exact* concatenations, pinned equal to the unsharded index by
+  property tests;
+* **parallel execution** — the shard boundaries give
+  :class:`~repro.core.parallel.ParallelBatchExecutor` natural work partitions
+  whose results are bitwise independent of the partition.
+
+Statistics merge exactly because everything downstream is a count: per-shard
+sample outcomes and selectivity models recombine through
+``SampleOutcome.merge_shards`` / ``SelectivityModel.merge_shards`` with no
+approximation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.index import MergedGroupIndex
+
+from repro.db.column import Column, ColumnType
+from repro.db.errors import SchemaMismatchError
+from repro.db.schema import Schema
+from repro.db.table import Table, infer_schema_for_columns
+
+
+def shard_bounds(
+    total_rows: int,
+    num_shards: Optional[int] = None,
+    shard_rows: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Contiguous shard boundaries ``(0, ..., total_rows)`` for a row count.
+
+    Exactly one of ``num_shards`` (evenly sized shards, remainder spread) or
+    ``shard_rows`` (fixed rows per shard, last shard short) must be given.
+    """
+    if total_rows < 0:
+        raise ValueError(f"total_rows must be non-negative, got {total_rows}")
+    if (num_shards is None) == (shard_rows is None):
+        raise ValueError("specify exactly one of num_shards or shard_rows")
+    if shard_rows is not None:
+        if shard_rows < 1:
+            raise ValueError(f"shard_rows must be positive, got {shard_rows}")
+        cuts = list(range(0, total_rows, shard_rows)) + [total_rows]
+        if len(cuts) == 1:  # empty table
+            cuts = [0, 0]
+        return tuple(cuts)
+    if num_shards is None or num_shards < 1:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    return tuple(round(i * total_rows / num_shards) for i in range(num_shards + 1))
+
+
+class ShardedTable(Table):
+    """A :class:`Table` whose rows live in contiguous row-range shards.
+
+    Construct through :meth:`from_table`, :meth:`from_columns` or
+    :meth:`from_rows`.  The sharded table satisfies the full ``Table``
+    contract (it *is* one), so every strategy, executor and serving component
+    accepts it unchanged; components that understand sharding
+    (``MergedGroupIndex``, ``ParallelBatchExecutor``) discover the layout via
+    :meth:`shard_signature` / :attr:`shard_offsets` and exploit it.
+
+    ``max_workers`` bounds the threads used for lazy per-shard index builds
+    (``None`` or ``1`` builds serially).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        shards: Sequence[Table],
+        max_workers: Optional[int] = None,
+    ):
+        # Deliberately does NOT call Table.__init__: the shards hold the data
+        # and every data accessor is overridden to route or concatenate.
+        if not shards:
+            raise ValueError("a ShardedTable needs at least one shard")
+        self.name = name
+        self.schema = schema
+        self.max_workers = max_workers
+        self._shards: List[Table] = list(shards)
+        sizes = [shard.num_rows for shard in self._shards]
+        self._offsets: Tuple[int, ...] = tuple(
+            int(n) for n in np.concatenate([[0], np.cumsum(sizes)])
+        )
+        self._num_rows = self._offsets[-1]
+        self._offset_array = np.asarray(self._offsets, dtype=np.intp)
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._group_indexes: Dict[tuple, "MergedGroupIndex"] = {}
+        self._group_index_lock = threading.Lock()
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        num_shards: Optional[int] = None,
+        shard_rows: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedTable":
+        """Shard an existing table (same name, schema and row order)."""
+        columns = {
+            column_name: table.column_values(column_name, allow_hidden=True)
+            for column_name in table.schema.column_names
+        }
+        return cls._from_schema_and_columns(
+            table.name, table.schema, columns,
+            num_shards=num_shards, shard_rows=shard_rows, max_workers=max_workers,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Mapping[str, Sequence[Any]],
+        column_types: Optional[Mapping[str, ColumnType | str]] = None,
+        hidden_columns: Iterable[str] = (),
+        num_shards: Optional[int] = None,
+        shard_rows: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedTable":
+        """Chunked column ingestion: infer the schema once, slice per shard.
+
+        Types are inferred exactly as :meth:`Table.from_columns` does (one
+        shared :func:`~repro.db.table.infer_schema_for_columns` call); each
+        shard then receives C-level slices of the full columns — no per-row
+        python loop anywhere.
+        """
+        schema = infer_schema_for_columns(
+            columns, column_types=column_types, hidden_columns=hidden_columns
+        )
+        return cls._from_schema_and_columns(
+            name, schema, columns,
+            num_shards=num_shards, shard_rows=shard_rows, max_workers=max_workers,
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        schema: Optional[Schema] = None,
+        num_shards: Optional[int] = None,
+        shard_rows: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedTable":
+        """Build a sharded table from dict rows (one transpose, then slices)."""
+        if schema is None:
+            schema = Schema.infer(rows)
+        schema.validate_rows(rows)
+        columns: Dict[str, List[Any]] = {
+            column_name: [row[column_name] for row in rows]
+            for column_name in schema.column_names
+        }
+        return cls._from_schema_and_columns(
+            name, schema, columns,
+            num_shards=num_shards, shard_rows=shard_rows, max_workers=max_workers,
+        )
+
+    @classmethod
+    def _from_schema_and_columns(
+        cls,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, Sequence[Any]],
+        num_shards: Optional[int] = None,
+        shard_rows: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedTable":
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaMismatchError(
+                f"columns have inconsistent lengths: "
+                f"{ {c: len(v) for c, v in columns.items()} }"
+            )
+        total = lengths.pop() if lengths else 0
+        bounds = shard_bounds(total, num_shards=num_shards, shard_rows=shard_rows)
+        shards = [
+            Table(
+                name=f"{name}#shard{position}",
+                schema=schema,
+                columns={
+                    column_name: values[start:stop]
+                    for column_name, values in columns.items()
+                },
+            )
+            for position, (start, stop) in enumerate(zip(bounds, bounds[1:]))
+        ]
+        return cls(name=name, schema=schema, shards=shards, max_workers=max_workers)
+
+    # -- layout ---------------------------------------------------------------
+    @property
+    def shards(self) -> List[Table]:
+        """The shard tables in row order."""
+        return list(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def shard_offsets(self) -> Tuple[int, ...]:
+        """Global row-id boundaries ``(0, ..., num_rows)``, one span per shard."""
+        return self._offsets
+
+    def shard_spans(self) -> List[Tuple[int, int]]:
+        """Per-shard ``(start, stop)`` global row-id ranges."""
+        return list(zip(self._offsets, self._offsets[1:]))
+
+    def shard_signature(self) -> Tuple:
+        """Hashable shard-layout token (cache generation key)."""
+        return ("sharded", self._offsets)
+
+    def shard_of(self, row_id: int) -> Tuple[int, int]:
+        """``(shard position, local row id)`` for a global row id."""
+        self._check_row_id(row_id)
+        position = int(
+            np.searchsorted(self._offset_array, row_id, side="right") - 1
+        )
+        return position, row_id - self._offsets[position]
+
+    # -- data access (routing / concatenation overrides) ----------------------
+    def column_values(self, column: str, allow_hidden: bool = False) -> List[Any]:
+        """All values of a column (shards concatenated in row order)."""
+        self.schema.column(column)  # existence check (and consistent error)
+        values: List[Any] = []
+        for shard in self._shards:
+            values.extend(shard.column_values(column, allow_hidden=allow_hidden))
+        return values
+
+    def column_array(self, column: str, allow_hidden: bool = False) -> np.ndarray:
+        """The concatenated, cached, read-only column array.
+
+        Per-shard arrays (each already validated against numpy's silent
+        mixed-type stringification) are concatenated once; if the shards
+        disagree on dtype kind — a hint the column is mixed-type across shard
+        boundaries — the global array falls back to object dtype over the
+        original python values, matching what the monolithic table would do.
+        """
+        array = self._arrays.get(column)
+        if array is not None:
+            column_def = self.schema.column(column)
+            if column_def.hidden and not allow_hidden:
+                # Mirror Table.column_array's visibility behaviour.
+                from repro.db.errors import ColumnNotFoundError
+
+                raise ColumnNotFoundError(column, self.schema.visible_column_names)
+            return array
+        parts = [
+            shard.column_array(column, allow_hidden=allow_hidden)
+            for shard in self._shards
+        ]
+        kinds = {part.dtype.kind for part in parts if part.size}
+        if "O" in kinds:
+            # Some shard already fell back to python values; the global
+            # array does too (exactly what the monolithic table would do).
+            array = self._object_column_array(column, allow_hidden)
+        else:
+            array = np.concatenate(parts) if parts else np.empty(0)
+            if array.dtype.kind in ("U", "S") and not kinds <= {"U", "S"}:
+                # np.concatenate stringified a string/non-string kind mix
+                # that happened to split cleanly along shard boundaries —
+                # the monolithic table's mixed-type check would have gone
+                # to object dtype, so the sharded table must as well.
+                array = self._object_column_array(column, allow_hidden)
+        array.setflags(write=False)
+        self._arrays[column] = array
+        return array
+
+    def _object_column_array(self, column: str, allow_hidden: bool) -> np.ndarray:
+        values = self.column_values(column, allow_hidden=allow_hidden)
+        array = np.empty(len(values), dtype=object)
+        array[:] = values
+        return array
+
+    def value(self, row_id: int, column: str, allow_hidden: bool = False) -> Any:
+        """Value of one cell (routed to the owning shard)."""
+        position, local = self.shard_of(row_id)
+        return self._shards[position].value(local, column, allow_hidden=allow_hidden)
+
+    def row(self, row_id: int, include_hidden: bool = False) -> Dict[str, Any]:
+        """A dict view of one row (routed to the owning shard)."""
+        position, local = self.shard_of(row_id)
+        return self._shards[position].row(local, include_hidden=include_hidden)
+
+    def rows(self, include_hidden: bool = False) -> Iterator[Dict[str, Any]]:
+        """Iterate rows across shards in global row order."""
+        for shard in self._shards:
+            yield from shard.rows(include_hidden=include_hidden)
+
+    def select_rows(
+        self, row_ids: Iterable[int], name: Optional[str] = None
+    ) -> Table:
+        """A new (monolithic) table of ``row_ids``, re-numbered densely."""
+        ids = list(row_ids)
+        for row_id in ids:
+            self._check_row_id(row_id)
+        if len(ids) * 4 >= self._num_rows:
+            # Large selection: one concatenation pass per column amortises.
+            data = {
+                column_name: self.column_values(column_name, allow_hidden=True)
+                for column_name in self.schema.column_names
+            }
+            columns = {
+                column_name: [values[i] for i in ids]
+                for column_name, values in data.items()
+            }
+        else:
+            # Small selection: route each row to its shard instead of
+            # materialising every column of the whole table.
+            picked = [self.row(row_id, include_hidden=True) for row_id in ids]
+            columns = {
+                column_name: [row[column_name] for row in picked]
+                for column_name in self.schema.column_names
+            }
+        return Table(
+            name=name or f"{self.name}_subset", schema=self.schema, columns=columns
+        )
+
+    def with_column(
+        self,
+        column: Column,
+        values: Sequence[Any],
+        name: Optional[str] = None,
+    ) -> "ShardedTable":
+        """A new sharded table with one extra column, split at the same bounds.
+
+        Keeps the shard layout, so virtual-column tables derived from a
+        sharded base stay sharded (and keep their parallel execution path).
+        """
+        if len(values) != self._num_rows:
+            raise SchemaMismatchError(
+                f"new column {column.name!r} has {len(values)} values for a "
+                f"table of {self._num_rows} rows"
+            )
+        values = list(values)
+        new_shards = [
+            shard.with_column(column, values[start:stop])
+            for shard, (start, stop) in zip(self._shards, self.shard_spans())
+        ]
+        return ShardedTable(
+            name=name or self.name,
+            schema=new_shards[0].schema,
+            shards=new_shards,
+            max_workers=self.max_workers,
+        )
+
+    # -- group indexes ---------------------------------------------------------
+    def group_index(self, column: str, allow_hidden: bool = False):
+        """A cached :class:`~repro.db.index.MergedGroupIndex` over ``column``.
+
+        Per-shard indexes are built lazily (in parallel when ``max_workers``
+        allows — index factorisation is sort-dominated, which releases the
+        GIL) and cached on the shards themselves, then merged exactly.  Same
+        double-checked locking and privacy separation as
+        :meth:`Table.group_index`.
+        """
+        from repro.db.index import MergedGroupIndex
+
+        key = (allow_hidden, column)
+        index = self._group_indexes.get(key)
+        if index is None:
+            with self._group_index_lock:
+                index = self._group_indexes.get(key)
+                if index is None:
+                    shard_indexes = self._build_shard_indexes(column, allow_hidden)
+                    index = MergedGroupIndex(
+                        self, column, shard_indexes, self._offsets
+                    )
+                    self._group_indexes[key] = index
+        return index
+
+    def _build_shard_indexes(self, column: str, allow_hidden: bool):
+        workers = min(self.max_workers or 1, len(self._shards))
+        if workers > 1:
+            from repro.core.parallel import shared_pool
+
+            return list(
+                shared_pool(workers).map(
+                    lambda shard: shard.group_index(column, allow_hidden=allow_hidden),
+                    self._shards,
+                )
+            )
+        return [
+            shard.group_index(column, allow_hidden=allow_hidden)
+            for shard in self._shards
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedTable({self.name!r}, rows={self._num_rows}, "
+            f"columns={self.num_columns}, shards={self.num_shards})"
+        )

@@ -34,6 +34,39 @@ from repro.db.errors import ColumnNotFoundError, SchemaMismatchError
 from repro.db.schema import Schema
 
 
+def infer_schema_for_columns(
+    columns: Mapping[str, Sequence[Any]],
+    column_types: Optional[Mapping[str, ColumnType | str]] = None,
+    hidden_columns: Iterable[str] = (),
+) -> Schema:
+    """Schema for column arrays: explicit types win, else a 100-value peek.
+
+    Shared by :meth:`Table.from_columns` and the sharded ingestion path so
+    both infer identically (and any future inference change lands in one
+    place).  ``islice`` avoids materialising a full copy of a column just to
+    peek at its first values — columns must still be real sequences, since
+    the table constructor needs their length.
+    """
+    hidden = set(hidden_columns)
+    column_types = column_types or {}
+    column_defs = []
+    for column_name, values in columns.items():
+        if column_name in column_types:
+            ctype = ColumnType(column_types[column_name])
+        else:
+            from repro.db.column import infer_column_type
+
+            ctype = infer_column_type(list(islice(values, 100)))
+        column_defs.append(
+            Column(
+                name=column_name,
+                column_type=ctype,
+                hidden=column_name in hidden,
+            )
+        )
+    return Schema(column_defs)
+
+
 class Table:
     """An immutable-after-construction, row-id addressed table."""
 
@@ -91,27 +124,10 @@ class Table:
         hidden_columns: Iterable[str] = (),
     ) -> "Table":
         """Build a table directly from column arrays."""
-        hidden = set(hidden_columns)
-        column_types = column_types or {}
-        column_defs = []
-        for column_name, values in columns.items():
-            if column_name in column_types:
-                ctype = ColumnType(column_types[column_name])
-            else:
-                from repro.db.column import infer_column_type
-
-                # islice avoids materialising a full copy of the column just
-                # to peek at the first 100 values.  (Columns must be real
-                # sequences — the constructor needs their length.)
-                ctype = infer_column_type(list(islice(values, 100)))
-            column_defs.append(
-                Column(
-                    name=column_name,
-                    column_type=ctype,
-                    hidden=column_name in hidden,
-                )
-            )
-        return cls(name=name, schema=Schema(column_defs), columns=columns)
+        schema = infer_schema_for_columns(
+            columns, column_types=column_types, hidden_columns=hidden_columns
+        )
+        return cls(name=name, schema=schema, columns=columns)
 
     # -- shape ------------------------------------------------------------------
     @property
@@ -131,6 +147,16 @@ class Table:
 
     def __len__(self) -> int:
         return self._num_rows
+
+    def shard_signature(self) -> tuple:
+        """Hashable shard-layout token for cache keying.
+
+        A monolithic table is its own single shard; sharded subclasses
+        (:class:`~repro.db.sharding.ShardedTable`) report their boundaries.
+        Serving caches fold this into their keys so statistics computed
+        against one layout generation are never replayed against another.
+        """
+        return ("monolithic", self._num_rows)
 
     # -- access ------------------------------------------------------------------
     def column_values(self, column: str, allow_hidden: bool = False) -> List[Any]:

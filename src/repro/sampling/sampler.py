@@ -13,7 +13,7 @@ per-group outcomes.  Two facts from Section 4.2 matter downstream:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -128,6 +128,36 @@ class SampleOutcome:
             )
         return SampleOutcome(samples=merged)
 
+    @classmethod
+    def merge_shards(
+        cls, outcomes: Sequence["SampleOutcome"], key_order: Optional[Sequence[Hashable]] = None
+    ) -> "SampleOutcome":
+        """Exact merge of per-shard outcomes into the whole-table outcome.
+
+        Unlike :meth:`merge` (adaptive rounds over *one* table, where group
+        sizes coincide and the max is taken), shard outcomes describe
+        disjoint row ranges of one logical table: group sizes **add**, and
+        sampled/positive row-id lists (already in global row-id space)
+        concatenate in shard order.  Every statistic is a count, so the merge
+        is exact — the property tests pin it equal to sampling the unsharded
+        table with the same draws.  ``key_order`` optionally fixes the group
+        order of the result (e.g. a merged index's first-appearance order).
+        """
+        merged: Dict[Hashable, GroupSample] = {}
+        if key_order is not None:
+            for key in key_order:
+                merged[key] = GroupSample(group_key=key)
+        for outcome in outcomes:
+            for key, sample in outcome.samples.items():
+                into = merged.get(key)
+                if into is None:
+                    into = GroupSample(group_key=key)
+                    merged[key] = into
+                into.sampled_row_ids.extend(sample.sampled_row_ids)
+                into.positive_row_ids.extend(sample.positive_row_ids)
+                into.group_size += sample.group_size
+        return cls(samples=merged)
+
 
 class GroupSampler:
     """Draws and evaluates stratified samples over a group index."""
@@ -143,6 +173,7 @@ class GroupSampler:
         allocation: Mapping[Hashable, int],
         ledger: CostLedger,
         already_sampled: Optional[SampleOutcome] = None,
+        bulk_evaluator: Optional[Callable[[Table, np.ndarray], np.ndarray]] = None,
     ) -> SampleOutcome:
         """Sample according to ``allocation``, charging ``ledger``.
 
@@ -154,6 +185,12 @@ class GroupSampler:
         group, in index order, so the random stream matches the historical
         per-group sampler); the chosen rows are then retrieved, charged and
         evaluated in a single batched UDF call across all groups.
+
+        ``bulk_evaluator`` optionally replaces ``udf.evaluate_rows`` for that
+        batched call — the parallel executor passes its shard fan-out here.
+        Row *selection* stays on this sampler's sequential stream either way,
+        so the drawn sample (and therefore every downstream statistic) is
+        identical whether or not the evaluation is fanned.
         """
         samples: Dict[Hashable, GroupSample] = {}
         chosen_per_group: List[np.ndarray] = []
@@ -188,7 +225,8 @@ class GroupSampler:
             # batch before any UDF work instead of mid-stratum).
             ledger.charge_retrieval(int(all_chosen.size))
             ledger.charge_evaluation(int(all_chosen.size))
-            outcomes = udf.evaluate_rows(table, all_chosen)
+            evaluate = bulk_evaluator if bulk_evaluator is not None else udf.evaluate_rows
+            outcomes = evaluate(table, all_chosen)
         else:
             outcomes = np.empty(0, dtype=bool)
 

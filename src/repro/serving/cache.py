@@ -103,13 +103,16 @@ class LRUCache:
         re-checks whose outcome was already accounted for (or is accounted
         for separately via :meth:`note_hit`).
         """
+        # Clock reads happen before taking the lock: an injected clock may be
+        # arbitrarily slow (or itself synchronised), and a slow call under the
+        # cache lock would stall every other cache user.
+        now = self._clock()
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 if record:
                     self.stats.misses += 1
                 return default
-            now = self._clock()
             if self.ttl is not None and now - entry.stored_at > self.ttl:
                 del self._entries[key]
                 self.stats.expirations += 1
@@ -138,8 +141,8 @@ class LRUCache:
         """Insert (or refresh) ``key``, evicting the LRU entry if needed."""
         if not self.enabled:
             return
+        now = self._clock()  # hoisted: never call the clock under the lock
         with self._lock:
-            now = self._clock()
             if key in self._entries:
                 self._entries[key] = _Entry(value=value, stored_at=now, last_used_at=now)
                 self._entries.move_to_end(key)
@@ -165,12 +168,33 @@ class LRUCache:
         with self._lock:
             self._entries.clear()
 
+    def snapshot(self) -> Dict[str, float]:
+        """All counters plus the current size, read atomically.
+
+        One lock acquisition for the whole snapshot: per-field reads on
+        :attr:`stats` can interleave with concurrent updates (hits observed
+        after misses were read, and so on), which makes polled metrics drift
+        under load.  Metric pollers should use this instead of reading
+        ``stats`` field by field.
+        """
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "puts": self.stats.puts,
+                "evictions": self.stats.evictions,
+                "expirations": self.stats.expirations,
+                "hit_rate": self.stats.hit_rate,
+                "size": len(self._entries),
+            }
+
     def __contains__(self, key: object) -> bool:
+        now = self._clock()  # hoisted: never call the clock under the lock
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return False
-            if self.ttl is not None and self._clock() - entry.stored_at > self.ttl:
+            if self.ttl is not None and now - entry.stored_at > self.ttl:
                 return False
             return True
 

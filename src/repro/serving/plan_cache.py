@@ -115,8 +115,8 @@ class PlanCache:
         self._cache.put(signature, entry)
 
     def snapshot(self) -> Dict[str, float]:
-        """Plain-dict statistics snapshot."""
-        return self._cache.stats.snapshot()
+        """Plain-dict statistics snapshot (atomic: one lock acquisition)."""
+        return self._cache.snapshot()
 
     def clear(self) -> None:
         """Drop every cached plan."""

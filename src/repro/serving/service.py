@@ -19,9 +19,15 @@ the expensive statistical work across them:
 
 Thread safety: cache structures are individually locked, and cold
 signatures are computed under a per-signature single-flight lock so N
-concurrent identical requests plan once.  Each request carries its own seed
-and ledger, so a warm service is deterministic per request regardless of
-thread interleaving.
+concurrent identical requests plan once; the single-flight registry is
+striped 16 ways by signature hash, so distinct cold signatures never share
+a guard.  Each request carries its own seed and ledger, so a warm service
+is deterministic per request regardless of thread interleaving.
+
+Sharded catalogs are served transparently: a
+:class:`~repro.db.sharding.ShardedTable` satisfies the full table contract,
+the statistics cache keys per (table, shard-layout) generation, and the
+``"parallel"`` executor backend fans execution across the shards.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.core.executor import BatchExecutor, ExecutorBackend, PlanExecutor
 from repro.core.extensions.budget import solve_budgeted_recall
+from repro.core.parallel import ParallelBatchExecutor
 from repro.core.pipeline import IntelSample
 from repro.db.catalog import Catalog
 from repro.db.engine import Engine, QueryResult
@@ -45,7 +52,12 @@ from repro.serving.signature import plan_signature
 from repro.stats.random import RandomState, SeedLike, as_random_state
 
 #: Executor backend names accepted by :class:`QueryService`.
-_BACKENDS = ("batch", "serial")
+_BACKENDS = ("batch", "serial", "parallel")
+
+#: Number of independent single-flight guard stripes.  Cold signatures hash
+#: onto a stripe, so registry bookkeeping for one signature never contends
+#: with bookkeeping for unrelated signatures on other stripes.
+_FLIGHT_STRIPES = 16
 
 
 class QueryService:
@@ -65,8 +77,15 @@ class QueryService:
     ttl:
         Optional time-to-live in seconds applied to both caches.
     executor:
-        ``"batch"`` (vectorised, default) or ``"serial"`` for warm-plan
-        execution and for the pipeline's execution step.
+        ``"batch"`` (vectorised, default), ``"serial"`` (tuple-at-a-time
+        reference) or ``"parallel"`` (sharded thread-parallel
+        :class:`~repro.core.parallel.ParallelBatchExecutor`) for warm-plan
+        execution and for the pipeline's execution step.  ``"parallel"``
+        accepts monolithic tables too (it degrades to one span) but pays off
+        on :class:`~repro.db.sharding.ShardedTable` catalogs.
+    max_workers:
+        Worker bound for the ``"parallel"`` backend (``None`` = machine
+        cores); ignored by the other backends.
     sessions:
         Session manager for admission control; a default (unlimited-budget)
         manager is created when omitted.
@@ -87,12 +106,14 @@ class QueryService:
         sessions: Optional[SessionManager] = None,
         default_budget: Optional[float] = None,
         free_memoized: bool = True,
+        max_workers: Optional[int] = None,
     ):
         if executor not in _BACKENDS:
             raise ValueError(f"executor must be one of {_BACKENDS}, got {executor!r}")
         self.engine = catalog if isinstance(catalog, Engine) else Engine(catalog)
         self.catalog = self.engine.catalog
         self.executor_backend = executor
+        self.max_workers = max_workers
         self.free_memoized = free_memoized
         self.plan_cache = PlanCache(max_size=plan_cache_size, ttl=ttl)
         self.stats_cache = StatisticsCache(max_size=stats_cache_size, ttl=ttl)
@@ -112,9 +133,16 @@ class QueryService:
             "degraded_plans": 0,
             "rejected": 0,
         }
-        # signature -> [lock, participant refcount]
-        self._flight_locks: Dict[Hashable, list] = {}
-        self._flight_guard = threading.Lock()
+        # Striped single-flight registries: signature -> [lock, refcount],
+        # sharded by hash(signature) so concurrent *distinct* cold signatures
+        # never serialise on one global guard (the guards only protect the
+        # registry dicts; each signature's flight lock is its own object).
+        self._flight_locks: Tuple[Dict[Hashable, list], ...] = tuple(
+            {} for _ in range(_FLIGHT_STRIPES)
+        )
+        self._flight_guards: Tuple[threading.Lock, ...] = tuple(
+            threading.Lock() for _ in range(_FLIGHT_STRIPES)
+        )
 
     # -- construction helpers -----------------------------------------------------
     def _default_strategy_factory(self, random_state: RandomState) -> IntelSample:
@@ -128,12 +156,22 @@ class QueryService:
             # The cold pipeline keeps the paper's charging semantics
             # (free_memoized=False); serving accounting applies on warm paths.
             return BatchExecutor(random_state=random_state)
+        if self.executor_backend == "parallel":
+            return ParallelBatchExecutor(
+                random_state=random_state, max_workers=self.max_workers
+            )
         return PlanExecutor(random_state=random_state)
 
     def _warm_executor(self, random_state: RandomState) -> ExecutorBackend:
         if self.executor_backend == "batch":
             return BatchExecutor(
                 random_state=random_state, free_memoized=self.free_memoized
+            )
+        if self.executor_backend == "parallel":
+            return ParallelBatchExecutor(
+                random_state=random_state,
+                max_workers=self.max_workers,
+                free_memoized=self.free_memoized,
             )
         return PlanExecutor(random_state=random_state)
 
@@ -147,24 +185,31 @@ class QueryService:
         with self._metrics_lock:
             self._metrics[metric] += amount
 
+    @staticmethod
+    def _flight_stripe(signature: Hashable) -> int:
+        """Which guard stripe a signature's flight bookkeeping lives on."""
+        return hash(signature) % _FLIGHT_STRIPES
+
     def _flight_lock(self, signature: Hashable) -> threading.Lock:
         """Join the single-flight for ``signature`` (refcounted)."""
-        with self._flight_guard:
-            entry = self._flight_locks.get(signature)
+        stripe = self._flight_stripe(signature)
+        with self._flight_guards[stripe]:
+            entry = self._flight_locks[stripe].get(signature)
             if entry is None:
                 entry = [threading.Lock(), 0]
-                self._flight_locks[signature] = entry
+                self._flight_locks[stripe][signature] = entry
             entry[1] += 1
             return entry[0]
 
     def _release_flight(self, signature: Hashable, lock: threading.Lock) -> None:
         """Leave the single-flight; the last participant drops the registry entry."""
-        with self._flight_guard:
-            entry = self._flight_locks.get(signature)
+        stripe = self._flight_stripe(signature)
+        with self._flight_guards[stripe]:
+            entry = self._flight_locks[stripe].get(signature)
             if entry is not None and entry[0] is lock:
                 entry[1] -= 1
                 if entry[1] <= 0:
-                    del self._flight_locks[signature]
+                    del self._flight_locks[stripe][signature]
 
     # -- submission ----------------------------------------------------------------
     def submit(

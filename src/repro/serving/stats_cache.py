@@ -53,17 +53,21 @@ class StatisticsCache:
         """Whether statistics caching is on at all."""
         return self.labeled_samples.enabled
 
-    # Entries are keyed by table *identity* and store the table reference
-    # alongside the payload: statistics computed against a table that was
-    # later re-registered under the same name must never leak into queries
-    # over the replacement (row ids would not line up).
+    # Entries are keyed by table *identity* plus shard-layout generation and
+    # store the table reference alongside the payload: statistics computed
+    # against a table that was later re-registered under the same name must
+    # never leak into queries over the replacement (row ids would not line
+    # up), and statistics from one shard layout must never be replayed
+    # against another (identity already separates layouts — resharding
+    # produces a new table object — the explicit layout token makes the
+    # generation visible in the key and robust to id() reuse).
     @staticmethod
     def _labeled_key(table: Table, predicate: Predicate) -> Hashable:
-        return (id(table), statistics_key(table.name, predicate))
+        return (id(table), table.shard_signature(), statistics_key(table.name, predicate))
 
     @staticmethod
     def _outcome_key(table: Table, predicate: Predicate, column: str) -> Hashable:
-        return (id(table), model_key(table.name, predicate, column))
+        return (id(table), table.shard_signature(), model_key(table.name, predicate, column))
 
     def _validated(self, cache: LRUCache, key: Hashable, table: Table):
         entry = cache.get(key)
@@ -141,10 +145,10 @@ class StatisticsCache:
         return table.group_index(column)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Hit/miss statistics of every underlying cache."""
+        """Hit/miss statistics of every underlying cache (atomic per cache)."""
         return {
-            "labeled_samples": self.labeled_samples.stats.snapshot(),
-            "sample_outcomes": self.sample_outcomes.stats.snapshot(),
+            "labeled_samples": self.labeled_samples.snapshot(),
+            "sample_outcomes": self.sample_outcomes.snapshot(),
             "indexes": self.index_stats.snapshot(),
         }
 

@@ -114,6 +114,64 @@ def sample_without_replacement(
     return [population[int(i)] for i in np.atleast_1d(indices)]
 
 
+# ---------------------------------------------------------------------------
+# Counter-based (position-addressable) substreams
+# ---------------------------------------------------------------------------
+#
+# The parallel executor needs coins that depend only on *where* a tuple sits
+# (its group and its position inside the group's candidate list), never on
+# which shard or worker happens to draw them.  Sequential generators cannot
+# provide that — consuming a stream couples every draw to all earlier draws —
+# so these helpers implement a stateless SplitMix64 stream: the uniform at
+# position ``p`` of stream ``key`` is a pure function of ``(key, p)``.  Any
+# contiguous slice of a stream can be generated independently, which is what
+# makes sharded execution bitwise identical to unsharded execution.
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_U64_MASK = (1 << 64) - 1
+
+
+def _mix64(state: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: avalanche a 64-bit state into output bits."""
+    with np.errstate(over="ignore"):  # modular 2**64 arithmetic, by design
+        z = (state + _SPLITMIX_GAMMA).astype(np.uint64, copy=False)
+        z = (z ^ (z >> np.uint64(30))) * _MIX_MULT_1
+        z = (z ^ (z >> np.uint64(27))) * _MIX_MULT_2
+        return z ^ (z >> np.uint64(31))
+
+
+def stream_key(*parts: int) -> int:
+    """Derive a 64-bit stream key from integer parts (order-sensitive).
+
+    Used to give every (seed, group, phase) coin stream its own key; the
+    same parts always produce the same key on every platform.
+    """
+    acc = np.uint64(0x6A09E667F3BCC909)
+    for part in parts:
+        acc = _mix64(acc ^ np.uint64(int(part) & _U64_MASK))
+    return int(acc)
+
+
+def counter_uniforms(key: int, start: int, count: int) -> np.ndarray:
+    """Uniforms in ``[0, 1)`` at positions ``start .. start+count-1`` of a stream.
+
+    ``counter_uniforms(k, 0, n)[i] == counter_uniforms(k, i, 1)[0]`` for every
+    ``i`` — slices of one stream agree wherever they overlap, so workers can
+    draw disjoint segments of a group's coin stream concurrently and obtain
+    exactly the coins a single serial pass would have drawn.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    positions = np.arange(start, start + count, dtype=np.uint64)
+    with np.errstate(over="ignore"):  # modular 2**64 arithmetic, by design
+        state = np.uint64(int(key) & _U64_MASK) + positions * _SPLITMIX_GAMMA
+    bits = _mix64(state)
+    # Top 53 bits -> float64 in [0, 1), the standard generator construction.
+    return (bits >> np.uint64(11)) * np.float64(2.0**-53)
+
+
 def stable_hash_seed(*parts: Iterable) -> int:
     """Derive a deterministic 32-bit seed from arbitrary hashable parts.
 

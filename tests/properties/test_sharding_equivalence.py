@@ -1,0 +1,150 @@
+"""Property tests: sharded structures are *exactly* their unsharded equivalents.
+
+Three pins, each across random tables and random shard layouts (including the
+1-shard and one-row-per-shard edge cases):
+
+* :class:`~repro.db.index.MergedGroupIndex` equals the monolithic
+  :class:`~repro.db.index.GroupIndex` — values order, codes, per-group row-id
+  arrays, label counts;
+* per-shard :class:`~repro.sampling.sampler.SampleOutcome` objects merged via
+  ``merge_shards`` equal the whole-table outcome built from the same labelled
+  rows;
+* per-shard :class:`~repro.core.groups.SelectivityModel` objects merged via
+  ``merge_shards`` equal the model built from the merged evidence — same
+  keys, sizes, counts, and bit-equal selectivity/variance estimates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.column_selection import LabeledSample
+from repro.core.groups import SelectivityModel
+from repro.db.sharding import ShardedTable
+from repro.db.table import Table
+from repro.sampling.sampler import SampleOutcome
+
+
+@st.composite
+def table_and_layout(draw):
+    """A random categorical table plus a random contiguous shard layout."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    values = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d", 1, 2, True]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    labels = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    # Random cut points; always includes the 1-shard (no cuts) and the
+    # n-shards (every point cut) cases in the search space.
+    cuts = draw(st.sets(st.integers(min_value=1, max_value=max(1, n - 1))))
+    bounds = (0, *sorted(c for c in cuts if c < n), n)
+    return values, labels, bounds
+
+
+def _build(values, labels, bounds):
+    columns = {"A": values, "f": labels}
+    plain = Table.from_columns("prop", columns, hidden_columns=["f"])
+    shards = [
+        Table(
+            name=f"prop#shard{i}",
+            schema=plain.schema,
+            columns={"A": values[start:stop], "f": labels[start:stop]},
+        )
+        for i, (start, stop) in enumerate(zip(bounds, bounds[1:]))
+    ]
+    sharded = ShardedTable(name="prop", schema=plain.schema, shards=shards)
+    return plain, sharded
+
+
+@settings(max_examples=120, deadline=None)
+@given(table_and_layout())
+def test_merged_index_equals_unsharded(data):
+    values, labels, bounds = data
+    plain, sharded = _build(values, labels, bounds)
+    reference = plain.group_index("A")
+    merged = sharded.group_index("A")
+
+    assert merged.values == reference.values
+    assert np.array_equal(merged.codes, reference.codes)
+    assert merged.group_sizes() == reference.group_sizes()
+    for value in reference.values:
+        assert np.array_equal(merged.row_ids(value), reference.row_ids(value))
+
+    ids = list(range(0, len(values), 2))
+    flags = [bool(i % 3) for i in ids]
+    ref_totals, ref_positives = reference.label_counts(ids, flags)
+    got_totals, got_positives = merged.label_counts(ids, flags)
+    assert np.array_equal(ref_totals, got_totals)
+    assert np.array_equal(ref_positives, got_positives)
+
+
+def _per_shard_outcomes(plain, sharded, labeled):
+    """One SampleOutcome per shard, in global row-id space."""
+    outcomes = []
+    for shard, (start, stop) in zip(sharded.shards, sharded.shard_spans()):
+        local_index = shard.group_index("A")
+        shard_labeled = LabeledSample(
+            outcomes={
+                row_id - start: outcome
+                for row_id, outcome in labeled.outcomes.items()
+                if start <= row_id < stop
+            }
+        )
+        local = shard_labeled.to_sample_outcome(local_index)
+        # shift local row ids back into global space
+        for sample in local.samples.values():
+            sample.sampled_row_ids = [r + start for r in sample.sampled_row_ids]
+            sample.positive_row_ids = [r + start for r in sample.positive_row_ids]
+        outcomes.append(local)
+    return outcomes
+
+
+@settings(max_examples=120, deadline=None)
+@given(table_and_layout())
+def test_shard_merged_outcome_and_model_equal_unsharded(data):
+    values, labels, bounds = data
+    plain, sharded = _build(values, labels, bounds)
+    reference_index = plain.group_index("A")
+
+    # label every third row — the shared evidence both paths must agree on
+    labeled = LabeledSample(
+        outcomes={row_id: labels[row_id] for row_id in range(0, len(values), 3)}
+    )
+    whole = labeled.to_sample_outcome(reference_index)
+    merged = SampleOutcome.merge_shards(
+        _per_shard_outcomes(plain, sharded, labeled),
+        key_order=reference_index.values,
+    )
+
+    assert set(merged.samples) == set(whole.samples)
+    for key, sample in whole.samples.items():
+        other = merged.samples[key]
+        assert other.group_size == sample.group_size
+        assert sorted(other.sampled_row_ids) == sorted(sample.sampled_row_ids)
+        assert sorted(other.positive_row_ids) == sorted(sample.positive_row_ids)
+
+    reference_model = SelectivityModel.from_sample_outcome(reference_index, whole)
+    shard_models = [
+        SelectivityModel.from_sample_outcome(
+            shard.group_index("A"), outcome_shifted
+        )
+        for shard, outcome_shifted in zip(
+            sharded.shards, _per_shard_outcomes(plain, sharded, labeled)
+        )
+        if shard.num_rows
+    ]
+    merged_model = SelectivityModel.merge_shards(shard_models)
+
+    assert merged_model.keys == reference_model.keys
+    for key in reference_model.keys:
+        expected = reference_model.group(key)
+        got = merged_model.group(key)
+        assert got.size == expected.size
+        assert got.sampled == expected.sampled
+        assert got.sampled_positives == expected.sampled_positives
+        # bit-equal estimates: both are the Beta posterior of the same counts
+        assert got.selectivity == expected.selectivity
+        assert got.variance == expected.variance

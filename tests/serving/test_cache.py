@@ -102,3 +102,68 @@ class TestStats:
         assert cache.stats.hit_rate == pytest.approx(2 / 3)
         snapshot = cache.stats.snapshot()
         assert snapshot["puts"] == 1
+
+    def test_snapshot_is_atomic_and_includes_size(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("gone")
+        snapshot = cache.snapshot()
+        assert snapshot == {
+            "hits": 1,
+            "misses": 1,
+            "puts": 2,
+            "evictions": 0,
+            "expirations": 0,
+            "hit_rate": 0.5,
+            "size": 2,
+        }
+
+    def test_snapshot_can_be_polled_under_load(self):
+        """Metric polling takes the lock once per snapshot, not per field."""
+        import threading
+
+        cache = LRUCache(max_size=64)
+        stop = threading.Event()
+
+        def churn():
+            position = 0
+            while not stop.is_set():
+                cache.put(position % 128, position)
+                cache.get((position + 1) % 128)
+                position += 1
+
+        worker = threading.Thread(target=churn, daemon=True)
+        worker.start()
+        try:
+            for _ in range(200):
+                snapshot = cache.snapshot()
+                assert snapshot["hits"] + snapshot["misses"] >= 0
+                assert 0 <= snapshot["size"] <= 64
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+
+    def test_clock_not_called_under_lock(self):
+        """A slow injected clock must not be invoked while the lock is held."""
+        import threading
+
+        cache = LRUCache(max_size=4, ttl=100.0)
+        holding = threading.Event()
+
+        def clock():
+            # The cache lock must be free while the clock runs (the lock is
+            # an RLock, so a blind acquire would succeed reentrantly; check
+            # ownership instead).
+            assert not cache._lock._is_owned(), (
+                "clock invoked while the cache lock was held"
+            )
+            holding.set()
+            return 0.0
+
+        cache._clock = clock
+        cache.put("a", 1)
+        cache.get("a")
+        assert "a" in cache
+        assert holding.is_set()

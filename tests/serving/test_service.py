@@ -219,6 +219,62 @@ class TestConcurrency:
         assert all(len(result.row_ids) > 0 for result in results)
         assert service.metrics()["pipeline_runs"] == 1
 
+    def test_distinct_cold_signatures_progress_independently(self, serving_setup):
+        """One signature's stuck flight must not block unrelated signatures.
+
+        The single-flight registry is striped by signature hash; holding one
+        stripe's guard (simulating a slow/stuck flight's bookkeeping) must
+        leave signatures on other stripes fully serviceable.  Under the old
+        single global ``_flight_guard`` this test deadlocks.
+        """
+        dataset, catalog, udf = serving_setup
+        service = QueryService(Engine(catalog))
+        from repro.core.constraints import CostModel
+        from repro.serving.signature import plan_signature
+
+        cost_model = CostModel(
+            retrieval_cost=service.engine.retrieval_cost,
+            evaluation_cost=service.engine.evaluation_cost,
+        )
+        # Two queries whose signatures land on different stripes (alpha is
+        # scanned until the stripes differ; with 16 stripes this terminates
+        # almost immediately).
+        blocked_query = _query(dataset, udf, alpha=0.8)
+        blocked_stripe = service._flight_stripe(
+            plan_signature(blocked_query, cost_model, service._strategy_prototype)
+        )
+        free_query = None
+        for alpha in (0.81, 0.82, 0.83, 0.84, 0.85, 0.86, 0.87, 0.88):
+            candidate = _query(dataset, udf, alpha=alpha)
+            stripe = service._flight_stripe(
+                plan_signature(candidate, cost_model, service._strategy_prototype)
+            )
+            if stripe != blocked_stripe:
+                free_query = candidate
+                break
+        assert free_query is not None, "no signature found on another stripe"
+
+        service._flight_guards[blocked_stripe].acquire()
+        try:
+            done = threading.Event()
+            outcome = {}
+
+            def request():
+                outcome["result"] = service.submit(free_query, seed=1)
+                done.set()
+
+            worker = threading.Thread(target=request, daemon=True)
+            worker.start()
+            assert done.wait(timeout=10.0), (
+                "cold signature on a free stripe blocked behind another "
+                "stripe's guard"
+            )
+            assert len(outcome["result"].row_ids) > 0
+        finally:
+            service._flight_guards[blocked_stripe].release()
+        # and the blocked stripe works normally once released
+        assert len(service.submit(blocked_query, seed=2).row_ids) > 0
+
     def test_concurrent_distinct_clients(self, serving_setup):
         dataset, catalog, udf = serving_setup
         service = QueryService(Engine(catalog))

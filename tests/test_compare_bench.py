@@ -144,6 +144,62 @@ class TestGate:
             )
 
 
+def _scale_payload(parity_delta=0, mismatches=0, serial_evals=1_400_000):
+    return {
+        "rows": 1_000_000,
+        "shards": 8,
+        "workers": 4,
+        "serial": {
+            "udf_evaluations": serial_evals,
+            "solver_calls": 3,
+            "udf_row_calls": 0,
+        },
+        "parallel": {
+            "udf_evaluations": serial_evals + parity_delta,
+            "solver_calls": 3,
+            "udf_row_calls": 0,
+        },
+        "parity": {
+            "udf_evaluations_abs_delta": abs(parity_delta),
+            "solver_calls_abs_delta": 0,
+            "row_ids_mismatch": mismatches,
+        },
+        "parallel_speedup": 2.4,
+        "seconds": 1.0,
+    }
+
+
+class TestScaleProfile:
+    def test_identical_payloads_pass(self, tmp_path):
+        assert _run(tmp_path, _scale_payload(), _scale_payload(), profile="scale") == 0
+
+    def test_any_parity_delta_fails(self, tmp_path):
+        """The zero-baseline parity counters gate at exactly ±0."""
+        assert _run(
+            tmp_path, _scale_payload(), _scale_payload(parity_delta=1), profile="scale"
+        ) == 1
+
+    def test_result_mismatch_fails(self, tmp_path):
+        assert _run(
+            tmp_path, _scale_payload(), _scale_payload(mismatches=1), profile="scale"
+        ) == 1
+
+    def test_failure_message_names_counter_with_values(self, tmp_path, capsys):
+        _run(tmp_path, _scale_payload(), _scale_payload(parity_delta=7), profile="scale")
+        out = capsys.readouterr().out
+        assert "parity.udf_evaluations_abs_delta" in out
+        assert "baseline=0" in out and "fresh=7" in out
+
+    def test_gate_accepts_the_committed_baseline(self):
+        committed = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_scale.json"
+        )
+        payload = json.loads(committed.read_text())
+        rows = list(compare_bench.compare(payload, payload, 0.15, profile="scale"))
+        assert rows, "no gated counters found in the committed scale baseline"
+        assert all(verdict == "ok" for *_rest, verdict in rows)
+
+
 class TestColdpathProfile:
     def test_identical_payloads_pass(self, tmp_path):
         assert _run(
