@@ -9,7 +9,7 @@ it — the ``bench-regression`` CI job runs it against the baselines
 committed in the repository so solver, caching or vectorisation changes
 cannot silently degrade the serving path.
 
-Three profiles select which counters are gated:
+Four profiles select which counters are gated:
 
 * ``serving`` (default) — the cold/warm trace replay of
   ``BENCH_serving.json``;
@@ -18,7 +18,10 @@ Three profiles select which counters are gated:
 * ``scale`` — the ~520k-row sharded/parallel point of ``BENCH_scale.json``,
   whose parity deltas (sharded-vs-unsharded work counters) are committed as
   zero and therefore gated at *exactly* zero (any non-zero delta is an
-  unbounded relative drift).
+  unbounded relative drift);
+* ``update`` — the 1M-row incremental-ingest point of ``BENCH_update.json``
+  (1% append to a warm table): refresh-path UDF/solver work must stay
+  delta-proportional and ``group_index_builds`` stays at exactly zero.
 
 Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
@@ -87,10 +90,29 @@ SCALE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("parity.row_ids_mismatch", True),
 )
 
+#: The update profile gates the incremental-ingest economics: the refresh
+#: path's UDF evaluations and solver calls must stay delta-proportional
+#: (appended_rows bounds them in-test), ``plan_refreshes`` pins that the
+#: serving layer actually took the refresh path, and ``group_index_builds``
+#: is committed as 0 — any from-scratch refactorisation during a
+#: steady-state append is an unbounded relative drift from that zero.
+UPDATE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("rows", False),
+    ("appended_rows", True),
+    ("warm.udf_evaluations", True),
+    ("refresh.udf_evaluations", True),
+    ("refresh.charged_evaluations", True),
+    ("refresh.solver_calls", True),
+    ("refresh.plan_refreshes", False),
+    ("refresh.group_index_builds", True),
+    ("cold.udf_evaluations", True),
+)
+
 PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "serving": GATED_COUNTERS,
     "coldpath": COLDPATH_COUNTERS,
     "scale": SCALE_COUNTERS,
+    "update": UPDATE_COUNTERS,
 }
 
 

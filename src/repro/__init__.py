@@ -144,6 +144,50 @@ the engine scales *out* instead:
   ``benchmarks/BENCH_scale.json`` tracks a ~520k-row point: q/s for serial
   vs ≥4 workers plus the exact work-counter parity, gated in CI.
 
+Update workloads
+~~~~~~~~~~~~~~~~
+
+Tables are append-only mutable: :meth:`Table.append_rows` /
+:meth:`Table.append_columns` add rows at the end (existing row ids never
+move) and every derived structure is **delta-maintained** — the work of
+absorbing an append is proportional to the delta, not the table:
+
+* **storage** — on a :class:`ShardedTable` appends flow into a *mutable
+  tail shard* that is sealed and re-chunked once it exceeds
+  ``tail_shard_rows``; sealed shards are never rewritten.  Cached column
+  arrays extend by concatenation, and cached group indexes are replaced by
+  :meth:`~repro.db.GroupIndex.extended_by` copies that factorise *only the
+  appended rows* and merge them against the existing code table (property
+  tests pin the extension equal to a from-scratch rebuild, for
+  ``GroupIndex`` and ``MergedGroupIndex`` alike).  Each append bumps the
+  table's monotonic ``data_generation``, folded into ``shard_signature()``.
+* **statistics** — per-shard merge machinery
+  (``SampleOutcome.merge_shards`` / ``SelectivityModel.merge_shards``)
+  doubles as the delta path: a delta is just one more disjoint row range,
+  so group sizes add and cached evidence stays exact for the rows it
+  covered.  The cached labelled sample is topped up by a *reservoir*
+  (:func:`~repro.core.column_selection.top_up_labeled_sample`) whose
+  admission/eviction coins are counter-based SplitMix64 streams addressed
+  by row position — many small appends produce bitwise the same sample as
+  one big append — and UDF evaluations are charged only for newly admitted
+  delta rows.
+* **serving** — ``QueryService`` detects a generation bump on a warm plan
+  entry and *refreshes* it in place instead of re-planning cold: the
+  correlated column is sticky, the labelled sample is reservoir-topped-up,
+  the cached sample outcome absorbs only the delta-driven sampling
+  shortfall, and one solver call re-optimises the plan.  The refresh
+  executes with serving accounting (memoised rows are free), so its ledger
+  reads delta-proportional; ``metrics()["plan_refreshes"]`` and the
+  ``refreshes`` counters on the statistics caches make the behaviour
+  observable.  Appends are single-writer: quiesce queries against a table
+  while appending (e.g. between batches, as
+  ``examples/serving_workload.py --churn`` does).
+
+``benchmarks/test_update_workload.py`` appends 1% to a warm 1M-row table
+and records refresh-vs-cold-rebuild throughput and the delta-only UDF
+evaluation counts in ``BENCH_update.json``, gated in CI via
+``compare_bench.py --profile update``.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """

@@ -34,7 +34,12 @@ from repro.ml.logistic import LogisticRegression
 from repro.sampling.sampler import GroupSample, SampleOutcome
 from repro.solvers.linear import InfeasibleProblemError
 from repro.stats.beta import BetaPosterior
-from repro.stats.random import SeedLike, as_random_state
+from repro.stats.random import (
+    SeedLike,
+    as_random_state,
+    counter_uniforms,
+    stream_key,
+)
 
 
 @dataclass
@@ -133,6 +138,104 @@ def draw_labeled_sample(
     sample = LabeledSample()
     sample.outcomes.update(zip(chosen.tolist(), outcomes.tolist()))
     return sample
+
+
+#: Phase tags separating the admission and eviction coin streams of the
+#: reservoir top-up (mirroring the parallel executor's phase discipline).
+_RESERVOIR_ADMIT = 0
+_RESERVOIR_EVICT = 1
+
+
+def top_up_labeled_sample(
+    table: Table,
+    udf: UserDefinedFunction,
+    ledger: CostLedger,
+    labeled: LabeledSample,
+    previous_rows: int,
+    fraction: float = 0.01,
+    minimum_size: int = 50,
+    stream_seed: int = 0,
+    bulk_evaluator: Optional[Callable[[Table, np.ndarray], np.ndarray]] = None,
+) -> LabeledSample:
+    """Reservoir-style top-up of a labelled sample after rows were appended.
+
+    ``labeled`` was drawn over the table's first ``previous_rows`` rows; the
+    rows appended since (``previous_rows .. table.num_rows``) stream through
+    a reservoir update so the sample keeps tracking the grown table, while
+    **UDF evaluations are charged only for newly admitted delta rows** —
+    never for the rows whose labels were already paid for.
+
+    The coins are *counter-based* (position-addressable SplitMix64 streams
+    keyed by ``stream_seed``, see :func:`repro.stats.random.counter_uniforms`):
+    the admission and eviction coins of delta row ``i`` are pure functions of
+    ``(stream_seed, i)``, so topping up after one big append and topping up
+    after the same rows arrived in many small appends produce **bitwise
+    identical samples**.  The reservoir target grows with the table
+    (``max(minimum_size, round(fraction * rows_seen))``), so the maintained
+    sample is the classic uniform reservoir while the target is flat and a
+    slightly delta-favouring approximation while it grows — good enough for
+    the column-selection heuristics it feeds, and pinned deterministic by
+    tests either way.
+
+    Returns a new :class:`LabeledSample`; ``labeled`` is left untouched.
+    Evicted old rows keep their memoised UDF values, so readmitting them
+    later costs nothing.
+    """
+    total_rows = table.num_rows
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if not 0 <= previous_rows <= total_rows:
+        raise ValueError(
+            f"previous_rows must be within [0, {total_rows}], got {previous_rows}"
+        )
+    delta_rows = total_rows - previous_rows
+    if delta_rows == 0:
+        return LabeledSample(outcomes=dict(labeled.outcomes))
+
+    # Reservoir state: the member list in ascending row-id order.  The order
+    # is part of the deterministic state (eviction indexes into it), and
+    # ascending order is the one ordering a later top-up can *reconstruct*
+    # from the stored sample — admitted rows always exceed every existing
+    # member, so pop-and-append keeps the list sorted, which is what makes
+    # chunked appends bitwise identical to one big append.
+    reservoir: List[int] = sorted(labeled.outcomes.keys())
+    admit_coins = counter_uniforms(
+        stream_key(stream_seed, _RESERVOIR_ADMIT), previous_rows, delta_rows
+    )
+    evict_coins = counter_uniforms(
+        stream_key(stream_seed, _RESERVOIR_EVICT), previous_rows, delta_rows
+    )
+    for position, row_id in enumerate(range(previous_rows, total_rows)):
+        seen = row_id + 1
+        target = min(seen, max(minimum_size, int(round(fraction * seen))))
+        if len(reservoir) < target:
+            reservoir.append(row_id)
+            continue
+        if admit_coins[position] * seen < target:
+            evicted = int(evict_coins[position] * len(reservoir))
+            reservoir.pop(min(evicted, len(reservoir) - 1))
+            reservoir.append(row_id)
+    members = set(reservoir)
+
+    # Charge and evaluate only the *surviving newly admitted* rows (their
+    # labels were never paid for); survivors of the old sample carry their
+    # existing labels over for free.
+    fresh = np.asarray(
+        sorted(row_id for row_id in members if row_id not in labeled.outcomes),
+        dtype=np.intp,
+    )
+    outcomes: Dict[int, bool] = {
+        row_id: outcome
+        for row_id, outcome in labeled.outcomes.items()
+        if row_id in members
+    }
+    if fresh.size:
+        ledger.charge_retrieval(int(fresh.size))
+        ledger.charge_evaluation(int(fresh.size))
+        evaluate = bulk_evaluator if bulk_evaluator is not None else udf.evaluate_rows
+        flags = evaluate(table, fresh)
+        outcomes.update(zip(fresh.tolist(), flags.tolist()))
+    return LabeledSample(outcomes=outcomes)
 
 
 # ---------------------------------------------------------------------------

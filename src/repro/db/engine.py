@@ -150,18 +150,28 @@ class Engine:
 
     # -- exact execution ---------------------------------------------------------
     def execute_exact(self, query: SelectQuery, ledger: Optional[CostLedger] = None) -> QueryResult:
-        """Retrieve and evaluate every candidate tuple (perfect accuracy)."""
+        """Retrieve and evaluate every candidate tuple (perfect accuracy).
+
+        The scan is vectorised: retrievals are charged in one block and the
+        predicate runs through its bulk :meth:`~repro.db.predicate.Predicate.
+        evaluate_rows` path (column comparisons over cached arrays, batched
+        UDF calls), with work counters identical to the historical per-row
+        loop.  This is also the fallback :meth:`execute` uses on infeasible
+        strategies, so it matters that it scales.  With a hard-budgeted
+        ledger, exhaustion now stops before the scan's UDF work rather than
+        mid-scan.
+        """
         table = self.catalog.table(query.table)
         ledger = ledger or self.new_ledger()
         candidates = self._apply_cheap_predicates(table, query)
         udf_counters_before = self._udf_counters(query)
-        matched: List[int] = []
-        for row_id in candidates:
-            ledger.charge_retrieval()
-            if query.predicate.evaluate(table, row_id, ledger):
-                matched.append(row_id)
+        if candidates.size:
+            ledger.charge_retrieval(int(candidates.size))
+            matched = candidates[query.predicate.evaluate_rows(table, candidates, ledger)]
+        else:
+            matched = candidates
         return QueryResult(
-            row_ids=matched,
+            row_ids=matched.tolist(),
             ledger=ledger,
             metadata={
                 "strategy": "exact",
@@ -226,14 +236,13 @@ class Engine:
         table = self.catalog.table(query.table)
         candidates = self._apply_cheap_predicates(table, query)
         free_ledger = CostLedger(retrieval_cost=0.0, evaluation_cost=0.0)
+        if not candidates.size:
+            return set()
         with ExitStack() as stack:
             for predicate in query.udf_predicates:
                 stack.enter_context(predicate.udf.oracle_mode())
-            return {
-                row_id
-                for row_id in candidates
-                if query.predicate.evaluate(table, row_id, free_ledger)
-            }
+            mask = query.predicate.evaluate_rows(table, candidates, free_ledger)
+            return set(candidates[mask].tolist())
 
     # -- helpers --------------------------------------------------------------------
     def _udf_counters(self, query: SelectQuery) -> Dict[str, Dict[str, int]]:
@@ -253,8 +262,10 @@ class Engine:
             for predicate in query.udf_predicates
         }
 
-    def _apply_cheap_predicates(self, table: Table, query: SelectQuery) -> List[int]:
-        row_ids = list(table.row_ids)
+    def _apply_cheap_predicates(self, table: Table, query: SelectQuery) -> np.ndarray:
+        row_ids = np.arange(table.num_rows, dtype=np.intp)
         for cheap in query.cheap_predicates:
-            row_ids = [r for r in row_ids if cheap.evaluate(table, r)]
+            if not row_ids.size:
+                break
+            row_ids = row_ids[cheap.evaluate_rows(table, row_ids)]
         return row_ids

@@ -90,6 +90,12 @@ class GroupIndex:
     #: (a wall-clock-independent counter the CI gate can hold steady).
     builds_total: int = 0
 
+    #: Total number of *incremental* extensions (see :meth:`extended_by`)
+    #: since process start.  Extensions deliberately do not count as builds:
+    #: the update benchmarks gate ``builds_total`` to prove appends never
+    #: trigger a from-scratch refactorisation of a warm column.
+    extensions_total: int = 0
+
     def __init__(self, table: Table, column: str, allow_hidden: bool = False):
         if not table.schema.has_column(column):
             raise ColumnNotFoundError(column, table.schema.column_names)
@@ -106,6 +112,7 @@ class GroupIndex:
         values: List[Any],
         codes: np.ndarray,
         row_id_arrays: Optional[List[np.ndarray]] = None,
+        count_build: bool = True,
     ) -> None:
         """Finish construction from factorised parts.
 
@@ -113,6 +120,8 @@ class GroupIndex:
         by subclasses that already know the grouping — :class:`MergedGroupIndex`
         concatenates per-shard arrays instead of re-sorting the whole table —
         otherwise they are derived from ``codes`` with one stable argsort.
+        ``count_build=False`` keeps :attr:`builds_total` untouched (the
+        incremental-extension path advances :attr:`extensions_total` instead).
         """
         codes.setflags(write=False)
         self._values: List[Any] = values
@@ -136,7 +145,8 @@ class GroupIndex:
         self._sizes: List[int] = [int(rows.size) for rows in self._row_id_arrays]
         self._empty: np.ndarray = np.empty(0, dtype=np.intp)
         self._empty.setflags(write=False)
-        GroupIndex.builds_total += 1
+        if count_build:
+            GroupIndex.builds_total += 1
 
     # -- lookup -----------------------------------------------------------------
     @property
@@ -219,6 +229,84 @@ class GroupIndex:
         result, only where the work runs.
         """
         return (0, self.total_rows())
+
+    # -- incremental maintenance -------------------------------------------------
+    def _extended_parts(
+        self,
+        delta_array: np.ndarray,
+        delta_cells_supplier: Callable[[], Sequence[Any]],
+    ) -> Tuple[List[Any], np.ndarray, List[np.ndarray]]:
+        """Factorise only the appended rows and merge against the code table.
+
+        Returns the ``(values, codes, row_id_arrays)`` of the index covering
+        the old rows plus the delta.  Work is proportional to the delta (plus
+        one O(n) code-array concatenation): unseen delta values are appended
+        to the value list in their delta first-appearance order — exactly
+        where a from-scratch factorisation of the concatenated column would
+        put them — and only groups touched by the delta get a new row-id
+        array; untouched groups keep sharing their existing (read-only)
+        arrays.
+        """
+        old_total = int(self._codes.size)
+        delta_values, local_codes = _factorise(delta_array, delta_cells_supplier)
+        values = list(self._values)
+        code_by_value = dict(self._code_by_value)
+        remap = np.empty(len(delta_values), dtype=np.intp)
+        for local_code, value in enumerate(delta_values):
+            merged_code = code_by_value.get(value)
+            if merged_code is None:
+                merged_code = len(values)
+                code_by_value[value] = merged_code
+                values.append(value)
+            remap[local_code] = merged_code
+        delta_codes = remap[local_codes] if local_codes.size else local_codes
+        codes = np.concatenate([self._codes, delta_codes])
+
+        row_id_arrays = list(self._row_id_arrays)
+        row_id_arrays.extend(self._empty for _ in range(len(values) - len(row_id_arrays)))
+        if delta_codes.size:
+            order = np.argsort(delta_codes, kind="stable")
+            boundaries = np.searchsorted(
+                delta_codes[order], np.arange(len(values) + 1)
+            )
+            for code in range(len(values)):
+                lo, hi = int(boundaries[code]), int(boundaries[code + 1])
+                if hi <= lo:
+                    continue
+                addition = order[lo:hi] + old_total
+                base = row_id_arrays[code]
+                rows = (
+                    np.concatenate([base, addition])
+                    if base.size
+                    else np.ascontiguousarray(addition)
+                )
+                rows.setflags(write=False)
+                row_id_arrays[code] = rows
+        return values, codes, row_id_arrays
+
+    def extended_by(
+        self,
+        delta_array: np.ndarray,
+        delta_cells_supplier: Callable[[], Sequence[Any]],
+    ) -> "GroupIndex":
+        """A new index covering the indexed rows plus an appended delta.
+
+        The extension is *exactly* equivalent to rebuilding the index over
+        the concatenated column (pinned by Hypothesis property tests) but
+        factorises only the delta; the original index object is untouched,
+        so concurrent readers holding it keep a consistent (pre-append)
+        view.  Does not advance :attr:`builds_total` — incremental work is
+        counted on :attr:`extensions_total`.
+        """
+        extended = GroupIndex.__new__(GroupIndex)
+        extended.table = self.table
+        extended.column = self.column
+        extended._install(
+            *self._extended_parts(delta_array, delta_cells_supplier),
+            count_build=False,
+        )
+        GroupIndex.extensions_total += 1
+        return extended
 
     def label_counts(
         self, row_ids: Sequence[int], labels: Optional[Sequence[bool]] = None
@@ -340,6 +428,71 @@ class MergedGroupIndex(GroupIndex):
     def span_boundaries(self) -> Tuple[int, ...]:
         """The shard boundaries this index was merged along."""
         return self._offsets
+
+    # -- incremental maintenance -------------------------------------------------
+    def extended_by(
+        self,
+        delta_array: np.ndarray,
+        delta_cells_supplier: Callable[[], Sequence[Any]],
+        tail_index: Optional[GroupIndex] = None,
+    ) -> "MergedGroupIndex":
+        """Extend the merged index with rows appended to the *tail* shard.
+
+        Appends land at the global end of the table, so the delta path is
+        the same first-appearance-preserving merge as
+        :meth:`GroupIndex.extended_by`; additionally the last span boundary
+        grows by the delta and ``tail_index`` (the tail shard's own, already
+        extended index) replaces the stale per-shard entry.
+        """
+        extended = MergedGroupIndex.__new__(MergedGroupIndex)
+        extended.table = self.table
+        extended.column = self.column
+        shard_indexes = list(self.shard_indexes)
+        if tail_index is not None and shard_indexes:
+            shard_indexes[-1] = tail_index
+        extended.shard_indexes = shard_indexes
+        offsets = list(self._offsets)
+        offsets[-1] += int(np.asarray(delta_array).size)
+        extended._offsets = tuple(offsets)
+        extended._install(
+            *self._extended_parts(delta_array, delta_cells_supplier),
+            count_build=False,
+        )
+        GroupIndex.extensions_total += 1
+        return extended
+
+    def resharded(
+        self, offsets: Sequence[int], shard_indexes: Sequence[GroupIndex]
+    ) -> "MergedGroupIndex":
+        """The same index data over a new span decomposition.
+
+        Used after a tail seal/re-chunk: re-chunking never reorders rows, so
+        values, codes and per-group row arrays are shared as-is; only the
+        span boundaries (and the per-shard index list) change.
+        """
+        bounds = tuple(int(o) for o in offsets)
+        if len(bounds) != len(shard_indexes) + 1:
+            raise ValueError(
+                f"expected {len(shard_indexes) + 1} offsets for "
+                f"{len(shard_indexes)} shards, got {len(bounds)}"
+            )
+        if bounds[-1] != self.total_rows():
+            raise ValueError(
+                f"new offsets cover {bounds[-1]} rows but the index holds "
+                f"{self.total_rows()}"
+            )
+        clone = MergedGroupIndex.__new__(MergedGroupIndex)
+        clone.table = self.table
+        clone.column = self.column
+        clone.shard_indexes = list(shard_indexes)
+        clone._offsets = bounds
+        clone._values = self._values
+        clone._codes = self._codes
+        clone._code_by_value = self._code_by_value
+        clone._row_id_arrays = self._row_id_arrays
+        clone._sizes = self._sizes
+        clone._empty = self._empty
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

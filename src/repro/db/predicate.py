@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import operator
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, List
+from typing import Any, Callable, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
@@ -31,6 +33,29 @@ class Predicate(ABC):
     @abstractmethod
     def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
         """Evaluate the predicate on one row, charging costs to ``ledger``."""
+
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_ids: Sequence[int],
+        ledger: CostLedger | None = None,
+    ) -> np.ndarray:
+        """Evaluate the predicate on many rows, returning a boolean mask.
+
+        Charging semantics match calling :meth:`evaluate` once per row (same
+        ledger totals, same short-circuiting of expensive children in the
+        combinators), but the work is done in bulk: column comparisons
+        vectorise over :meth:`Table.column_array` and UDF predicates go
+        through the batched ``evaluate_rows`` API.  The base implementation
+        is the per-row reference loop, so custom predicate classes stay
+        correct without opting in.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        return np.fromiter(
+            (self.evaluate(table, int(row_id), ledger) for row_id in ids),
+            dtype=bool,
+            count=int(ids.size),
+        )
 
     @property
     def is_expensive(self) -> bool:
@@ -68,6 +93,38 @@ class ColumnPredicate(Predicate):
         cell = table.value(row_id, self.column)
         return bool(_OPERATORS[self.op](cell, self.value))
 
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_ids: Sequence[int],
+        ledger: CostLedger | None = None,
+    ) -> np.ndarray:
+        """Vectorised comparison over the cached column array.
+
+        One gather plus one ufunc for homogeneous columns; anything numpy
+        cannot compare faithfully (``in`` membership, incomparable operand
+        types, object columns that yield non-elementwise results) falls back
+        to a per-*cell* python loop over the gathered values — still no
+        per-row dict construction.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        if not ids.size:
+            return np.zeros(0, dtype=bool)
+        cells = table.column_array(self.column)[ids]
+        compare = _OPERATORS[self.op]
+        if self.op != "in":
+            try:
+                mask = compare(cells, self.value)
+                if isinstance(mask, np.ndarray) and mask.shape == ids.shape:
+                    return mask.astype(bool, copy=False)
+            except TypeError:
+                pass
+        return np.fromiter(
+            (bool(compare(cell, self.value)) for cell in cells.tolist()),
+            dtype=bool,
+            count=int(ids.size),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ColumnPredicate({self.column!r} {self.op} {self.value!r})"
 
@@ -83,6 +140,26 @@ class UdfPredicate(Predicate):
         if ledger is not None:
             ledger.charge_evaluation()
         return self.udf.evaluate_row(table, row_id) == self.expected
+
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_ids: Sequence[int],
+        ledger: CostLedger | None = None,
+    ) -> np.ndarray:
+        """One bulk charge + one batched UDF call (same totals as per-row).
+
+        With a hard-budgeted ledger the whole batch is charged up front, so
+        exhaustion stops before any UDF work instead of mid-scan; callers
+        that need the per-row charging order should use :meth:`evaluate`.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        if not ids.size:
+            return np.zeros(0, dtype=bool)
+        if ledger is not None:
+            ledger.charge_evaluation(int(ids.size))
+        outcomes = self.udf.evaluate_rows(table, ids)
+        return outcomes if self.expected else ~outcomes
 
     def udfs(self) -> Iterable[UserDefinedFunction]:
         return (self.udf,)
@@ -102,6 +179,25 @@ class AndPredicate(Predicate):
     def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
         ordered = sorted(self.children, key=lambda child: child.is_expensive)
         return all(child.evaluate(table, row_id, ledger) for child in ordered)
+
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_ids: Sequence[int],
+        ledger: CostLedger | None = None,
+    ) -> np.ndarray:
+        """Cheap children first; each child sees only still-alive rows.
+
+        This reproduces the per-row short-circuit exactly: a row failed by a
+        cheap child is never handed to (or charged by) an expensive child.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        mask = np.ones(ids.size, dtype=bool)
+        for child in sorted(self.children, key=lambda child: child.is_expensive):
+            if not mask.any():
+                break
+            mask[mask] = child.evaluate_rows(table, ids[mask], ledger)
+        return mask
 
     def udfs(self) -> Iterable[UserDefinedFunction]:
         for child in self.children:
@@ -123,6 +219,22 @@ class OrPredicate(Predicate):
         ordered = sorted(self.children, key=lambda child: child.is_expensive)
         return any(child.evaluate(table, row_id, ledger) for child in ordered)
 
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_ids: Sequence[int],
+        ledger: CostLedger | None = None,
+    ) -> np.ndarray:
+        """Cheap children first; each child sees only still-undecided rows."""
+        ids = np.asarray(row_ids, dtype=np.intp)
+        mask = np.zeros(ids.size, dtype=bool)
+        for child in sorted(self.children, key=lambda child: child.is_expensive):
+            pending = ~mask
+            if not pending.any():
+                break
+            mask[pending] = child.evaluate_rows(table, ids[pending], ledger)
+        return mask
+
     def udfs(self) -> Iterable[UserDefinedFunction]:
         for child in self.children:
             yield from child.udfs()
@@ -139,6 +251,14 @@ class NotPredicate(Predicate):
 
     def evaluate(self, table: Table, row_id: int, ledger: CostLedger | None = None) -> bool:
         return not self.child.evaluate(table, row_id, ledger)
+
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_ids: Sequence[int],
+        ledger: CostLedger | None = None,
+    ) -> np.ndarray:
+        return ~self.child.evaluate_rows(table, row_ids, ledger)
 
     def udfs(self) -> Iterable[UserDefinedFunction]:
         return self.child.udfs()

@@ -93,6 +93,13 @@ class ShardedTable(Table):
 
     ``max_workers`` bounds the threads used for lazy per-shard index builds
     (``None`` or ``1`` builds serially).
+
+    Appends flow into a **mutable tail**: :meth:`append_columns` /
+    :meth:`append_rows` extend the last shard in place (delta-maintaining
+    its caches and the merged indexes), and once the tail exceeds
+    ``tail_shard_rows`` it is *sealed* — re-chunked into fixed-size shards
+    with a fresh, small tail — so the layout stays balanced under sustained
+    churn without ever rewriting sealed shards.
     """
 
     def __init__(
@@ -101,24 +108,39 @@ class ShardedTable(Table):
         schema: Schema,
         shards: Sequence[Table],
         max_workers: Optional[int] = None,
+        tail_shard_rows: Optional[int] = None,
     ):
         # Deliberately does NOT call Table.__init__: the shards hold the data
         # and every data accessor is overridden to route or concatenate.
         if not shards:
             raise ValueError("a ShardedTable needs at least one shard")
+        if tail_shard_rows is not None and tail_shard_rows < 1:
+            raise ValueError(
+                f"tail_shard_rows must be positive, got {tail_shard_rows}"
+            )
         self.name = name
         self.schema = schema
         self.max_workers = max_workers
         self._shards: List[Table] = list(shards)
+        self._set_layout()
+        #: Rows the mutable tail may hold before it is sealed and re-chunked;
+        #: defaults to the largest shard of the initial layout.
+        self.tail_shard_rows = tail_shard_rows or max(
+            (shard.num_rows for shard in self._shards), default=1
+        ) or 1
+        self._data_generation = 0
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._group_indexes: Dict[tuple, "MergedGroupIndex"] = {}
+        self._group_index_lock = threading.Lock()
+
+    def _set_layout(self) -> None:
+        """Recompute offsets from the current shard sizes."""
         sizes = [shard.num_rows for shard in self._shards]
-        self._offsets: Tuple[int, ...] = tuple(
+        self._offsets = tuple(
             int(n) for n in np.concatenate([[0], np.cumsum(sizes)])
         )
         self._num_rows = self._offsets[-1]
         self._offset_array = np.asarray(self._offsets, dtype=np.intp)
-        self._arrays: Dict[str, np.ndarray] = {}
-        self._group_indexes: Dict[tuple, "MergedGroupIndex"] = {}
-        self._group_index_lock = threading.Lock()
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -217,7 +239,13 @@ class ShardedTable(Table):
             )
             for position, (start, stop) in enumerate(zip(bounds, bounds[1:]))
         ]
-        return cls(name=name, schema=schema, shards=shards, max_workers=max_workers)
+        return cls(
+            name=name,
+            schema=schema,
+            shards=shards,
+            max_workers=max_workers,
+            tail_shard_rows=shard_rows,
+        )
 
     # -- layout ---------------------------------------------------------------
     @property
@@ -240,8 +268,13 @@ class ShardedTable(Table):
         return list(zip(self._offsets, self._offsets[1:]))
 
     def shard_signature(self) -> Tuple:
-        """Hashable shard-layout token (cache generation key)."""
-        return ("sharded", self._offsets)
+        """Hashable shard-layout token (cache generation key).
+
+        Folds :attr:`~repro.db.table.Table.data_generation` alongside the
+        boundaries: a tail append may leave the boundary tuple's length
+        unchanged, but the generation still tells caches the data moved.
+        """
+        return ("sharded", self._offsets, self._data_generation)
 
     def shard_of(self, row_id: int) -> Tuple[int, int]:
         """``(shard position, local row id)`` for a global row id."""
@@ -375,7 +408,111 @@ class ShardedTable(Table):
             schema=new_shards[0].schema,
             shards=new_shards,
             max_workers=self.max_workers,
+            tail_shard_rows=self.tail_shard_rows,
         )
+
+    # -- incremental ingest -----------------------------------------------------
+    def append_columns(self, columns: Mapping[str, Sequence[Any]]) -> int:
+        """Append a delta of rows into the mutable tail shard.
+
+        The tail shard extends in place (delta-maintaining its own caches),
+        the global cached arrays and merged group indexes are extended with
+        the same delta, and the tail is sealed and re-chunked once it
+        exceeds :attr:`tail_shard_rows`.  Work is proportional to the delta
+        (bounded below by one O(n) array concatenation per cached column);
+        sealed shards are never rewritten.  Same single-writer contract as
+        :meth:`Table.append_columns`.
+        """
+        tail = self._shards[-1]
+        # One normalise/copy, shared: the tail applies the delta and this
+        # table reuses the same lists for its own cache maintenance.
+        delta = tail._normalise_delta(columns)
+        delta_rows = tail._apply_append(delta)
+        if delta_rows == 0:
+            return 0
+        offsets = list(self._offsets)
+        offsets[-1] += delta_rows
+        self._offsets = tuple(offsets)
+        self._num_rows = self._offsets[-1]
+        self._offset_array = np.asarray(self._offsets, dtype=np.intp)
+
+        from repro.db.table import coerce_cells_to_array
+
+        delta_arrays: Dict[str, np.ndarray] = {}
+
+        def delta_array(column: str) -> np.ndarray:
+            array = delta_arrays.get(column)
+            if array is None:
+                array = coerce_cells_to_array(delta[column])
+                delta_arrays[column] = array
+            return array
+
+        for column in list(self._arrays):
+            extended = self._extend_column_array(
+                self._arrays[column], delta_array(column), delta[column]
+            )
+            if extended is None:
+                del self._arrays[column]
+            else:
+                extended.setflags(write=False)
+                self._arrays[column] = extended
+
+        with self._group_index_lock:
+            for key in list(self._group_indexes):
+                allow_hidden, column = key
+                self._group_indexes[key] = self._group_indexes[key].extended_by(
+                    delta_array(column),
+                    lambda column=column: delta[column],
+                    tail_index=tail.group_index(column, allow_hidden=allow_hidden),
+                )
+
+        self._data_generation += 1
+        self._maybe_seal_tail()
+        return delta_rows
+
+    def _maybe_seal_tail(self) -> None:
+        """Seal and re-chunk the tail once it exceeds :attr:`tail_shard_rows`.
+
+        Re-chunking never reorders rows: the oversized tail's columns are
+        sliced into fixed-size chunks (the last, possibly short, chunk is
+        the new mutable tail), so merged indexes keep their data and only
+        learn the new span decomposition via
+        :meth:`~repro.db.index.MergedGroupIndex.resharded` — per-new-shard
+        indexes are refactorised, but that work is bounded by the tail
+        size, never the table.
+        """
+        limit = self.tail_shard_rows
+        tail = self._shards[-1]
+        if tail.num_rows <= limit:
+            return
+        columns = {
+            name: tail.column_values(name, allow_hidden=True)
+            for name in self.schema.column_names
+        }
+        bounds = shard_bounds(tail.num_rows, shard_rows=limit)
+        base_position = len(self._shards) - 1
+        new_shards = [
+            Table(
+                name=f"{self.name}#shard{base_position + chunk}",
+                schema=self.schema,
+                columns={
+                    name: values[start:stop] for name, values in columns.items()
+                },
+            )
+            for chunk, (start, stop) in enumerate(zip(bounds, bounds[1:]))
+        ]
+        self._shards[-1:] = new_shards
+        self._set_layout()
+        with self._group_index_lock:
+            for key in list(self._group_indexes):
+                allow_hidden, column = key
+                shard_indexes = [
+                    shard.group_index(column, allow_hidden=allow_hidden)
+                    for shard in self._shards
+                ]
+                self._group_indexes[key] = self._group_indexes[key].resharded(
+                    self._offsets, shard_indexes
+                )
 
     # -- group indexes ---------------------------------------------------------
     def group_index(self, column: str, allow_hidden: bool = False):

@@ -34,6 +34,31 @@ from repro.db.errors import ColumnNotFoundError, SchemaMismatchError
 from repro.db.schema import Schema
 
 
+def coerce_cells_to_array(values: Sequence[Any]) -> np.ndarray:
+    """A 1-d NumPy array over ``values`` with dict-equality-safe semantics.
+
+    The array is the vectorisation substrate for grouping, bulk UDF
+    evaluation and batch execution, so it must never change value semantics:
+    ragged/sequence-valued cells and mixed-type cells (which numpy would
+    silently stringify, altering grouping/equality downstream) fall back to
+    an object array preserving the original python values.  Shared by
+    :meth:`Table.column_array` and the incremental append path so a column
+    built whole and a column built in deltas coerce identically.
+    """
+    try:
+        array = np.asarray(values)
+        if array.ndim != 1 or len(array) != len(values):
+            raise ValueError("sequence-valued cells")
+        if array.dtype.kind in ("U", "S") and not all(
+            isinstance(value, str) for value in values
+        ):
+            raise ValueError("mixed-type cells")
+    except ValueError:
+        array = np.empty(len(values), dtype=object)
+        array[:] = values
+    return array
+
+
 def infer_schema_for_columns(
     columns: Mapping[str, Sequence[Any]],
     column_types: Optional[Mapping[str, ColumnType | str]] = None,
@@ -68,7 +93,14 @@ def infer_schema_for_columns(
 
 
 class Table:
-    """An immutable-after-construction, row-id addressed table."""
+    """A row-id addressed, append-only table.
+
+    Existing rows are immutable (and their ids stable) after construction;
+    the only supported mutation is appending new rows at the end via
+    :meth:`append_rows` / :meth:`append_columns`, which bumps
+    :attr:`data_generation` and delta-maintains every cached derived
+    structure (column arrays, group indexes).
+    """
 
     def __init__(
         self,
@@ -93,6 +125,7 @@ class Table:
             name: list(values) for name, values in columns.items()
         }
         self._num_rows = next(iter(lengths.values())) if lengths else 0
+        self._data_generation = 0
         self._arrays: Dict[str, np.ndarray] = {}
         self._group_indexes: Dict[tuple, "GroupIndex"] = {}
         self._group_index_lock = threading.Lock()
@@ -148,15 +181,153 @@ class Table:
     def __len__(self) -> int:
         return self._num_rows
 
+    @property
+    def data_generation(self) -> int:
+        """Monotonic counter advanced by every append.
+
+        Row ids are append-only stable (existing ids never change meaning),
+        so statistics computed at generation ``g`` remain *valid* for the
+        first ``num_rows(g)`` rows at any later generation — they are merely
+        incomplete.  The serving layer uses the generation to detect staleness
+        and refresh cached entries through the delta path instead of treating
+        a grown table as a brand-new one.
+        """
+        return self._data_generation
+
     def shard_signature(self) -> tuple:
         """Hashable shard-layout token for cache keying.
 
         A monolithic table is its own single shard; sharded subclasses
         (:class:`~repro.db.sharding.ShardedTable`) report their boundaries.
-        Serving caches fold this into their keys so statistics computed
-        against one layout generation are never replayed against another.
+        The :attr:`data_generation` is folded in, so statistics computed
+        against one layout/data generation are never replayed verbatim
+        against another.  Serving caches key on this token (plus table
+        identity) and treat a signature mismatch at equal identity as a
+        *refreshable* — not cold — miss.
         """
-        return ("monolithic", self._num_rows)
+        return ("monolithic", self._num_rows, self._data_generation)
+
+    # -- incremental ingest -------------------------------------------------------
+    def append_columns(self, columns: Mapping[str, Sequence[Any]]) -> int:
+        """Append a delta of rows given as column arrays; returns rows added.
+
+        Appends are the only mutation a table supports: new rows receive the
+        next dense row ids, existing rows never move, and every derived
+        structure is maintained *incrementally* — cached column arrays are
+        extended with the coerced delta, and cached
+        :class:`~repro.db.index.GroupIndex` objects are replaced by
+        :meth:`~repro.db.index.GroupIndex.extended_by` copies that factorise
+        only the delta.  Cost is therefore proportional to the delta (plus
+        O(n) array concatenation), not to the table.
+
+        Appends are single-writer: callers must quiesce concurrent queries
+        against this table while appending (the serving layer appends
+        between batches).  Readers holding pre-append index objects keep a
+        consistent pre-append view.
+        """
+        return self._apply_append(self._normalise_delta(columns))
+
+    def _normalise_delta(
+        self, columns: Mapping[str, Sequence[Any]]
+    ) -> Dict[str, List[Any]]:
+        """Validate an append delta against the schema and copy it once.
+
+        The returned lists are owned by the append machinery (the sharded
+        tail reuses them for its own cache maintenance without re-copying);
+        copying up front also means a failure during the append can never
+        leave the table with ragged columns.
+        """
+        missing = [c for c in self.schema.column_names if c not in columns]
+        if missing:
+            raise SchemaMismatchError(f"missing data for columns {missing}")
+        extra = [c for c in columns if not self.schema.has_column(c)]
+        if extra:
+            raise SchemaMismatchError(f"data provided for unknown columns {extra}")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaMismatchError(
+                f"appended columns have inconsistent lengths: {lengths}"
+            )
+        return {name: list(values) for name, values in columns.items()}
+
+    def _apply_append(self, delta: Dict[str, List[Any]]) -> int:
+        """Extend the columns with an already-normalised delta."""
+        delta_rows = len(next(iter(delta.values()))) if delta else 0
+        if delta_rows == 0:
+            return 0
+        for name, values in delta.items():
+            self._data[name].extend(values)
+        previous_rows = self._num_rows
+        self._num_rows += delta_rows
+        self._extend_caches(delta, previous_rows)
+        self._data_generation += 1
+        return delta_rows
+
+    def append_rows(self, rows: Sequence[Mapping[str, Any]]) -> int:
+        """Append a delta of dict rows (validated against the schema)."""
+        if not rows:
+            return 0
+        self.schema.validate_rows(rows)
+        return self.append_columns(
+            {
+                column_name: [row[column_name] for row in rows]
+                for column_name in self.schema.column_names
+            }
+        )
+
+    def _extend_caches(
+        self, delta: Mapping[str, List[Any]], previous_rows: int
+    ) -> None:
+        """Delta-maintain cached arrays and group indexes after an append."""
+        delta_arrays: Dict[str, np.ndarray] = {}
+
+        def delta_array(column: str) -> np.ndarray:
+            array = delta_arrays.get(column)
+            if array is None:
+                array = coerce_cells_to_array(delta[column])
+                delta_arrays[column] = array
+            return array
+
+        for column in list(self._arrays):
+            extended = self._extend_column_array(
+                self._arrays[column], delta_array(column), delta[column]
+            )
+            if extended is None:
+                # Mixed kinds across the append boundary: rebuild lazily from
+                # the full python values (what a from-scratch table would do).
+                del self._arrays[column]
+            else:
+                extended.setflags(write=False)
+                self._arrays[column] = extended
+
+        with self._group_index_lock:
+            for key in list(self._group_indexes):
+                _allow_hidden, column = key
+                self._group_indexes[key] = self._group_indexes[key].extended_by(
+                    delta_array(column), lambda column=column: delta[column]
+                )
+
+    @staticmethod
+    def _extend_column_array(
+        cached: np.ndarray, delta: np.ndarray, delta_cells: List[Any]
+    ) -> Optional[np.ndarray]:
+        """Concatenate a cached column array with its coerced delta.
+
+        Returns ``None`` when the pair cannot be concatenated faithfully
+        (e.g. a numeric column receiving string cells, which
+        ``np.concatenate`` would silently stringify): the caller then drops
+        the cache entry and the next :meth:`Table.column_array` call rebuilds
+        from the python values — exactly the array a monolithic rebuild
+        would produce.
+        """
+        if cached.dtype.kind == "O" or delta.dtype.kind == "O":
+            if cached.dtype.kind == delta.dtype.kind == "O":
+                return np.concatenate([cached, delta])
+            return None
+        string_kinds = ("U", "S")
+        if (cached.dtype.kind in string_kinds) != (delta.dtype.kind in string_kinds):
+            return None
+        return np.concatenate([cached, delta])
 
     # -- access ------------------------------------------------------------------
     def column_values(self, column: str, allow_hidden: bool = False) -> List[Any]:
@@ -175,32 +346,22 @@ class Table:
     def column_array(self, column: str, allow_hidden: bool = False) -> np.ndarray:
         """All values of a column as a cached, read-only NumPy array.
 
-        Tables are immutable after construction, so the array is built once
-        per column and shared by every caller (batch executors, vectorised
-        group statistics, UDF fast paths).  Callers must not write to it;
-        the write flag is cleared to enforce that.
+        Existing rows are immutable, so the array is built once per column
+        and shared by every caller (batch executors, vectorised group
+        statistics, UDF fast paths); appends extend the cached array with
+        the coerced delta in place of a rebuild.  Callers must not write to
+        it; the write flag is cleared to enforce that.
         """
         column_def = self.schema.column(column)
         if column_def.hidden and not allow_hidden:
             raise ColumnNotFoundError(column, self.schema.visible_column_names)
         array = self._arrays.get(column)
         if array is None:
-            values = self._data[column]
-            try:
-                array = np.asarray(values)
-                if array.ndim != 1 or len(array) != len(values):
-                    raise ValueError("sequence-valued cells")
-                if array.dtype.kind in ("U", "S") and not all(
-                    isinstance(value, str) for value in values
-                ):
-                    # numpy silently stringifies mixed str/int columns, which
-                    # would change grouping/equality semantics downstream.
-                    raise ValueError("mixed-type cells")
-            except ValueError:
-                # Ragged/sequence-valued or mixed-type cells: fall back to an
-                # object array that preserves the original python values.
-                array = np.empty(len(values), dtype=object)
-                array[:] = values
+            # Ragged/sequence-valued or mixed-type cells fall back to an
+            # object array preserving the original python values (numpy
+            # silently stringifies mixed str/int columns, which would change
+            # grouping/equality semantics downstream).
+            array = coerce_cells_to_array(self._data[column])
             array.setflags(write=False)
             self._arrays[column] = array
         return array
@@ -302,8 +463,9 @@ class Table:
         Built at most once per column and reused by every caller — the
         engine, the Intel-Sample pipeline and the serving layer all group by
         the same cached index instead of re-factorising the column per
-        query.  Tables are immutable after construction, so the index can
-        never go stale.  Hidden-column indexes are cached separately so a
+        query.  Appends replace the cached object with an incrementally
+        extended copy, so the returned index always covers every current
+        row.  Hidden-column indexes are cached separately so a
         privileged (``allow_hidden``) access can never leak an index to an
         unprivileged caller.
         """

@@ -26,6 +26,12 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     expirations: int = 0
+    #: Entries reclaimed by an opportunistic :meth:`LRUCache.purge_expired`
+    #: sweep (also counted in :attr:`expirations`).
+    purged: int = 0
+    #: Stale lookups that were answered for delta-refresh instead of being
+    #: treated as cold misses (serving statistics caches only).
+    refreshes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -46,6 +52,8 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "purged": self.purged,
+            "refreshes": self.refreshes,
             "hit_rate": self.hit_rate,
         }
 
@@ -90,6 +98,13 @@ class LRUCache:
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats = CacheStats()
+        self._puts_since_purge = 0
+
+    #: Puts between opportunistic expiry sweeps.  Lookup-time expiry only
+    #: reclaims keys that are touched again, so never-retouched entries
+    #: would pin memory until LRU pressure evicts them; sweeping every
+    #: N puts bounds that leak at amortised O(size / N) work per put.
+    PURGE_EVERY_PUTS = 64
 
     @property
     def enabled(self) -> bool:
@@ -137,8 +152,22 @@ class LRUCache:
         with self._lock:
             self.stats.misses += 1
 
+    def note_refresh(self) -> None:
+        """Count a stale entry handed to the delta-refresh path.
+
+        Locked like every other stats mutation so concurrent refreshes over
+        one appended table never lose an increment."""
+        with self._lock:
+            self.stats.refreshes += 1
+
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU entry if needed."""
+        """Insert (or refresh) ``key``, evicting the LRU entry if needed.
+
+        Every :data:`PURGE_EVERY_PUTS`-th put also runs an opportunistic
+        :meth:`purge_expired` sweep, so TTL-expired entries whose keys are
+        never looked up again are still reclaimed (amortised, without a
+        background thread).
+        """
         if not self.enabled:
             return
         now = self._clock()  # hoisted: never call the clock under the lock
@@ -152,6 +181,39 @@ class LRUCache:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
             self.stats.puts += 1
+            if self.ttl is not None:
+                self._puts_since_purge += 1
+                if self._puts_since_purge >= self.PURGE_EVERY_PUTS:
+                    self._purge_expired_locked(now)
+
+    def purge_expired(self) -> int:
+        """Drop every TTL-expired entry now; returns how many were reclaimed.
+
+        Expired entries normally die lazily when their key is looked up
+        again; this sweep reclaims the ones nobody will ever retouch.  Safe
+        (and a no-op) without a TTL.
+        """
+        if self.ttl is None:
+            return 0
+        now = self._clock()  # hoisted: never call the clock under the lock
+        with self._lock:
+            return self._purge_expired_locked(now)
+
+    def _purge_expired_locked(self, now: float) -> int:
+        """Sweep expired entries under the already-held lock."""
+        self._puts_since_purge = 0
+        if self.ttl is None:
+            return 0
+        expired = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.stored_at > self.ttl
+        ]
+        for key in expired:
+            del self._entries[key]
+        self.stats.expirations += len(expired)
+        self.stats.purged += len(expired)
+        return len(expired)
 
     def keys(self) -> List[Hashable]:
         """Current keys in recency order (oldest first)."""
@@ -179,12 +241,7 @@ class LRUCache:
         """
         with self._lock:
             return {
-                "hits": self.stats.hits,
-                "misses": self.stats.misses,
-                "puts": self.stats.puts,
-                "evictions": self.stats.evictions,
-                "expirations": self.stats.expirations,
-                "hit_rate": self.stats.hit_rate,
+                **self.stats.snapshot(),
                 "size": len(self._entries),
             }
 

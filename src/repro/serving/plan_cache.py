@@ -63,6 +63,13 @@ class CachedPlan:
     solver_version:
         The :data:`PLAN_CACHE_VERSION` of the solver stack that produced the
         plan; the service refuses to replay entries from any other version.
+    data_generation / table_rows:
+        The base table's :attr:`~repro.db.table.Table.data_generation` and
+        row count when the plan was solved.  Tables mutate in place under
+        incremental ingest, so identity alone no longer proves freshness: a
+        generation mismatch marks the entry *refreshable* — its statistics
+        are exact for the first ``table_rows`` rows and the service updates
+        them through the delta path instead of a cold re-plan.
     """
 
     column: str
@@ -75,6 +82,8 @@ class CachedPlan:
     used_virtual_column: bool = False
     used_fallback: bool = False
     solver_version: int = PLAN_CACHE_VERSION
+    data_generation: int = 0
+    table_rows: int = 0
 
 
 class PlanCache:

@@ -28,6 +28,14 @@ Sharded catalogs are served transparently: a
 :class:`~repro.db.sharding.ShardedTable` satisfies the full table contract,
 the statistics cache keys per (table, shard-layout) generation, and the
 ``"parallel"`` executor backend fans execution across the shards.
+
+Data churn is served through a **refresh path**: appending rows to a
+catalog table bumps its ``data_generation``, which marks warm plan entries
+*refreshable* rather than dead — the next request for such a signature
+tops up the cached statistics with delta-only UDF work (sticky correlated
+column, reservoir-topped labelled sample, shortfall-only sampling) and
+re-solves once, instead of re-planning cold.  See ``_refresh_and_execute``
+and the package docstring's "Update workloads" section.
 """
 
 from __future__ import annotations
@@ -35,11 +43,12 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 
+from repro.core.column_selection import top_up_labeled_sample
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.core.executor import BatchExecutor, ExecutorBackend, PlanExecutor
 from repro.core.extensions.budget import solve_budgeted_recall
 from repro.core.parallel import ParallelBatchExecutor
-from repro.core.pipeline import IntelSample
+from repro.core.pipeline import IntelSample, _probe_bulk_evaluator
 from repro.db.catalog import Catalog
 from repro.db.engine import Engine, QueryResult
 from repro.db.query import SelectQuery
@@ -48,8 +57,13 @@ from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
 from repro.serving.session import ClientSession, SessionManager
 from repro.serving.stats_cache import StatisticsCache
-from repro.serving.signature import plan_signature
-from repro.stats.random import RandomState, SeedLike, as_random_state
+from repro.serving.signature import plan_signature, statistics_key
+from repro.stats.random import (
+    RandomState,
+    SeedLike,
+    as_random_state,
+    stable_hash_seed,
+)
 
 #: Executor backend names accepted by :class:`QueryService`.
 _BACKENDS = ("batch", "serial", "parallel")
@@ -128,6 +142,7 @@ class QueryService:
             "exact_queries": 0,
             "plan_hits": 0,
             "plan_misses": 0,
+            "plan_refreshes": 0,
             "pipeline_runs": 0,
             "solver_calls": 0,
             "degraded_plans": 0,
@@ -290,8 +305,8 @@ class QueryService:
             return strategy.run(table, query, ledger)
 
         signature = plan_signature(query, self._cost_model(), self._strategy_prototype)
-        entry = self._live_entry(signature, query)
-        if entry is not None:
+        entry, state = self._lookup_entry(signature, query)
+        if state == "live":
             self._count("plan_hits")
             return self._execute_cached(query, entry, ledger, seed, session, signature)
 
@@ -299,19 +314,25 @@ class QueryService:
             self._count("plan_misses")
             return self._plan_and_execute(query, ledger, seed, signature)
 
-        # Single-flight: concurrent cold requests for one signature plan once.
+        # Single-flight: concurrent cold (and refresh) requests for one
+        # signature plan once.
         lock = self._flight_lock(signature)
         try:
             with lock:
                 # Re-check without recounting: the pre-lock lookup already
                 # recorded this request's cache outcome; a waiter whose plan
                 # was computed by the flight leader records its hit here.
-                entry = self._live_entry(signature, query, record=False)
-                if entry is not None:
+                entry, state = self._lookup_entry(signature, query, record=False)
+                if state == "live":
                     self.plan_cache.note_hit()
                     self._count("plan_hits")
                     return self._execute_cached(
                         query, entry, ledger, seed, session, signature
+                    )
+                if state == "refresh":
+                    self._count("plan_refreshes")
+                    return self._refresh_and_execute(
+                        query, entry, ledger, seed, signature
                     )
                 self._count("plan_misses")
                 return self._plan_and_execute(query, ledger, seed, signature)
@@ -320,35 +341,52 @@ class QueryService:
             # dict bounded by in-flight signatures, not historical ones.
             self._release_flight(signature, lock)
 
-    def _live_entry(
+    def _lookup_entry(
         self, signature: Tuple, query: SelectQuery, record: bool = True
-    ) -> Optional[CachedPlan]:
-        """A cached plan that still refers to the catalog's current table.
+    ) -> Tuple[Optional[CachedPlan], str]:
+        """Classify the cached plan for a signature: live, refreshable or dead.
 
-        Re-registering a table under the same name invalidates every plan
-        computed against the old data; identity (not name) is the check.
-        Entries stamped with a different solver version are likewise dead:
-        the signature already embeds the version, so this only triggers for
-        entries injected from external snapshots — but a stale plan silently
+        *Live* means the entry still refers to the catalog's current table
+        object **at its current data generation** — re-registering a table
+        under the same name invalidates by identity, and entries stamped
+        with a different solver version are dead (a stale plan silently
         re-executing after a solver upgrade is the one failure mode this
-        cache must never have.
+        cache must never have).
+
+        *Refresh* means the table object matches but its
+        :attr:`~repro.db.table.Table.data_generation` moved on (rows were
+        appended): row ids are append-only stable, so the entry's
+        statistics are exact for its first ``table_rows`` rows and the
+        service updates them through the delta path instead of re-planning
+        cold.  Virtual-column plans are not refreshable — their derived
+        working table does not grow with the base — and fall back to a cold
+        miss.
 
         Hit/miss statistics are recorded only after the liveness checks, so
-        a dead entry counts as the miss it behaves as (the bench-regression
-        CI gate watches the reported hit rate).
+        a dead or refreshable entry counts as the miss it behaves as (the
+        bench-regression CI gate watches the reported hit rate).
         """
+        table = self.catalog.table(query.table)
         entry = self.plan_cache.get(signature, record=False)
-        live = (
+        state = "miss"
+        if (
             entry is not None
             and entry.solver_version == PLAN_CACHE_VERSION
-            and entry.base_table is self.catalog.table(query.table)
-        )
+            and entry.base_table is table
+        ):
+            if entry.data_generation == table.data_generation:
+                state = "live"
+            elif (
+                not entry.used_virtual_column
+                and entry.table_rows <= table.num_rows
+            ):
+                state = "refresh"
         if record:
-            if live:
+            if state == "live":
                 self.plan_cache.note_hit()
             else:
                 self.plan_cache.note_miss()
-        return entry if live else None
+        return (entry if state != "miss" else None), state
 
     # -- cold path ------------------------------------------------------------------
     def _plan_and_execute(
@@ -397,6 +435,114 @@ class QueryService:
         }
         return result
 
+    # -- refresh path (data changed under a warm entry) -----------------------------
+    def _reservoir_seed(self, query: SelectQuery) -> int:
+        """Deterministic coin-stream seed for the labelled-sample reservoir.
+
+        Keyed on the (table, predicate) statistics identity, so successive
+        refreshes of one statistic continue a single position-addressable
+        stream — topping up after many small appends is bitwise identical
+        to topping up after one big append.
+        """
+        return stable_hash_seed(
+            statistics_key(self.catalog.table(query.table).name, query.predicate)
+        )
+
+    def _refresh_and_execute(
+        self,
+        query: SelectQuery,
+        entry: CachedPlan,
+        ledger: CostLedger,
+        seed: SeedLike,
+        signature: Tuple,
+    ) -> QueryResult:
+        """Update a stale-generation entry through the delta path, then run.
+
+        Instead of re-planning cold (full labelling + sampling, the 13x
+        penalty the cold benchmarks measure), the refresh reuses everything
+        the previous generation paid for:
+
+        * the **correlated column is sticky** — column selection is skipped
+          entirely (small deltas do not change which column correlates);
+        * the cached labelled sample gets a reservoir **top-up** charging
+          UDF evaluations only for newly admitted delta rows;
+        * the cached per-column sample outcome counts toward the sampling
+          allocation, so only the delta-driven shortfall is drawn fresh
+          (group sizes self-heal through the outcome merge);
+        * one solver call re-optimises the plan against the merged evidence.
+
+        The refreshed statistics and plan replace the stale entries under
+        their existing keys at the table's new generation.
+        """
+        table = self.catalog.table(query.table)
+        udf = self._query_udf(query)
+        constraints = QueryConstraints(alpha=query.alpha, beta=query.beta, rho=query.rho)
+        strategy = self.strategy_factory(as_random_state(seed))
+        if hasattr(strategy, "executor_factory"):
+            # A refresh is warm-path traffic: serving accounting applies, so
+            # the execution step never re-charges evaluations the UDF already
+            # memoised — the ledger then reads delta-proportional, which the
+            # update benchmark gates.
+            strategy.executor_factory = self._warm_executor
+
+        cached_labeled = None
+        cached_outcomes: Dict[str, object] = {}
+        if self.stats_cache.enabled:
+            stale = self.stats_cache.stale_labeled(table, query.predicate)
+            if stale is not None:
+                labeled, covered_rows = stale
+                if covered_rows < table.num_rows:
+                    cached_labeled = top_up_labeled_sample(
+                        table,
+                        udf,
+                        ledger,
+                        labeled,
+                        previous_rows=covered_rows,
+                        fraction=getattr(
+                            self._strategy_prototype, "column_sample_fraction", 0.01
+                        ),
+                        stream_seed=self._reservoir_seed(query),
+                        # Fan the delta labelling across shards when the
+                        # backend is parallel — same hook the cold pipeline's
+                        # labelling uses (row selection is counter-based, so
+                        # the fan never changes the sample).
+                        bulk_evaluator=_probe_bulk_evaluator(
+                            getattr(strategy, "executor_factory", None), udf
+                        ),
+                    )
+                else:
+                    cached_labeled = labeled
+            stale_outcome = self.stats_cache.stale_outcome(
+                table, query.predicate, entry.column
+            )
+            if stale_outcome is not None:
+                cached_outcomes[entry.column] = stale_outcome[0]
+        if not cached_outcomes and entry.sample_outcome is not None:
+            # The stats cache may have evicted (or be disabled); the plan
+            # entry itself still carries the paid-for outcome.
+            cached_outcomes[entry.column] = entry.sample_outcome
+
+        self._count("solver_calls")
+        result = strategy.answer(
+            table,
+            udf,
+            constraints,
+            ledger,
+            correlated_column=entry.column,
+            cached_labeled=cached_labeled,
+            cached_outcomes=cached_outcomes or None,
+        )
+
+        report = result.metadata.get("report")
+        if report is not None:
+            self._store(signature, table, query, report)
+        result.metadata["plan_cache"] = "refresh"
+        result.metadata["stats_cache"] = {
+            "labeled_hit": cached_labeled is not None,
+            "outcome_hits": sorted(cached_outcomes),
+        }
+        return result
+
     def _store(self, signature: Tuple, table: Table, query: SelectQuery, report) -> None:
         """Persist the statistics and plan produced by a pipeline run."""
         working_table = getattr(report, "working_table", None)
@@ -429,6 +575,8 @@ class QueryService:
                 expected_execution_cost=expected_execution,
                 used_virtual_column=report.used_virtual_column,
                 used_fallback=report.used_fallback,
+                data_generation=table.data_generation,
+                table_rows=table.num_rows,
             ),
         )
 

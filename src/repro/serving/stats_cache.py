@@ -11,7 +11,11 @@ same table and UDF can share them.  :class:`StatisticsCache` memoises
   selectivity model derived from it) per ``(table, column, predicate)``,
 
 each behind its own TTL/size-bounded :class:`~repro.serving.cache.LRUCache`
-with hit/miss accounting.  Group indexes are no longer cached here: since
+with hit/miss accounting.  Entries remember the table's shard signature and
+row count at store time, so after an append the ``stale_*`` getters can
+hand the (still exact, merely incomplete) evidence to the delta-refresh
+path instead of treating the grown table as cold.  Group indexes are no
+longer cached here: since
 the db layer grew a per-column index cache
 (:meth:`~repro.db.table.Table.group_index`), the serving layer shares the
 *same* index objects as the engine and the cold pipeline — :meth:`get_index`
@@ -22,7 +26,7 @@ still see index reuse.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from repro.core.column_selection import LabeledSample
 from repro.db.index import GroupIndex
@@ -53,35 +57,77 @@ class StatisticsCache:
         """Whether statistics caching is on at all."""
         return self.labeled_samples.enabled
 
-    # Entries are keyed by table *identity* plus shard-layout generation and
-    # store the table reference alongside the payload: statistics computed
-    # against a table that was later re-registered under the same name must
-    # never leak into queries over the replacement (row ids would not line
-    # up), and statistics from one shard layout must never be replayed
-    # against another (identity already separates layouts — resharding
-    # produces a new table object — the explicit layout token makes the
-    # generation visible in the key and robust to id() reuse).
+    # Entries are keyed by table *identity* and store the table reference,
+    # its shard signature (layout + data generation) and its row count at
+    # store time alongside the payload.  Identity protects against a table
+    # re-registered under the same name (row ids would not line up) and
+    # against id() reuse combined with signatures; the stored signature
+    # separates layout/data generations.  A signature mismatch at matching
+    # identity is *not* discarded: row ids are append-only stable, so the
+    # payload is still exact evidence for the first ``rows`` rows and the
+    # ``stale_*`` getters hand it to the delta-refresh path instead of
+    # treating the grown table as cold.
     @staticmethod
     def _labeled_key(table: Table, predicate: Predicate) -> Hashable:
-        return (id(table), table.shard_signature(), statistics_key(table.name, predicate))
+        return (id(table), statistics_key(table.name, predicate))
 
     @staticmethod
     def _outcome_key(table: Table, predicate: Predicate, column: str) -> Hashable:
-        return (id(table), table.shard_signature(), model_key(table.name, predicate, column))
+        return (id(table), model_key(table.name, predicate, column))
 
     def _validated(self, cache: LRUCache, key: Hashable, table: Table):
-        entry = cache.get(key)
+        """The entry's payload when it matches the table's *current* state."""
+        entry = cache.get(key, record=False)
         if entry is None:
+            cache.note_miss()
             return None
-        stored_table, payload = entry
-        if stored_table is not table:
+        stored_table, signature, _rows, payload = entry
+        if stored_table is not table or signature != table.shard_signature():
+            cache.note_miss()
             return None
+        cache.note_hit()
         return payload
+
+    def _validated_stale(
+        self, cache: LRUCache, key: Hashable, table: Table
+    ) -> Optional[Tuple[Any, int]]:
+        """``(payload, rows_at_store_time)`` for a same-table entry of any
+        generation whose rows are a prefix of the current table.
+
+        Accounting mirrors :meth:`_validated`: an unusable entry (evicted,
+        re-registered table, rows beyond the current table) counts as the
+        miss it behaves as; a usable stale one counts as a ``refresh``.
+        """
+        entry = cache.get(key, record=False)
+        if entry is None:
+            cache.note_miss()
+            return None
+        stored_table, signature, rows, payload = entry
+        if stored_table is not table or rows > table.num_rows:
+            cache.note_miss()
+            return None
+        if signature == table.shard_signature():
+            cache.note_hit()
+        else:
+            cache.note_refresh()
+        return payload, rows
 
     # -- labelled samples ---------------------------------------------------------
     def get_labeled(self, table: Table, predicate: Predicate) -> Optional[LabeledSample]:
         """The cached labelled sample for ``(table, predicate)``, if any."""
         return self._validated(
+            self.labeled_samples, self._labeled_key(table, predicate), table
+        )
+
+    def stale_labeled(
+        self, table: Table, predicate: Predicate
+    ) -> Optional[Tuple[LabeledSample, int]]:
+        """A possibly-stale labelled sample plus the row count it covered.
+
+        Used by the refresh path after appends: the sample is exact over the
+        first ``rows`` rows and only needs a reservoir top-up over the delta.
+        """
+        return self._validated_stale(
             self.labeled_samples, self._labeled_key(table, predicate), table
         )
 
@@ -91,7 +137,8 @@ class StatisticsCache:
         """Store a labelled sample (no-op for empty samples)."""
         if labeled is not None and labeled.size:
             self.labeled_samples.put(
-                self._labeled_key(table, predicate), (table, labeled)
+                self._labeled_key(table, predicate),
+                (table, table.shard_signature(), table.num_rows, labeled),
             )
 
     # -- per-column sample outcomes ----------------------------------------------
@@ -100,6 +147,14 @@ class StatisticsCache:
     ) -> Optional[SampleOutcome]:
         """The cached (merged) sample outcome for one correlated column."""
         return self._validated(
+            self.sample_outcomes, self._outcome_key(table, predicate, column), table
+        )
+
+    def stale_outcome(
+        self, table: Table, predicate: Predicate, column: str
+    ) -> Optional[Tuple[SampleOutcome, int]]:
+        """A possibly-stale sample outcome plus the row count it covered."""
+        return self._validated_stale(
             self.sample_outcomes, self._outcome_key(table, predicate, column), table
         )
 
@@ -124,7 +179,8 @@ class StatisticsCache:
         """Store (replacing) the merged sample outcome for a column."""
         if outcome is not None:
             self.sample_outcomes.put(
-                self._outcome_key(table, predicate, column), (table, outcome)
+                self._outcome_key(table, predicate, column),
+                (table, table.shard_signature(), table.num_rows, outcome),
             )
 
     # -- group indexes -------------------------------------------------------------

@@ -9,6 +9,7 @@ from repro.core.column_selection import (
     draw_labeled_sample,
     estimate_column_cost,
     select_correlated_column,
+    top_up_labeled_sample,
 )
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.db.index import GroupIndex
@@ -164,3 +165,123 @@ class TestVirtualColumn:
             small_lending_club.table, sample, exclude_columns=("record_id",)
         )
         assert "udf_score_bucket" not in small_lending_club.table.schema.column_names
+
+
+class TestReservoirTopUp:
+    """Reservoir top-up of a labelled sample under incremental ingest."""
+
+    def _table(self, n, seed=3):
+        import numpy as np
+
+        from repro.db.table import Table
+
+        rng = np.random.default_rng(seed)
+        return Table.from_columns(
+            "res",
+            {
+                "grade": [f"g{int(v)}" for v in rng.integers(0, 4, n)],
+                "is_good": [bool(v) for v in rng.random(n) < 0.4],
+            },
+            hidden_columns=["is_good"],
+        )
+
+    def _udf(self, tag):
+        from repro.db.udf import UserDefinedFunction
+
+        return UserDefinedFunction.from_label_column(f"res_{tag}", "is_good")
+
+    def test_charges_only_newly_admitted_delta_rows(self):
+        table = self._table(400)
+        base = draw_labeled_sample(
+            table, self._udf("base"), CostLedger(), fraction=0.1, random_state=5
+        )
+        table.append_columns(
+            {"grade": ["g1"] * 40, "is_good": [True] * 40}
+        )
+        ledger = CostLedger()
+        topped = top_up_labeled_sample(
+            table,
+            self._udf("top"),
+            ledger,
+            base,
+            previous_rows=400,
+            fraction=0.1,
+            stream_seed=17,
+        )
+        admitted = [r for r in topped.outcomes if r not in base.outcomes]
+        assert all(row_id >= 400 for row_id in admitted)
+        assert ledger.evaluated_count == len(admitted)
+        assert ledger.retrieved_count == len(admitted)
+        assert ledger.evaluated_count <= 40
+        assert topped.size == max(50, round(0.1 * 440))
+        # survivors keep their already-paid labels verbatim
+        for row_id, outcome in topped.outcomes.items():
+            if row_id in base.outcomes:
+                assert outcome == base.outcomes[row_id]
+
+    def test_chunked_appends_bitwise_equal_one_big_append(self):
+        from repro.db.table import Table
+
+        full = self._table(600)
+        grades = full.column_values("grade")
+        labels = full.column_values("is_good", allow_hidden=True)
+
+        def prefix(n):
+            return Table.from_columns(
+                "res",
+                {"grade": grades[:n], "is_good": labels[:n]},
+                hidden_columns=["is_good"],
+            )
+
+        base_sample = draw_labeled_sample(
+            prefix(480), self._udf("c0"), CostLedger(), fraction=0.08,
+            random_state=9,
+        )
+        one_shot = top_up_labeled_sample(
+            full, self._udf("c1"), CostLedger(), base_sample,
+            previous_rows=480, fraction=0.08, stream_seed=23,
+        )
+        chunked = base_sample
+        for previous, now in ((480, 520), (520, 575), (575, 600)):
+            chunked = top_up_labeled_sample(
+                prefix(now), self._udf(f"c_{now}"), CostLedger(), chunked,
+                previous_rows=previous, fraction=0.08, stream_seed=23,
+            )
+        assert one_shot.outcomes == chunked.outcomes
+
+    def test_no_delta_returns_copy(self):
+        table = self._table(100)
+        base = draw_labeled_sample(
+            table, self._udf("n0"), CostLedger(), fraction=0.5, random_state=1
+        )
+        ledger = CostLedger()
+        same = top_up_labeled_sample(
+            table, self._udf("n1"), ledger, base, previous_rows=100
+        )
+        assert same.outcomes == base.outcomes
+        assert same is not base
+        assert ledger.evaluated_count == 0
+
+    def test_rejects_bad_previous_rows(self):
+        table = self._table(10)
+        with pytest.raises(ValueError):
+            top_up_labeled_sample(
+                table, self._udf("bad"), CostLedger(), LabeledSample(),
+                previous_rows=11,
+            )
+
+    def test_target_tracks_growing_table(self):
+        table = self._table(1000)
+        base = draw_labeled_sample(
+            table, self._udf("g0"), CostLedger(), fraction=0.1, random_state=2
+        )
+        assert base.size == 100
+        table.append_columns(
+            {"grade": ["g0"] * 500, "is_good": [False] * 500}
+        )
+        topped = top_up_labeled_sample(
+            table, self._udf("g1"), CostLedger(), base,
+            previous_rows=1000, fraction=0.1, stream_seed=4,
+        )
+        assert topped.size == 150  # 10% of 1500
+        assert any(row_id >= 1000 for row_id in topped.outcomes)

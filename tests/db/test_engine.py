@@ -169,3 +169,126 @@ class TestEngineWithStrategy:
         assert "infeasible" in result.metadata["fallback_reason"]
         assert result.quality.precision == 1.0
         assert result.quality.recall == 1.0
+
+
+class TestVectorisedExactScan:
+    """The bulk exact scan matches the per-row reference loop exactly."""
+
+    def _setup(self, rows=300, seed=13):
+        import numpy as np
+
+        from repro.db.table import Table
+
+        rng = np.random.default_rng(seed)
+        table = Table.from_columns(
+            "scan",
+            {
+                "grade": [f"g{int(v)}" for v in rng.integers(0, 4, rows)],
+                "amount": [float(v) for v in rng.normal(100, 30, rows)],
+                "is_good": [bool(v) for v in rng.random(rows) < 0.4],
+            },
+            hidden_columns=["is_good"],
+        )
+        udf = UserDefinedFunction.from_label_column("scan_udf", "is_good")
+        catalog = Catalog()
+        catalog.register_table(table)
+        catalog.register_udf(udf)
+        return table, udf, catalog
+
+    def _reference(self, table, query, ledger):
+        """The historical per-row loop (cheap predicates, then the scan)."""
+        row_ids = list(table.row_ids)
+        for cheap in query.cheap_predicates:
+            row_ids = [r for r in row_ids if cheap.evaluate(table, r)]
+        matched = []
+        for row_id in row_ids:
+            ledger.charge_retrieval()
+            if query.predicate.evaluate(table, row_id, ledger):
+                matched.append(row_id)
+        return matched
+
+    def _compare(self, catalog, udf, query):
+        from repro.db.udf import CostLedger
+
+        engine = Engine(catalog)
+        table = catalog.table(query.table)
+        reference_ledger = CostLedger()
+        udf.reset()
+        expected = self._reference(table, query, reference_ledger)
+        udf.reset()
+        result = engine.execute_exact(query)
+        assert list(result.row_ids) == expected
+        assert result.ledger.retrieved_count == reference_ledger.retrieved_count
+        assert result.ledger.evaluated_count == reference_ledger.evaluated_count
+
+    def test_udf_only_scan(self):
+        table, udf, catalog = self._setup()
+        self._compare(
+            catalog, udf,
+            SelectQuery("scan", UdfPredicate(udf), alpha=1.0, beta=1.0, rho=0.9),
+        )
+
+    def test_cheap_predicates_filter_before_the_scan(self):
+        table, udf, catalog = self._setup()
+        self._compare(
+            catalog, udf,
+            SelectQuery(
+                "scan",
+                UdfPredicate(udf),
+                cheap_predicates=[
+                    ColumnPredicate("grade", "in", {"g1", "g2"}),
+                    ColumnPredicate("amount", ">", 90.0),
+                ],
+                alpha=1.0, beta=1.0, rho=0.9,
+            ),
+        )
+
+    def test_conjunction_short_circuits_identically(self):
+        from repro.db.predicate import AndPredicate, NotPredicate, OrPredicate
+
+        table, udf, catalog = self._setup()
+        predicate = AndPredicate(
+            [ColumnPredicate("grade", "==", "g2"), UdfPredicate(udf)]
+        )
+        self._compare(
+            catalog, udf,
+            SelectQuery("scan", predicate, alpha=1.0, beta=1.0, rho=0.9),
+        )
+        disjunction = OrPredicate(
+            [ColumnPredicate("grade", "==", "g0"), NotPredicate(UdfPredicate(udf))]
+        )
+        self._compare(
+            catalog, udf,
+            SelectQuery("scan", disjunction, alpha=1.0, beta=1.0, rho=0.9),
+        )
+
+    def test_custom_predicate_falls_back_to_per_row(self):
+        from repro.db.predicate import Predicate
+
+        class OddRows(Predicate):
+            def evaluate(self, table, row_id, ledger=None):
+                return row_id % 2 == 1
+
+        table, udf, catalog = self._setup(rows=40)
+        self._compare(
+            catalog, udf,
+            SelectQuery(
+                "scan",
+                UdfPredicate(udf),
+                cheap_predicates=[OddRows()],
+                alpha=1.0, beta=1.0, rho=0.9,
+            ),
+        )
+
+    def test_incomparable_operand_matches_per_row_semantics(self):
+        table, udf, catalog = self._setup(rows=20)
+        # per-row: "g1" == 7 is False for every row; the bulk path must agree
+        self._compare(
+            catalog, udf,
+            SelectQuery(
+                "scan",
+                UdfPredicate(udf),
+                cheap_predicates=[ColumnPredicate("grade", "==", 7)],
+                alpha=1.0, beta=1.0, rho=0.9,
+            ),
+        )

@@ -90,6 +90,44 @@ class TestTTL:
             LRUCache(ttl=0.0)
 
 
+class TestPurgeExpired:
+    """Opportunistic reclamation of entries nobody ever looks up again."""
+
+    def test_explicit_purge_reclaims_untouched_expired_entries(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=None, ttl=5.0, clock=clock)
+        for key in range(10):
+            cache.put(key, key)
+        clock.advance(3.0)
+        cache.put("fresh", 1)
+        clock.advance(3.0)  # the first 10 are now expired, "fresh" is not
+        reclaimed = cache.purge_expired()
+        assert reclaimed == 10
+        assert len(cache) == 1
+        assert "fresh" in cache
+        assert cache.stats.purged == 10
+        assert cache.stats.expirations == 10
+        # no lookups happened: hit/miss statistics are untouched
+        assert cache.stats.hits == cache.stats.misses == 0
+
+    def test_put_sweeps_amortised(self):
+        clock = FakeClock()
+        cache = LRUCache(max_size=None, ttl=1.0, clock=clock)
+        cache.put("stale", 1)
+        clock.advance(2.0)
+        # Never look "stale" up again; enough puts must reclaim it anyway.
+        for position in range(LRUCache.PURGE_EVERY_PUTS):
+            cache.put(("churn", position), position)
+        assert "stale" not in cache.keys()
+        assert cache.stats.purged >= 1
+
+    def test_purge_without_ttl_is_noop(self):
+        cache = LRUCache(max_size=4)
+        cache.put("a", 1)
+        assert cache.purge_expired() == 0
+        assert cache.get("a") == 1
+
+
 class TestStats:
     def test_hit_rate_accounting(self):
         cache = LRUCache(max_size=4)
@@ -116,6 +154,8 @@ class TestStats:
             "puts": 2,
             "evictions": 0,
             "expirations": 0,
+            "purged": 0,
+            "refreshes": 0,
             "hit_rate": 0.5,
             "size": 2,
         }

@@ -400,3 +400,121 @@ class TestUdfCounters:
         assert meta["cache_hits"] > 0
         assert meta["cache_misses"] < cold.metadata["udf_cache"]["cache_misses"] / 4
         assert meta["calls"] == meta["cache_misses"]
+
+
+class TestGenerationRefresh:
+    """Appends bump the data generation; warm entries refresh via the delta path."""
+
+    def _fresh_setup(self, rows=3000, seed=8):
+        import numpy as np
+
+        from repro.db.table import Table
+        from repro.db.udf import UserDefinedFunction
+
+        rng = np.random.default_rng(seed)
+        grades = [f"g{int(v)}" for v in rng.integers(0, 5, rows)]
+        rates = {"g0": 0.15, "g1": 0.35, "g2": 0.5, "g3": 0.7, "g4": 0.9}
+        labels = [bool(rng.random() < rates[g]) for g in grades]
+        table = Table.from_columns(
+            "churny", {"grade": grades, "is_good": labels}, hidden_columns=["is_good"]
+        )
+        udf = UserDefinedFunction.from_label_column("churny_udf", "is_good")
+        catalog = Catalog()
+        catalog.register_table(table)
+        catalog.register_udf(udf)
+        return table, udf, catalog
+
+    def _delta(self, rows, seed=77):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        grades = [f"g{int(v)}" for v in rng.integers(0, 5, rows)]
+        return {
+            "grade": grades,
+            "is_good": [bool(v) for v in rng.random(rows) < 0.5],
+        }
+
+    def test_append_turns_next_submit_into_refresh(self):
+        table, udf, catalog = self._fresh_setup()
+        service = QueryService(Engine(catalog))
+        query = SelectQuery(
+            "churny", UdfPredicate(udf), alpha=0.8, beta=0.8, rho=0.8,
+            correlated_column="grade",
+        )
+        cold = service.submit(query, seed=0)
+        warm = service.submit(query, seed=1)
+        assert cold.metadata["plan_cache"] == "miss"
+        assert warm.metadata["plan_cache"] == "hit"
+
+        table.append_columns(self._delta(60))
+        refreshed = service.submit(query, seed=2, audit=True)
+        assert refreshed.metadata["plan_cache"] == "refresh"
+        # the refresh reused the cached sampling evidence: far less paid UDF
+        # work than the cold run, and quality still holds
+        assert refreshed.ledger.evaluated_count < cold.ledger.evaluated_count / 2
+        assert refreshed.quality.precision > 0.5
+
+        metrics = service.metrics()
+        assert metrics["plan_refreshes"] == 1
+        assert metrics["pipeline_runs"] == 1  # only the cold run ran the pipeline
+        # the refreshed entry is live again: the next submit is a plain hit
+        again = service.submit(query, seed=3)
+        assert again.metadata["plan_cache"] == "hit"
+        # and its results cover the appended rows (row ids beyond the old end
+        # are reachable by the refreshed plan)
+        assert table.num_rows == 3060
+
+    def test_refresh_recounts_stats_cache(self):
+        table, udf, catalog = self._fresh_setup()
+        service = QueryService(Engine(catalog))
+        query = SelectQuery(
+            "churny", UdfPredicate(udf), alpha=0.85, beta=0.75, rho=0.8,
+        )  # automatic column selection -> labelled sample cached
+        service.submit(query, seed=0)
+        table.append_columns(self._delta(30))
+        refreshed = service.submit(query, seed=1)
+        assert refreshed.metadata["plan_cache"] == "refresh"
+        stats = service.metrics()["stats_cache"]
+        assert (
+            stats["labeled_samples"]["refreshes"]
+            + stats["sample_outcomes"]["refreshes"]
+        ) >= 1
+
+    def test_refresh_skips_column_reselection(self):
+        table, udf, catalog = self._fresh_setup()
+        service = QueryService(Engine(catalog))
+        query = SelectQuery(
+            "churny", UdfPredicate(udf), alpha=0.8, beta=0.8, rho=0.8,
+        )
+        cold = service.submit(query, seed=0)
+        column = cold.metadata["report"].correlated_column
+        table.append_columns(self._delta(25))
+        refreshed = service.submit(query, seed=1)
+        assert refreshed.metadata["plan_cache"] == "refresh"
+        assert refreshed.metadata["report"].correlated_column == column
+        assert refreshed.metadata["report"].column_costs is None  # no re-search
+
+    def test_exact_queries_see_appended_rows(self):
+        table, udf, catalog = self._fresh_setup(rows=200)
+        service = QueryService(Engine(catalog))
+        query = SelectQuery("churny", UdfPredicate(udf), alpha=1.0, beta=1.0, rho=0.9)
+        before = service.submit(query, seed=0)
+        table.append_columns({"grade": ["g4"] * 10, "is_good": [True] * 10})
+        after = service.submit(query, seed=1)
+        assert set(after.row_ids) >= set(before.row_ids)
+        assert set(range(200, 210)) <= set(after.row_ids)
+
+    def test_shrunk_or_replaced_table_still_cold_misses(self):
+        table, udf, catalog = self._fresh_setup(rows=500)
+        service = QueryService(Engine(catalog))
+        query = SelectQuery(
+            "churny", UdfPredicate(udf), alpha=0.8, beta=0.8, rho=0.8,
+            correlated_column="grade",
+        )
+        service.submit(query, seed=0)
+        # re-registering a different table object invalidates by identity
+        replacement, _, _ = self._fresh_setup(rows=500, seed=9)
+        catalog.register_table(replacement, replace=True)
+        result = service.submit(query, seed=1)
+        assert result.metadata["plan_cache"] == "miss"
+        assert service.metrics()["plan_refreshes"] == 0
