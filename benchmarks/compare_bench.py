@@ -27,6 +27,11 @@ Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
 benchmark should be re-run and the baseline JSON re-committed.
 
+A second, *informational* key class (``latency_p50_ms`` / ``latency_p99_ms``
+from the serving layer's always-on histograms, plus anything passed via
+repeated ``--informational`` flags) is printed in the diff for context but
+never gates: latency is wall-clock and drifts with runner load.
+
 Usage::
 
     python benchmarks/compare_bench.py \
@@ -115,6 +120,22 @@ PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "update": UPDATE_COUNTERS,
 }
 
+#: Keys printed alongside the gate for context but NEVER gated: wall-clock
+#: derived numbers (latency percentiles) vary with runner load, so drift in
+#: them is expected and informational only.  Extend ad hoc with repeated
+#: ``--informational dotted.key`` flags.
+INFORMATIONAL_COUNTERS: Dict[str, Tuple[str, ...]] = {
+    "serving": (
+        "cold.latency_p50_ms",
+        "cold.latency_p99_ms",
+        "warm.latency_p50_ms",
+        "warm.latency_p99_ms",
+    ),
+    "coldpath": ("cold.latency_p50_ms", "cold.latency_p99_ms"),
+    "scale": (),
+    "update": (),
+}
+
 
 def _lookup(payload: dict, dotted: str) -> float:
     node = payload
@@ -153,6 +174,30 @@ def compare(
         )
 
 
+def informational_rows(
+    baseline: dict, fresh: dict, profile: str, extra: Tuple[str, ...] = ()
+) -> Iterator[Tuple[str, float, float]]:
+    """Yield ``(key, baseline_value, fresh_value)`` for ungated context keys.
+
+    Keys absent from either payload yield ``nan`` on that side — older
+    baselines predating an informational key must not break the gate.
+    """
+    seen = set()
+    for dotted in INFORMATIONAL_COUNTERS.get(profile, ()) + tuple(extra):
+        if dotted in seen:
+            continue
+        seen.add(dotted)
+        try:
+            base_value = _lookup(baseline, dotted)
+        except (KeyError, TypeError):
+            base_value = float("nan")
+        try:
+            fresh_value = _lookup(fresh, dotted)
+        except (KeyError, TypeError):
+            fresh_value = float("nan")
+        yield dotted, base_value, fresh_value
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -179,6 +224,15 @@ def main(argv=None) -> int:
         default="serving",
         help="which benchmark's counters to gate (default: serving)",
     )
+    parser.add_argument(
+        "--informational",
+        action="append",
+        default=[],
+        metavar="DOTTED.KEY",
+        help="extra JSON key to print in the diff without gating it "
+        "(repeatable); latency percentiles are included per profile by "
+        "default",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -198,6 +252,18 @@ def main(argv=None) -> int:
             f"  {marker} {name:<{width}}  baseline={base_value:<12g} "
             f"fresh={fresh_value:<12g} {verdict}"
         )
+
+    info_rows = list(
+        informational_rows(baseline, fresh, args.profile, tuple(args.informational))
+    )
+    if info_rows:
+        print("informational (never gated):")
+        info_width = max(len(name) for name, *_ in info_rows)
+        for name, base_value, fresh_value in info_rows:
+            print(
+                f"  i {name:<{info_width}}  baseline={base_value:<12g} "
+                f"fresh={fresh_value:<12g}"
+            )
 
     regressions = [row for row in rows if row[-1] in ("regression", "missing")]
     improvements = [name for name, *_rest, verdict in rows if verdict == "improvement"]

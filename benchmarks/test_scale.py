@@ -22,6 +22,9 @@ Throughput scaling is asserted only where it can physically happen: on hosts
 with >= ``BENCH_WORKERS`` cores the parallel replay must reach
 ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (default 2.0) times the serial q/s.
 Wall-clock is never part of the JSON gate — it would flake with runner load.
+(The serving/coldpath payloads additionally carry informational
+``latency_p50_ms``/``latency_p99_ms`` keys; this profile runs the strategy
+directly — no :class:`QueryService`, so no latency histograms to report.)
 """
 
 from __future__ import annotations

@@ -26,6 +26,13 @@ which ``compare_bench.py`` gates in CI so the cold path cannot silently
 regress to per-tuple work.  ``test_coldpath_scaling`` adds a ~25k-row cold
 bench point (``BENCH_coldpath.json``) proving the vectorised cold path holds
 up at 10x the table size.
+
+Each replay row also carries informational ``latency_p50_ms`` /
+``latency_p99_ms`` keys (from the service's always-on latency histograms);
+``compare_bench.py`` prints them in its diff but never gates them.  The warm
+replay additionally writes ``BENCH_serving_metrics.prom`` (Prometheus
+snapshot of the enabled obs registry) and ``BENCH_serving_slowlog.jsonl``
+(slowest trace trees) for CI artifact upload.
 """
 
 from __future__ import annotations
@@ -46,11 +53,21 @@ from repro.db.index import GroupIndex
 from repro.db.predicate import UdfPredicate
 from repro.db.query import SelectQuery
 from repro.db.udf import CostLedger
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    disable_metrics,
+    enable_metrics,
+    write_prometheus_snapshot,
+)
 from repro.serving import QueryService
 
 TRACE_LENGTH = 80
 OUTPUT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
 COLDPATH_OUTPUT_PATH = Path(__file__).resolve().parent / "BENCH_coldpath.json"
+#: CI artifacts (uploaded by the bench-regression job, not committed).
+PROM_SNAPSHOT_PATH = Path(__file__).resolve().parent / "BENCH_serving_metrics.prom"
+SLOW_LOG_PATH = Path(__file__).resolve().parent / "BENCH_serving_slowlog.jsonl"
 DETERMINISM_DATASETS = ("lending_club", "census", "marketing")
 
 #: Cold-path queries/sec of the committed PR-2 baseline (tuple-at-a-time
@@ -109,9 +126,14 @@ def _replay(service: QueryService, udf, trace, reset_memo: bool):
         row_calls += delta["row_calls"]
     elapsed = time.perf_counter() - started
     solver_calls = service.metrics()["solver_calls"]
+    # Always-on service histograms: informational latency percentiles ride
+    # along in the payload but are never gated (wall-clock is runner-noisy).
+    latency = service.latency_snapshot().get("all") or {}
     return {
         "seconds": round(elapsed, 4),
         "queries_per_second": round(len(trace) / elapsed, 2),
+        "latency_p50_ms": _round_ms(latency.get("p50_ms")),
+        "latency_p99_ms": _round_ms(latency.get("p99_ms")),
         "udf_evaluations": int(udf_evaluations),
         "solver_calls": int(solver_calls),
         "work": int(udf_evaluations + solver_calls),
@@ -119,6 +141,10 @@ def _replay(service: QueryService, udf, trace, reset_memo: bool):
         "udf_bulk_calls": int(bulk_calls),
         "udf_row_calls": int(row_calls),
     }
+
+
+def _round_ms(value):
+    return None if value is None else round(value, 3)
 
 
 def _serving_comparison(scale: float):
@@ -129,10 +155,22 @@ def _serving_comparison(scale: float):
     )
     cold = _replay(cold_service, udf, trace, reset_memo=True)
 
-    # Warm: fresh identical workload with caching on.
+    # Warm: fresh identical workload with caching on.  The warm replay runs
+    # with the obs registry enabled and a slow-query trace sink installed so
+    # CI can upload a Prometheus snapshot and a slow-query log as artifacts;
+    # the registry only observes, so every gated counter is unaffected.
     dataset, catalog, udf, trace = _build_workload(scale)
     warm_service = QueryService(Engine(catalog))
-    warm = _replay(warm_service, udf, trace, reset_memo=False)
+    registry = MetricsRegistry()
+    enable_metrics(registry)
+    slow_log = SlowQueryLog(threshold_ms=0.0, capacity=16)
+    warm_service.set_trace_sink(slow_log)
+    try:
+        warm = _replay(warm_service, udf, trace, reset_memo=False)
+    finally:
+        disable_metrics()
+    write_prometheus_snapshot(registry, str(PROM_SNAPSHOT_PATH))
+    SLOW_LOG_PATH.write_text(slow_log.to_json_lines())
     warm["plan_cache"] = warm_service.metrics()["plan_cache"]
     return dataset, cold, warm
 

@@ -23,7 +23,9 @@ post-append query at least ``REPRO_BENCH_MIN_REFRESH_SPEEDUP`` (default
 by the appended delta, zero from-scratch group-index builds during the
 measured append (extensions only — the one-time tail seal after the
 initial bulk load is paid in untimed setup, modelling steady-state churn),
-and result sets that cover the appended rows.
+and result sets that cover the appended rows.  (``latency_p50_ms`` /
+``latency_p99_ms`` informational keys live in the serving/coldpath payloads;
+this profile measures one query per side, so percentiles would be noise.)
 """
 
 from __future__ import annotations

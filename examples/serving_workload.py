@@ -33,6 +33,12 @@ Each append bumps the table's data generation, so the first submit of every
 warm signature afterwards takes the *refresh* path — statistics topped up
 with delta-only UDF work, one re-solve — instead of a cold re-plan; the
 example prints the warm-hit versus refresh counts so the effect is visible.
+
+``--metrics`` switches on the global :mod:`repro.obs` registry and installs
+a trace sink for the replay, then prints the registry snapshot (labelled
+counters, per-path latency percentiles) and the slowest query's span tree —
+works in every mode, including ``--churn`` (refresh spans) and
+``--shards/--workers`` (per-shard spans).
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ from repro import (
     UdfPredicate,
     load_dataset,
 )
+from repro.obs import CollectingTraceSink, disable_metrics, enable_metrics
 from repro.stats.metrics import result_quality
 from repro.stats.random import RandomState
 
@@ -123,6 +130,34 @@ def append_bootstrap_delta(table, fraction, rng: RandomState):
     return table.append_columns(delta)
 
 
+def print_metrics_report(service, sink) -> None:
+    """Print the registry snapshot, latency percentiles and slowest trace."""
+    snapshot = service.metrics_snapshot()
+    counters = snapshot["registry"].get("counters", {})
+    print("\nobservability (--metrics)")
+    print("  registry counters (top 12 by value):")
+    ranked = sorted(counters.items(), key=lambda item: -item[1])[:12]
+    for name, value in ranked:
+        print(f"    {name:<58s} {value:>12,.0f}")
+    print("  per-path latency (ms):")
+    for path, stats in sorted(snapshot["latency_ms"].items()):
+        if not stats["count"]:
+            continue
+        print(
+            f"    {path:<10s} n={stats['count']:<5d} "
+            f"p50={stats['p50_ms']:.3f}  p95={stats['p95_ms']:.3f}  "
+            f"p99={stats['p99_ms']:.3f}  max={stats['max_ms']:.3f}"
+        )
+    slowest = sink.slowest()
+    if slowest is not None:
+        print(
+            f"  slowest query: {slowest.name} query_id={slowest.query_id} "
+            f"{slowest.duration_ms:.2f}ms"
+        )
+        for line in slowest.format_tree().splitlines():
+            print(f"    {line}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -141,6 +176,11 @@ def main() -> None:
         "--churn", type=float, default=0.0,
         help="percent of rows to append between query batches (default: 0, "
         "no churn); appends take the serving layer's delta-refresh path",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the repro.obs registry + per-query tracing and print "
+        "the metrics snapshot and the slowest trace tree after the replay",
     )
     args = parser.parse_args()
 
@@ -161,6 +201,11 @@ def main() -> None:
         executor="parallel" if parallel else "batch",
         max_workers=args.workers,
     )
+    sink = None
+    if args.metrics:
+        enable_metrics()
+        sink = CollectingTraceSink(capacity=TRACE_LENGTH)
+        service.set_trace_sink(sink)
     trace = build_trace(dataset, udf, RandomState(2015))
     layout = (
         f"{args.shards} shards, {args.workers} workers (parallel backend)"
@@ -209,6 +254,10 @@ def main() -> None:
     print("\nUDF memoisation")
     print(f"  distinct evaluations paid : {udf_counters['cache_misses']}")
     print(f"  memo-cache hits           : {udf_counters['cache_hits']}")
+
+    if args.metrics:
+        print_metrics_report(service, sink)
+        disable_metrics()
     if not args.churn:
         # (under churn the bundle's precomputed truth is stale — the audit
         # above already recomputed it live through the engine)

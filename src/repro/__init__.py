@@ -188,6 +188,43 @@ and records refresh-vs-cold-rebuild throughput and the delta-only UDF
 evaluation counts in ``BENCH_update.json``, gated in CI via
 ``compare_bench.py --profile update``.
 
+Observability
+-------------
+
+:mod:`repro.obs` makes the whole stack inspectable without changing what it
+computes:
+
+* **Metrics** — a process-global, lock-striped
+  :class:`~repro.obs.MetricsRegistry` of labelled counters, gauges and
+  histograms.  Disabled by default (the null registry makes every
+  instrumentation site a single attribute check); switch it on with
+  :func:`repro.obs.enable_metrics`.  While enabled, UDF row/bulk/memo
+  traffic, group-index builds and extensions, cache hits/misses/refreshes,
+  solver calls, executor runs, table appends, engine fallbacks and every
+  serving counter mirror into one registry, exported via
+  :func:`repro.obs.prometheus_text` or ``QueryService.metrics_snapshot()``.
+  The work counters the benchmarks gate are *bitwise identical* with
+  metrics on or off — the registry observes, it never participates.
+* **Tracing** — per-query :class:`~repro.obs.Trace` trees.  Install a sink
+  with ``QueryService.set_trace_sink(...)`` and every ``submit`` produces a
+  span tree (plan-lookup → sampling → solve → execute → per-shard
+  ``shard:<i>`` spans under :class:`ParallelBatchExecutor`) annotated with
+  wall time and exact work deltas: the per-span ``udf_evals`` sum equals
+  the query ledger's ``evaluated_count``, even across worker threads
+  (propagation uses ``contextvars``).  Sinks:
+  :class:`~repro.obs.CollectingTraceSink` (in memory),
+  :class:`~repro.obs.JsonLinesTraceSink` (file/stream) and
+  :class:`~repro.obs.SlowQueryLog` (threshold-filtered, slowest-first).
+* **Latency** — ``QueryService`` always records per-path latency
+  histograms (cheap fixed buckets; ``hit``/``miss``/``refresh``/``exact``/
+  ``error``) with exact p50/p95/p99 over the recorded samples, surfaced by
+  ``QueryService.latency_snapshot()`` and — as informational
+  ``latency_p50_ms``/``latency_p99_ms`` keys, never gated — in
+  ``benchmarks/BENCH_serving.json``.  ``examples/serving_workload.py
+  --metrics`` prints the registry snapshot and the slowest trace tree after
+  a run; ``benchmarks/test_obs_overhead.py`` pins the enabled-path overhead
+  on the warm serving path.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """
@@ -224,6 +261,17 @@ from repro.db import (
     Table,
     UdfPredicate,
     UserDefinedFunction,
+    metadata_schema,
+)
+from repro.obs import (
+    CollectingTraceSink,
+    JsonLinesTraceSink,
+    MetricsRegistry,
+    SlowQueryLog,
+    Trace,
+    disable_metrics,
+    enable_metrics,
+    prometheus_text,
 )
 from repro.sampling import ConstantScheme, FixedFractionScheme, TwoThirdPowerScheme
 from repro.serving import (
@@ -235,7 +283,7 @@ from repro.serving import (
     StatisticsCache,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -265,6 +313,7 @@ __all__ = [
     "MergedGroupIndex",
     "SelectQuery",
     "QueryResult",
+    "metadata_schema",
     "UserDefinedFunction",
     "UdfPredicate",
     "CostLedger",
@@ -288,4 +337,13 @@ __all__ = [
     "StatisticsCache",
     "SessionManager",
     "AdmissionError",
+    # observability
+    "MetricsRegistry",
+    "enable_metrics",
+    "disable_metrics",
+    "prometheus_text",
+    "Trace",
+    "CollectingTraceSink",
+    "JsonLinesTraceSink",
+    "SlowQueryLog",
 ]

@@ -55,6 +55,8 @@ from repro.core.plan import ExecutionPlan
 from repro.db.index import GroupIndex
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sampling.sampler import SampleOutcome
 from repro.stats.random import RandomState, SeedLike, as_random_state
 
@@ -182,6 +184,17 @@ class PlanExecutor:
         probabilistic pass and their positive members join the output
         directly.
         """
+        _metrics.counter("repro_executor_runs_total", backend="serial").inc()
+        # Serial executors attribute their ledger advance to the *current*
+        # trace span (the pipeline's execute step).  The parallel backend
+        # instead attributes work to its per-shard child spans, so each
+        # charge appears on exactly one span either way.
+        active_span = _trace.current_span()
+        ledger_before = (
+            (ledger.retrieved_count, ledger.evaluated_count)
+            if active_span is not None
+            else None
+        )
         sampled_ids, returned = _sampled_positives(sample_outcome)
         group_counts: Dict[Hashable, GroupExecutionCounts] = {}
 
@@ -235,6 +248,9 @@ class PlanExecutor:
                     counts.returned += 1
                     returned.append(row_id)
 
+        if active_span is not None:
+            active_span.add("retrievals", ledger.retrieved_count - ledger_before[0])
+            active_span.add("udf_evals", ledger.evaluated_count - ledger_before[1])
         return ExecutionResult(
             returned_row_ids=returned,
             ledger=ledger,
@@ -274,6 +290,15 @@ class BatchExecutor:
         sample_outcome: Optional[SampleOutcome] = None,
     ) -> ExecutionResult:
         """Run ``plan`` over every group of ``index`` (vectorised)."""
+        _metrics.counter("repro_executor_runs_total", backend="batch").inc()
+        # See PlanExecutor.execute: serial backends put their ledger advance
+        # on the current trace span.
+        active_span = _trace.current_span()
+        ledger_before = (
+            (ledger.retrieved_count, ledger.evaluated_count)
+            if active_span is not None
+            else None
+        )
         sampled_ids, returned = _sampled_positives(sample_outcome)
         group_counts: Dict[Hashable, GroupExecutionCounts] = {}
 
@@ -346,6 +371,9 @@ class BatchExecutor:
             counts.returned += unevaluated
             returned.extend(int(r) for r in retrieved[keep_mask])
 
+        if active_span is not None:
+            active_span.add("retrievals", ledger.retrieved_count - ledger_before[0])
+            active_span.add("udf_evals", ledger.evaluated_count - ledger_before[1])
         return ExecutionResult(
             returned_row_ids=returned,
             ledger=ledger,

@@ -41,6 +41,7 @@ single span — degrades to a deterministic serial loop with no pool involved.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -58,6 +59,8 @@ from repro.core.plan import ExecutionPlan
 from repro.db.index import GroupIndex
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sampling.sampler import SampleOutcome
 from repro.stats.random import (
     RandomState,
@@ -138,10 +141,18 @@ class _GroupSegment:
 
 @dataclass
 class _SpanOutcome:
-    """What one span's worker hands back for merging."""
+    """What one span's worker hands back for merging.
+
+    ``retrieved``/``evaluated_charge`` are the exact amounts the worker
+    charged to the shared ledger (computed under the ledger lock) — the
+    per-shard trace spans report these instead of diffing the ledger, which
+    siblings mutate concurrently.
+    """
 
     returned: Dict[int, np.ndarray]  # group code -> returned global row ids
     counts: Dict[int, GroupExecutionCounts]
+    retrieved: int = 0
+    evaluated_charge: int = 0
 
 
 class ParallelBatchExecutor:
@@ -231,6 +242,7 @@ class ParallelBatchExecutor:
         sample_outcome: Optional[SampleOutcome] = None,
     ) -> ExecutionResult:
         """Run ``plan`` over every group of ``index``, fanned across spans."""
+        _metrics.counter("repro_executor_runs_total", backend="parallel").inc()
         root = int(self.random_state.integers(0, 2**63))
         sampled_ids, free_positives = _sampled_positives(sample_outcome)
         group_counts: Dict[Hashable, GroupExecutionCounts] = {}
@@ -281,16 +293,39 @@ class ParallelBatchExecutor:
                         )
                     )
 
-        active = [tasks for tasks in span_tasks if tasks]
+        # Span indices (not list positions after filtering) name the shard
+        # trace spans, so ``shard:<i>`` is deterministic for a given layout
+        # regardless of which spans end up with work or how the pool
+        # schedules them.
+        active = [
+            (span_index, tasks)
+            for span_index, tasks in enumerate(span_tasks)
+            if tasks
+        ]
         if self.max_workers == 1 or len(active) <= 1:
             outcomes = [
-                self._run_span(root, table, udf, ledger, tasks) for tasks in active
+                self._run_span_traced(span_index, root, table, udf, ledger, tasks)
+                for span_index, tasks in active
             ]
         else:
             pool = shared_pool(self.max_workers)
+            # Each worker runs in a copy of the submitting context, so the
+            # per-shard trace spans it opens parent under this query's
+            # current span even though the pool threads are long-lived and
+            # shared across queries.  (A Context cannot be entered twice
+            # concurrently, hence one copy per task.)
             futures = [
-                pool.submit(self._run_span, root, table, udf, ledger, tasks)
-                for tasks in active
+                pool.submit(
+                    contextvars.copy_context().run,
+                    self._run_span_traced,
+                    span_index,
+                    root,
+                    table,
+                    udf,
+                    ledger,
+                    tasks,
+                )
+                for span_index, tasks in active
             ]
             # Drain every span before propagating a failure: siblings share
             # the ledger, so raising while they still run would hand the
@@ -337,6 +372,30 @@ class ParallelBatchExecutor:
             ledger=ledger,
             group_counts=group_counts,
         )
+
+    def _run_span_traced(
+        self,
+        span_index: int,
+        root: int,
+        table: Table,
+        udf: UserDefinedFunction,
+        ledger: CostLedger,
+        tasks: List[_GroupSegment],
+    ) -> _SpanOutcome:
+        """Run one span inside a ``shard:<i>`` trace span.
+
+        The shard span's work counters are the exact amounts the worker
+        charged to the ledger — recorded via :meth:`Span.add`, never by
+        diffing the ledger, which sibling shards mutate concurrently.  With
+        no active trace this adds one ``ContextVar`` read over
+        :meth:`_run_span`.
+        """
+        with _trace.span(f"shard:{span_index}") as shard_span:
+            outcome = self._run_span(root, table, udf, ledger, tasks)
+            shard_span.add("retrievals", outcome.retrieved)
+            shard_span.add("udf_evals", outcome.evaluated_charge)
+            shard_span.annotate("groups", len(tasks))
+        return outcome
 
     def _run_span(
         self,
@@ -408,18 +467,19 @@ class ParallelBatchExecutor:
         # backends' charge-before-evaluate order, at span granularity): a
         # hard budget stops the span before any un-paid-for value could land
         # in the memo cache.  The lock makes concurrent span charges exact.
+        evaluated_charge = 0
         with self._ledger_lock:
             if total_retrieved:
                 ledger.charge_retrieval(total_retrieved)
             if to_evaluate.size:
                 if self.free_memoized:
-                    charge = int(to_evaluate.size) - int(
+                    evaluated_charge = int(to_evaluate.size) - int(
                         udf.memoized_mask(to_evaluate).sum()
                     )
                 else:
-                    charge = int(to_evaluate.size)
-                if charge:
-                    ledger.charge_evaluation(charge)
+                    evaluated_charge = int(to_evaluate.size)
+                if evaluated_charge:
+                    ledger.charge_evaluation(evaluated_charge)
 
         outcomes = (
             udf.evaluate_rows(table, to_evaluate)
@@ -456,4 +516,9 @@ class ParallelBatchExecutor:
                 returned[task.code] = (
                     kept if previous is None else np.concatenate([previous, kept])
                 )
-        return _SpanOutcome(returned=returned, counts=counts)
+        return _SpanOutcome(
+            returned=returned,
+            counts=counts,
+            retrieved=total_retrieved,
+            evaluated_charge=evaluated_charge,
+        )

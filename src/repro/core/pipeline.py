@@ -35,6 +35,8 @@ from repro.db.engine import QueryResult
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 from repro.sampling.sampler import GroupSampler, SampleOutcome
 from repro.sampling.schemes import SamplingScheme, TwoThirdPowerScheme
 from repro.solvers.linear import InfeasibleProblemError
@@ -192,43 +194,51 @@ class IntelSample:
         used_virtual = False
         working_table = table
 
-        # Step 0 — find a correlated column if none was designated.
+        # Step 0 — find a correlated column if none was designated.  Each
+        # pipeline step runs inside a trace span (no-ops without an active
+        # trace); serial steps pass the ledger so their span records the
+        # exact work-counter delta they incurred.
         if column is None:
-            if not labeled.size:
-                labeled = draw_labeled_sample(
-                    table,
-                    udf,
-                    ledger,
-                    fraction=self.column_sample_fraction,
-                    random_state=self.random_state.child(),
-                    bulk_evaluator=bulk_evaluator,
-                )
-            if self.use_virtual_column:
-                exclude = [name for name in ("record_id",) if table.schema.has_column(name)]
-                virtual = build_virtual_column(
-                    table,
-                    labeled,
-                    num_buckets=self.num_buckets,
-                    exclude_columns=exclude,
-                    random_state=self.random_state.child(),
-                )
-                working_table = virtual.table
-                column = virtual.column_name
-                used_virtual = True
-            else:
-                selection = select_correlated_column(
-                    table,
-                    labeled,
-                    constraints,
-                    cost_model,
-                    exclude_columns=("record_id",),
-                )
-                column = selection.best_column
-                column_costs = selection.estimated_costs
+            with _span("column-selection", ledger=ledger) as section:
+                if not labeled.size:
+                    labeled = draw_labeled_sample(
+                        table,
+                        udf,
+                        ledger,
+                        fraction=self.column_sample_fraction,
+                        random_state=self.random_state.child(),
+                        bulk_evaluator=bulk_evaluator,
+                    )
+                if self.use_virtual_column:
+                    exclude = [
+                        name for name in ("record_id",) if table.schema.has_column(name)
+                    ]
+                    virtual = build_virtual_column(
+                        table,
+                        labeled,
+                        num_buckets=self.num_buckets,
+                        exclude_columns=exclude,
+                        random_state=self.random_state.child(),
+                    )
+                    working_table = virtual.table
+                    column = virtual.column_name
+                    used_virtual = True
+                else:
+                    selection = select_correlated_column(
+                        table,
+                        labeled,
+                        constraints,
+                        cost_model,
+                        exclude_columns=("record_id",),
+                    )
+                    column = selection.best_column
+                    column_costs = selection.estimated_costs
+                section.annotate("column", column)
 
         # Step 1 — group by the correlated column (shared cached index: the
         # serving layer and repeated queries reuse the same factorisation).
-        index = working_table.group_index(column)
+        with _span("group-index"):
+            index = working_table.group_index(column)
         cached_outcome = (cached_outcomes or {}).get(column)
         if cached_outcome is not None:
             # A caching layer stores the merged outcome of earlier runs.  Any
@@ -255,30 +265,40 @@ class IntelSample:
             prior = labeled.to_sample_outcome(index) if labeled.size else None
 
         # Step 2 — sample to estimate selectivities.
-        scheme = self.sampling_scheme or TwoThirdPowerScheme(num=2.5 * constraints.alpha)
-        allocation = scheme.allocate(index.group_sizes())
-        if cached_outcome is not None:
-            # Cached samples count toward the allocation: only the shortfall
-            # is drawn (and paid for) fresh.
-            allocation = {
-                key: max(
-                    0,
-                    int(requested)
-                    - (prior.samples[key].sample_size if key in prior.samples else 0),
-                )
-                for key, requested in allocation.items()
-            }
-        sampler = GroupSampler(random_state=self.random_state.child())
-        new_outcome = sampler.sample(
-            working_table,
-            index,
-            udf,
-            allocation,
-            ledger,
-            already_sampled=prior,
-            bulk_evaluator=bulk_evaluator,
-        )
-        outcome: SampleOutcome = new_outcome if prior is None else prior.merge(new_outcome)
+        with _span("sampling", ledger=ledger) as section:
+            scheme = self.sampling_scheme or TwoThirdPowerScheme(
+                num=2.5 * constraints.alpha
+            )
+            allocation = scheme.allocate(index.group_sizes())
+            if cached_outcome is not None:
+                # Cached samples count toward the allocation: only the
+                # shortfall is drawn (and paid for) fresh.
+                allocation = {
+                    key: max(
+                        0,
+                        int(requested)
+                        - (
+                            prior.samples[key].sample_size
+                            if key in prior.samples
+                            else 0
+                        ),
+                    )
+                    for key, requested in allocation.items()
+                }
+            sampler = GroupSampler(random_state=self.random_state.child())
+            new_outcome = sampler.sample(
+                working_table,
+                index,
+                udf,
+                allocation,
+                ledger,
+                already_sampled=prior,
+                bulk_evaluator=bulk_evaluator,
+            )
+            outcome: SampleOutcome = (
+                new_outcome if prior is None else prior.merge(new_outcome)
+            )
+            section.annotate("sampled", outcome.total_sampled)
 
         # Step 3 — solve Convex Program 4.1.  Since the PR-2 joint repair,
         # the solvers raise InfeasibleProblemError only when the margined
@@ -286,33 +306,41 @@ class IntelSample:
         # ran out of evaluation headroom), so the exhaustive fallback is the
         # *only* remaining answer rather than a conservative default.
         used_fallback = False
-        try:
-            solution = solve_with_samples(
-                index,
-                outcome,
-                constraints,
-                cost_model=cost_model,
-                independent=self.independent,
-            )
-            plan = solution.plan
-            model = solution.model
-            expected_cost = solution.expected_total_cost
-            used_fallback = solution.used_fallback
-        except InfeasibleProblemError:
-            plan = ExecutionPlan.evaluate_everything(index.values)
-            model = SelectivityModel.from_sample_outcome(index, outcome)
-            expected_cost = plan.expected_cost(model, cost_model)
-            used_fallback = True
+        with _span("solve", ledger=ledger) as section:
+            _metrics.counter("repro_solver_calls_total", strategy="intel_sample").inc()
+            try:
+                solution = solve_with_samples(
+                    index,
+                    outcome,
+                    constraints,
+                    cost_model=cost_model,
+                    independent=self.independent,
+                )
+                plan = solution.plan
+                model = solution.model
+                expected_cost = solution.expected_total_cost
+                used_fallback = solution.used_fallback
+            except InfeasibleProblemError:
+                plan = ExecutionPlan.evaluate_everything(index.values)
+                model = SelectivityModel.from_sample_outcome(index, outcome)
+                expected_cost = plan.expected_cost(model, cost_model)
+                used_fallback = True
+            if used_fallback:
+                section.annotate("used_fallback", True)
 
-        # Step 4 — execute.
-        executor_rng = self.random_state.child()
-        if self.executor_factory is not None:
-            executor: ExecutorBackend = self.executor_factory(executor_rng)
-        else:
-            executor = BatchExecutor(random_state=executor_rng)
-        result = executor.execute(
-            working_table, index, udf, plan, ledger, sample_outcome=outcome
-        )
+        # Step 4 — execute.  The span carries no ledger: the executor
+        # attributes its own work — serial backends onto this span, the
+        # parallel backend onto per-shard child spans — so no charge is
+        # double-counted across the tree.
+        with _span("execute"):
+            executor_rng = self.random_state.child()
+            if self.executor_factory is not None:
+                executor: ExecutorBackend = self.executor_factory(executor_rng)
+            else:
+                executor = BatchExecutor(random_state=executor_rng)
+            result = executor.execute(
+                working_table, index, udf, plan, ledger, sample_outcome=outcome
+            )
 
         report = IntelSampleReport(
             correlated_column=column,
@@ -391,8 +419,9 @@ class OptimalOracle:
         # on the shared UDF object, which worker threads observe).
         bulk_evaluator = _probe_bulk_evaluator(self.executor_factory, udf)
         evaluate = bulk_evaluator if bulk_evaluator is not None else udf.evaluate_rows
-        with udf.oracle_mode():
-            outcomes = evaluate(table, table.row_ids)
+        with _span("ground-truth-peek"):
+            with udf.oracle_mode():
+                outcomes = evaluate(table, table.row_ids)
         positives = np.flatnonzero(outcomes)
         model = SelectivityModel.from_ground_truth(index, positives)
 
@@ -401,19 +430,24 @@ class OptimalOracle:
         # InfeasibleProblemError here means the margined LP itself has no
         # solution and evaluating everything is the only correct plan.
         used_fallback = False
-        try:
-            solution = solve_bigreedy(model, constraints, cost_model)
-            plan = solution.plan
-        except InfeasibleProblemError:
-            plan = ExecutionPlan.evaluate_everything(index.values)
-            used_fallback = True
+        with _span("solve", ledger=ledger):
+            _metrics.counter(
+                "repro_solver_calls_total", strategy="optimal_oracle"
+            ).inc()
+            try:
+                solution = solve_bigreedy(model, constraints, cost_model)
+                plan = solution.plan
+            except InfeasibleProblemError:
+                plan = ExecutionPlan.evaluate_everything(index.values)
+                used_fallback = True
 
-        executor_rng = self.random_state.child()
-        if self.executor_factory is not None:
-            executor: ExecutorBackend = self.executor_factory(executor_rng)
-        else:
-            executor = BatchExecutor(random_state=executor_rng)
-        result = executor.execute(table, index, udf, plan, ledger)
+        with _span("execute"):
+            executor_rng = self.random_state.child()
+            if self.executor_factory is not None:
+                executor: ExecutorBackend = self.executor_factory(executor_rng)
+            else:
+                executor = BatchExecutor(random_state=executor_rng)
+            result = executor.execute(table, index, udf, plan, ledger)
         return QueryResult(
             row_ids=result.returned_row_ids,
             ledger=ledger,

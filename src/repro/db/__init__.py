@@ -17,7 +17,7 @@ the corresponding cost.  This package provides exactly that substrate:
 
 from repro.db.catalog import Catalog
 from repro.db.column import Column, ColumnType, infer_column_type
-from repro.db.engine import Engine, QueryResult
+from repro.db.engine import Engine, QueryResult, metadata_schema
 from repro.db.errors import (
     BudgetExhaustedError,
     ColumnNotFoundError,
@@ -49,6 +49,7 @@ __all__ = [
     "infer_column_type",
     "Engine",
     "QueryResult",
+    "metadata_schema",
     "DatabaseError",
     "ColumnNotFoundError",
     "TableNotFoundError",

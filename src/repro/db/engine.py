@@ -22,8 +22,49 @@ from repro.db.errors import DuplicateObjectError, UnsupportedQueryError
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger
+from repro.obs import metrics as _metrics
 from repro.solvers.linear import InfeasibleProblemError
 from repro.stats.metrics import ResultQuality, result_quality
+
+
+def metadata_schema() -> Dict[str, str]:
+    """The :attr:`QueryResult.metadata` contract, key by key.
+
+    ``metadata`` is free-form by design — strategies attach their own
+    diagnostics — but the keys the engine and serving layer themselves write
+    follow a fixed contract.  This helper documents (and lets tests pin) the
+    reserved keys:
+
+    ==================  =========================================================
+    Key                 Meaning
+    ==================  =========================================================
+    ``strategy``        How the answer was produced: ``"exact"`` or the
+                        strategy's own name (e.g. ``"intel_sample"``).
+    ``plan_cache``      Serving-layer plan-cache outcome for this query — one
+                        of ``"hit"``, ``"miss"`` or ``"refresh"`` (absent for
+                        queries that bypass the service).
+    ``fallback_reason`` Why an approximate plan was abandoned for exhaustive
+                        evaluation (e.g. ``"infeasible constraints: ..."``);
+                        absent when the plan ran as solved.
+    ``session``         Serving-layer admission diagnostics: client id and
+                        remaining budget (dict).
+    ``stats_cache``     Which cached statistics the serving layer reused:
+                        ``{"labeled_sample": ..., "sample_outcome": ...}``.
+    ``udf_cache``       Per-UDF memo hit/miss deltas for exact scans (dict of
+                        per-UDF counter deltas).
+    ==================  =========================================================
+
+    Returns the table above as a ``{key: description}`` dict so tests and
+    tooling can check observed metadata keys against the contract.
+    """
+    return {
+        "strategy": "evaluation path: 'exact' or the strategy name",
+        "plan_cache": "serving plan-cache outcome: 'hit' | 'miss' | 'refresh'",
+        "fallback_reason": "why an approximate plan fell back to exhaustive",
+        "session": "serving admission diagnostics (client id, budget)",
+        "stats_cache": "which cached statistics the serving layer reused",
+        "udf_cache": "per-UDF memo hit/miss deltas for exact scans",
+    }
 
 
 @dataclass
@@ -91,6 +132,9 @@ class Engine:
         self.retrieval_cost = retrieval_cost
         self.evaluation_cost = evaluation_cost
         self._strategies: Dict[str, EvaluationStrategy] = {}
+        #: How many times a strategy let an :class:`InfeasibleProblemError`
+        #: escape and the engine answered exhaustively instead.
+        self.fallback_total = 0
 
     # -- strategy registry -------------------------------------------------------
     def register_strategy(
@@ -209,6 +253,10 @@ class Engine:
                 # escape.  Exhaustive evaluation is always a correct answer,
                 # so the engine absorbs the error rather than failing the
                 # query; the metadata records why the plan was abandoned.
+                self.fallback_total += 1
+                registry = _metrics.get_registry()
+                if registry.enabled:
+                    registry.counter("repro_engine_fallback_total").inc()
                 result = self.execute_exact(query)
                 result.metadata["fallback_reason"] = f"infeasible constraints: {error}"
         if audit:

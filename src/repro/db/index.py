@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.db.errors import ColumnNotFoundError
 from repro.db.table import Table
+from repro.obs import metrics as _metrics
 
 
 def _dict_factorise(cells: Sequence[Any]) -> Tuple[List[Any], np.ndarray]:
@@ -147,6 +148,11 @@ class GroupIndex:
         self._empty.setflags(write=False)
         if count_build:
             GroupIndex.builds_total += 1
+            registry = _metrics.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "repro_index_builds_total", column=self.column
+                ).inc()
 
     # -- lookup -----------------------------------------------------------------
     @property
@@ -306,6 +312,9 @@ class GroupIndex:
             count_build=False,
         )
         GroupIndex.extensions_total += 1
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            registry.counter("repro_index_extensions_total", column=self.column).inc()
         return extended
 
     def label_counts(
@@ -459,6 +468,9 @@ class MergedGroupIndex(GroupIndex):
             count_build=False,
         )
         GroupIndex.extensions_total += 1
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            registry.counter("repro_index_extensions_total", column=self.column).inc()
         return extended
 
     def resharded(

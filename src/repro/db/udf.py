@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.db.errors import BudgetExhaustedError, DuplicateObjectError, UdfNotFoundError
 from repro.db.table import Table
+from repro.obs import metrics as _metrics
 
 
 @dataclass
@@ -151,6 +152,9 @@ class UserDefinedFunction:
         # Sorted snapshot of the memo cache (ids array + aligned values
         # array) for vectorised bulk lookups; rebuilt lazily after writes.
         self._memo_snapshot: Optional[tuple] = None
+        self._obs_counters = _metrics.BoundCounterCache(
+            lambda registry, key: registry.counter(f"repro_udf_{key}_total", udf=self.name)
+        )
 
     @classmethod
     def from_label_column(
@@ -196,10 +200,14 @@ class UserDefinedFunction:
             if self.memoize and row_id in self._cache:
                 return self._cache[row_id]
             return bool(self._func(table.row(row_id, include_hidden=True)))
+        registry = _metrics.get_registry()
         if self.memoize and row_id in self._cache:
             with self._state_lock:
                 self.row_calls += 1
                 self.cache_hits += 1
+            if registry.enabled:
+                self._obs_counters.get(registry, "row_calls").inc()
+                self._obs_counters.get(registry, "memo_hits").inc()
             return self._cache[row_id]
         row = table.row(row_id, include_hidden=True)
         result = bool(self._func(row))
@@ -210,6 +218,9 @@ class UserDefinedFunction:
             if self.memoize:
                 self._cache[row_id] = result
                 self._memo_snapshot = None
+        if registry.enabled:
+            self._obs_counters.get(registry, "row_calls").inc()
+            self._obs_counters.get(registry, "evaluations").inc()
         return result
 
     def evaluate_rows(self, table: Table, row_ids: Iterable[int]) -> np.ndarray:
@@ -223,10 +234,13 @@ class UserDefinedFunction:
         once per actual function evaluation.
         """
         oracle = bool(self._oracle_depth)
+        registry = _metrics.get_registry()
         id_array = np.asarray(row_ids, dtype=np.intp)
         if not oracle:
             with self._state_lock:
                 self.bulk_calls += 1
+            if registry.enabled:
+                self._obs_counters.get(registry, "bulk_calls").inc()
         if self.memoize and self._cache:
             if self._use_memo_snapshot(id_array.size):
                 # Vectorised memo lookup against a sorted snapshot of the
@@ -265,6 +279,10 @@ class UserDefinedFunction:
             if not oracle:
                 with self._state_lock:
                     self.cache_hits += int(id_array.size - pending_array.size)
+                if registry.enabled:
+                    self._obs_counters.get(registry, "memo_hits").inc(
+                        int(id_array.size - pending_array.size)
+                    )
         else:
             results = np.empty(len(id_array), dtype=bool)
             pending_positions = None  # everything pending, positions implicit
@@ -297,6 +315,10 @@ class UserDefinedFunction:
                             zip(pending_array.tolist(), fresh.tolist())
                         )
                         self._memo_snapshot = None
+                if registry.enabled:
+                    self._obs_counters.get(registry, "evaluations").inc(
+                        int(pending_array.size)
+                    )
         return results
 
     def _use_memo_snapshot(self, query_size: int) -> bool:
@@ -387,6 +409,10 @@ class UserDefinedFunction:
             self.call_count += 1
             self.cache_misses += 1
             self.row_calls += 1
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            self._obs_counters.get(registry, "row_calls").inc()
+            self._obs_counters.get(registry, "evaluations").inc()
         return bool(self._func(row))
 
     def reset(self) -> None:

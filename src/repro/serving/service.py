@@ -40,7 +40,9 @@ and the package docstring's "Update workloads" section.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 
 from repro.core.column_selection import top_up_labeled_sample
@@ -54,6 +56,10 @@ from repro.db.engine import Engine, QueryResult
 from repro.db.query import SelectQuery
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.obs.trace import Trace
+from repro.obs.trace import span as _span
 from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
 from repro.serving.session import ClientSession, SessionManager
 from repro.serving.stats_cache import StatisticsCache
@@ -147,7 +153,18 @@ class QueryService:
             "solver_calls": 0,
             "degraded_plans": 0,
             "rejected": 0,
+            "flight_waits": 0,
+            "fallbacks": 0,
+            "trace_sink_errors": 0,
         }
+        # Per-path latency histograms (always on — plain instruments, not
+        # routed through the opt-in registry, so ``metrics_snapshot()`` can
+        # report p50/p95/p99 without anyone calling ``enable_metrics``).
+        self._latency_lock = threading.Lock()
+        self._latency: Dict[str, Histogram] = {}
+        # Per-query tracing is active only while a sink is installed.
+        self._trace_sink: Optional[Callable[[Trace], None]] = None
+        self._query_ids = itertools.count(1)
         # Striped single-flight registries: signature -> [lock, refcount],
         # sharded by hash(signature) so concurrent *distinct* cold signatures
         # never serialise on one global guard (the guards only protect the
@@ -196,9 +213,47 @@ class QueryService:
             evaluation_cost=self.engine.evaluation_cost,
         )
 
+    _obs_counters = _metrics.BoundCounterCache(
+        lambda registry, metric: registry.counter(f"repro_serving_{metric}_total")
+    )
+
     def _count(self, metric: str, amount: int = 1) -> None:
         with self._metrics_lock:
             self._metrics[metric] += amount
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            self._obs_counters.get(registry, metric).inc(amount)
+
+    def latency_histogram(self, path: str) -> Histogram:
+        """The (always-on) latency histogram for a request path.
+
+        Paths: ``all`` (every request), ``exact``, ``strategy`` (named
+        strategy bypass), ``hit``/``miss``/``refresh`` (plan-cache
+        classification of approximate queries) and ``error``.  Values are
+        seconds; quantiles come out via :meth:`Histogram.quantile` /
+        :meth:`metrics_snapshot`.
+        """
+        found = self._latency.get(path)
+        if found is None:
+            with self._latency_lock:
+                found = self._latency.get(path)
+                if found is None:
+                    found = Histogram(
+                        "repro_query_latency_seconds",
+                        buckets=DEFAULT_LATENCY_BUCKETS,
+                        labels=(("path", path),),
+                    )
+                    self._latency[path] = found
+        return found
+
+    @staticmethod
+    def _latency_path(query: SelectQuery, result: QueryResult) -> str:
+        if query.is_exact:
+            return "exact"
+        if query.strategy is not None:
+            return "strategy"
+        classified = result.metadata.get("plan_cache")
+        return classified if classified in ("hit", "miss", "refresh") else "strategy"
 
     @staticmethod
     def _flight_stripe(signature: Hashable) -> int:
@@ -242,7 +297,49 @@ class QueryService:
         :class:`~repro.serving.session.AdmissionError` and a query that
         would overrun mid-flight is stopped by the ledger's hard budget.
         With ``audit=True`` the result carries ground-truth precision/recall.
+
+        Every request is timed into the per-path latency histograms (see
+        :meth:`metrics_snapshot`); while a trace sink is installed
+        (:meth:`set_trace_sink`) the request also produces a
+        :class:`~repro.obs.trace.Trace` span tree, finished and handed to
+        the sink whether the request succeeds or raises.
         """
+        sink = self._trace_sink
+        trace: Optional[Trace] = None
+        if sink is not None:
+            trace = Trace("query", query_id=next(self._query_ids))
+            trace.root.annotate("table", query.table)
+            trace.activate()
+        started = time.perf_counter()
+        try:
+            result = self._submit(query, client_id, seed, audit)
+        except BaseException:
+            elapsed = time.perf_counter() - started
+            self.latency_histogram("all").observe(elapsed)
+            self.latency_histogram("error").observe(elapsed)
+            raise
+        finally:
+            if trace is not None:
+                trace.finish()
+                try:
+                    sink(trace)
+                except Exception:
+                    # A broken sink must never fail queries; it is counted
+                    # so dashboards can notice the drop.
+                    self._count("trace_sink_errors")
+        elapsed = time.perf_counter() - started
+        self.latency_histogram("all").observe(elapsed)
+        self.latency_histogram(self._latency_path(query, result)).observe(elapsed)
+        return result
+
+    def _submit(
+        self,
+        query: SelectQuery,
+        client_id: Optional[str],
+        seed: SeedLike,
+        audit: bool,
+    ) -> QueryResult:
+        """The untimed, untraced body of :meth:`submit`."""
         self._count("queries")
         session: Optional[ClientSession] = None
         reservation: Optional[float] = None
@@ -304,8 +401,11 @@ class QueryService:
             self._count("solver_calls")
             return strategy.run(table, query, ledger)
 
-        signature = plan_signature(query, self._cost_model(), self._strategy_prototype)
-        entry, state = self._lookup_entry(signature, query)
+        with _span("plan-lookup"):
+            signature = plan_signature(
+                query, self._cost_model(), self._strategy_prototype
+            )
+            entry, state = self._lookup_entry(signature, query)
         if state == "live":
             self._count("plan_hits")
             return self._execute_cached(query, entry, ledger, seed, session, signature)
@@ -315,10 +415,16 @@ class QueryService:
             return self._plan_and_execute(query, ledger, seed, signature)
 
         # Single-flight: concurrent cold (and refresh) requests for one
-        # signature plan once.
+        # signature plan once.  The non-blocking first acquire separates
+        # flight leaders from waiters, so contention on a cold signature is
+        # countable (``flight_waits``) and visible as a span in traces.
         lock = self._flight_lock(signature)
         try:
-            with lock:
+            if not lock.acquire(blocking=False):
+                self._count("flight_waits")
+                with _span("flight-wait"):
+                    lock.acquire()
+            try:
                 # Re-check without recounting: the pre-lock lookup already
                 # recorded this request's cache outcome; a waiter whose plan
                 # was computed by the flight leader records its hit here.
@@ -336,6 +442,8 @@ class QueryService:
                     )
                 self._count("plan_misses")
                 return self._plan_and_execute(query, ledger, seed, signature)
+            finally:
+                lock.release()
         finally:
             # The last participant drops the registry entry, keeping the lock
             # dict bounded by in-flight signatures, not historical ones.
@@ -427,6 +535,8 @@ class QueryService:
 
         report = result.metadata.get("report")
         if report is not None:
+            if report.used_fallback:
+                self._count("fallbacks")
             self._store(signature, table, query, report)
         result.metadata["plan_cache"] = "miss"
         result.metadata["stats_cache"] = {
@@ -488,35 +598,42 @@ class QueryService:
         cached_labeled = None
         cached_outcomes: Dict[str, object] = {}
         if self.stats_cache.enabled:
-            stale = self.stats_cache.stale_labeled(table, query.predicate)
-            if stale is not None:
-                labeled, covered_rows = stale
-                if covered_rows < table.num_rows:
-                    cached_labeled = top_up_labeled_sample(
-                        table,
-                        udf,
-                        ledger,
-                        labeled,
-                        previous_rows=covered_rows,
-                        fraction=getattr(
-                            self._strategy_prototype, "column_sample_fraction", 0.01
-                        ),
-                        stream_seed=self._reservoir_seed(query),
-                        # Fan the delta labelling across shards when the
-                        # backend is parallel — same hook the cold pipeline's
-                        # labelling uses (row selection is counter-based, so
-                        # the fan never changes the sample).
-                        bulk_evaluator=_probe_bulk_evaluator(
-                            getattr(strategy, "executor_factory", None), udf
-                        ),
-                    )
-                else:
-                    cached_labeled = labeled
-            stale_outcome = self.stats_cache.stale_outcome(
-                table, query.predicate, entry.column
-            )
-            if stale_outcome is not None:
-                cached_outcomes[entry.column] = stale_outcome[0]
+            # The delta top-up is the refresh path's own UDF spend (the rest
+            # happens inside the pipeline's spans), so it gets a ledger-diffed
+            # span of its own.
+            with _span("refresh", ledger=ledger):
+                stale = self.stats_cache.stale_labeled(table, query.predicate)
+                if stale is not None:
+                    labeled, covered_rows = stale
+                    if covered_rows < table.num_rows:
+                        cached_labeled = top_up_labeled_sample(
+                            table,
+                            udf,
+                            ledger,
+                            labeled,
+                            previous_rows=covered_rows,
+                            fraction=getattr(
+                                self._strategy_prototype,
+                                "column_sample_fraction",
+                                0.01,
+                            ),
+                            stream_seed=self._reservoir_seed(query),
+                            # Fan the delta labelling across shards when the
+                            # backend is parallel — same hook the cold
+                            # pipeline's labelling uses (row selection is
+                            # counter-based, so the fan never changes the
+                            # sample).
+                            bulk_evaluator=_probe_bulk_evaluator(
+                                getattr(strategy, "executor_factory", None), udf
+                            ),
+                        )
+                    else:
+                        cached_labeled = labeled
+                stale_outcome = self.stats_cache.stale_outcome(
+                    table, query.predicate, entry.column
+                )
+                if stale_outcome is not None:
+                    cached_outcomes[entry.column] = stale_outcome[0]
         if not cached_outcomes and entry.sample_outcome is not None:
             # The stats cache may have evicted (or be disabled); the plan
             # entry itself still carries the paid-for outcome.
@@ -535,6 +652,8 @@ class QueryService:
 
         report = result.metadata.get("report")
         if report is not None:
+            if report.used_fallback:
+                self._count("fallbacks")
             self._store(signature, table, query, report)
         result.metadata["plan_cache"] = "refresh"
         result.metadata["stats_cache"] = {
@@ -601,13 +720,14 @@ class QueryService:
         if allowance is not None and entry.expected_execution_cost > allowance:
             # Budget-constrained degradation: maximise recall within this
             # request's granted allowance while keeping the precision bound.
-            solution = solve_budgeted_recall(
-                entry.model,
-                precision_bound=query.alpha,
-                rho=query.rho,
-                budget=allowance,
-                cost_model=self._cost_model(),
-            )
+            with _span("solve"):
+                solution = solve_budgeted_recall(
+                    entry.model,
+                    precision_bound=query.alpha,
+                    rho=query.rho,
+                    budget=allowance,
+                    cost_model=self._cost_model(),
+                )
             plan = solution.plan
             degraded = True
             self._count("solver_calls")
@@ -615,15 +735,16 @@ class QueryService:
             if session is not None:
                 session.degraded += 1
 
-        executor = self._warm_executor(as_random_state(seed))
-        execution = executor.execute(
-            entry.working_table,
-            index,
-            udf,
-            plan,
-            ledger,
-            sample_outcome=entry.sample_outcome,
-        )
+        with _span("execute"):
+            executor = self._warm_executor(as_random_state(seed))
+            execution = executor.execute(
+                entry.working_table,
+                index,
+                udf,
+                plan,
+                ledger,
+                sample_outcome=entry.sample_outcome,
+            )
         return QueryResult(
             row_ids=execution.returned_row_ids,
             ledger=ledger,
@@ -663,6 +784,58 @@ class QueryService:
             "plan_cache": self.plan_cache.snapshot(),
             "stats_cache": self.stats_cache.snapshot(),
         }
+
+    def latency_snapshot(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-path latency summaries in **milliseconds**.
+
+        Each path maps to ``{count, mean_ms, p50_ms, p95_ms, p99_ms,
+        max_ms}``; quantiles are ``None`` for paths that served nothing.
+        Always available — the latency histograms do not depend on the
+        opt-in metrics registry.
+        """
+        with self._latency_lock:
+            histograms = dict(self._latency)
+        summary: Dict[str, Dict[str, Optional[float]]] = {}
+        for path, hist in sorted(histograms.items()):
+            scale = lambda v: None if v is None else v * 1000.0  # noqa: E731
+            snap = hist.snapshot()
+            summary[path] = {
+                "count": snap["count"],
+                "mean_ms": scale(hist.mean),
+                "p50_ms": scale(snap["p50"]),
+                "p95_ms": scale(snap["p95"]),
+                "p99_ms": scale(snap["p99"]),
+                "max_ms": scale(snap["max"]),
+            }
+        return summary
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One observability surface for the whole service.
+
+        Bundles :meth:`metrics` (serving counters + cache statistics), the
+        per-path latency summaries, and — when the global metrics registry
+        is enabled — its full :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+        of library-wide instruments (UDF calls, index builds, cache
+        counters, executor runs).
+        """
+        return {
+            "serving": self.metrics(),
+            "latency_ms": self.latency_snapshot(),
+            "registry": _metrics.get_registry().snapshot(),
+        }
+
+    def set_trace_sink(self, sink: Optional[Callable[[Trace], None]]) -> None:
+        """Install (or with ``None`` remove) the per-query trace sink.
+
+        While a sink is installed every :meth:`submit` call builds a
+        :class:`~repro.obs.trace.Trace` and hands the finished trace to the
+        sink — see :class:`~repro.obs.export.CollectingTraceSink`,
+        :class:`~repro.obs.export.JsonLinesTraceSink` and
+        :class:`~repro.obs.export.SlowQueryLog`.  Sink exceptions are
+        swallowed (counted as ``trace_sink_errors``), never surfaced to
+        query callers.  With no sink installed tracing costs nothing.
+        """
+        self._trace_sink = sink
 
     def clear_caches(self) -> None:
         """Drop every cached plan and statistic (sessions are kept)."""

@@ -1,0 +1,202 @@
+"""Tests for per-query tracing: span trees, ledger deltas, sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.db.udf import CostLedger
+from repro.obs import CollectingTraceSink, JsonLinesTraceSink, SlowQueryLog, Trace
+from repro.obs.trace import NULL_SPAN, current_span, current_trace, span
+
+
+class TestSpanTree:
+    def test_spans_nest_under_the_active_context(self):
+        trace = Trace("query", query_id=7)
+        trace.activate()
+        try:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert current_span() is inner
+                    assert current_trace() is trace
+                assert current_span() is outer
+        finally:
+            trace.finish()
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["outer"].parent_id == trace.root.span_id
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert all(s.duration_s is not None for s in trace.spans)
+        assert trace.duration_ms is not None
+
+    def test_span_without_active_trace_is_noop(self):
+        assert current_span() is None
+        with span("nowhere") as nothing:
+            assert nothing is NULL_SPAN
+            nothing.add("udf_evals", 5)  # must not raise or record anywhere
+            nothing.annotate("k", "v")
+        assert current_trace() is None
+
+    def test_ledger_deltas_attach_to_the_span(self):
+        trace = Trace("query")
+        trace.activate()
+        ledger = CostLedger()
+        try:
+            with span("sampling", ledger=ledger):
+                ledger.charge_retrieval(10)
+                ledger.charge_evaluation(4)
+            with span("execute", ledger=ledger):
+                ledger.charge_evaluation(6)
+        finally:
+            trace.finish()
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["sampling"].work == {"retrievals": 10, "udf_evals": 4}
+        assert by_name["execute"].work == {"udf_evals": 6}
+        assert trace.work_total("udf_evals") == ledger.evaluated_count == 10
+
+    def test_work_total_ignores_non_numeric_annotations(self):
+        trace = Trace("query")
+        trace.root.add("udf_evals", 3)
+        trace.root.annotate("column", "grade")
+        assert trace.work_total("udf_evals") == 3
+        assert trace.work_total("column") == 0.0
+
+    def test_add_skips_zero_amounts(self):
+        trace = Trace("query")
+        trace.root.add("udf_evals", 0)
+        assert trace.root.work == {}
+
+    def test_finish_closes_open_spans_once(self):
+        trace = Trace("query")
+        opened = trace._new_span("left-open", parent=trace.root, ledger=None)
+        trace.finish()
+        first_duration = opened.duration_s
+        assert first_duration is not None
+        trace.finish()  # idempotent: closed spans are not re-closed
+        assert opened.duration_s == first_duration
+
+    def test_contextvar_isolation_across_threads(self):
+        """A thread that never inherited a context sees no active trace."""
+        trace = Trace("query")
+        trace.activate()
+        seen = {}
+
+        def probe():
+            seen["span"] = current_span()
+
+        try:
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        finally:
+            trace.finish()
+        assert seen["span"] is None
+
+    def test_two_traces_in_two_threads_do_not_cross(self):
+        results = {}
+
+        def run(name):
+            trace = Trace(name)
+            trace.activate()
+            try:
+                with span("work") as s:
+                    s.add("udf_evals", 1)
+                    assert current_trace() is trace
+            finally:
+                trace.finish()
+            results[name] = trace
+
+        threads = [threading.Thread(target=run, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name, trace in results.items():
+            assert trace.name == name
+            assert len(trace.spans) == 2  # root + its own "work" span only
+            assert trace.work_total("udf_evals") == 1
+
+    def test_format_tree_orders_shard_spans_deterministically(self):
+        trace = Trace("query")
+        trace.activate()
+        try:
+            with span("execute") as execute:
+                # create out of order, as parallel scheduling would
+                for index in (2, 0, 1):
+                    with trace.span(f"shard:{index}", parent=execute):
+                        pass
+        finally:
+            trace.finish()
+        rendered = trace.format_tree()
+        lines = [line.strip().split()[0] for line in rendered.splitlines()]
+        assert lines == ["query", "execute", "shard:0", "shard:1", "shard:2"]
+
+    def test_to_dict_roundtrips_through_json(self):
+        trace = Trace("query", query_id=3)
+        trace.activate()
+        try:
+            with span("solve") as s:
+                s.annotate("used_fallback", True)
+        finally:
+            trace.finish()
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["trace"] == "query"
+        assert payload["query_id"] == 3
+        names = [s["name"] for s in payload["spans"]]
+        assert names == ["query", "solve"]
+
+
+class TestSinks:
+    def _finished_trace(self, name="query", query_id=1):
+        trace = Trace(name, query_id=query_id)
+        trace.activate()
+        with span("work"):
+            pass
+        return trace.finish()
+
+    def test_collecting_sink_capacity_and_slowest(self):
+        sink = CollectingTraceSink(capacity=2)
+        traces = [self._finished_trace(query_id=i) for i in range(3)]
+        for t in traces:
+            sink(t)
+        assert [t.query_id for t in sink.traces] == [1, 2]
+        slowest = sink.slowest()
+        assert slowest is max(traces[1:], key=lambda t: t.duration_ms)
+        sink.clear()
+        assert sink.traces == [] and sink.slowest() is None
+
+    def test_jsonlines_sink_writes_one_object_per_trace(self):
+        stream = io.StringIO()
+        sink = JsonLinesTraceSink(stream)
+        sink(self._finished_trace(query_id=1))
+        sink(self._finished_trace(query_id=2))
+        lines = stream.getvalue().strip().splitlines()
+        assert [json.loads(line)["query_id"] for line in lines] == [1, 2]
+
+    def test_jsonlines_sink_file_target(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonLinesTraceSink(str(path))
+        sink(self._finished_trace())
+        sink.close()
+        assert json.loads(path.read_text().strip())["trace"] == "query"
+
+    def test_slow_query_log_filters_and_orders(self, tmp_path):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2, path=str(tmp_path / "slow.jsonl"))
+        traces = [self._finished_trace(query_id=i) for i in range(3)]
+        for t in traces:
+            log(t)
+        entries = log.entries
+        assert len(entries) == 2
+        assert entries[0].duration_ms >= entries[1].duration_ms
+        assert "query_id" in log.dump()
+        retained = [json.loads(line) for line in log.to_json_lines().strip().splitlines()]
+        assert len(retained) == 2
+        # every arriving slow trace was appended to the file, pre-trim
+        on_disk = (tmp_path / "slow.jsonl").read_text().strip().splitlines()
+        assert len(on_disk) == 3
+
+    def test_slow_query_log_threshold_excludes_fast_traces(self):
+        log = SlowQueryLog(threshold_ms=10_000.0)
+        log(self._finished_trace())
+        assert log.entries == []
+        assert log.to_json_lines() == ""
