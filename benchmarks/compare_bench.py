@@ -9,19 +9,25 @@ it — the ``bench-regression`` CI job runs it against the baselines
 committed in the repository so solver, caching or vectorisation changes
 cannot silently degrade the serving path.
 
-Four profiles select which counters are gated:
+Five profiles select which counters are gated:
 
 * ``serving`` (default) — the cold/warm trace replay of
   ``BENCH_serving.json``;
 * ``coldpath`` — the ~25k-row cold scaling point of
   ``BENCH_coldpath.json``;
-* ``scale`` — the ~520k-row sharded/parallel point of ``BENCH_scale.json``,
-  whose parity deltas (sharded-vs-unsharded work counters) are committed as
-  zero and therefore gated at *exactly* zero (any non-zero delta is an
-  unbounded relative drift);
+* ``scale`` — the 1M-row sharded/multi-core point of ``BENCH_scale.json``:
+  the label-column and python-callable workloads replayed serial vs thread
+  vs process pool, whose parity deltas (backend-vs-serial work counters and
+  row-id mismatches) are committed as zero and therefore gated at *exactly*
+  zero (any non-zero delta is an unbounded relative drift);
 * ``update`` — the 1M-row incremental-ingest point of ``BENCH_update.json``
   (1% append to a warm table): refresh-path UDF/solver work must stay
-  delta-proportional and ``group_index_builds`` stays at exactly zero.
+  delta-proportional and ``group_index_builds`` stays at exactly zero;
+* ``traffic`` — the ≥1000-concurrent-client asyncio point of
+  ``BENCH_traffic.json``: warm-path work counters are deterministic by
+  construction (``free_memoized=False``) and the shedding audit's
+  ``accounting_delta`` is committed as 0 — every ``Overloaded`` raise must
+  be counted, never silent.  Queries/sec and latency stay informational.
 
 Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
@@ -90,9 +96,18 @@ SCALE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("serial.udf_evaluations", True),
     ("serial.solver_calls", True),
     ("serial.udf_row_calls", True),
+    ("python_udf.serial.udf_evaluations", True),
+    ("python_udf.serial.solver_calls", True),
     ("parity.udf_evaluations_abs_delta", True),
     ("parity.solver_calls_abs_delta", True),
     ("parity.row_ids_mismatch", True),
+    ("parity.thread_python_udf_evaluations_abs_delta", True),
+    ("parity.thread_python_solver_calls_abs_delta", True),
+    ("parity.thread_python_row_ids_mismatch", True),
+    ("parity.process_udf_evaluations_abs_delta", True),
+    ("parity.process_solver_calls_abs_delta", True),
+    ("parity.process_row_ids_mismatch", True),
+    ("parity.workload_row_ids_mismatch", True),
 )
 
 #: The update profile gates the incremental-ingest economics: the refresh
@@ -113,11 +128,33 @@ UPDATE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("cold.udf_evaluations", True),
 )
 
+#: The traffic profile gates the asyncio front-end's economics: with
+#: ``free_memoized=False`` every warm execution's charged work is a pure
+#: function of (plan, seed), so the herd's summed counters are exact, and
+#: the shedding audit's ``accounting_delta`` (Overloaded raises minus the
+#: ``shed`` counter) is committed as 0 — gated at exactly ±0, shedding can
+#: never go silent.  Latency and q/s stay informational: wall-clock only.
+TRAFFIC_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("rows", False),
+    ("clients", False),
+    ("signatures", False),
+    ("work.queries", False),
+    ("work.plan_hits", False),
+    ("work.solver_calls", True),
+    ("work.udf_evaluations", True),
+    ("work.shed", True),
+    ("shed.fired", False),
+    ("shed.shed_count", True),
+    ("shed.silent_drops", True),
+    ("shed.accounting_delta", True),
+)
+
 PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "serving": GATED_COUNTERS,
     "coldpath": COLDPATH_COUNTERS,
     "scale": SCALE_COUNTERS,
     "update": UPDATE_COUNTERS,
+    "traffic": TRAFFIC_COUNTERS,
 }
 
 #: Keys printed alongside the gate for context but NEVER gated: wall-clock
@@ -132,8 +169,9 @@ INFORMATIONAL_COUNTERS: Dict[str, Tuple[str, ...]] = {
         "warm.latency_p99_ms",
     ),
     "coldpath": ("cold.latency_p50_ms", "cold.latency_p99_ms"),
-    "scale": (),
+    "scale": ("parallel_speedup", "thread_python_speedup", "process_speedup"),
     "update": (),
+    "traffic": ("latency.qps", "latency.p50_ms", "latency.p99_ms"),
 }
 
 

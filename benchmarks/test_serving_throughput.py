@@ -60,7 +60,7 @@ from repro.obs import (
     enable_metrics,
     write_prometheus_snapshot,
 )
-from repro.serving import QueryService
+from repro.serving import QueryService, ServiceConfig
 
 TRACE_LENGTH = 80
 OUTPUT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
@@ -151,7 +151,8 @@ def _serving_comparison(scale: float):
     # Cold: caching disabled, memo wiped per query.
     dataset, catalog, udf, trace = _build_workload(scale)
     cold_service = QueryService(
-        Engine(catalog), plan_cache_size=0, stats_cache_size=0, free_memoized=False
+        Engine(catalog),
+        config=ServiceConfig(plan_cache_size=0, stats_cache_size=0, free_memoized=False),
     )
     cold = _replay(cold_service, udf, trace, reset_memo=True)
 
@@ -260,7 +261,8 @@ def test_serving_throughput(benchmark, bench_config):
 def _coldpath_scaling(scale: float, trace_length: int):
     dataset, catalog, udf, trace = _build_workload(scale)
     service = QueryService(
-        Engine(catalog), plan_cache_size=0, stats_cache_size=0, free_memoized=False
+        Engine(catalog),
+        config=ServiceConfig(plan_cache_size=0, stats_cache_size=0, free_memoized=False),
     )
     replay = _replay(service, udf, trace[:trace_length], reset_memo=True)
     return dataset, replay

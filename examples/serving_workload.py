@@ -17,15 +17,26 @@ that a 1000-query trace groups each column exactly once.
 Run with::
 
     python examples/serving_workload.py
-    python examples/serving_workload.py --shards 8 --workers 4   # sharded + parallel
+    python examples/serving_workload.py --shards 8 --workers 4   # sharded + threads
+    python examples/serving_workload.py --shards 8 --workers 4 --executor process
     python examples/serving_workload.py --churn 2                # 2% appends between batches
+    python examples/serving_workload.py --async --clients 1000   # concurrent front-end
 
 ``--shards N`` splits the table into N contiguous shards
-(:class:`~repro.db.ShardedTable`) and ``--workers W`` serves it on the
-thread-parallel executor backend — results are identical to the unsharded
-serial run (the parallel coin discipline is layout- and worker-invariant);
-only the wall-clock changes, and only helps on multi-core hosts with large
-tables.
+(:class:`~repro.db.ShardedTable`) and ``--workers W`` serves it on a
+parallel executor backend — ``--executor thread`` (the default once
+sharded) for GIL-releasing label-column work, ``--executor process`` for
+true multi-core python-callable UDFs over shared-memory shards.  Results
+are identical to the unsharded serial run (the coin discipline is layout-
+and worker-invariant); only the wall-clock changes, and only helps on
+multi-core hosts with large tables.
+
+``--async`` replays the trace through :meth:`QueryService.submit_async`
+with ``--clients N`` concurrent anonymous requests: same-signature cold
+arrivals coalesce onto one in-flight execution (work done once, everyone
+gets the same bitwise answer), over-limit arrivals would be shed with a
+typed :class:`~repro.serving.Overloaded`, and the unified
+:meth:`QueryService.stats` snapshot is printed afterwards.
 
 ``--churn P`` splits the trace into batches and appends ``P``% of the
 table's rows (bootstrap-resampled from the existing data) between batches.
@@ -44,14 +55,17 @@ works in every mode, including ``--churn`` (refresh spans) and
 from __future__ import annotations
 
 import argparse
+import asyncio
 import time
 
 from repro import (
     Catalog,
     Engine,
     GroupIndex,
+    Overloaded,
     QueryService,
     SelectQuery,
+    ServiceConfig,
     ShardedTable,
     UdfPredicate,
     load_dataset,
@@ -110,6 +124,39 @@ def replay(service, trace, label, churn_percent=0.0, batches=4, rng=None):
     print(f"  queries            : {len(trace)}")
     print(f"  wall time          : {elapsed:.2f}s  ({len(trace) / elapsed:,.0f} queries/sec)")
     print(f"  charged evaluations: {evaluations}")
+    return elapsed
+
+
+def replay_concurrent(service, trace, clients, label):
+    """Fire ``clients`` concurrent anonymous requests through submit_async.
+
+    Same-signature requests share a seed, so cold arrivals coalesce onto
+    the leader's flight; everything else is a warm plan hit.
+    """
+    requests = [trace[i % len(trace)] for i in range(clients)]
+    seeds: dict[int, int] = {}
+    for query in requests:
+        seeds.setdefault(id(query), 20_000 + len(seeds))
+
+    async def herd():
+        return await asyncio.gather(
+            *[
+                service.submit_async(query, seed=seeds[id(query)])
+                for query in requests
+            ],
+            return_exceptions=True,
+        )
+
+    started = time.perf_counter()
+    results = asyncio.run(herd())
+    elapsed = time.perf_counter() - started
+    shed = sum(1 for r in results if isinstance(r, Overloaded))
+    answered = [r for r in results if not isinstance(r, BaseException)]
+    coalesced = sum(1 for r in answered if r.metadata.get("coalesced"))
+    print(f"{label}")
+    print(f"  concurrent clients : {clients}")
+    print(f"  wall time          : {elapsed:.2f}s  ({clients / elapsed:,.0f} queries/sec)")
+    print(f"  answered           : {len(answered)}  (coalesced: {coalesced}, shed: {shed})")
     return elapsed
 
 
@@ -178,6 +225,22 @@ def main() -> None:
         "no churn); appends take the serving layer's delta-refresh path",
     )
     parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default=None,
+        help="executor backend (default: 'thread' when sharded or --workers "
+        "> 1, else 'serial'; 'process' fans python-callable UDF work over "
+        "shared-memory shards on a spawn process pool)",
+    )
+    parser.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="replay through the asyncio front-end (submit_async): "
+        "concurrent same-signature cold requests coalesce onto one flight "
+        "and the unified stats() snapshot is printed",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=1000,
+        help="concurrent clients for --async (default: 1000)",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="enable the repro.obs registry + per-query tracing and print "
         "the metrics snapshot and the slowest trace tree after the replay",
@@ -196,10 +259,16 @@ def main() -> None:
     catalog.register_udf(udf)
 
     parallel = args.shards > 1 or args.workers > 1
+    backend = args.executor or ("thread" if parallel else "serial")
     service = QueryService(
         Engine(catalog),
-        executor="parallel" if parallel else "batch",
-        max_workers=args.workers,
+        config=ServiceConfig(
+            executor=backend,
+            max_workers=args.workers,
+            # The async herd arrives all at once; admit it wholesale (tune
+            # class_limits / max_pending down to see typed Overloaded sheds).
+            max_pending=max(64, 2 * args.clients),
+        ),
     )
     sink = None
     if args.metrics:
@@ -208,24 +277,30 @@ def main() -> None:
         service.set_trace_sink(sink)
     trace = build_trace(dataset, udf, RandomState(2015))
     layout = (
-        f"{args.shards} shards, {args.workers} workers (parallel backend)"
+        f"{args.shards} shards, {args.workers} workers ({backend} backend)"
         if parallel
-        else "unsharded (batch backend)"
+        else f"unsharded ({backend} backend)"
     )
     print(f"dataset: {dataset.name}, {dataset.num_rows} rows; "
           f"{TRACE_LENGTH}-query trace over 5 signatures, "
           f"{DISTINCT_CLIENTS} clients; {layout}\n")
 
     index_builds_before = GroupIndex.builds_total
-    label = (
-        f"replay (caches cold at start, {args.churn}% churn between batches)"
-        if args.churn
-        else "replay (caches cold at start)"
-    )
-    replay(
-        service, trace, label,
-        churn_percent=args.churn, rng=RandomState(99),
-    )
+    if args.use_async:
+        replay_concurrent(
+            service, trace, args.clients,
+            "async replay (caches cold at start, coalescing on)",
+        )
+    else:
+        label = (
+            f"replay (caches cold at start, {args.churn}% churn between batches)"
+            if args.churn
+            else "replay (caches cold at start)"
+        )
+        replay(
+            service, trace, label,
+            churn_percent=args.churn, rng=RandomState(99),
+        )
 
     metrics = service.metrics()
     plans = metrics["plan_cache"]
@@ -254,6 +329,19 @@ def main() -> None:
     print("\nUDF memoisation")
     print(f"  distinct evaluations paid : {udf_counters['cache_misses']}")
     print(f"  memo-cache hits           : {udf_counters['cache_hits']}")
+
+    if args.use_async:
+        stats = service.stats()
+        print("\nstats() snapshot (unified serving surface)")
+        print(f"  serving counters : queries={stats.serving['queries']} "
+              f"coalesced={stats.serving['coalesced']} shed={stats.serving['shed']}")
+        print(f"  front-end        : max_concurrency={stats.frontend['max_concurrency']} "
+              f"max_pending={stats.frontend['max_pending']} "
+              f"open_flights={stats.frontend['open_flights']}")
+        latency = stats.latency_ms.get("all", {})
+        if latency.get("count"):
+            print(f"  latency (all)    : n={latency['count']} "
+                  f"p50={latency['p50_ms']:.2f}ms p99={latency['p99_ms']:.2f}ms")
 
     if args.metrics:
         print_metrics_report(service, sink)

@@ -131,18 +131,69 @@ the engine scales *out* instead:
   comparable with the sequential ``BatchExecutor`` discipline.  Row
   *selection* for sampling/labelling stays on the strategy's sequential
   stream; only the (deterministic) bulk UDF evaluations fan across shards.
-* **When parallel beats serial** — the fan-out wins when the per-span NumPy
-  kernels (block RNG, ufunc comparisons, sorts in index builds, bulk label
-  reads) dominate, i.e. large tables (≳100k rows/query) on multi-core
-  hosts: those kernels release the GIL, so ``ThreadPool`` workers genuinely
-  overlap.  On small tables or single cores the python orchestration
-  dominates and ``BatchExecutor`` (or ``max_workers=1``, the documented
-  serial fallback) is the right default — which is why ``"batch"`` remains
-  the library-wide default and ``"parallel"`` is opt-in via
-  ``QueryService(executor="parallel", max_workers=...)`` or
-  ``IntelSample(executor_factory=lambda rng: ParallelBatchExecutor(rng))``.
-  ``benchmarks/BENCH_scale.json`` tracks a ~520k-row point: q/s for serial
-  vs ≥4 workers plus the exact work-counter parity, gated in CI.
+* **When parallel beats serial** — the thread fan-out wins when the
+  per-span NumPy kernels (block RNG, ufunc comparisons, sorts in index
+  builds, bulk label reads) dominate, i.e. large tables (≳100k rows/query)
+  on multi-core hosts: those kernels release the GIL, so thread workers
+  genuinely overlap.  Per-row *python-callable* UDFs hold the GIL, so the
+  thread pool sits near (or below) 1x there — that regime belongs to the
+  ``"process"`` backend below.  On small tables or single cores the python
+  orchestration dominates and ``BatchExecutor`` (or ``max_workers=1``, the
+  documented serial fallback) is the right default — which is why
+  ``"serial"`` remains the library-wide default and the parallel backends
+  are opt-in via
+  ``QueryService(config=ServiceConfig(executor="thread", max_workers=...))``
+  or ``IntelSample(executor_factory=lambda rng: ParallelBatchExecutor(rng))``.
+  ``benchmarks/BENCH_scale.json`` tracks a 1M-row point: q/s for serial vs
+  the thread and process pools on both the label-column and
+  python-callable workloads, plus the exact work-counter parity, gated in
+  CI.
+
+Serving under load
+~~~~~~~~~~~~~~~~~~
+
+:mod:`repro.serving` scales past the GIL and past one caller at a time:
+
+* **Process-pool execution** —
+  ``ServiceConfig(executor="process", max_workers=W)`` (or a standalone
+  :class:`~repro.core.ProcessPoolBatchExecutor`) fans span work across a
+  spawn process pool.  Sealed shards export their columns once into
+  ``multiprocessing.shared_memory`` blocks (:mod:`repro.db.shm`;
+  ``release_exports()`` frees them); workers attach zero-copy NumPy views
+  and ship back compact per-span outcome deltas, and the parent folds those
+  deltas into the ledger *replaying serial charging order*, so results and
+  counters are bitwise identical to serial — budget exhaustion included.
+  UDFs travel as pickled :meth:`~repro.db.UserDefinedFunction.worker_spec`
+  payloads; unpicklable UDFs, unshareable (object-dtype) columns and broken
+  pools fall back to the thread path with identical results, counted on
+  ``repro_executor_fallbacks_total``.  Strategies accept the injected
+  backend through the explicit :class:`~repro.core.ExecutorAware` protocol.
+* **Async front-end** — :meth:`QueryService.submit_async` serves concurrent
+  callers on a bounded internal pool with per-class admission limits
+  (``ServiceConfig(max_concurrency=..., max_pending=...,
+  class_limits={"approximate": ...})``).  Over-limit requests are *shed*:
+  they raise a typed :class:`~repro.serving.Overloaded` and increment the
+  ``shed`` counter — never a silent drop, and the traffic benchmark gates
+  the raise-vs-count delta at exactly zero.  Identical cold anonymous
+  requests (same signature, same seed, no audit) *coalesce* onto the
+  leader's in-flight execution: followers share the leader's bitwise result
+  (``metadata["coalesced"]``) and charge zero extra UDF work.
+* **One config, one stats surface** — :class:`~repro.serving.ServiceConfig`
+  is the single constructor knob (the pre-1.3 loose kwargs still work for
+  one release behind ``DeprecationWarning`` shims), executors are named
+  ``"serial"`` / ``"thread"`` / ``"process"`` / ``"reference"``, and
+  :meth:`QueryService.stats` returns one typed
+  :class:`~repro.serving.ServiceStats` snapshot (schema in
+  ``repro.serving.config.SERVICE_STATS_SCHEMA``, the stats-side sibling of
+  :func:`~repro.db.metadata_schema`); ``metrics()`` /
+  ``metrics_snapshot()`` / ``latency_snapshot()`` remain as exact-shape
+  aliases.
+
+``benchmarks/BENCH_traffic.json`` replays 1200 concurrent zipfian clients
+through ``submit_async`` and commits the deterministic work counters and
+the shedding audit, gated via ``compare_bench.py --profile traffic``;
+``examples/serving_workload.py --async --clients 1000`` demonstrates the
+same path interactively.
 
 Update workloads
 ~~~~~~~~~~~~~~~~
@@ -234,12 +285,14 @@ from repro.core import (
     AdaptiveIntelSample,
     CostModel,
     ExecutionPlan,
+    ExecutorAware,
     GroupDecision,
     GroupStatistics,
     IntelSample,
     OptimalOracle,
     ParallelBatchExecutor,
     PlanExecutor,
+    ProcessPoolBatchExecutor,
     QueryConstraints,
     SelectivityModel,
     solve_bigreedy,
@@ -277,13 +330,16 @@ from repro.sampling import ConstantScheme, FixedFractionScheme, TwoThirdPowerSch
 from repro.serving import (
     AdmissionError,
     BatchExecutor,
+    Overloaded,
     PlanCache,
     QueryService,
+    ServiceConfig,
+    ServiceStats,
     SessionManager,
     StatisticsCache,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -296,6 +352,8 @@ __all__ = [
     "GroupDecision",
     "PlanExecutor",
     "ParallelBatchExecutor",
+    "ProcessPoolBatchExecutor",
+    "ExecutorAware",
     "IntelSample",
     "AdaptiveIntelSample",
     "OptimalOracle",
@@ -332,11 +390,14 @@ __all__ = [
     "MultipleImputationBaseline",
     # serving
     "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
     "BatchExecutor",
     "PlanCache",
     "StatisticsCache",
     "SessionManager",
     "AdmissionError",
+    "Overloaded",
     # observability
     "MetricsRegistry",
     "enable_metrics",

@@ -9,8 +9,10 @@ Public surface:
   (Section 3.2), :func:`solve_estimated_selectivity` (Section 3.3),
   :func:`solve_with_samples` (Section 4.2),
 * execution — :class:`BatchExecutor` (vectorised default),
-  :class:`ParallelBatchExecutor` (sharded, thread-parallel scale-out) and
-  :class:`PlanExecutor` (tuple-at-a-time reference),
+  :class:`ParallelBatchExecutor` (sharded, thread-parallel scale-out),
+  :class:`ProcessPoolBatchExecutor` (multi-core over shared-memory shards)
+  and :class:`PlanExecutor` (tuple-at-a-time reference); strategies that
+  accept an injected backend implement the :class:`ExecutorAware` protocol,
 * end-to-end strategies — :class:`IntelSample`, :class:`AdaptiveIntelSample`,
   :class:`OptimalOracle`,
 * column selection — :func:`select_correlated_column`,
@@ -36,11 +38,13 @@ from repro.core.estimated import EstimatedSolution, solve_estimated_selectivity
 from repro.core.executor import (
     BatchExecutor,
     ExecutionResult,
+    ExecutorAware,
     ExecutorBackend,
     GroupExecutionCounts,
     PlanExecutor,
 )
 from repro.core.parallel import ParallelBatchExecutor, default_max_workers, shared_pool
+from repro.core.procpool import ProcessPoolBatchExecutor
 from repro.core.groups import GroupStatistics, SelectivityModel
 from repro.core.hoeffding_lp import (
     LpSolution,
@@ -89,8 +93,10 @@ __all__ = [
     "PlanExecutor",
     "BatchExecutor",
     "ParallelBatchExecutor",
+    "ProcessPoolBatchExecutor",
     "default_max_workers",
     "shared_pool",
+    "ExecutorAware",
     "ExecutorBackend",
     "ExecutionResult",
     "GroupExecutionCounts",

@@ -47,7 +47,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, FrozenSet, Hashable, List, Optional, Protocol, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -140,6 +150,23 @@ class ExecutorBackend(Protocol):
     ) -> ExecutionResult:  # pragma: no cover - protocol definition
         """Run ``plan`` over every group of ``index``, charging ``ledger``."""
         ...
+
+
+@runtime_checkable
+class ExecutorAware(Protocol):
+    """Strategies that accept an injected plan-execution backend.
+
+    A strategy is ``ExecutorAware`` when it exposes an ``executor_factory``
+    attribute: a callable building its :class:`ExecutorBackend` from the
+    per-query :class:`~repro.stats.random.RandomState` (or ``None`` for the
+    strategy's default).  The serving layer *requires* this protocol before
+    injecting its configured backend — an explicit ``isinstance`` check
+    instead of ``hasattr`` poking, so a strategy spelling the attribute
+    differently fails loudly at service construction rather than silently
+    running serial.
+    """
+
+    executor_factory: Optional[Callable[[RandomState], "ExecutorBackend"]]
 
 
 def _sampled_positives(

@@ -155,6 +155,219 @@ class _SpanOutcome:
     evaluated_charge: int = 0
 
 
+def build_span_tasks(
+    index: GroupIndex,
+    plan: ExecutionPlan,
+    sampled_ids: Dict[Hashable, np.ndarray],
+) -> Tuple[List[List[_GroupSegment]], Dict[Hashable, GroupExecutionCounts]]:
+    """Partition every group's candidate rows into per-span worker tasks.
+
+    Returns ``(span_tasks, group_counts)``: one task list per index span
+    (``span_boundaries()`` order) and a zero-initialised counts dict covering
+    every group.  Pure function of the plan and inputs — shared by the
+    thread- and process-pool executors so their work decomposition cannot
+    drift.
+    """
+    group_counts: Dict[Hashable, GroupExecutionCounts] = {}
+    bounds = np.asarray(index.span_boundaries(), dtype=np.intp)
+    num_spans = len(bounds) - 1
+    span_tasks: List[List[_GroupSegment]] = [[] for _ in range(num_spans)]
+    empty = np.empty(0, dtype=np.intp)
+
+    for code, (key, rows) in enumerate(index.items()):
+        decision = plan.decision(key)
+        group_counts[key] = GroupExecutionCounts()
+        retrieve_probability = decision.retrieve_probability
+        conditional_evaluate = decision.conditional_evaluate_probability
+        if retrieve_probability <= 0.0 or rows.size == 0:
+            continue
+        already = sampled_ids.get(key)
+        if already is not None and already.size:
+            # Sorted already-sampled ids restricted to actual group members
+            # (rows is ascending, so membership is a binary search) —
+            # BatchExecutor's np.isin semantics, but the O(n) removal itself
+            # happens later, inside the span workers.
+            candidates_sorted = np.sort(already)
+            positions = np.searchsorted(rows, candidates_sorted)
+            member = (positions < rows.size) & (
+                rows[np.minimum(positions, rows.size - 1)] == candidates_sorted
+            )
+            already_members = candidates_sorted[member]
+        else:
+            already_members = empty
+        if rows.size - already_members.size <= 0:
+            continue
+        row_cuts = np.searchsorted(rows, bounds)
+        already_cuts = np.searchsorted(already_members, bounds)
+        for span in range(num_spans):
+            lo, hi = int(row_cuts[span]), int(row_cuts[span + 1])
+            alo, ahi = int(already_cuts[span]), int(already_cuts[span + 1])
+            if hi - lo - (ahi - alo) > 0:
+                span_tasks[span].append(
+                    _GroupSegment(
+                        key=key,
+                        code=code,
+                        retrieve_probability=retrieve_probability,
+                        conditional_evaluate=conditional_evaluate,
+                        rows=rows[lo:hi],
+                        already=already_members[alo:ahi],
+                        position_offset=lo - alo,
+                    )
+                )
+    return span_tasks, group_counts
+
+
+def span_coin_pass(
+    root: int, tasks: List[_GroupSegment]
+) -> Tuple[List[np.ndarray], List[np.ndarray], int]:
+    """Flip every task's retrieval and evaluation coins (no UDF, no ledger).
+
+    Returns ``(retrieved_per_task, evaluate_per_task, total_retrieved)`` —
+    per task, the retrieved global row ids and the evaluation mask over
+    them.  Pure function of ``(root, tasks)``: this is the half of span
+    execution that process-pool workers run remotely.
+    """
+    retrieved_per_task: List[np.ndarray] = []
+    evaluate_per_task: List[np.ndarray] = []  # masks over retrieved
+    total_retrieved = 0
+
+    for task in tasks:
+        if task.already.size:
+            # Remove already-sampled members: both arrays are sorted and
+            # task.already ⊆ task.rows, so this is a searchsorted scatter.
+            keep = np.ones(task.rows.size, dtype=bool)
+            keep[np.searchsorted(task.rows, task.already)] = False
+            seg = task.rows[keep]
+        else:
+            seg = task.rows
+        if task.retrieve_probability >= 1.0:
+            retrieved = seg
+            retrieved_positions = None  # all positions
+        else:
+            coins = counter_uniforms(
+                stream_key(root, task.code, _PHASE_RETRIEVE),
+                task.position_offset,
+                seg.size,
+            )
+            keep = coins < task.retrieve_probability
+            retrieved = seg[keep]
+            retrieved_positions = keep
+        if task.conditional_evaluate <= 0.0 or retrieved.size == 0:
+            evaluate_mask = np.zeros(retrieved.size, dtype=bool)
+        elif task.conditional_evaluate >= 1.0:
+            evaluate_mask = np.ones(retrieved.size, dtype=bool)
+        else:
+            # Per-candidate-position evaluation coins, applied to the
+            # retrieved subset (see the coin discipline in the module doc).
+            eval_coins = counter_uniforms(
+                stream_key(root, task.code, _PHASE_EVALUATE),
+                task.position_offset,
+                seg.size,
+            )
+            per_candidate = eval_coins < task.conditional_evaluate
+            evaluate_mask = (
+                per_candidate
+                if retrieved_positions is None
+                else per_candidate[retrieved_positions]
+            )
+        retrieved_per_task.append(retrieved)
+        evaluate_per_task.append(evaluate_mask)
+        total_retrieved += int(retrieved.size)
+    return retrieved_per_task, evaluate_per_task, total_retrieved
+
+
+def concat_to_evaluate(
+    retrieved_per_task: List[np.ndarray], evaluate_per_task: List[np.ndarray]
+) -> np.ndarray:
+    """The span's rows needing UDF evaluation, in task order."""
+    if not retrieved_per_task:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(
+        [r[m] for r, m in zip(retrieved_per_task, evaluate_per_task)]
+    )
+
+
+def fold_span_outcomes(
+    tasks: List[_GroupSegment],
+    retrieved_per_task: List[np.ndarray],
+    evaluate_per_task: List[np.ndarray],
+    outcomes: np.ndarray,
+) -> Tuple[Dict[int, np.ndarray], Dict[int, GroupExecutionCounts]]:
+    """Fold UDF outcomes back into per-group returned rows and counts.
+
+    ``outcomes`` is the boolean result for :func:`concat_to_evaluate`'s rows
+    (same order).  Pure: UDF outcomes are deterministic, so folding a worker
+    process's fresh evaluations gives bitwise the same result as folding the
+    parent's memo-assisted ones.
+    """
+    counts: Dict[int, GroupExecutionCounts] = {}
+    returned: Dict[int, np.ndarray] = {}
+    offset = 0
+    for task, retrieved, evaluate_mask in zip(
+        tasks, retrieved_per_task, evaluate_per_task
+    ):
+        task_counts = counts.setdefault(task.code, GroupExecutionCounts())
+        if retrieved.size == 0:
+            continue
+        evaluated = int(evaluate_mask.sum())
+        keep_mask = ~evaluate_mask
+        if evaluated:
+            group_outcomes = outcomes[offset : offset + evaluated]
+            offset += evaluated
+            positives = int(group_outcomes.sum())
+            negatives = evaluated - positives
+            task_counts.evaluated_correct += positives
+            task_counts.retrieved_correct += positives
+            task_counts.evaluated_incorrect += negatives
+            task_counts.retrieved_incorrect += negatives
+            task_counts.returned += positives
+            keep_mask = keep_mask.copy()
+            keep_mask[np.flatnonzero(evaluate_mask)] = group_outcomes
+        unevaluated = int(retrieved.size) - evaluated
+        task_counts.returned += unevaluated
+        kept = retrieved[keep_mask]
+        if kept.size:
+            previous = returned.get(task.code)
+            returned[task.code] = (
+                kept if previous is None else np.concatenate([previous, kept])
+            )
+    return returned, counts
+
+
+def merge_span_outcomes(
+    index: GroupIndex,
+    outcomes: Sequence[_SpanOutcome],
+    group_counts: Dict[Hashable, GroupExecutionCounts],
+    free_positives: Sequence[int],
+) -> np.ndarray:
+    """Merge per-span outcomes into the serial group-major returned array.
+
+    Merges in (group, span) order: spans are ascending row ranges, so
+    concatenating a group's per-span parts in span order reproduces the
+    serial group-major, row-ascending output order exactly.  The result
+    stays a single numpy array — materialising hundreds of thousands of
+    python ints would put an O(returned) GIL-bound loop back on the serial
+    critical path.  ``group_counts`` is mutated in place.
+    """
+    merged: Dict[int, List[np.ndarray]] = {}
+    group_keys = index.values  # the property copies; read it once
+    for outcome in outcomes:
+        for code, part in outcome.returned.items():
+            merged.setdefault(code, []).append(part)
+        for code, delta in outcome.counts.items():
+            key = group_keys[code]
+            counts = group_counts[key]
+            counts.retrieved_correct += delta.retrieved_correct
+            counts.retrieved_incorrect += delta.retrieved_incorrect
+            counts.evaluated_correct += delta.evaluated_correct
+            counts.evaluated_incorrect += delta.evaluated_incorrect
+            counts.returned += delta.returned
+    parts: List[np.ndarray] = [np.asarray(free_positives, dtype=np.intp)]
+    for code in sorted(merged):
+        parts.extend(merged[code])
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
 class ParallelBatchExecutor:
     """Sharded, thread-parallel plan executor (see module docstring).
 
@@ -245,53 +458,7 @@ class ParallelBatchExecutor:
         _metrics.counter("repro_executor_runs_total", backend="parallel").inc()
         root = int(self.random_state.integers(0, 2**63))
         sampled_ids, free_positives = _sampled_positives(sample_outcome)
-        group_counts: Dict[Hashable, GroupExecutionCounts] = {}
-
-        bounds = np.asarray(index.span_boundaries(), dtype=np.intp)
-        num_spans = len(bounds) - 1
-        span_tasks: List[List[_GroupSegment]] = [[] for _ in range(num_spans)]
-        empty = np.empty(0, dtype=np.intp)
-
-        for code, (key, rows) in enumerate(index.items()):
-            decision = plan.decision(key)
-            group_counts[key] = GroupExecutionCounts()
-            retrieve_probability = decision.retrieve_probability
-            conditional_evaluate = decision.conditional_evaluate_probability
-            if retrieve_probability <= 0.0 or rows.size == 0:
-                continue
-            already = sampled_ids.get(key)
-            if already is not None and already.size:
-                # Sorted already-sampled ids restricted to actual group
-                # members (rows is ascending, so membership is a binary
-                # search) — BatchExecutor's np.isin semantics, but the O(n)
-                # removal itself happens later, inside the span workers.
-                candidates_sorted = np.sort(already)
-                positions = np.searchsorted(rows, candidates_sorted)
-                member = (positions < rows.size) & (
-                    rows[np.minimum(positions, rows.size - 1)] == candidates_sorted
-                )
-                already_members = candidates_sorted[member]
-            else:
-                already_members = empty
-            if rows.size - already_members.size <= 0:
-                continue
-            row_cuts = np.searchsorted(rows, bounds)
-            already_cuts = np.searchsorted(already_members, bounds)
-            for span in range(num_spans):
-                lo, hi = int(row_cuts[span]), int(row_cuts[span + 1])
-                alo, ahi = int(already_cuts[span]), int(already_cuts[span + 1])
-                if hi - lo - (ahi - alo) > 0:
-                    span_tasks[span].append(
-                        _GroupSegment(
-                            key=key,
-                            code=code,
-                            retrieve_probability=retrieve_probability,
-                            conditional_evaluate=conditional_evaluate,
-                            rows=rows[lo:hi],
-                            already=already_members[alo:ahi],
-                            position_offset=lo - alo,
-                        )
-                    )
+        span_tasks, group_counts = build_span_tasks(index, plan, sampled_ids)
 
         # Span indices (not list positions after filtering) name the shard
         # trace spans, so ``shard:<i>`` is deterministic for a given layout
@@ -343,29 +510,7 @@ class ParallelBatchExecutor:
             if first_error is not None:
                 raise first_error
 
-        # Merge in (group, span) order: spans are ascending row ranges, so
-        # concatenating a group's per-span parts in span order reproduces the
-        # serial group-major, row-ascending output order exactly.  The result
-        # stays a single numpy array — materialising hundreds of thousands of
-        # python ints would put an O(returned) GIL-bound loop back on the
-        # serial critical path.
-        merged: Dict[int, List[np.ndarray]] = {}
-        group_keys = index.values  # the property copies; read it once
-        for outcome in outcomes:
-            for code, part in outcome.returned.items():
-                merged.setdefault(code, []).append(part)
-            for code, delta in outcome.counts.items():
-                key = group_keys[code]
-                counts = group_counts[key]
-                counts.retrieved_correct += delta.retrieved_correct
-                counts.retrieved_incorrect += delta.retrieved_incorrect
-                counts.evaluated_correct += delta.evaluated_correct
-                counts.evaluated_incorrect += delta.evaluated_incorrect
-                counts.returned += delta.returned
-        parts: List[np.ndarray] = [np.asarray(free_positives, dtype=np.intp)]
-        for code in sorted(merged):
-            parts.extend(merged[code])
-        returned = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        returned = merge_span_outcomes(index, outcomes, group_counts, free_positives)
 
         return ExecutionResult(
             returned_row_ids=returned,
@@ -406,62 +551,10 @@ class ParallelBatchExecutor:
         tasks: List[_GroupSegment],
     ) -> _SpanOutcome:
         """Execute one span's group segments: coins, charge, one bulk UDF call."""
-        counts: Dict[int, GroupExecutionCounts] = {}
-        returned: Dict[int, np.ndarray] = {}
-        retrieved_per_task: List[np.ndarray] = []
-        evaluate_per_task: List[np.ndarray] = []  # masks over retrieved
-        total_retrieved = 0
-
-        for task in tasks:
-            if task.already.size:
-                # Remove already-sampled members: both arrays are sorted and
-                # task.already ⊆ task.rows, so this is a searchsorted scatter.
-                keep = np.ones(task.rows.size, dtype=bool)
-                keep[np.searchsorted(task.rows, task.already)] = False
-                seg = task.rows[keep]
-            else:
-                seg = task.rows
-            if task.retrieve_probability >= 1.0:
-                retrieved = seg
-                retrieved_positions = None  # all positions
-            else:
-                coins = counter_uniforms(
-                    stream_key(root, task.code, _PHASE_RETRIEVE),
-                    task.position_offset,
-                    seg.size,
-                )
-                keep = coins < task.retrieve_probability
-                retrieved = seg[keep]
-                retrieved_positions = keep
-            if task.conditional_evaluate <= 0.0 or retrieved.size == 0:
-                evaluate_mask = np.zeros(retrieved.size, dtype=bool)
-            elif task.conditional_evaluate >= 1.0:
-                evaluate_mask = np.ones(retrieved.size, dtype=bool)
-            else:
-                # Per-candidate-position evaluation coins, applied to the
-                # retrieved subset (see the coin discipline in the module doc).
-                eval_coins = counter_uniforms(
-                    stream_key(root, task.code, _PHASE_EVALUATE),
-                    task.position_offset,
-                    seg.size,
-                )
-                per_candidate = eval_coins < task.conditional_evaluate
-                evaluate_mask = (
-                    per_candidate
-                    if retrieved_positions is None
-                    else per_candidate[retrieved_positions]
-                )
-            retrieved_per_task.append(retrieved)
-            evaluate_per_task.append(evaluate_mask)
-            total_retrieved += int(retrieved.size)
-
-        to_evaluate = (
-            np.concatenate(
-                [r[m] for r, m in zip(retrieved_per_task, evaluate_per_task)]
-            )
-            if retrieved_per_task
-            else np.empty(0, dtype=np.intp)
+        retrieved_per_task, evaluate_per_task, total_retrieved = span_coin_pass(
+            root, tasks
         )
+        to_evaluate = concat_to_evaluate(retrieved_per_task, evaluate_per_task)
 
         # Charge the whole span before any of its UDF work (the serial
         # backends' charge-before-evaluate order, at span granularity): a
@@ -487,35 +580,9 @@ class ParallelBatchExecutor:
             else np.empty(0, dtype=bool)
         )
 
-        offset = 0
-        for task, retrieved, evaluate_mask in zip(
-            tasks, retrieved_per_task, evaluate_per_task
-        ):
-            task_counts = counts.setdefault(task.code, GroupExecutionCounts())
-            if retrieved.size == 0:
-                continue
-            evaluated = int(evaluate_mask.sum())
-            keep_mask = ~evaluate_mask
-            if evaluated:
-                group_outcomes = outcomes[offset : offset + evaluated]
-                offset += evaluated
-                positives = int(group_outcomes.sum())
-                negatives = evaluated - positives
-                task_counts.evaluated_correct += positives
-                task_counts.retrieved_correct += positives
-                task_counts.evaluated_incorrect += negatives
-                task_counts.retrieved_incorrect += negatives
-                task_counts.returned += positives
-                keep_mask = keep_mask.copy()
-                keep_mask[np.flatnonzero(evaluate_mask)] = group_outcomes
-            unevaluated = int(retrieved.size) - evaluated
-            task_counts.returned += unevaluated
-            kept = retrieved[keep_mask]
-            if kept.size:
-                previous = returned.get(task.code)
-                returned[task.code] = (
-                    kept if previous is None else np.concatenate([previous, kept])
-                )
+        returned, counts = fold_span_outcomes(
+            tasks, retrieved_per_task, evaluate_per_task, outcomes
+        )
         return _SpanOutcome(
             returned=returned,
             counts=counts,

@@ -1,0 +1,390 @@
+"""Process-pool plan execution over shared-memory shards.
+
+:class:`ProcessPoolBatchExecutor` is the multi-core sibling of
+:class:`~repro.core.parallel.ParallelBatchExecutor`.  Threads only help while
+the per-span work stays inside GIL-releasing NumPy kernels; the moment the
+UDF is a python callable evaluated row by row — the paper's whole premise is
+that this is the expensive part — a thread pool serialises on the GIL and
+runs *slower* than serial.  This executor fans the same span tasks across a
+spawn-based process pool instead:
+
+* **Zero-copy inputs** — sealed shard columns are exported once into
+  :mod:`multiprocessing.shared_memory` segments (:mod:`repro.db.shm`);
+  workers attach numpy views on first touch and reuse them for every later
+  task, so per-task pickle traffic is row ids, not column data.
+* **Stateless workers** — a worker receives the execution root key, its
+  span's :class:`~repro.core.parallel._GroupSegment` tasks and a picklable
+  :class:`~repro.db.udf.UdfSpec`; it flips the counter-based coins, evaluates
+  the UDF locally (every pending row fresh — it has no memo cache), and
+  ships back outcomes plus the folded per-group counts.
+* **Parent-side accounting** — the parent replays, span by span in span
+  order, exactly what serial execution would have charged: ledger retrieval
+  and evaluation charges under the ledger lock (``free_memoized`` consults
+  the parent's memo), then
+  :meth:`~repro.db.udf.UserDefinedFunction.merge_remote_evaluations` to
+  absorb outcomes into the memo cache with serial-identical counter
+  advances.  A hard budget trips at the same span boundary as serial, and
+  later spans are never absorbed.
+
+Because the PR-4 coin discipline makes every coin a pure function of
+(seed, group, position) and UDF outcomes are deterministic, results and every
+gated work counter are **bitwise identical** to the serial and thread paths.
+
+Anything that cannot cross the process boundary degrades gracefully to the
+inherited in-process path (bitwise-identical results, just not multi-core):
+unpicklable UDF callables, object-dtype columns, single-span tables,
+``max_workers=1``, and a broken pool (a worker killed by the OOM killer)
+all fall back, each counted on
+``repro_executor_fallbacks_total{backend=process, reason=...}``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.executor import ExecutionResult, GroupExecutionCounts, _sampled_positives
+from repro.core.parallel import (
+    _MIN_PARALLEL_EVAL_ROWS,
+    ParallelBatchExecutor,
+    _GroupSegment,
+    _SpanOutcome,
+    _table_spans,
+    build_span_tasks,
+    concat_to_evaluate,
+    fold_span_outcomes,
+    merge_span_outcomes,
+    span_coin_pass,
+)
+from repro.core.plan import ExecutionPlan
+from repro.db.errors import UnpicklableUdfError
+from repro.db.index import GroupIndex
+from repro.db.shm import SpanExport, UnshareableColumnError, attach_array, export_table_spans
+from repro.db.table import Table
+from repro.db.udf import CostLedger, UdfSpec, UserDefinedFunction
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.sampling.sampler import SampleOutcome
+
+_PROC_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_PROC_POOLS_LOCK = threading.Lock()
+
+
+def shared_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A process-wide spawn pool per worker bound (created lazily).
+
+    Spawn (not fork): workers must not inherit the parent's locks, pools, or
+    open trace state, and spawn children share the parent's resource tracker,
+    which is what makes the shared-memory cleanup story in
+    :mod:`repro.db.shm` single-owner.  Workers are reused across queries, so
+    the interpreter start-up cost is paid once per worker bound.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be positive, got {max_workers}")
+    pool = _PROC_POOLS.get(max_workers)
+    if pool is None:
+        with _PROC_POOLS_LOCK:
+            pool = _PROC_POOLS.get(max_workers)
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+                _PROC_POOLS[max_workers] = pool
+    return pool
+
+
+def _discard_process_pool(max_workers: int) -> None:
+    """Drop (and shut down) a broken cached pool so the next use respawns."""
+    with _PROC_POOLS_LOCK:
+        pool = _PROC_POOLS.pop(max_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _RemoteSpan:
+    """What a worker process ships back for one span.
+
+    ``outcome.evaluated_charge`` is left at 0 — the *parent* computes the
+    charge (it owns the memo cache that ``free_memoized`` consults) while
+    folding.  ``to_evaluate``/``outcomes`` feed
+    :meth:`~repro.db.udf.UserDefinedFunction.merge_remote_evaluations`.
+    """
+
+    span_index: int
+    outcome: _SpanOutcome
+    to_evaluate: np.ndarray
+    outcomes: np.ndarray
+
+
+def spec_evaluate(
+    spec: UdfSpec, exports: Sequence[SpanExport], row_ids: np.ndarray
+) -> np.ndarray:
+    """Evaluate a :class:`UdfSpec` on global ``row_ids`` via shared memory.
+
+    Runs in worker processes (and in the pickle-safety check): attaches the
+    needed column blocks, then either takes the vectorised label fast path or
+    builds python row dicts and calls ``spec.func`` — the exact evaluation
+    the parent's ``UserDefinedFunction`` would have performed for
+    un-memoised rows.  Row dict values are python scalars (``ndarray.item``),
+    matching ``Table.row`` fidelity.
+    """
+    result = np.empty(row_ids.size, dtype=bool)
+    if not row_ids.size:
+        return result
+    starts = np.asarray([export.start for export in exports], dtype=np.intp)
+    span_positions = np.searchsorted(starts, row_ids, side="right") - 1
+    for position in np.unique(span_positions):
+        export = exports[int(position)]
+        mask = span_positions == position
+        local = row_ids[mask] - export.start
+        if spec.func is None:
+            labels = attach_array(export.columns[spec.label_column])
+            result[mask] = labels[local] == spec.positive_value
+        else:
+            arrays = {
+                name: attach_array(block) for name, block in export.columns.items()
+            }
+            names = list(arrays)
+            values = np.fromiter(
+                (
+                    bool(
+                        spec.func(
+                            {name: arrays[name].item(int(row)) for name in names}
+                        )
+                    )
+                    for row in local
+                ),
+                dtype=bool,
+                count=int(local.size),
+            )
+            result[mask] = values
+    return result
+
+
+def _remote_run_span(
+    root: int,
+    span_index: int,
+    tasks: List[_GroupSegment],
+    spec: UdfSpec,
+    exports: Tuple[SpanExport, ...],
+) -> _RemoteSpan:
+    """Worker entry point: coins, local UDF evaluation, local fold."""
+    retrieved_per_task, evaluate_per_task, total_retrieved = span_coin_pass(root, tasks)
+    to_evaluate = concat_to_evaluate(retrieved_per_task, evaluate_per_task)
+    outcomes = spec_evaluate(spec, exports, to_evaluate)
+    returned, counts = fold_span_outcomes(
+        tasks, retrieved_per_task, evaluate_per_task, outcomes
+    )
+    return _RemoteSpan(
+        span_index=span_index,
+        outcome=_SpanOutcome(
+            returned=returned, counts=counts, retrieved=total_retrieved
+        ),
+        to_evaluate=to_evaluate,
+        outcomes=outcomes,
+    )
+
+
+def _remote_evaluate(
+    spec: UdfSpec, exports: Tuple[SpanExport, ...], row_ids: np.ndarray
+) -> np.ndarray:
+    """Worker entry point for the bulk-evaluation (sampling/labelling) fan."""
+    return spec_evaluate(spec, exports, row_ids)
+
+
+class ProcessPoolBatchExecutor(ParallelBatchExecutor):
+    """Span-parallel executor running UDF evaluation in worker processes.
+
+    Same constructor, same results, same gated counters as
+    :class:`ParallelBatchExecutor` — only the wall-clock differs: python-
+    callable UDFs scale with cores instead of serialising on the GIL.
+    See the module docstring for the division of labour between workers and
+    the parent.
+    """
+
+    def _fallback(self, reason: str) -> None:
+        _metrics.counter(
+            "repro_executor_fallbacks_total", backend="process", reason=reason
+        ).inc()
+
+    def _prepare_remote(
+        self, table: Table, udf: UserDefinedFunction
+    ) -> Optional[Tuple[UdfSpec, Tuple[SpanExport, ...]]]:
+        """The picklable spec + shared-memory exports, or ``None`` to fall back."""
+        try:
+            spec = udf.worker_spec()
+        except UnpicklableUdfError:
+            self._fallback("unpicklable_udf")
+            return None
+        if spec.func is None:
+            if not table.schema.has_column(spec.label_column):
+                # The serial path would use the callable fallback for this
+                # table; workers only hold the spec, so stay in-process.
+                self._fallback("label_column_missing")
+                return None
+            columns = [spec.label_column]
+        else:
+            columns = table.schema.column_names
+        try:
+            exports = export_table_spans(table, columns)
+        except UnshareableColumnError:
+            self._fallback("unshareable_column")
+            return None
+        return spec, exports
+
+    def evaluate_rows(
+        self, table: Table, udf: UserDefinedFunction, row_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Evaluate ``udf`` on ``row_ids``, fanned across worker processes.
+
+        Workers evaluate span-partitioned chunks fresh; the parent then folds
+        everything through one :meth:`merge_remote_evaluations`, so the memo
+        cache and every UDF counter advance exactly as one serial
+        ``udf.evaluate_rows`` call would (one bulk call — unlike the thread
+        path, which pays one per span chunk).
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        spans = _table_spans(table)
+        if (
+            self.max_workers == 1
+            or len(spans) <= 2  # a single span
+            or ids.size < _MIN_PARALLEL_EVAL_ROWS
+        ):
+            return udf.evaluate_rows(table, ids)
+        prepared = self._prepare_remote(table, udf)
+        if prepared is None:
+            return super().evaluate_rows(table, udf, ids)
+        spec, exports = prepared
+        masks = []
+        for start, stop in zip(spans, spans[1:]):
+            mask = (ids >= start) & (ids < stop)
+            if mask.any():
+                masks.append(mask)
+        if len(masks) <= 1:
+            return udf.evaluate_rows(table, ids)
+        pool = shared_process_pool(self.max_workers)
+        futures = [
+            pool.submit(_remote_evaluate, spec, exports, ids[mask]) for mask in masks
+        ]
+        outcomes = np.empty(ids.size, dtype=bool)
+        try:
+            for mask, future in zip(masks, futures):
+                outcomes[mask] = future.result()
+        except BrokenProcessPool:
+            _discard_process_pool(self.max_workers)
+            self._fallback("broken_pool")
+            return super().evaluate_rows(table, udf, ids)
+        return udf.merge_remote_evaluations(ids, outcomes)
+
+    def execute(
+        self,
+        table: Table,
+        index: GroupIndex,
+        udf: UserDefinedFunction,
+        plan: ExecutionPlan,
+        ledger: CostLedger,
+        sample_outcome: Optional[SampleOutcome] = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` with span workers in processes (see module doc)."""
+        if self.max_workers == 1:
+            return super().execute(table, index, udf, plan, ledger, sample_outcome)
+        prepared = self._prepare_remote(table, udf)
+        if prepared is None:
+            return super().execute(table, index, udf, plan, ledger, sample_outcome)
+        spec, exports = prepared
+
+        _metrics.counter("repro_executor_runs_total", backend="process").inc()
+        root = int(self.random_state.integers(0, 2**63))
+        sampled_ids, free_positives = _sampled_positives(sample_outcome)
+        span_tasks, group_counts = build_span_tasks(index, plan, sampled_ids)
+        active = [
+            (span_index, tasks)
+            for span_index, tasks in enumerate(span_tasks)
+            if tasks
+        ]
+
+        if len(active) <= 1:
+            outcomes = [
+                self._run_span_traced(span_index, root, table, udf, ledger, tasks)
+                for span_index, tasks in active
+            ]
+            returned = merge_span_outcomes(index, outcomes, group_counts, free_positives)
+            return ExecutionResult(
+                returned_row_ids=returned, ledger=ledger, group_counts=group_counts
+            )
+
+        pool = shared_process_pool(self.max_workers)
+        futures = [
+            pool.submit(_remote_run_span, root, span_index, tasks, spec, exports)
+            for span_index, tasks in active
+        ]
+        # Drain every worker before folding anything: nothing below mutates
+        # the ledger or memo until all spans are in hand, so a worker failure
+        # leaves parent state untouched and the broken-pool fallback can
+        # recompute from scratch.
+        remote: List[_RemoteSpan] = []
+        first_error: Optional[BaseException] = None
+        broken = False
+        for future in futures:
+            try:
+                remote.append(future.result())
+            except BrokenProcessPool:
+                broken = True
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if broken and first_error is None:
+            _discard_process_pool(self.max_workers)
+            self._fallback("broken_pool")
+            outcomes = [
+                self._run_span_traced(span_index, root, table, udf, ledger, tasks)
+                for span_index, tasks in active
+            ]
+            returned = merge_span_outcomes(index, outcomes, group_counts, free_positives)
+            return ExecutionResult(
+                returned_row_ids=returned, ledger=ledger, group_counts=group_counts
+            )
+        if first_error is not None:
+            raise first_error
+
+        # Fold in span-index order (the submit order), replaying serial
+        # charging: retrieval then evaluation per span, under the ledger
+        # lock, *before* that span's outcomes are absorbed — so a hard
+        # budget raises at exactly the span boundary the serial loop would,
+        # with no later span absorbed.
+        outcomes = []
+        for span in remote:
+            with _trace.span(f"shard:{span.span_index}") as shard_span:
+                evaluated_charge = 0
+                with self._ledger_lock:
+                    if span.outcome.retrieved:
+                        ledger.charge_retrieval(span.outcome.retrieved)
+                    if span.to_evaluate.size:
+                        if self.free_memoized:
+                            evaluated_charge = int(span.to_evaluate.size) - int(
+                                udf.memoized_mask(span.to_evaluate).sum()
+                            )
+                        else:
+                            evaluated_charge = int(span.to_evaluate.size)
+                        if evaluated_charge:
+                            ledger.charge_evaluation(evaluated_charge)
+                if span.to_evaluate.size:
+                    udf.merge_remote_evaluations(span.to_evaluate, span.outcomes)
+                span.outcome.evaluated_charge = evaluated_charge
+                shard_span.add("retrievals", span.outcome.retrieved)
+                shard_span.add("udf_evals", evaluated_charge)
+                shard_span.annotate("groups", len(span.outcome.counts))
+            outcomes.append(span.outcome)
+
+        returned = merge_span_outcomes(index, outcomes, group_counts, free_positives)
+        return ExecutionResult(
+            returned_row_ids=returned, ledger=ledger, group_counts=group_counts
+        )

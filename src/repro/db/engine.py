@@ -52,10 +52,16 @@ def metadata_schema() -> Dict[str, str]:
                         ``{"labeled_sample": ..., "sample_outcome": ...}``.
     ``udf_cache``       Per-UDF memo hit/miss deltas for exact scans (dict of
                         per-UDF counter deltas).
+    ``coalesced``       ``True`` on results returned to async followers that
+                        shared a leader's in-flight execution via
+                        ``QueryService.submit_async`` (absent otherwise).
     ==================  =========================================================
 
     Returns the table above as a ``{key: description}`` dict so tests and
-    tooling can check observed metadata keys against the contract.
+    tooling can check observed metadata keys against the contract.  The
+    per-result metadata contract here has a service-wide sibling:
+    ``repro.serving.config.SERVICE_STATS_SCHEMA`` documents the keys of the
+    :meth:`repro.serving.QueryService.stats` snapshot the same way.
     """
     return {
         "strategy": "evaluation path: 'exact' or the strategy name",
@@ -64,6 +70,7 @@ def metadata_schema() -> Dict[str, str]:
         "session": "serving admission diagnostics (client id, budget)",
         "stats_cache": "which cached statistics the serving layer reused",
         "udf_cache": "per-UDF memo hit/miss deltas for exact scans",
+        "coalesced": "True when an async follower shared a leader's result",
     }
 
 

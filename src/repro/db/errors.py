@@ -55,6 +55,19 @@ class UnsupportedQueryError(DatabaseError):
         super().__init__(message)
 
 
+class UnpicklableUdfError(DatabaseError):
+    """A UDF wraps a callable that cannot be shipped to worker processes."""
+
+    def __init__(self, name: str, func=None):
+        self.name = name
+        self.func = func
+        super().__init__(
+            f"UDF {name!r} wraps a callable that does not pickle; process-pool "
+            "execution needs a module-level callable (see "
+            "repro.db.udf.RevealLabel) or a label-column UDF"
+        )
+
+
 class BudgetExhaustedError(DatabaseError):
     """A UDF call was attempted after its cost budget ran out."""
 

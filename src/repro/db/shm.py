@@ -1,0 +1,244 @@
+"""Shared-memory export of table columns for process-pool workers.
+
+The process executor (:mod:`repro.core.procpool`) evaluates UDFs in worker
+processes.  Shipping 1M-row column arrays through pickle per task would erase
+the parallel win, so sealed columns are placed in
+:mod:`multiprocessing.shared_memory` segments once and workers attach
+zero-copy numpy views — attach-once per worker, reused across tasks.
+
+Lifecycle
+---------
+
+*Parent side* — :func:`export_table_spans` lazily creates one segment per
+``(shard, column)`` and caches it keyed by the shard's ``data_generation``.
+Sealed shards never change generation, so a warm serving process exports each
+shard column exactly once; when a mutable tail shard advances its generation
+the stale segments are unlinked and re-exported.  Segments are reclaimed when
+the owning shard is garbage-collected (a ``weakref.finalize`` hook), when
+:func:`release_exports` is called, and unconditionally at interpreter exit.
+
+*Worker side* — :func:`attach_array` caches attachments by segment name for
+the life of the worker process.  Workers are spawned, so they share the
+parent's ``resource_tracker`` process: the attach-time re-registration is
+idempotent there and the parent's single ``unlink`` balances it, which is why
+workers must *not* unregister or unlink anything themselves.
+
+Only fixed-width dtypes can live in shared memory.  An ``object``-dtype
+column raises :class:`UnshareableColumnError`; the process executor treats
+that as "fall back to in-process evaluation".
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.errors import DatabaseError
+from repro.db.table import Table
+
+
+class UnshareableColumnError(DatabaseError):
+    """A column's dtype cannot be placed in shared memory."""
+
+    def __init__(self, column: str, dtype: object):
+        self.column = column
+        self.dtype = dtype
+        super().__init__(
+            f"column {column!r} has dtype {dtype} which cannot live in shared "
+            "memory (object arrays have no fixed-width buffer); process-pool "
+            "execution falls back to in-process evaluation"
+        )
+
+
+@dataclass(frozen=True)
+class ColumnBlock:
+    """One column of one row span, living in a named shared-memory segment."""
+
+    shm_name: str
+    #: ``numpy.dtype.str`` — fixed-width, endianness included.
+    dtype: str
+    length: int
+
+
+@dataclass(frozen=True)
+class SpanExport:
+    """Shared-memory handles for one contiguous row span ``[start, stop)``.
+
+    ``columns`` maps column name → :class:`ColumnBlock`; row ``row_id`` of
+    the owning table lives at local position ``row_id - start`` in every
+    block.  The whole object pickles into worker task payloads by name —
+    no array bytes cross the process boundary.
+    """
+
+    start: int
+    stop: int
+    columns: Dict[str, ColumnBlock]
+
+
+@dataclass
+class _OwnerExports:
+    """Live segments for one table/shard object, keyed by column name."""
+
+    generation: int
+    blocks: Dict[str, Tuple[shared_memory.SharedMemory, ColumnBlock]] = field(
+        default_factory=dict
+    )
+    finalizer: Optional[weakref.finalize] = None
+
+
+#: id(owner) → its exported segments.  Identity keys are safe: the finalizer
+#: removes the entry when the owner dies, before its id can be reused.
+_EXPORTS: Dict[int, _OwnerExports] = {}
+_LOCK = threading.Lock()
+
+
+def _close_blocks(
+    blocks: Dict[str, Tuple[shared_memory.SharedMemory, ColumnBlock]],
+) -> int:
+    closed = 0
+    for shm, _ in blocks.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - already-unlinked races at exit
+            pass
+        closed += 1
+    return closed
+
+
+def _release_owner(owner_id: int) -> int:
+    with _LOCK:
+        entry = _EXPORTS.pop(owner_id, None)
+    if entry is None:
+        return 0
+    if entry.finalizer is not None:
+        entry.finalizer.detach()
+    return _close_blocks(entry.blocks)
+
+
+def release_exports(table: Optional[Table] = None) -> int:
+    """Unlink exported segments (all of them, or one table's shards).
+
+    Returns the number of segments released.  Registered with ``atexit`` so a
+    crashing benchmark cannot leak ``/dev/shm`` space, but long-lived services
+    replacing a table should call it explicitly rather than wait for GC.
+    """
+    if table is None:
+        with _LOCK:
+            owner_ids = list(_EXPORTS.keys())
+    else:
+        shards = getattr(table, "shards", None) or [table]
+        owner_ids = [id(shard) for shard in shards]
+    return sum(_release_owner(owner_id) for owner_id in owner_ids)
+
+
+atexit.register(release_exports)
+
+
+def _export_column(owner: Table, column: str) -> ColumnBlock:
+    """The shared block for one column of ``owner``, creating it if needed."""
+    generation = owner.data_generation
+    with _LOCK:
+        entry = _EXPORTS.get(id(owner))
+        if entry is None:
+            entry = _OwnerExports(generation=generation)
+            entry.finalizer = weakref.finalize(owner, _release_owner, id(owner))
+            _EXPORTS[id(owner)] = entry
+        elif entry.generation != generation:
+            # The owner mutated (tail shard append): every cached segment is
+            # stale for the new generation.  Unlink and start over.
+            _close_blocks(entry.blocks)
+            entry.blocks = {}
+            entry.generation = generation
+        cached = entry.blocks.get(column)
+        if cached is not None:
+            return cached[1]
+    # Build outside the lock: column_array may materialise a concatenation.
+    array = owner.column_array(column, allow_hidden=True)
+    if array.dtype.hasobject:
+        raise UnshareableColumnError(column, array.dtype)
+    array = np.ascontiguousarray(array)
+    # SharedMemory refuses size=0; an empty span still gets a (tiny) segment
+    # so workers can attach unconditionally.
+    shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[:] = array
+    block = ColumnBlock(shm_name=shm.name, dtype=array.dtype.str, length=len(array))
+    with _LOCK:
+        entry = _EXPORTS.get(id(owner))
+        if entry is None or entry.generation != generation:
+            # Lost a race with release/mutation: don't cache a segment nobody
+            # will unlink.
+            shm.close()
+            shm.unlink()
+            raise UnshareableColumnError(column, "owner released during export")
+        raced = entry.blocks.get(column)
+        if raced is not None:
+            shm.close()
+            shm.unlink()
+            return raced[1]
+        entry.blocks[column] = (shm, block)
+    return block
+
+
+def export_table_spans(table: Table, columns: Sequence[str]) -> Tuple[SpanExport, ...]:
+    """Export ``columns`` of every span of ``table`` to shared memory.
+
+    For a :class:`~repro.db.sharding.ShardedTable` the spans are its shard
+    spans (one :class:`SpanExport` per shard, in order); a monolithic table
+    exports as a single span ``[0, num_rows)``.  Idempotent and cheap when
+    warm: already-exported ``(shard, column)`` pairs are returned from cache.
+
+    Raises :class:`UnshareableColumnError` if any requested column has an
+    object dtype.
+    """
+    shards: Optional[List[Table]] = getattr(table, "shards", None)
+    if shards:
+        spans = table.shard_spans()  # type: ignore[attr-defined]
+    else:
+        shards = [table]
+        spans = [(0, table.num_rows)]
+    exports = []
+    for shard, (start, stop) in zip(shards, spans):
+        blocks = {column: _export_column(shard, column) for column in columns}
+        exports.append(SpanExport(start=start, stop=stop, columns=blocks))
+    return tuple(exports)
+
+
+def exported_segment_count() -> int:
+    """How many shared-memory segments this process currently owns."""
+    with _LOCK:
+        return sum(len(entry.blocks) for entry in _EXPORTS.values())
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Segment name → (segment, read-only view).  The segment object must stay
+#: referenced as long as the view: its buffer dies with it.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach_array(block: ColumnBlock) -> np.ndarray:
+    """Attach (once per process) to ``block`` and return a read-only view.
+
+    Called in worker processes; the attachment cache lives for the worker's
+    lifetime, so a warm worker touches ``/dev/shm`` only on the first task
+    that references a segment.  Workers never unlink — the parent owns the
+    segment and shares our resource tracker (spawn inherits it), so cleanup
+    is entirely the parent's job.
+    """
+    entry = _ATTACHED.get(block.shm_name)
+    if entry is None:
+        shm = shared_memory.SharedMemory(name=block.shm_name)
+        array = np.ndarray((block.length,), dtype=np.dtype(block.dtype), buffer=shm.buf)
+        array.setflags(write=False)
+        _ATTACHED[block.shm_name] = entry = (shm, array)
+    return entry[1]

@@ -13,14 +13,20 @@ Section 6.1 — but any callable works.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.db.errors import BudgetExhaustedError, DuplicateObjectError, UdfNotFoundError
+from repro.db.errors import (
+    BudgetExhaustedError,
+    DuplicateObjectError,
+    UdfNotFoundError,
+    UnpicklableUdfError,
+)
 from repro.db.table import Table
 from repro.obs import metrics as _metrics
 
@@ -96,6 +102,52 @@ class CostLedger:
         self.evaluated_count = 0
 
 
+class RevealLabel:
+    """Picklable row callable that reveals a hidden ground-truth label column.
+
+    This is the function behind :meth:`UserDefinedFunction.from_label_column`.
+    It lives at module level (rather than as a closure) so every label-column
+    UDF can be pickled into process-pool workers — closures cannot cross a
+    process boundary, module-level callables can.
+    """
+
+    __slots__ = ("label_column", "positive_value")
+
+    def __init__(self, label_column: str, positive_value: Any = True):
+        self.label_column = label_column
+        self.positive_value = positive_value
+
+    def __call__(self, row: Mapping[str, Any]) -> bool:
+        if self.label_column not in row:
+            raise KeyError(
+                f"row does not carry hidden label column {self.label_column!r}; "
+                "evaluate through Engine/Executor so hidden columns are included"
+            )
+        return row[self.label_column] == self.positive_value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RevealLabel({self.label_column!r}, {self.positive_value!r})"
+
+
+@dataclass(frozen=True)
+class UdfSpec:
+    """A picklable description of a UDF for process-pool workers.
+
+    Workers never see the stateful :class:`UserDefinedFunction` (its memo
+    cache, counters, and locks stay in the parent); they receive this spec,
+    evaluate rows locally, and ship boolean outcomes back for the parent to
+    fold in via :meth:`UserDefinedFunction.merge_remote_evaluations`.
+
+    ``func`` is ``None`` when ``label_column`` is set — the worker then takes
+    the vectorised label fast path and only needs that one column exported.
+    """
+
+    name: str
+    label_column: Optional[str]
+    positive_value: Any
+    func: Optional[Callable[[Mapping[str, Any]], bool]]
+
+
 class UserDefinedFunction:
     """An expensive boolean UDF with call accounting.
 
@@ -152,6 +204,8 @@ class UserDefinedFunction:
         # Sorted snapshot of the memo cache (ids array + aligned values
         # array) for vectorised bulk lookups; rebuilt lazily after writes.
         self._memo_snapshot: Optional[tuple] = None
+        # Memoised answer to "does self._func pickle?" for worker_spec().
+        self._func_picklable: Optional[bool] = None
         self._obs_counters = _metrics.BoundCounterCache(
             lambda registry, key: registry.counter(f"repro_udf_{key}_total", udf=self.name)
         )
@@ -165,16 +219,11 @@ class UserDefinedFunction:
         positive_value: Any = True,
     ) -> "UserDefinedFunction":
         """A UDF that reveals a hidden label column (the paper's protocol)."""
-
-        def reveal(row: Mapping[str, Any]) -> bool:
-            if label_column not in row:
-                raise KeyError(
-                    f"row does not carry hidden label column {label_column!r}; "
-                    "evaluate through Engine/Executor so hidden columns are included"
-                )
-            return row[label_column] == positive_value
-
-        udf = cls(name=name, func=reveal, evaluation_cost=evaluation_cost)
+        udf = cls(
+            name=name,
+            func=RevealLabel(label_column, positive_value),
+            evaluation_cost=evaluation_cost,
+        )
         udf.label_column = label_column
         udf.positive_value = positive_value
         return udf
@@ -236,6 +285,101 @@ class UserDefinedFunction:
         oracle = bool(self._oracle_depth)
         registry = _metrics.get_registry()
         id_array = np.asarray(row_ids, dtype=np.intp)
+        results, pending_positions, pending_array = self._bulk_split(
+            id_array, oracle, registry
+        )
+        if pending_array.size:
+            if self.label_column is not None and table.schema.has_column(self.label_column):
+                labels = table.column_array(self.label_column, allow_hidden=True)
+                fresh = np.asarray(
+                    labels[pending_array] == self.positive_value, dtype=bool
+                )
+            else:
+                fresh = np.fromiter(
+                    (
+                        bool(self._func(table.row(int(r), include_hidden=True)))
+                        for r in pending_array
+                    ),
+                    dtype=bool,
+                    count=int(pending_array.size),
+                )
+            self._bulk_absorb(
+                results, pending_positions, pending_array, fresh, oracle, registry
+            )
+        return results
+
+    def merge_remote_evaluations(
+        self, row_ids: Iterable[int], outcomes: Iterable[bool]
+    ) -> np.ndarray:
+        """Fold UDF outcomes evaluated in a worker process into this instance.
+
+        The process-pool executor evaluates rows against shared-memory column
+        views in workers that hold only a :class:`UdfSpec` — no memo cache, no
+        counters.  The parent calls this with the worker's ``(row_ids,
+        outcomes)`` to replay exactly the accounting :meth:`evaluate_rows`
+        would have produced locally: one bulk call, memoised rows counted as
+        hits (their cached value wins; determinism makes the remote outcome
+        identical), pending rows counted as misses and absorbed into the memo
+        cache.  Returns the final boolean array for ``row_ids``, so serial
+        and process-pool execution are bitwise indistinguishable to callers
+        and to the CI parity gates.
+        """
+        oracle = bool(self._oracle_depth)
+        registry = _metrics.get_registry()
+        id_array = np.asarray(row_ids, dtype=np.intp)
+        outcome_array = np.asarray(outcomes, dtype=bool)
+        if outcome_array.shape != id_array.shape:
+            raise ValueError(
+                f"outcomes shape {outcome_array.shape} does not match "
+                f"row_ids shape {id_array.shape}"
+            )
+        results, pending_positions, pending_array = self._bulk_split(
+            id_array, oracle, registry
+        )
+        if pending_array.size:
+            if pending_positions is not None:
+                fresh = outcome_array[pending_positions]
+            else:
+                fresh = outcome_array
+            self._bulk_absorb(
+                results, pending_positions, pending_array, fresh, oracle, registry
+            )
+        return results
+
+    def worker_spec(self) -> UdfSpec:
+        """The picklable :class:`UdfSpec` shipped to process-pool workers.
+
+        Label-column UDFs always qualify (the worker takes the vectorised
+        label path and never needs the callable).  Arbitrary callables are
+        pickle-tested once (the verdict is memoised); a closure or lambda
+        raises :class:`~repro.db.errors.UnpicklableUdfError`, which the
+        process executor treats as "fall back to in-process evaluation".
+        """
+        if self.label_column is not None:
+            return UdfSpec(self.name, self.label_column, self.positive_value, None)
+        if self._func_picklable is None:
+            try:
+                pickle.loads(pickle.dumps(self._func))
+            except Exception:
+                self._func_picklable = False
+            else:
+                self._func_picklable = True
+        if not self._func_picklable:
+            raise UnpicklableUdfError(self.name, self._func)
+        return UdfSpec(self.name, None, self.positive_value, self._func)
+
+    def _bulk_split(
+        self, id_array: np.ndarray, oracle: bool, registry
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        """Count one bulk call and split ``id_array`` against the memo cache.
+
+        Returns ``(results, pending_positions, pending_array)``: ``results``
+        has memo-answered positions filled in, ``pending_array`` holds the
+        row ids still needing evaluation, and ``pending_positions`` their
+        positions in ``results`` (``None`` means everything is pending and
+        positions are implicit).  Shared by :meth:`evaluate_rows` and
+        :meth:`merge_remote_evaluations` so the two paths cannot drift.
+        """
         if not oracle:
             with self._state_lock:
                 self.bulk_calls += 1
@@ -287,39 +431,41 @@ class UserDefinedFunction:
             results = np.empty(len(id_array), dtype=bool)
             pending_positions = None  # everything pending, positions implicit
             pending_array = id_array
-        if pending_array.size:
-            if self.label_column is not None and table.schema.has_column(self.label_column):
-                labels = table.column_array(self.label_column, allow_hidden=True)
-                fresh = np.asarray(
-                    labels[pending_array] == self.positive_value, dtype=bool
-                )
-            else:
-                fresh = np.fromiter(
-                    (
-                        bool(self._func(table.row(int(r), include_hidden=True)))
-                        for r in pending_array
-                    ),
-                    dtype=bool,
-                    count=int(pending_array.size),
-                )
-            if pending_positions is not None:
-                results[pending_positions] = fresh
-            else:
-                results[:] = fresh
-            if not oracle:
-                with self._state_lock:
-                    self.call_count += int(pending_array.size)
-                    self.cache_misses += int(pending_array.size)
-                    if self.memoize:
-                        self._cache.update(
-                            zip(pending_array.tolist(), fresh.tolist())
-                        )
-                        self._memo_snapshot = None
-                if registry.enabled:
-                    self._obs_counters.get(registry, "evaluations").inc(
-                        int(pending_array.size)
+        return results, pending_positions, pending_array
+
+    def _bulk_absorb(
+        self,
+        results: np.ndarray,
+        pending_positions: Optional[np.ndarray],
+        pending_array: np.ndarray,
+        fresh: np.ndarray,
+        oracle: bool,
+        registry,
+    ) -> None:
+        """Scatter fresh outcomes into ``results`` and absorb the paid work.
+
+        The other half of :meth:`_bulk_split`: advances
+        ``call_count``/``cache_misses`` once per fresh outcome and writes the
+        memo cache, regardless of whether the outcomes were computed locally
+        or merged back from a worker process.
+        """
+        if pending_positions is not None:
+            results[pending_positions] = fresh
+        else:
+            results[:] = fresh
+        if not oracle:
+            with self._state_lock:
+                self.call_count += int(pending_array.size)
+                self.cache_misses += int(pending_array.size)
+                if self.memoize:
+                    self._cache.update(
+                        zip(pending_array.tolist(), fresh.tolist())
                     )
-        return results
+                    self._memo_snapshot = None
+            if registry.enabled:
+                self._obs_counters.get(registry, "evaluations").inc(
+                    int(pending_array.size)
+                )
 
     def _use_memo_snapshot(self, query_size: int) -> bool:
         """Whether a bulk lookup should go through the sorted snapshot.

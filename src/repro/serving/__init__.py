@@ -4,7 +4,12 @@ The one-shot pipeline in :mod:`repro.core` recomputes selectivity estimates,
 the correlated column and the solved plan on every call.  This package adds
 the serving layer a repeated workload needs:
 
-* :class:`QueryService` — thread-safe front-end over a shared catalog;
+* :class:`QueryService` — thread-safe front-end over a shared catalog,
+  with an asyncio front-end (:meth:`~QueryService.submit_async`:
+  admission control with typed :class:`Overloaded` shedding, bounded
+  concurrency, cold-miss coalescing);
+* :class:`ServiceConfig` / :class:`ServiceStats` — one configuration value
+  and one typed observability snapshot (:meth:`QueryService.stats`);
 * :class:`StatisticsCache` — memoised labelled samples and per-column
   sample outcomes (TTL + LRU, hit/miss accounted);
 * :class:`PlanCache` / :class:`CachedPlan` — solved plans keyed by
@@ -21,9 +26,15 @@ docstring and ``examples/serving_workload.py`` for a full tour.
 
 from repro.serving.batch_executor import BatchExecutor
 from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.config import ServiceConfig, ServiceStats
 from repro.serving.plan_cache import CachedPlan, PlanCache
 from repro.serving.service import QueryService
-from repro.serving.session import AdmissionError, ClientSession, SessionManager
+from repro.serving.session import (
+    AdmissionError,
+    ClientSession,
+    Overloaded,
+    SessionManager,
+)
 from repro.serving.signature import (
     canonical_predicate,
     plan_signature,
@@ -39,8 +50,11 @@ __all__ = [
     "CacheStats",
     "ClientSession",
     "LRUCache",
+    "Overloaded",
     "PlanCache",
     "QueryService",
+    "ServiceConfig",
+    "ServiceStats",
     "SessionManager",
     "StatisticsCache",
     "canonical_predicate",

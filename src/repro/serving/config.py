@@ -1,0 +1,180 @@
+"""Service configuration and the unified stats surface.
+
+:class:`ServiceConfig` is the one place :class:`~repro.serving.service.QueryService`
+is configured — it replaces the ~10 loose keyword arguments that accreted on
+the constructor across releases (those still work for one release, with
+:class:`DeprecationWarning` shims).  :class:`ServiceStats` is the matching
+read side: one typed snapshot unifying the serving counters, cache
+statistics, session accounting, latency summaries, async front-end state and
+the optional :mod:`repro.obs` registry dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+#: Canonical executor backend names.
+#:
+#: ``serial``
+#:     The vectorised single-threaded :class:`~repro.core.executor.BatchExecutor`
+#:     (the default — "serial" describes its concurrency, not its speed).
+#: ``thread``
+#:     Sharded thread-pool :class:`~repro.core.parallel.ParallelBatchExecutor`;
+#:     scales while per-span work stays in GIL-releasing NumPy kernels.
+#: ``process``
+#:     :class:`~repro.core.procpool.ProcessPoolBatchExecutor` over
+#:     shared-memory shards; the only backend that scales python-callable
+#:     UDF evaluation across cores.
+#: ``reference``
+#:     The paper-faithful tuple-at-a-time :class:`~repro.core.executor.PlanExecutor`,
+#:     kept for differential testing.
+EXECUTORS = ("serial", "thread", "process", "reference")
+
+#: Pre-1.3 names accepted (with a warning) through the deprecated
+#: ``QueryService`` keyword path.  Note the trap this renaming removes:
+#: legacy ``"serial"`` meant the tuple-at-a-time reference executor, while
+#: canonical ``"serial"`` is the vectorised default — so the legacy spelling
+#: maps to ``"reference"``.
+LEGACY_EXECUTORS = {
+    "batch": "serial",
+    "parallel": "thread",
+    "serial": "reference",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything configurable about a :class:`QueryService`, in one value.
+
+    Parameters
+    ----------
+    executor:
+        One of :data:`EXECUTORS` — backend for warm-plan execution and the
+        pipeline's execution step.  Legacy names (``"batch"``/``"parallel"``)
+        are only accepted through the deprecated keyword shims, never here.
+    max_workers:
+        Worker bound for the ``thread``/``process`` backends (``None`` =
+        machine cores); ignored by the others.
+    plan_cache_size / stats_cache_size:
+        LRU bounds for the two caches (``0`` disables caching).
+    ttl:
+        Optional time-to-live in seconds applied to both caches.
+    default_budget:
+        UDF-cost budget assigned to implicitly created client sessions.
+    free_memoized:
+        Serving accounting: do not re-charge evaluations whose value the UDF
+        already memoised.  Cold pipeline runs always use the paper's
+        accounting.
+    max_concurrency:
+        Threads executing requests for the asyncio front-end
+        (:meth:`QueryService.submit_async`); bounds how many requests run at
+        once regardless of how many are admitted.
+    max_pending:
+        Default per-class admission limit for the async front-end: when this
+        many requests of one query class are already in flight, further
+        arrivals are shed with :class:`~repro.serving.session.Overloaded`.
+    class_limits:
+        Per-class overrides of ``max_pending``, keyed by query class
+        (``"exact"`` / ``"strategy"`` / ``"approximate"``).
+    coalesce:
+        Merge concurrent same-signature cold misses on the async front-end:
+        followers await the leader's planning/sampling pass instead of
+        re-running it (and followers with the same seed share its result).
+    """
+
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    plan_cache_size: Optional[int] = 256
+    stats_cache_size: Optional[int] = 256
+    ttl: Optional[float] = None
+    default_budget: Optional[float] = None
+    free_memoized: bool = True
+    max_concurrency: int = 8
+    max_pending: int = 64
+    class_limits: Mapping[str, int] = field(default_factory=dict)
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            hint = ""
+            if self.executor in LEGACY_EXECUTORS:
+                hint = (
+                    f" ({self.executor!r} is a pre-1.3 name; use "
+                    f"{LEGACY_EXECUTORS[self.executor]!r})"
+                )
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}{hint}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be positive, got {self.max_concurrency}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {self.max_pending}")
+        for query_class, limit in self.class_limits.items():
+            if limit < 0:
+                raise ValueError(
+                    f"class_limits[{query_class!r}] must be non-negative, got {limit}"
+                )
+
+
+@dataclass
+class ServiceStats:
+    """One typed observability surface for a :class:`QueryService`.
+
+    Returned by :meth:`QueryService.stats`; the legacy ``metrics()`` /
+    ``latency_snapshot()`` / ``metrics_snapshot()`` methods remain as thin
+    aliases over the same data.  See :data:`SERVICE_STATS_SCHEMA` for the
+    field contract (documented alongside
+    :meth:`repro.db.engine.Engine.metadata_schema`, the result-metadata
+    contract).
+    """
+
+    serving: Dict[str, int]
+    plan_cache: Dict[str, float]
+    stats_cache: Dict[str, float]
+    sessions: Dict[str, Dict[str, float]]
+    latency_ms: Dict[str, Dict[str, Optional[float]]]
+    frontend: Dict[str, object]
+    registry: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole snapshot as one plain dict (for JSON reports)."""
+        return {
+            "serving": dict(self.serving),
+            "plan_cache": dict(self.plan_cache),
+            "stats_cache": dict(self.stats_cache),
+            "sessions": dict(self.sessions),
+            "latency_ms": dict(self.latency_ms),
+            "frontend": dict(self.frontend),
+            "registry": dict(self.registry),
+        }
+
+
+#: Contract for :class:`ServiceStats` fields — the stats-side sibling of
+#: :meth:`repro.db.engine.Engine.metadata_schema`.
+SERVICE_STATS_SCHEMA: Dict[str, str] = {
+    "serving": (
+        "monotonic request counters: queries, exact_queries, plan_hits/"
+        "misses/refreshes, pipeline_runs, solver_calls, degraded_plans, "
+        "rejected, flight_waits, fallbacks, trace_sink_errors, shed "
+        "(async admission rejections), coalesced (requests answered from a "
+        "coalesced leader's result without executing)"
+    ),
+    "plan_cache": "LRUCache.snapshot() of the plan cache (hits, misses, size, ...)",
+    "stats_cache": "LRUCache.snapshot() of the statistics cache",
+    "sessions": "per-client SessionManager.snapshot(): budget, spent, admitted, ...",
+    "latency_ms": (
+        "per-path latency summaries {count, mean_ms, p50_ms, p95_ms, p99_ms, "
+        "max_ms}; paths: all, exact, strategy, hit, miss, refresh, error, "
+        "coalesced"
+    ),
+    "frontend": (
+        "async front-end state: pending per query class, class_limits, "
+        "max_pending, max_concurrency, coalesce flag, open_flights"
+    ),
+    "registry": "repro.obs MetricsRegistry.snapshot() (empty while disabled)",
+}

@@ -27,7 +27,19 @@ is deterministic per request regardless of thread interleaving.
 Sharded catalogs are served transparently: a
 :class:`~repro.db.sharding.ShardedTable` satisfies the full table contract,
 the statistics cache keys per (table, shard-layout) generation, and the
-``"parallel"`` executor backend fans execution across the shards.
+``"thread"``/``"process"`` executor backends fan execution across the
+shards (``"process"`` over shared-memory column exports, the only backend
+that scales python-callable UDFs past the GIL).
+
+On top of the synchronous :meth:`QueryService.submit` there is an asyncio
+front-end, :meth:`QueryService.submit_async`: admission control sheds
+excess per-class load with a typed
+:class:`~repro.serving.session.Overloaded` (never a silent drop), requests
+execute on a bounded worker pool, and concurrent cold misses for one plan
+signature **coalesce** — followers await the leader's planning/sampling
+pass, and same-seed followers share its result outright.  Configuration
+lives in one :class:`~repro.serving.config.ServiceConfig` value; the
+unified observability surface is :meth:`QueryService.stats`.
 
 Data churn is served through a **refresh path**: appending rows to a
 catalog table bumps its ``data_generation``, which marks warm plan entries
@@ -40,17 +52,27 @@ and the package docstring's "Update workloads" section.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import itertools
 import threading
 import time
+import warnings
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 
 from repro.core.column_selection import top_up_labeled_sample
 from repro.core.constraints import CostModel, QueryConstraints
-from repro.core.executor import BatchExecutor, ExecutorBackend, PlanExecutor
+from repro.core.executor import (
+    BatchExecutor,
+    ExecutorAware,
+    ExecutorBackend,
+    PlanExecutor,
+)
 from repro.core.extensions.budget import solve_budgeted_recall
 from repro.core.parallel import ParallelBatchExecutor
 from repro.core.pipeline import IntelSample, _probe_bulk_evaluator
+from repro.core.procpool import ProcessPoolBatchExecutor
 from repro.db.catalog import Catalog
 from repro.db.engine import Engine, QueryResult
 from repro.db.query import SelectQuery
@@ -60,8 +82,9 @@ from repro.obs import metrics as _metrics
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 from repro.obs.trace import Trace
 from repro.obs.trace import span as _span
+from repro.serving.config import LEGACY_EXECUTORS, ServiceConfig, ServiceStats
 from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
-from repro.serving.session import ClientSession, SessionManager
+from repro.serving.session import ClientSession, Overloaded, SessionManager
 from repro.serving.stats_cache import StatisticsCache
 from repro.serving.signature import plan_signature, statistics_key
 from repro.stats.random import (
@@ -71,8 +94,40 @@ from repro.stats.random import (
     stable_hash_seed,
 )
 
-#: Executor backend names accepted by :class:`QueryService`.
-_BACKENDS = ("batch", "serial", "parallel")
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None`` on
+#: the deprecated :class:`QueryService` keyword shims.
+_UNSET = object()
+
+#: The deprecated constructor kwargs and the :class:`ServiceConfig` field
+#: each folds into.
+_LEGACY_KWARGS = (
+    "plan_cache_size",
+    "stats_cache_size",
+    "ttl",
+    "executor",
+    "default_budget",
+    "free_memoized",
+    "max_workers",
+)
+
+
+@dataclass
+class _Flight:
+    """A coalesced cold miss on the async front-end.
+
+    The first arrival for a cold signature becomes the leader and runs the
+    full request; followers await ``future``.  Followers whose request is
+    bitwise-compatible with the leader's (same seed and audit flag, both
+    anonymous) share the leader's result; the rest re-submit once the plan
+    is warm.
+    """
+
+    signature: Hashable
+    seed: object
+    audit: bool
+    client_id: Optional[str]
+    future: "concurrent.futures.Future[QueryResult]"
+
 
 #: Number of independent single-flight guard stripes.  Cold signatures hash
 #: onto a stripe, so registry bookkeeping for one signature never contends
@@ -87,61 +142,111 @@ class QueryService:
     ----------
     catalog:
         The shared catalog, or an :class:`Engine` wrapping one.
+    config:
+        A :class:`~repro.serving.config.ServiceConfig` with everything else:
+        executor backend (``"serial"``/``"thread"``/``"process"``/
+        ``"reference"``), cache bounds and TTL, session budgets, serving
+        accounting, and the async front-end's admission limits.  Omitted =
+        all defaults.  The pre-1.3 loose keyword arguments
+        (``plan_cache_size``, ``executor=...`` and friends) still work for
+        one release — each folds into a ``ServiceConfig`` with a
+        :class:`DeprecationWarning`, and legacy executor names are mapped
+        (``"batch"`` → ``"serial"``, ``"parallel"`` → ``"thread"``, old
+        ``"serial"`` → ``"reference"``).  Passing both ``config`` and a
+        legacy kwarg is an error.
     strategy_factory:
         Maps a per-request :class:`RandomState` to a strategy instance; the
         default builds an :class:`IntelSample` wired to this service's
         executor backend.  The factory must produce identically-configured
         strategies — the configuration is part of every plan signature.
-    plan_cache_size / stats_cache_size:
-        LRU bounds for the two caches (``0`` disables caching).
-    ttl:
-        Optional time-to-live in seconds applied to both caches.
-    executor:
-        ``"batch"`` (vectorised, default), ``"serial"`` (tuple-at-a-time
-        reference) or ``"parallel"`` (sharded thread-parallel
-        :class:`~repro.core.parallel.ParallelBatchExecutor`) for warm-plan
-        execution and for the pipeline's execution step.  ``"parallel"``
-        accepts monolithic tables too (it degrades to one span) but pays off
-        on :class:`~repro.db.sharding.ShardedTable` catalogs.
-    max_workers:
-        Worker bound for the ``"parallel"`` backend (``None`` = machine
-        cores); ignored by the other backends.
+        With a ``"thread"``/``"process"`` backend the strategies must
+        implement :class:`~repro.core.executor.ExecutorAware`, otherwise
+        the backend would be silently dropped on refresh traffic (checked
+        at construction).
     sessions:
-        Session manager for admission control; a default (unlimited-budget)
-        manager is created when omitted.
-    free_memoized:
-        Serving accounting: do not re-charge evaluations whose value the
-        UDF already memoised (a real system never pays twice for the same
-        tuple).  Cold pipeline runs always use the paper's accounting.
+        Session manager for admission control; a default manager with
+        ``config.default_budget`` is created when omitted.
     """
 
     def __init__(
         self,
         catalog: Union[Catalog, Engine],
         strategy_factory: Optional[Callable[[RandomState], object]] = None,
-        plan_cache_size: Optional[int] = 256,
-        stats_cache_size: Optional[int] = 256,
-        ttl: Optional[float] = None,
-        executor: str = "batch",
+        *,
+        config: Optional[ServiceConfig] = None,
         sessions: Optional[SessionManager] = None,
-        default_budget: Optional[float] = None,
-        free_memoized: bool = True,
-        max_workers: Optional[int] = None,
+        plan_cache_size: object = _UNSET,
+        stats_cache_size: object = _UNSET,
+        ttl: object = _UNSET,
+        executor: object = _UNSET,
+        default_budget: object = _UNSET,
+        free_memoized: object = _UNSET,
+        max_workers: object = _UNSET,
     ):
-        if executor not in _BACKENDS:
-            raise ValueError(f"executor must be one of {_BACKENDS}, got {executor!r}")
+        legacy = {
+            name: value
+            for name, value in (
+                ("plan_cache_size", plan_cache_size),
+                ("stats_cache_size", stats_cache_size),
+                ("ttl", ttl),
+                ("executor", executor),
+                ("default_budget", default_budget),
+                ("free_memoized", free_memoized),
+                ("max_workers", max_workers),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise ValueError(
+                    "pass configuration either as config=ServiceConfig(...) or "
+                    f"through the deprecated keyword arguments {sorted(legacy)}, "
+                    "not both"
+                )
+            remap = ""
+            if "executor" in legacy and legacy["executor"] in LEGACY_EXECUTORS:
+                canonical = LEGACY_EXECUTORS[legacy["executor"]]
+                remap = (
+                    f"; executor {legacy['executor']!r} is now spelled "
+                    f"{canonical!r}"
+                )
+                legacy["executor"] = canonical
+            warnings.warn(
+                f"QueryService keyword arguments {sorted(legacy)} are "
+                f"deprecated; pass config=ServiceConfig(...){remap}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = _dc_replace(ServiceConfig(), **legacy)
+        self.config = config if config is not None else ServiceConfig()
         self.engine = catalog if isinstance(catalog, Engine) else Engine(catalog)
         self.catalog = self.engine.catalog
-        self.executor_backend = executor
-        self.max_workers = max_workers
-        self.free_memoized = free_memoized
-        self.plan_cache = PlanCache(max_size=plan_cache_size, ttl=ttl)
-        self.stats_cache = StatisticsCache(max_size=stats_cache_size, ttl=ttl)
-        self.sessions = sessions or SessionManager(default_budget=default_budget)
+        self.executor_backend = self.config.executor
+        self.max_workers = self.config.max_workers
+        self.free_memoized = self.config.free_memoized
+        self.plan_cache = PlanCache(
+            max_size=self.config.plan_cache_size, ttl=self.config.ttl
+        )
+        self.stats_cache = StatisticsCache(
+            max_size=self.config.stats_cache_size, ttl=self.config.ttl
+        )
+        self.sessions = sessions or SessionManager(
+            default_budget=self.config.default_budget
+        )
         self.strategy_factory = strategy_factory or self._default_strategy_factory
         # A configured-but-unseeded instance whose settings fingerprint every
         # plan signature this service produces.
         self._strategy_prototype = self.strategy_factory(as_random_state(0))
+        if self.executor_backend in ("thread", "process") and not isinstance(
+            self._strategy_prototype, ExecutorAware
+        ):
+            raise TypeError(
+                f"strategy {type(self._strategy_prototype).__name__} does not "
+                "implement ExecutorAware (no executor_factory attribute), so "
+                f"the {self.executor_backend!r} executor backend would be "
+                "silently dropped on cold and refresh traffic; accept an "
+                "executor_factory or use the 'serial' backend"
+            )
         self._metrics_lock = threading.Lock()
         self._metrics: Dict[str, int] = {
             "queries": 0,
@@ -156,6 +261,8 @@ class QueryService:
             "flight_waits": 0,
             "fallbacks": 0,
             "trace_sink_errors": 0,
+            "shed": 0,
+            "coalesced": 0,
         }
         # Per-path latency histograms (always on — plain instruments, not
         # routed through the opt-in registry, so ``metrics_snapshot()`` can
@@ -175,6 +282,13 @@ class QueryService:
         self._flight_guards: Tuple[threading.Lock, ...] = tuple(
             threading.Lock() for _ in range(_FLIGHT_STRIPES)
         )
+        # Async front-end: admission counters, the coalescing flight table
+        # and the lazily created bounded worker pool.
+        self._frontend_lock = threading.Lock()
+        self._frontend_pending: Dict[str, int] = {}
+        self._async_flights: Dict[Hashable, _Flight] = {}
+        self._async_flights_lock = threading.Lock()
+        self._frontend_executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
 
     # -- construction helpers -----------------------------------------------------
     def _default_strategy_factory(self, random_state: RandomState) -> IntelSample:
@@ -184,23 +298,33 @@ class QueryService:
         )
 
     def _make_executor(self, random_state: RandomState) -> ExecutorBackend:
-        if self.executor_backend == "batch":
+        if self.executor_backend == "serial":
             # The cold pipeline keeps the paper's charging semantics
             # (free_memoized=False); serving accounting applies on warm paths.
             return BatchExecutor(random_state=random_state)
-        if self.executor_backend == "parallel":
+        if self.executor_backend == "thread":
             return ParallelBatchExecutor(
+                random_state=random_state, max_workers=self.max_workers
+            )
+        if self.executor_backend == "process":
+            return ProcessPoolBatchExecutor(
                 random_state=random_state, max_workers=self.max_workers
             )
         return PlanExecutor(random_state=random_state)
 
     def _warm_executor(self, random_state: RandomState) -> ExecutorBackend:
-        if self.executor_backend == "batch":
+        if self.executor_backend == "serial":
             return BatchExecutor(
                 random_state=random_state, free_memoized=self.free_memoized
             )
-        if self.executor_backend == "parallel":
+        if self.executor_backend == "thread":
             return ParallelBatchExecutor(
+                random_state=random_state,
+                max_workers=self.max_workers,
+                free_memoized=self.free_memoized,
+            )
+        if self.executor_backend == "process":
+            return ProcessPoolBatchExecutor(
                 random_state=random_state,
                 max_workers=self.max_workers,
                 free_memoized=self.free_memoized,
@@ -229,7 +353,8 @@ class QueryService:
 
         Paths: ``all`` (every request), ``exact``, ``strategy`` (named
         strategy bypass), ``hit``/``miss``/``refresh`` (plan-cache
-        classification of approximate queries) and ``error``.  Values are
+        classification of approximate queries), ``coalesced`` (async
+        followers served from a leader's result) and ``error``.  Values are
         seconds; quantiles come out via :meth:`Histogram.quantile` /
         :meth:`metrics_snapshot`.
         """
@@ -331,6 +456,184 @@ class QueryService:
         self.latency_histogram("all").observe(elapsed)
         self.latency_histogram(self._latency_path(query, result)).observe(elapsed)
         return result
+
+    # -- async front-end -------------------------------------------------------------
+    async def submit_async(
+        self,
+        query: SelectQuery,
+        client_id: Optional[str] = None,
+        seed: SeedLike = None,
+        audit: bool = False,
+    ) -> QueryResult:
+        """Answer one query from an asyncio application without blocking it.
+
+        Semantics are :meth:`submit` plus three front-end behaviours:
+
+        * **admission** — each query class (``exact``/``strategy``/
+          ``approximate``) has a pending-request limit
+          (``config.class_limits``, default ``config.max_pending``); at the
+          limit further arrivals are shed with a typed
+          :class:`~repro.serving.session.Overloaded` and counted on the
+          ``shed`` metric — never silently dropped.
+        * **bounded execution** — admitted requests run on a worker pool of
+          ``config.max_concurrency`` threads, so a burst cannot stampede
+          the planner.
+        * **coalescing** — concurrent cold misses for one plan signature
+          merge: the first arrival leads and runs the full request, the
+          rest await it.  A follower with the leader's seed and audit flag
+          (both anonymous) shares the leader's result — bitwise identical
+          row ids, zero extra UDF work, metadata ``coalesced: True``,
+          counted on the ``coalesced`` metric.  Other followers (different
+          seed, budgeted, or auditing) re-submit once the plan is warm,
+          paying only warm-path execution.
+        """
+        query_class = self._query_class(query)
+        self._admit_frontend(query_class)
+        try:
+            loop = asyncio.get_running_loop()
+            pool = self._frontend_pool()
+            signature = self._coalesce_signature(query)
+            flight: Optional[_Flight] = None
+            leader = False
+            if signature is not None:
+                flight, leader = self._join_flight(signature, seed, audit, client_id)
+            if flight is None:
+                return await loop.run_in_executor(
+                    pool, lambda: self.submit(query, client_id, seed, audit)
+                )
+            if leader:
+                try:
+                    result = await loop.run_in_executor(
+                        pool, lambda: self.submit(query, client_id, seed, audit)
+                    )
+                except BaseException as exc:
+                    self._finish_flight(flight, None, exc)
+                    raise
+                self._finish_flight(flight, result, None)
+                return result
+            # Follower: wait for the leader's pass.  A failed leader is not
+            # propagated — the follower just runs its own request (which may
+            # fail the same way, attributed to itself).
+            started = time.perf_counter()
+            try:
+                shared = await asyncio.wrap_future(flight.future)
+            except BaseException:
+                shared = None
+            if (
+                shared is not None
+                and client_id is None
+                and flight.client_id is None
+                and audit == flight.audit
+                and seed == flight.seed
+            ):
+                self._count("coalesced")
+                elapsed = time.perf_counter() - started
+                self.latency_histogram("all").observe(elapsed)
+                self.latency_histogram("coalesced").observe(elapsed)
+                return QueryResult(
+                    row_ids=shared.row_ids,
+                    ledger=shared.ledger,
+                    quality=shared.quality,
+                    metadata={**shared.metadata, "coalesced": True},
+                )
+            return await loop.run_in_executor(
+                pool, lambda: self.submit(query, client_id, seed, audit)
+            )
+        finally:
+            self._release_frontend(query_class)
+
+    @staticmethod
+    def _query_class(query: SelectQuery) -> str:
+        """Admission class of a query: ``exact``, ``strategy`` or ``approximate``."""
+        if query.is_exact:
+            return "exact"
+        if query.strategy is not None:
+            return "strategy"
+        return "approximate"
+
+    def _admit_frontend(self, query_class: str) -> None:
+        """Count a pending request in, or shed it with :class:`Overloaded`."""
+        limit = self.config.class_limits.get(query_class, self.config.max_pending)
+        with self._frontend_lock:
+            pending = self._frontend_pending.get(query_class, 0)
+            admitted = pending < limit
+            if admitted:
+                self._frontend_pending[query_class] = pending + 1
+        if not admitted:
+            self._count("shed")
+            raise Overloaded(query_class, pending, limit)
+
+    def _release_frontend(self, query_class: str) -> None:
+        with self._frontend_lock:
+            self._frontend_pending[query_class] = max(
+                0, self._frontend_pending.get(query_class, 0) - 1
+            )
+
+    def _frontend_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        """The lazily created bounded pool async requests execute on."""
+        pool = self._frontend_executor
+        if pool is None:
+            with self._frontend_lock:
+                pool = self._frontend_executor
+                if pool is None:
+                    pool = concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.config.max_concurrency,
+                        thread_name_prefix="repro-serve",
+                    )
+                    self._frontend_executor = pool
+        return pool
+
+    def _coalesce_signature(self, query: SelectQuery) -> Optional[Hashable]:
+        """The coalescing key for a request, or ``None`` when it must not merge.
+
+        Only approximate, unnamed-strategy queries whose plan signature is
+        not already live coalesce — warm requests are cheap and independent,
+        and merging them would serialise the very traffic the plan cache
+        exists to parallelise.
+        """
+        if (
+            not self.config.coalesce
+            or query.is_exact
+            or query.strategy is not None
+            or not self.plan_cache.enabled
+        ):
+            return None
+        signature = plan_signature(query, self._cost_model(), self._strategy_prototype)
+        _, state = self._lookup_entry(signature, query, record=False)
+        return None if state == "live" else signature
+
+    def _join_flight(
+        self,
+        signature: Hashable,
+        seed: SeedLike,
+        audit: bool,
+        client_id: Optional[str],
+    ) -> Tuple[_Flight, bool]:
+        """Join (or open, becoming leader of) the flight for a signature."""
+        with self._async_flights_lock:
+            found = self._async_flights.get(signature)
+            if found is not None:
+                return found, False
+            flight = _Flight(
+                signature, seed, audit, client_id, concurrent.futures.Future()
+            )
+            self._async_flights[signature] = flight
+            return flight, True
+
+    def _finish_flight(
+        self,
+        flight: _Flight,
+        result: Optional[QueryResult],
+        error: Optional[BaseException],
+    ) -> None:
+        """Close a flight: unregister it, then wake the followers."""
+        with self._async_flights_lock:
+            if self._async_flights.get(flight.signature) is flight:
+                del self._async_flights[flight.signature]
+        if error is not None:
+            flight.future.set_exception(error)
+        else:
+            flight.future.set_result(result)
 
     def _submit(
         self,
@@ -588,7 +891,7 @@ class QueryService:
         udf = self._query_udf(query)
         constraints = QueryConstraints(alpha=query.alpha, beta=query.beta, rho=query.rho)
         strategy = self.strategy_factory(as_random_state(seed))
-        if hasattr(strategy, "executor_factory"):
+        if isinstance(strategy, ExecutorAware):
             # A refresh is warm-path traffic: serving accounting applies, so
             # the execution step never re-charges evaluations the UDF already
             # memoised — the ledger then reads delta-proportional, which the
@@ -624,7 +927,10 @@ class QueryService:
                             # counter-based, so the fan never changes the
                             # sample).
                             bulk_evaluator=_probe_bulk_evaluator(
-                                getattr(strategy, "executor_factory", None), udf
+                                strategy.executor_factory
+                                if isinstance(strategy, ExecutorAware)
+                                else None,
+                                udf,
                             ),
                         )
                     else:
@@ -775,8 +1081,47 @@ class QueryService:
             )
         return predicates[0].udf
 
+    def stats(self) -> ServiceStats:
+        """The unified observability surface: one typed snapshot of everything.
+
+        Bundles the serving counters, both cache snapshots, per-client
+        session accounting, per-path latency summaries, the async
+        front-end's admission state and — when the global metrics registry
+        is enabled — its full snapshot.  Field contract:
+        :data:`repro.serving.config.SERVICE_STATS_SCHEMA` (the stats-side
+        sibling of :meth:`repro.db.engine.Engine.metadata_schema`).  The
+        older :meth:`metrics`, :meth:`latency_snapshot` and
+        :meth:`metrics_snapshot` remain as thin aliases over the same data.
+        """
+        with self._metrics_lock:
+            counters = dict(self._metrics)
+        with self._frontend_lock:
+            pending = dict(self._frontend_pending)
+        with self._async_flights_lock:
+            open_flights = len(self._async_flights)
+        return ServiceStats(
+            serving=counters,
+            plan_cache=self.plan_cache.snapshot(),
+            stats_cache=self.stats_cache.snapshot(),
+            sessions=self.sessions.snapshot(),
+            latency_ms=self.latency_snapshot(),
+            frontend={
+                "pending": pending,
+                "max_pending": self.config.max_pending,
+                "class_limits": dict(self.config.class_limits),
+                "max_concurrency": self.config.max_concurrency,
+                "coalesce": self.config.coalesce,
+                "open_flights": open_flights,
+            },
+            registry=_metrics.get_registry().snapshot(),
+        )
+
     def metrics(self) -> Dict[str, object]:
-        """Serving metrics plus cache hit/miss statistics."""
+        """Serving metrics plus cache hit/miss statistics.
+
+        Alias view kept for compatibility; :meth:`stats` is the unified
+        (and typed) surface.
+        """
         with self._metrics_lock:
             counters = dict(self._metrics)
         return {
@@ -810,13 +1155,12 @@ class QueryService:
         return summary
 
     def metrics_snapshot(self) -> Dict[str, object]:
-        """One observability surface for the whole service.
+        """Compatibility alias bundling :meth:`metrics`, latency and registry.
 
-        Bundles :meth:`metrics` (serving counters + cache statistics), the
-        per-path latency summaries, and — when the global metrics registry
-        is enabled — its full :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
-        of library-wide instruments (UDF calls, index builds, cache
-        counters, executor runs).
+        Kept with its historical three-key shape (``serving`` /
+        ``latency_ms`` / ``registry``); new code should prefer
+        :meth:`stats`, which adds session and front-end state and returns a
+        typed :class:`~repro.serving.config.ServiceStats`.
         """
         return {
             "serving": self.metrics(),

@@ -37,6 +37,25 @@ class AdmissionError(DatabaseError):
         )
 
 
+class Overloaded(DatabaseError):
+    """A request was shed by the async front-end's admission control.
+
+    Raised (never silently dropped) when the per-class pending-request limit
+    is full; counted on the service's ``shed`` metric and on
+    ``repro_serving_shed_total`` when the :mod:`repro.obs` registry is
+    enabled.  Clients should back off and retry.
+    """
+
+    def __init__(self, query_class: str, pending: int, limit: int):
+        self.query_class = query_class
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"service overloaded: {pending} pending {query_class!r} requests "
+            f"at limit {limit}; retry later"
+        )
+
+
 @dataclass
 class ClientSession:
     """Per-client accounting: budget, spend, reservations and counters."""

@@ -1,0 +1,285 @@
+"""ProcessPoolBatchExecutor: bitwise parity, accounting, fallbacks.
+
+The contract under test is the tentpole invariant: the process-pool path
+produces *exactly* the serial path's results and counters — row ids, ledger
+charges, per-group counts, UDF memo content and every UDF counter — because
+coins are pure functions of (seed, group, position) and the parent replays
+serial charging while folding.  These tests run real spawn workers (a shared
+two-worker pool, reused across tests), so they also exercise the
+shared-memory export/attach lifecycle end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelBatchExecutor
+from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.core.procpool import ProcessPoolBatchExecutor
+from repro.db.errors import BudgetExhaustedError
+from repro.db.sharding import ShardedTable
+from repro.db.shm import exported_segment_count, release_exports
+from repro.db.table import Table
+from repro.db.udf import CostLedger, RevealLabel, UserDefinedFunction
+from repro.obs.metrics import MetricsRegistry, disable_metrics, enable_metrics
+from repro.sampling.sampler import GroupSampler
+
+WORKERS = 2
+
+
+def _table(n=600, groups=5, seed=11, name="ptab"):
+    rng = np.random.default_rng(seed)
+    return Table.from_columns(
+        name,
+        {
+            "A": [f"a{int(v)}" for v in rng.integers(0, groups, n)],
+            "f": [bool(v) for v in rng.random(n) < 0.45],
+        },
+        hidden_columns=["f"],
+    )
+
+
+def _sharded(n=600, shards=4, seed=11, name="ptab"):
+    return ShardedTable.from_table(_table(n=n, seed=seed, name=name), num_shards=shards)
+
+
+def _label_udf(name="pudf"):
+    return UserDefinedFunction.from_label_column(name, "f")
+
+
+def _func_udf(name="pyudf"):
+    # No label_column attribute: forces the per-row python-callable path on
+    # every backend (the workload processes exist for).
+    return UserDefinedFunction(name, RevealLabel("f", True))
+
+
+def _mixed_plan(index):
+    regimes = [(0.0, 0.0), (1.0, 1.0), (0.6, 0.0), (1.0, 0.5), (0.7, 0.8)]
+    decisions = {}
+    for code, value in enumerate(index.values):
+        retrieve, evaluate = regimes[code % len(regimes)]
+        decisions[value] = GroupDecision(retrieve=retrieve, evaluate=retrieve * evaluate)
+    return ExecutionPlan(decisions=decisions)
+
+
+def _execute(table, executor_cls, udf, workers, seed=7, free_memoized=False,
+             sample_outcome=None, ledger=None):
+    index = table.group_index("A")
+    plan = _mixed_plan(index)
+    ledger = ledger if ledger is not None else CostLedger()
+    executor = executor_cls(
+        random_state=seed, max_workers=workers, free_memoized=free_memoized
+    )
+    result = executor.execute(
+        table, index, udf, plan, ledger, sample_outcome=sample_outcome
+    )
+    return result, ledger
+
+
+def _assert_parity(serial, serial_ledger, serial_udf, remote, remote_ledger, remote_udf):
+    assert np.array_equal(
+        np.asarray(serial.returned_row_ids), np.asarray(remote.returned_row_ids)
+    )
+    assert remote_ledger.retrieved_count == serial_ledger.retrieved_count
+    assert remote_ledger.evaluated_count == serial_ledger.evaluated_count
+    assert remote_udf.counter_snapshot() == serial_udf.counter_snapshot()
+    assert remote_udf._cache == serial_udf._cache
+    for key, counts in serial.group_counts.items():
+        other = remote.group_counts[key]
+        assert (
+            counts.retrieved, counts.evaluated, counts.returned,
+            counts.evaluated_correct,
+        ) == (
+            other.retrieved, other.evaluated, other.returned,
+            other.evaluated_correct,
+        )
+
+
+class TestExecuteParity:
+    def test_label_udf_bitwise_parity(self):
+        table = _sharded()
+        udf_a, udf_b = _label_udf(), _label_udf()
+        serial, serial_ledger = _execute(table, ParallelBatchExecutor, udf_a, workers=1)
+        remote, remote_ledger = _execute(
+            table, ProcessPoolBatchExecutor, udf_b, workers=WORKERS
+        )
+        _assert_parity(serial, serial_ledger, udf_a, remote, remote_ledger, udf_b)
+
+    def test_python_callable_udf_bitwise_parity(self):
+        table = _sharded(name="pytab")
+        udf_a, udf_b = _func_udf(), _func_udf()
+        serial, serial_ledger = _execute(table, ParallelBatchExecutor, udf_a, workers=1)
+        remote, remote_ledger = _execute(
+            table, ProcessPoolBatchExecutor, udf_b, workers=WORKERS
+        )
+        _assert_parity(serial, serial_ledger, udf_a, remote, remote_ledger, udf_b)
+
+    def test_sampled_rows_excluded_and_positives_free(self):
+        table = _sharded(name="samptab")
+        index = table.group_index("A")
+        udf_a, udf_b = _label_udf("s_a"), _label_udf("s_b")
+        outcome = GroupSampler(random_state=3).sample(
+            table, index, udf_a, {value: 5 for value in index.values}, CostLedger()
+        )
+        # Mirror the sampler's memo warm-up on the comparison UDF so both
+        # sides enter execution with identical caches.
+        GroupSampler(random_state=3).sample(
+            table, index, udf_b, {value: 5 for value in index.values}, CostLedger()
+        )
+        serial, serial_ledger = _execute(
+            table, ParallelBatchExecutor, udf_a, workers=1, sample_outcome=outcome
+        )
+        remote, remote_ledger = _execute(
+            table, ProcessPoolBatchExecutor, udf_b, workers=WORKERS,
+            sample_outcome=outcome,
+        )
+        _assert_parity(serial, serial_ledger, udf_a, remote, remote_ledger, udf_b)
+
+    def test_free_memoized_second_run_charges_identically(self):
+        table = _sharded(name="memotab")
+        udf_a, udf_b = _label_udf("m_a"), _label_udf("m_b")
+        for run_seed in (7, 7, 13):
+            serial, serial_ledger = _execute(
+                table, ParallelBatchExecutor, udf_a, workers=1,
+                seed=run_seed, free_memoized=True,
+            )
+            remote, remote_ledger = _execute(
+                table, ProcessPoolBatchExecutor, udf_b, workers=WORKERS,
+                seed=run_seed, free_memoized=True,
+            )
+            _assert_parity(serial, serial_ledger, udf_a, remote, remote_ledger, udf_b)
+        # The repeated seed really was free the second time (memo merged back).
+        _, second_ledger = _execute(
+            table, ParallelBatchExecutor, _label_udf("m_c"), workers=1,
+            seed=7, free_memoized=True,
+        )
+        assert second_ledger.evaluated_count > 0  # fresh UDF pays
+
+    def test_budget_trips_at_the_same_boundary(self):
+        table = _sharded(name="budtab")
+        _, full_ledger = _execute(table, ParallelBatchExecutor, _label_udf(), workers=1)
+        budget = full_ledger.total_cost / 2
+
+        def run(executor_cls, udf, workers):
+            ledger = CostLedger()
+            ledger.set_budget(budget)
+            with pytest.raises(BudgetExhaustedError):
+                _execute(table, executor_cls, udf, workers=workers, ledger=ledger)
+            return ledger
+
+        serial_ledger = run(ParallelBatchExecutor, _label_udf(), 1)
+        remote_ledger = run(ProcessPoolBatchExecutor, _label_udf(), WORKERS)
+        assert remote_ledger.retrieved_count == serial_ledger.retrieved_count
+        assert remote_ledger.evaluated_count == serial_ledger.evaluated_count
+
+
+class TestEvaluateRowsFan:
+    def test_bulk_fan_matches_serial_including_bulk_calls(self):
+        table = _sharded(n=3000, shards=4, name="fantab")
+        ids = np.arange(0, 3000, dtype=np.intp)
+        udf_serial, udf_remote = _label_udf("f_a"), _label_udf("f_b")
+        expected = udf_serial.evaluate_rows(table, ids)
+        executor = ProcessPoolBatchExecutor(random_state=0, max_workers=WORKERS)
+        got = executor.evaluate_rows(table, udf_remote, ids)
+        assert np.array_equal(np.asarray(expected), np.asarray(got))
+        # One bulk call, like serial — the thread path pays one per chunk.
+        assert udf_remote.counter_snapshot() == udf_serial.counter_snapshot()
+        assert udf_remote._cache == udf_serial._cache
+
+    def test_partial_memoization_charges_only_pending(self):
+        table = _sharded(n=3000, shards=4, name="pmtab")
+        warm = np.arange(0, 1500, dtype=np.intp)
+        ids = np.arange(0, 3000, dtype=np.intp)
+        udf_serial, udf_remote = _label_udf("pm_a"), _label_udf("pm_b")
+        udf_serial.evaluate_rows(table, warm)
+        udf_remote.evaluate_rows(table, warm)
+        expected = udf_serial.evaluate_rows(table, ids)
+        executor = ProcessPoolBatchExecutor(random_state=0, max_workers=WORKERS)
+        got = executor.evaluate_rows(table, udf_remote, ids)
+        assert np.array_equal(np.asarray(expected), np.asarray(got))
+        snap = udf_remote.counter_snapshot()
+        assert snap == udf_serial.counter_snapshot()
+        assert snap["cache_hits"] >= warm.size  # memo-answered rows kept cached values
+
+
+class TestFallbacks:
+    def _fallback_reasons(self, registry):
+        reasons = []
+        for key in registry.snapshot()["counters"]:
+            if "repro_executor_fallbacks_total" in key and 'backend="process"' in key:
+                reasons.append(str(key))
+        return reasons
+
+    def test_unpicklable_udf_falls_back_with_identical_results(self):
+        registry = enable_metrics(MetricsRegistry())
+        try:
+            table = _sharded(name="lamtab")
+            udf_serial = _label_udf("lam_a")
+            udf_remote = UserDefinedFunction(
+                "lam_b", lambda row: bool(row["f"])  # unpicklable on purpose
+            )
+            serial, serial_ledger = _execute(
+                table, ParallelBatchExecutor, udf_serial, workers=1
+            )
+            remote, remote_ledger = _execute(
+                table, ProcessPoolBatchExecutor, udf_remote, workers=WORKERS
+            )
+            assert np.array_equal(
+                np.asarray(serial.returned_row_ids),
+                np.asarray(remote.returned_row_ids),
+            )
+            assert remote_ledger.evaluated_count == serial_ledger.evaluated_count
+            assert any(
+                "unpicklable_udf" in key for key in self._fallback_reasons(registry)
+            )
+        finally:
+            disable_metrics()
+
+    def test_object_dtype_column_falls_back(self):
+        registry = enable_metrics(MetricsRegistry())
+        try:
+            rng = np.random.default_rng(5)
+            base = Table.from_columns(
+                "objtab",
+                {
+                    "A": [f"a{int(v)}" for v in rng.integers(0, 4, 300)],
+                    "blob": [object() for _ in range(300)],
+                    "f": [bool(v) for v in rng.random(300) < 0.5],
+                },
+                hidden_columns=["f"],
+            )
+            table = ShardedTable.from_table(base, num_shards=3)
+            udf_serial, udf_remote = _func_udf("obj_a"), _func_udf("obj_b")
+            serial, serial_ledger = _execute(
+                table, ParallelBatchExecutor, udf_serial, workers=1
+            )
+            remote, remote_ledger = _execute(
+                table, ProcessPoolBatchExecutor, udf_remote, workers=WORKERS
+            )
+            assert np.array_equal(
+                np.asarray(serial.returned_row_ids),
+                np.asarray(remote.returned_row_ids),
+            )
+            assert remote_ledger.evaluated_count == serial_ledger.evaluated_count
+            assert any(
+                "unshareable_column" in key for key in self._fallback_reasons(registry)
+            )
+        finally:
+            disable_metrics()
+
+    def test_max_workers_one_never_exports(self):
+        table = _sharded(name="onetab")
+        before = exported_segment_count()
+        _execute(table, ProcessPoolBatchExecutor, _label_udf(), workers=1)
+        assert exported_segment_count() == before
+
+
+class TestSharedMemoryLifecycle:
+    def test_release_exports_frees_segments(self):
+        table = _sharded(name="reltab")
+        _execute(table, ProcessPoolBatchExecutor, _label_udf(), workers=WORKERS)
+        before = exported_segment_count()
+        assert before > 0
+        released = release_exports(table)
+        assert released >= 4  # one label-column block per shard
+        assert exported_segment_count() == before - released
+        assert release_exports(table) == 0  # idempotent

@@ -25,7 +25,7 @@ from repro.db.sharding import ShardedTable
 from repro.db.table import Table
 from repro.db.udf import UserDefinedFunction
 from repro.obs import CollectingTraceSink, disable_metrics, enable_metrics
-from repro.serving import QueryService
+from repro.serving import QueryService, ServiceConfig
 from repro.solvers.linear import InfeasibleProblemError
 
 SHARD_SPAN = re.compile(r"^shard:\d+$")
@@ -79,7 +79,9 @@ class TestTraceWorkExactness:
         """The acceptance differential: sharded + parallel + refresh,
         one tree per query, per-span deltas summing to the ledger total."""
         table, udf, catalog = _setup(shards=4, max_workers=3)
-        service = QueryService(Engine(catalog), executor="parallel", max_workers=3)
+        service = QueryService(
+            Engine(catalog), config=ServiceConfig(executor="thread", max_workers=3)
+        )
         sink = CollectingTraceSink()
         service.set_trace_sink(sink)
         query = _query(udf)
@@ -130,7 +132,9 @@ class TestTraceWorkExactness:
 class TestShardSpans:
     def test_shard_spans_parent_under_execute(self):
         table, udf, catalog = _setup(shards=4, max_workers=3)
-        service = QueryService(Engine(catalog), executor="parallel", max_workers=3)
+        service = QueryService(
+            Engine(catalog), config=ServiceConfig(executor="thread", max_workers=3)
+        )
         sink = CollectingTraceSink()
         service.set_trace_sink(sink)
         service.submit(_query(udf), seed=0)
@@ -150,7 +154,9 @@ class TestShardSpans:
     def test_shard_span_names_are_reproducible(self):
         def run():
             table, udf, catalog = _setup(shards=4, max_workers=3)
-            service = QueryService(Engine(catalog), executor="parallel", max_workers=3)
+            service = QueryService(
+            Engine(catalog), config=ServiceConfig(executor="thread", max_workers=3)
+        )
             sink = CollectingTraceSink()
             service.set_trace_sink(sink)
             service.submit(_query(udf), seed=0)

@@ -11,7 +11,7 @@ from repro.db.engine import Engine
 from repro.db.errors import BudgetExhaustedError, UnsupportedQueryError
 from repro.db.predicate import ColumnPredicate, UdfPredicate
 from repro.db.query import SelectQuery
-from repro.serving import AdmissionError, QueryService
+from repro.serving import AdmissionError, QueryService, ServiceConfig
 from repro.stats.metrics import result_quality
 
 
@@ -136,7 +136,9 @@ class TestPlanCaching:
 
     def test_disabled_caches_always_plan(self, serving_setup):
         dataset, catalog, udf = serving_setup
-        service = QueryService(Engine(catalog), plan_cache_size=0, stats_cache_size=0)
+        service = QueryService(
+            Engine(catalog), config=ServiceConfig(plan_cache_size=0, stats_cache_size=0)
+        )
         query = _query(dataset, udf)
         service.submit(query, seed=0)
         service.submit(query, seed=1)

@@ -144,27 +144,39 @@ class TestGate:
             )
 
 
-def _scale_payload(parity_delta=0, mismatches=0, serial_evals=1_400_000):
+def _scale_payload(parity_delta=0, mismatches=0, process_delta=0,
+                   serial_evals=1_400_000):
+    replay = {
+        "udf_evaluations": serial_evals,
+        "solver_calls": 3,
+        "udf_row_calls": 0,
+    }
     return {
         "rows": 1_000_000,
         "shards": 8,
         "workers": 4,
-        "serial": {
-            "udf_evaluations": serial_evals,
-            "solver_calls": 3,
-            "udf_row_calls": 0,
-        },
-        "parallel": {
-            "udf_evaluations": serial_evals + parity_delta,
-            "solver_calls": 3,
-            "udf_row_calls": 0,
+        "serial": dict(replay),
+        "parallel": dict(replay, udf_evaluations=serial_evals + parity_delta),
+        "python_udf": {
+            "serial": dict(replay),
+            "thread": dict(replay),
+            "process": dict(replay, udf_evaluations=serial_evals + process_delta),
         },
         "parity": {
             "udf_evaluations_abs_delta": abs(parity_delta),
             "solver_calls_abs_delta": 0,
             "row_ids_mismatch": mismatches,
+            "thread_python_udf_evaluations_abs_delta": 0,
+            "thread_python_solver_calls_abs_delta": 0,
+            "thread_python_row_ids_mismatch": 0,
+            "process_udf_evaluations_abs_delta": abs(process_delta),
+            "process_solver_calls_abs_delta": 0,
+            "process_row_ids_mismatch": 0,
+            "workload_row_ids_mismatch": 0,
         },
-        "parallel_speedup": 2.4,
+        "parallel_speedup": 0.9,
+        "thread_python_speedup": 0.8,
+        "process_speedup": 2.4,
         "seconds": 1.0,
     }
 
@@ -197,6 +209,74 @@ class TestScaleProfile:
         payload = json.loads(committed.read_text())
         rows = list(compare_bench.compare(payload, payload, 0.15, profile="scale"))
         assert rows, "no gated counters found in the committed scale baseline"
+        assert all(verdict == "ok" for *_rest, verdict in rows)
+
+
+def _traffic_payload(evals=41_000_000, accounting_delta=0, silent=0, shed=28):
+    return {
+        "rows": 80_000,
+        "clients": 1200,
+        "signatures": 6,
+        "work": {
+            "queries": 1206,
+            "plan_hits": 1200,
+            "solver_calls": 6,
+            "udf_evaluations": evals,
+            "shed": 0,
+        },
+        "shed": {
+            "fired": 32,
+            "shed_count": shed,
+            "silent_drops": silent,
+            "accounting_delta": accounting_delta,
+        },
+        "latency": {"qps": 35.0, "p50_ms": 190.0, "p99_ms": 550.0},
+    }
+
+
+class TestTrafficProfile:
+    def test_identical_payloads_pass(self, tmp_path):
+        assert _run(
+            tmp_path, _traffic_payload(), _traffic_payload(), profile="traffic"
+        ) == 0
+
+    def test_work_regression_fails(self, tmp_path):
+        assert _run(
+            tmp_path,
+            _traffic_payload(),
+            _traffic_payload(evals=55_000_000),
+            profile="traffic",
+        ) == 1
+
+    def test_shed_accounting_delta_fails_exactly(self, tmp_path):
+        """One uncounted Overloaded raise trips the zero-baseline gate."""
+        assert _run(
+            tmp_path,
+            _traffic_payload(),
+            _traffic_payload(accounting_delta=1),
+            profile="traffic",
+        ) == 1
+
+    def test_silent_drop_fails(self, tmp_path):
+        assert _run(
+            tmp_path,
+            _traffic_payload(),
+            _traffic_payload(silent=1, shed=27),
+            profile="traffic",
+        ) == 1
+
+    def test_latency_is_informational_only(self, tmp_path):
+        fresh = _traffic_payload()
+        fresh["latency"] = {"qps": 1.0, "p50_ms": 9000.0, "p99_ms": 90000.0}
+        assert _run(tmp_path, _traffic_payload(), fresh, profile="traffic") == 0
+
+    def test_gate_accepts_the_committed_baseline(self):
+        committed = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "BENCH_traffic.json"
+        )
+        payload = json.loads(committed.read_text())
+        rows = list(compare_bench.compare(payload, payload, 0.15, profile="traffic"))
+        assert rows, "no gated counters found in the committed traffic baseline"
         assert all(verdict == "ok" for *_rest, verdict in rows)
 
 
