@@ -133,7 +133,12 @@ UPDATE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
 #: function of (plan, seed), so the herd's summed counters are exact, and
 #: the shedding audit's ``accounting_delta`` (Overloaded raises minus the
 #: ``shed`` counter) is committed as 0 — gated at exactly ±0, shedding can
-#: never go silent.  Latency and q/s stay informational: wall-clock only.
+#: never go silent.  The deadline audit (PR 8) is gated the same way:
+#: every parked-past-deadline request raises the typed ``DeadlineExceeded``
+#: and lands on the ``deadline_exceeded`` counter, so
+#: ``deadline.accounting_delta`` and ``deadline.unexpected`` are committed
+#: as 0 and gated at exactly ±0.  Latency and q/s stay informational:
+#: wall-clock only.
 TRAFFIC_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("rows", False),
     ("clients", False),
@@ -147,6 +152,10 @@ TRAFFIC_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("shed.shed_count", True),
     ("shed.silent_drops", True),
     ("shed.accounting_delta", True),
+    ("deadline.fired", False),
+    ("deadline.exceeded_count", False),
+    ("deadline.unexpected", True),
+    ("deadline.accounting_delta", True),
 )
 
 PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {

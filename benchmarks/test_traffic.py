@@ -17,9 +17,15 @@ blocks the service with a gated UDF, fires a fixed burst over the admission
 limit, and records that every over-limit request raised a typed
 :class:`~repro.serving.Overloaded` *and* was counted on the ``shed`` metric
 (``shed.accounting_delta`` is the raise-vs-count difference, committed as 0
-and gated at exactly ±0 — shedding is never silent).  Queries/sec and
-p50/p99 latency come from the always-on serving histograms and are reported
-as informational keys only (wall-clock never gates).
+and gated at exactly ±0 — shedding is never silent).  A **deadline audit**
+(PR 8) does the same for per-request deadlines: a burst of requests parked
+behind a gated flight leader, each carrying a short ``timeout_s``, must all
+raise the typed :class:`~repro.resilience.DeadlineExceeded` — never hang,
+never silently complete — and every raise must be counted on the
+``deadline_exceeded`` metric (``deadline.accounting_delta`` committed as 0,
+gated at exactly ±0).  Queries/sec and p50/p99 latency come from the
+always-on serving histograms and are reported as informational keys only
+(wall-clock never gates).
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from conftest import run_once
 from repro.db import Catalog, Engine, ShardedTable, UserDefinedFunction
 from repro.db.predicate import UdfPredicate
 from repro.db.query import SelectQuery
+from repro.resilience import DeadlineExceeded
 from repro.serving import Overloaded, QueryService, ServiceConfig
 
 OUTPUT_PATH = Path(__file__).resolve().parent / "BENCH_traffic.json"
@@ -57,6 +64,10 @@ SIGNATURES = (
 #: Overload phase: burst size and per-class admission limit.
 SHED_BURST = 32
 SHED_LIMIT = 5
+
+#: Deadline phase: parked-follower burst size and per-request timeout.
+DEADLINE_BURST = 8
+DEADLINE_TIMEOUT_S = 0.2
 
 GROUP_FRACTIONS = (0.30, 0.22, 0.18, 0.12, 0.10, 0.08)
 GROUP_SELECTIVITIES = (0.60, 0.30, 0.80, 0.20, 0.50, 0.85)
@@ -220,9 +231,66 @@ def _shed_phase():
     }
 
 
+def _deadline_phase():
+    """Requests parked past their deadline: typed, counted, never hung.
+
+    A gated leader holds the coalescing flight for a cold signature while a
+    burst of short-``timeout_s`` followers parks behind it.  Every follower
+    must surface :class:`DeadlineExceeded` (the typed error — a silent
+    completion or a hang would be a resilience regression), and every raise
+    must land on the ``deadline_exceeded`` counter.
+    """
+    table = _build_table(2_000, "deadline_bench", seed=9)
+    gate = threading.Event()
+
+    def gated(row):
+        gate.wait(timeout=60)
+        return bool(row["is_good"])
+
+    udf = UserDefinedFunction("deadline_udf", gated)
+    catalog = Catalog()
+    catalog.register_table(table)
+    catalog.register_udf(udf)
+    service = QueryService(
+        Engine(catalog), config=ServiceConfig(max_concurrency=1)
+    )
+    query = _query("deadline_bench", udf, 0.85, 0.85)
+
+    async def parked():
+        leader = asyncio.create_task(service.submit_async(query, seed=1))
+        while not service._async_flights:
+            await asyncio.sleep(0.005)
+        burst_tasks = [
+            asyncio.create_task(
+                service.submit_async(query, seed=1, timeout_s=DEADLINE_TIMEOUT_S)
+            )
+            for _ in range(DEADLINE_BURST)
+        ]
+        # The followers' deadlines all fire while the leader stays gated;
+        # gather settles them before the leader is released.
+        burst = await asyncio.gather(*burst_tasks, return_exceptions=True)
+        gate.set()
+        await leader
+        return burst
+
+    burst = asyncio.run(parked())
+    raised = sum(1 for item in burst if isinstance(item, DeadlineExceeded))
+    unexpected = len(burst) - raised  # hung, answered, or wrongly-typed
+    counted = int(service.metrics()["deadline_exceeded"])
+    return {
+        "fired": DEADLINE_BURST,
+        "timeout_s": DEADLINE_TIMEOUT_S,
+        "exceeded_count": raised,
+        "unexpected": unexpected,
+        # raised-vs-counted difference: committed 0, gated at exactly +-0.
+        "accounting_delta": raised - counted,
+    }
+
+
 def _traffic_point():
     load = _load_phase()
     shed = _shed_phase()
+    deadline = _deadline_phase()
     return {
         "rows": TRAFFIC_ROWS,
         "shards": TRAFFIC_SHARDS,
@@ -232,6 +300,7 @@ def _traffic_point():
         "executor": "serial",
         **load,
         "shed": shed,
+        "deadline": deadline,
     }
 
 
@@ -239,6 +308,7 @@ def test_traffic_async_frontend(benchmark):
     payload = run_once(benchmark, _traffic_point)
 
     work, shed, latency = payload["work"], payload["shed"], payload["latency"]
+    deadline = payload["deadline"]
     print(
         f"\nTraffic point — {payload['clients']} clients over "
         f"{payload['signatures']} signatures (zipf s={payload['zipf_s']}), "
@@ -257,6 +327,11 @@ def test_traffic_async_frontend(benchmark):
         f"  shed: {shed['shed_count']}/{shed['fired']} over limit "
         f"{shed['limit']}, accounting delta {shed['accounting_delta']}"
     )
+    print(
+        f"  deadline: {deadline['exceeded_count']}/{deadline['fired']} typed "
+        f"at {deadline['timeout_s']}s, accounting delta "
+        f"{deadline['accounting_delta']}"
+    )
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {OUTPUT_PATH.name}")
 
@@ -269,3 +344,7 @@ def test_traffic_async_frontend(benchmark):
     assert shed["accounting_delta"] == 0
     assert shed["shed_count"] == SHED_BURST - (SHED_LIMIT - 1)
     assert shed["completed"] == SHED_LIMIT
+    # Deadlines are typed and counted, never silent, never a hang.
+    assert deadline["exceeded_count"] == DEADLINE_BURST
+    assert deadline["unexpected"] == 0
+    assert deadline["accounting_delta"] == 0

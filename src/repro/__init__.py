@@ -276,6 +276,52 @@ computes:
   a run; ``benchmarks/test_obs_overhead.py`` pins the enabled-path overhead
   on the warm serving path.
 
+Resilience & degradation
+------------------------
+
+:mod:`repro.resilience` bounds every request in time and keeps the service
+answering — degraded, never wedged — when the process pool misbehaves:
+
+* **Deadlines** — ``ServiceConfig(default_timeout_s=...)`` (or a per-call
+  ``submit(..., timeout_s=...)`` override) arms a per-request
+  :class:`~repro.resilience.Deadline`, propagated through ``contextvars``
+  to every executor thread and checked cooperatively at span, batch and
+  solver boundaries.  Expiry raises a typed
+  :class:`~repro.resilience.DeadlineExceeded` carrying the budget and the
+  stage that tripped — and charges *nothing* past the expiry point: the
+  deadline audit in ``benchmarks/test_traffic.py`` gates the
+  raised-versus-counted delta at exactly zero.  Coalesced followers
+  inherit the leader's typed error; a follower parked behind a slow
+  leader honours its *own* deadline while waiting.  Standalone use:
+  ``with deadline_scope(Deadline.after(0.5)): ...``.
+* **Circuit breaker & retry** — a transient pool fault (worker crash,
+  corrupt span payload, lost shared-memory segment) retries the span
+  against a respawned pool, replaying charges exactly (the fold happens
+  once, in serial order, so a retried span double-charges nothing —
+  ``stats().resilience["retried_spans"]`` counts them).  Repeated faults
+  trip a :class:`~repro.resilience.CircuitBreaker`
+  (``breaker_threshold``/``breaker_recovery_s``): while OPEN the service
+  degrades to the thread executor — identical answers, only slower —
+  marking results with ``metadata["degraded"]`` and counting
+  ``stats().serving["degraded"]``; after the recovery window a bounded
+  number of HALF_OPEN probes decides re-close versus re-open, with every
+  transition on ``repro_breaker_transitions_total``.
+* **Deterministic fault injection** — :class:`~repro.resilience.FaultPlan`
+  fires crash/hang/garbage/error/sleep faults at named sites
+  (``worker``, ``shm_export``, ``shm_attach``, ``udf_eval``) addressed by
+  counter-based SplitMix64 coins, so a failing chaos run replays
+  bitwise from its seed.  ``tests/resilience`` (the CI ``chaos`` step)
+  drives every scenario differentially against the serial baseline: each
+  yields the bitwise-serial answer or a typed error inside the deadline,
+  with exact ledger/counter parity and zero leaked shared-memory
+  segments.
+* **Graceful shutdown** — :meth:`QueryService.close` (also
+  ``with QueryService(...) as service:``) stops intake with a typed
+  :class:`~repro.serving.ServiceClosed`, drains in-flight requests
+  (bounded by ``close(timeout=...)``), then tears down executors and
+  releases every shared-memory export; ``close`` is idempotent and
+  ``stats().resilience["service_closed"]`` records it.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """
@@ -326,6 +372,16 @@ from repro.obs import (
     enable_metrics,
     prometheus_text,
 )
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    deadline_scope,
+    fault_scope,
+)
 from repro.sampling import ConstantScheme, FixedFractionScheme, TwoThirdPowerScheme
 from repro.serving import (
     AdmissionError,
@@ -333,13 +389,14 @@ from repro.serving import (
     Overloaded,
     PlanCache,
     QueryService,
+    ServiceClosed,
     ServiceConfig,
     ServiceStats,
     SessionManager,
     StatisticsCache,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -398,6 +455,16 @@ __all__ = [
     "SessionManager",
     "AdmissionError",
     "Overloaded",
+    "ServiceClosed",
+    # resilience
+    "Deadline",
+    "DeadlineExceeded",
+    "deadline_scope",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "fault_scope",
     # observability
     "MetricsRegistry",
     "enable_metrics",

@@ -56,6 +56,7 @@ from repro.core.hoeffding_lp import (
     solve_perfect_selectivity_lp,
 )
 from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.resilience.deadline import check_deadline
 from repro.solvers.linear import InfeasibleProblemError
 
 _ALPHA_CERTAIN = 1.0 - 1e-12
@@ -284,6 +285,9 @@ def _joint_precision_repair(
         entries, alpha, retrieval_cost, evaluation_cost
     )
     for price in prices:
+        # Breakpoint sweeps scale with group count; a deadlined request
+        # bails between iterations rather than finishing a doomed solve.
+        check_deadline("solve")
         high, high_precision, _ = _cheapest_recall_allocation(
             entries, price, target, alpha, retrieval_cost, evaluation_cost, True
         )

@@ -32,6 +32,7 @@ from repro.core.bigreedy import solve_bigreedy
 from repro.core.constraints import CostModel, QueryConstraints
 from repro.core.groups import SelectivityModel
 from repro.core.plan import ExecutionPlan, GroupDecision
+from repro.resilience.deadline import check_deadline
 from repro.solvers.convex import ConvexProblem, ConvexSolver
 from repro.solvers.linear import (
     InfeasibleProblemError,
@@ -84,6 +85,7 @@ def solve_estimated_selectivity(
     Chebyshev-margined constraints; callers fall back to exhaustive
     evaluation.
     """
+    check_deadline("solve")
     if independent:
         return _solve_independent(model, constraints, cost_model, solver)
     return _solve_unknown_correlations(model, constraints, cost_model)

@@ -67,6 +67,7 @@ from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience.deadline import check_deadline
 from repro.sampling.sampler import SampleOutcome
 from repro.stats.random import RandomState, SeedLike, as_random_state
 
@@ -226,6 +227,9 @@ class PlanExecutor:
         group_counts: Dict[Hashable, GroupExecutionCounts] = {}
 
         for key, row_ids in index.items():
+            # Cooperative cancellation before this group's charges: an
+            # expired request never pays for further UDF work.
+            check_deadline("execute")
             decision = plan.decision(key)
             counts = GroupExecutionCounts()
             group_counts[key] = counts
@@ -331,6 +335,10 @@ class BatchExecutor:
 
         rng = self.random_state.generator
         for key, rows in index.items():
+            # Cooperative cancellation before this group's charges (the
+            # coin draws below consume no stream positions when skipped
+            # mid-loop — the request is abandoned wholesale, not resumed).
+            check_deadline("execute")
             decision = plan.decision(key)
             counts = GroupExecutionCounts()
             group_counts[key] = counts

@@ -61,6 +61,7 @@ from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience.deadline import check_deadline
 from repro.sampling.sampler import SampleOutcome
 from repro.stats.random import (
     RandomState,
@@ -420,6 +421,7 @@ class ParallelBatchExecutor:
         self, table: Table, udf: UserDefinedFunction, row_ids: Sequence[int]
     ) -> np.ndarray:
         """Evaluate ``udf`` on ``row_ids``, partitioned by the table's shards."""
+        check_deadline("bulk-evaluate")
         ids = np.asarray(row_ids, dtype=np.intp)
         spans = _table_spans(table)
         if (
@@ -551,6 +553,10 @@ class ParallelBatchExecutor:
         tasks: List[_GroupSegment],
     ) -> _SpanOutcome:
         """Execute one span's group segments: coins, charge, one bulk UDF call."""
+        # Span boundary = cancellation point.  Pool workers run in a copy of
+        # the submitting context, so the request's deadline contextvar is
+        # visible here; an expired request stops before this span charges.
+        check_deadline("execute-span")
         retrieved_per_task, evaluate_per_task, total_retrieved = span_coin_pass(
             root, tasks
         )

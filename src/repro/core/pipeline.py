@@ -37,6 +37,7 @@ from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
+from repro.resilience.deadline import check_deadline
 from repro.sampling.sampler import GroupSampler, SampleOutcome
 from repro.sampling.schemes import SamplingScheme, TwoThirdPowerScheme
 from repro.solvers.linear import InfeasibleProblemError
@@ -264,7 +265,10 @@ class IntelSample:
         else:
             prior = labeled.to_sample_outcome(index) if labeled.size else None
 
-        # Step 2 — sample to estimate selectivities.
+        # Step 2 — sample to estimate selectivities.  Every step boundary is
+        # a cancellation point (the steps' own loops check again at finer
+        # grain).
+        check_deadline("pipeline")
         with _span("sampling", ledger=ledger) as section:
             scheme = self.sampling_scheme or TwoThirdPowerScheme(
                 num=2.5 * constraints.alpha
@@ -306,6 +310,7 @@ class IntelSample:
         # ran out of evaluation headroom), so the exhaustive fallback is the
         # *only* remaining answer rather than a conservative default.
         used_fallback = False
+        check_deadline("pipeline")
         with _span("solve", ledger=ledger) as section:
             _metrics.counter("repro_solver_calls_total", strategy="intel_sample").inc()
             try:
@@ -332,6 +337,7 @@ class IntelSample:
         # attributes its own work — serial backends onto this span, the
         # parallel backend onto per-shard child spans — so no charge is
         # double-counted across the tree.
+        check_deadline("pipeline")
         with _span("execute"):
             executor_rng = self.random_state.child()
             if self.executor_factory is not None:
@@ -441,6 +447,7 @@ class OptimalOracle:
                 plan = ExecutionPlan.evaluate_everything(index.values)
                 used_fallback = True
 
+        check_deadline("pipeline")
         with _span("execute"):
             executor_rng = self.random_state.child()
             if self.executor_factory is not None:

@@ -36,6 +36,23 @@ unpicklable UDF callables, object-dtype columns, single-span tables,
 ``max_workers=1``, and a broken pool (a worker killed by the OOM killer)
 all fall back, each counted on
 ``repro_executor_fallbacks_total{backend=process, reason=...}``.
+
+Resilience (PR 8).  Transient pool faults are survived at *span*
+granularity: a span whose worker died, returned a wrong-shaped result or
+hit a shared-memory error is retried exactly once against a respawned
+pool, and a span that still fails is recomputed in-process **at its serial
+position in the fold loop** — charges only ever happen at fold time, in
+span-index order, so a retried or locally recomputed span double-charges
+nothing and budget boundaries stay bitwise-serial.  Each faulting round is
+reported to the service's :class:`~repro.resilience.breaker.CircuitBreaker`
+(when one is wired in), which eventually degrades the whole service to the
+thread executor.  Harvest waits are bounded by the request's
+:class:`~repro.resilience.deadline.Deadline`, so a *hung* worker surfaces
+as a typed ``DeadlineExceeded`` — the pool is discarded and the table's
+shared-memory exports are released (no leaked segments), never a wedged
+request.  The failure paths themselves are exercised deterministically via
+:mod:`repro.resilience.faults`; the active :class:`FaultPlan` ships inside
+worker task payloads so worker-side sites fire in the right process.
 """
 
 from __future__ import annotations
@@ -43,9 +60,10 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -65,11 +83,24 @@ from repro.core.parallel import (
 from repro.core.plan import ExecutionPlan
 from repro.db.errors import UnpicklableUdfError
 from repro.db.index import GroupIndex
-from repro.db.shm import SpanExport, UnshareableColumnError, attach_array, export_table_spans
+from repro.db.shm import (
+    SpanExport,
+    UnshareableColumnError,
+    attach_array,
+    export_table_spans,
+    release_exports,
+)
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UdfSpec, UserDefinedFunction
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience import faults as _faults
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+)
 from repro.sampling.sampler import SampleOutcome
 
 _PROC_POOLS: Dict[int, ProcessPoolExecutor] = {}
@@ -175,45 +206,104 @@ def _remote_run_span(
     tasks: List[_GroupSegment],
     spec: UdfSpec,
     exports: Tuple[SpanExport, ...],
+    fault_plan: Optional[_faults.FaultPlan] = None,
+    attempt: int = 0,
 ) -> _RemoteSpan:
-    """Worker entry point: coins, local UDF evaluation, local fold."""
-    retrieved_per_task, evaluate_per_task, total_retrieved = span_coin_pass(root, tasks)
-    to_evaluate = concat_to_evaluate(retrieved_per_task, evaluate_per_task)
-    outcomes = spec_evaluate(spec, exports, to_evaluate)
-    returned, counts = fold_span_outcomes(
-        tasks, retrieved_per_task, evaluate_per_task, outcomes
-    )
-    return _RemoteSpan(
-        span_index=span_index,
-        outcome=_SpanOutcome(
-            returned=returned, counts=counts, retrieved=total_retrieved
-        ),
-        to_evaluate=to_evaluate,
-        outcomes=outcomes,
-    )
+    """Worker entry point: coins, local UDF evaluation, local fold.
+
+    ``fault_plan`` re-activates the parent's plan in this process (spawned
+    workers inherit nothing) so the worker-side sites fire here; ``attempt``
+    is part of the ``worker`` site's address, so a first-attempt-only crash
+    rule lets the retried span succeed.
+    """
+    with _faults.fault_scope(fault_plan):
+        kind = _faults.maybe_fire(fault_plan, "worker", span_index, attempt)
+        retrieved_per_task, evaluate_per_task, total_retrieved = span_coin_pass(
+            root, tasks
+        )
+        to_evaluate = concat_to_evaluate(retrieved_per_task, evaluate_per_task)
+        outcomes = spec_evaluate(spec, exports, to_evaluate)
+        returned, counts = fold_span_outcomes(
+            tasks, retrieved_per_task, evaluate_per_task, outcomes
+        )
+        if kind == _faults.GARBAGE:
+            # Ship a wrong-shaped outcome array: the parent's shape check
+            # rejects the whole span before anything is charged or absorbed.
+            outcomes = outcomes[:-1] if outcomes.size else np.zeros(1, dtype=bool)
+        return _RemoteSpan(
+            span_index=span_index,
+            outcome=_SpanOutcome(
+                returned=returned, counts=counts, retrieved=total_retrieved
+            ),
+            to_evaluate=to_evaluate,
+            outcomes=outcomes,
+        )
 
 
 def _remote_evaluate(
-    spec: UdfSpec, exports: Tuple[SpanExport, ...], row_ids: np.ndarray
+    spec: UdfSpec,
+    exports: Tuple[SpanExport, ...],
+    row_ids: np.ndarray,
+    fault_plan: Optional[_faults.FaultPlan] = None,
 ) -> np.ndarray:
     """Worker entry point for the bulk-evaluation (sampling/labelling) fan."""
-    return spec_evaluate(spec, exports, row_ids)
+    with _faults.fault_scope(fault_plan):
+        return spec_evaluate(spec, exports, row_ids)
 
 
 class ProcessPoolBatchExecutor(ParallelBatchExecutor):
     """Span-parallel executor running UDF evaluation in worker processes.
 
-    Same constructor, same results, same gated counters as
-    :class:`ParallelBatchExecutor` — only the wall-clock differs: python-
-    callable UDFs scale with cores instead of serialising on the GIL.
-    See the module docstring for the division of labour between workers and
-    the parent.
+    Same results, same gated counters as :class:`ParallelBatchExecutor` —
+    only the wall-clock differs: python-callable UDFs scale with cores
+    instead of serialising on the GIL.  See the module docstring for the
+    division of labour between workers and the parent, and for the fault
+    handling added in PR 8 (span retry, breaker reporting, deadline-bounded
+    harvest, export release on give-up).
     """
+
+    def __init__(
+        self,
+        random_state=None,
+        max_workers: Optional[int] = None,
+        free_memoized: bool = False,
+        breaker: Optional[CircuitBreaker] = None,
+        retry_spans: bool = True,
+    ):
+        super().__init__(
+            random_state=random_state,
+            max_workers=max_workers,
+            free_memoized=free_memoized,
+        )
+        #: The serving layer's circuit breaker, shared across this service's
+        #: executors; ``None`` standalone — every note below no-ops then.
+        self.breaker = breaker
+        #: Retry transiently failed spans once against a respawned pool
+        #: before recomputing them in-process.
+        self.retry_spans = retry_spans
 
     def _fallback(self, reason: str) -> None:
         _metrics.counter(
             "repro_executor_fallbacks_total", backend="process", reason=reason
         ).inc()
+
+    def _note_failure(self, reason: str) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure(reason)
+
+    def _note_success(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _cancel_probe(self) -> None:
+        """Release a half-open probe slot this run consumed but never used.
+
+        Non-remote paths (single span, fallback before any worker ran) say
+        nothing about pool health, so they must neither close nor re-open
+        the breaker — just hand the probe back.
+        """
+        if self.breaker is not None:
+            self.breaker.cancel_probe()
 
     def _prepare_remote(
         self, table: Table, udf: UserDefinedFunction
@@ -237,6 +327,12 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
             exports = export_table_spans(table, columns)
         except UnshareableColumnError:
             self._fallback("unshareable_column")
+            return None
+        except (_faults.InjectedFault, OSError):
+            # Transient: /dev/shm exhaustion (or its injected stand-in).
+            # Note it on the breaker and serve this query in-process.
+            self._note_failure("shm_export")
+            self._fallback("shm_export")
             return None
         return spec, exports
 
@@ -271,18 +367,167 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
         if len(masks) <= 1:
             return udf.evaluate_rows(table, ids)
         pool = shared_process_pool(self.max_workers)
+        fault_plan = _faults.active_plan()
         futures = [
-            pool.submit(_remote_evaluate, spec, exports, ids[mask]) for mask in masks
+            pool.submit(_remote_evaluate, spec, exports, ids[mask], fault_plan)
+            for mask in masks
         ]
         outcomes = np.empty(ids.size, dtype=bool)
+        deadline = current_deadline()
         try:
             for mask, future in zip(masks, futures):
-                outcomes[mask] = future.result()
+                if deadline is None:
+                    outcomes[mask] = future.result()
+                else:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        raise FuturesTimeout()
+                    outcomes[mask] = future.result(timeout=remaining)
+        except FuturesTimeout:
+            # A hung worker cannot be interrupted; abandon the whole pool
+            # (and its exports — no leaked segments) and surface the typed
+            # deadline error within deadline + scheduling grace.
+            for pending in futures:
+                pending.cancel()
+            _discard_process_pool(self.max_workers)
+            release_exports(table)
+            self._note_failure("worker_hang")
+            self._fallback("worker_hang")
+            raise DeadlineExceeded(deadline.timeout_s, "process-pool evaluate")
         except BrokenProcessPool:
             _discard_process_pool(self.max_workers)
+            release_exports(table)
+            self._note_failure("worker_crash")
             self._fallback("broken_pool")
             return super().evaluate_rows(table, udf, ids)
+        except (_faults.InjectedFault, OSError):
+            self._note_failure("shm_attach")
+            self._fallback("shm_attach")
+            return super().evaluate_rows(table, udf, ids)
         return udf.merge_remote_evaluations(ids, outcomes)
+
+    def _harvest_spans(
+        self,
+        futures: Dict[int, "object"],
+        results: Dict[int, _RemoteSpan],
+        table: Table,
+    ) -> Dict[int, str]:
+        """Drain span futures into ``results``; classify transient failures.
+
+        Returns ``{span_index: reason}`` for spans that failed transiently
+        (worker crash, shm attach error, wrong-shaped result).  Fatal errors
+        re-raise only after every future has settled — nothing mutates the
+        ledger or memo until folding, so an abort leaves parent state
+        untouched.  With an active deadline every wait is bounded by the
+        remaining time: a *hung* worker abandons the pool (discard, cancel,
+        release this table's exports — no leaked segments) and raises the
+        typed ``DeadlineExceeded`` instead of wedging the request.
+        """
+        deadline = current_deadline()
+        failed: Dict[int, str] = {}
+        fatal: Optional[BaseException] = None
+        broken = False
+        for span_index, future in futures.items():
+            try:
+                if deadline is None:
+                    span = future.result()
+                else:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        raise FuturesTimeout()
+                    span = future.result(timeout=remaining)
+            except FuturesTimeout:
+                for pending in futures.values():
+                    pending.cancel()
+                _discard_process_pool(self.max_workers)
+                release_exports(table)
+                self._note_failure("worker_hang")
+                self._fallback("worker_hang")
+                raise DeadlineExceeded(deadline.timeout_s, "process-pool harvest")
+            except BrokenProcessPool:
+                broken = True
+                failed[span_index] = "worker_crash"
+            except (_faults.InjectedFault, OSError):
+                failed[span_index] = "shm_attach"
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if fatal is None:
+                    fatal = exc
+            else:
+                if span.outcomes.shape != span.to_evaluate.shape:
+                    failed[span_index] = "garbage"
+                else:
+                    results[span_index] = span
+        if broken:
+            _discard_process_pool(self.max_workers)
+        if fatal is not None:
+            raise fatal
+        return failed
+
+    def _run_remote_spans(
+        self,
+        active: List[Tuple[int, List[_GroupSegment]]],
+        root: int,
+        spec: UdfSpec,
+        exports: Tuple[SpanExport, ...],
+        table: Table,
+    ) -> Tuple[Dict[int, _RemoteSpan], Set[int]]:
+        """Fan spans to the pool; retry transient failures exactly once.
+
+        Returns successful spans by index plus the indices that must be
+        recomputed in-process at fold time.  Each faulting round notes one
+        failure on the breaker; a fully clean remote run notes a success.
+        Retried spans re-flip the same counter-addressed coins, and charges
+        only happen at fold — so a retry can never double-charge.
+        """
+        fault_plan = _faults.active_plan()
+        results: Dict[int, _RemoteSpan] = {}
+        pool = shared_process_pool(self.max_workers)
+        futures = {
+            span_index: pool.submit(
+                _remote_run_span, root, span_index, tasks, spec, exports, fault_plan, 0
+            )
+            for span_index, tasks in active
+        }
+        failed = self._harvest_spans(futures, results, table)
+        if failed:
+            self._note_failure(sorted(failed.values())[0])
+            if self.retry_spans:
+                # Retry against a (re)spawned pool.  Exports stay linked
+                # until a give-up: unlinking here would strand the fresh
+                # workers' attaches.
+                tasks_by_index = dict(active)
+                pool = shared_process_pool(self.max_workers)
+                retry_futures = {
+                    span_index: pool.submit(
+                        _remote_run_span,
+                        root,
+                        span_index,
+                        tasks_by_index[span_index],
+                        spec,
+                        exports,
+                        fault_plan,
+                        1,
+                    )
+                    for span_index in sorted(failed)
+                }
+                _metrics.counter(
+                    "repro_executor_retried_spans_total", backend="process"
+                ).inc(len(retry_futures))
+                if self.breaker is not None:
+                    self.breaker.record_retry(len(retry_futures))
+                failed = self._harvest_spans(retry_futures, results, table)
+                if failed:
+                    self._note_failure(sorted(failed.values())[0])
+        if failed:
+            # Give up on the pool for these spans: they recompute in-process
+            # at fold time, and the suspect exports must not outlive the
+            # failure (the leak-check invariant: zero segments after
+            # teardown, even on degraded paths).
+            self._fallback(sorted(failed.values())[0])
+            release_exports(table)
+        elif results:
+            self._note_success()
+        return results, set(failed)
 
     def execute(
         self,
@@ -295,9 +540,11 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
     ) -> ExecutionResult:
         """Run ``plan`` with span workers in processes (see module doc)."""
         if self.max_workers == 1:
+            self._cancel_probe()
             return super().execute(table, index, udf, plan, ledger, sample_outcome)
         prepared = self._prepare_remote(table, udf)
         if prepared is None:
+            self._cancel_probe()
             return super().execute(table, index, udf, plan, ledger, sample_outcome)
         spec, exports = prepared
 
@@ -312,6 +559,7 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
         ]
 
         if len(active) <= 1:
+            self._cancel_probe()
             outcomes = [
                 self._run_span_traced(span_index, root, table, udf, ledger, tasks)
                 for span_index, tasks in active
@@ -321,47 +569,25 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
                 returned_row_ids=returned, ledger=ledger, group_counts=group_counts
             )
 
-        pool = shared_process_pool(self.max_workers)
-        futures = [
-            pool.submit(_remote_run_span, root, span_index, tasks, spec, exports)
-            for span_index, tasks in active
-        ]
-        # Drain every worker before folding anything: nothing below mutates
-        # the ledger or memo until all spans are in hand, so a worker failure
-        # leaves parent state untouched and the broken-pool fallback can
-        # recompute from scratch.
-        remote: List[_RemoteSpan] = []
-        first_error: Optional[BaseException] = None
-        broken = False
-        for future in futures:
-            try:
-                remote.append(future.result())
-            except BrokenProcessPool:
-                broken = True
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = exc
-        if broken and first_error is None:
-            _discard_process_pool(self.max_workers)
-            self._fallback("broken_pool")
-            outcomes = [
-                self._run_span_traced(span_index, root, table, udf, ledger, tasks)
-                for span_index, tasks in active
-            ]
-            returned = merge_span_outcomes(index, outcomes, group_counts, free_positives)
-            return ExecutionResult(
-                returned_row_ids=returned, ledger=ledger, group_counts=group_counts
-            )
-        if first_error is not None:
-            raise first_error
+        remote, failed = self._run_remote_spans(active, root, spec, exports, table)
 
         # Fold in span-index order (the submit order), replaying serial
         # charging: retrieval then evaluation per span, under the ledger
         # lock, *before* that span's outcomes are absorbed — so a hard
         # budget raises at exactly the span boundary the serial loop would,
-        # with no later span absorbed.
+        # with no later span absorbed.  A span the pool failed twice is
+        # recomputed in-process *here, at its serial position* (it charges
+        # internally), so the charge order — and any budget trip point —
+        # stays bitwise-serial whether or not faults occurred.
         outcomes = []
-        for span in remote:
+        for span_index, tasks in active:
+            check_deadline("process-fold")
+            if span_index in failed:
+                outcomes.append(
+                    self._run_span_traced(span_index, root, table, udf, ledger, tasks)
+                )
+                continue
+            span = remote[span_index]
             with _trace.span(f"shard:{span.span_index}") as shard_span:
                 evaluated_charge = 0
                 with self._ledger_lock:

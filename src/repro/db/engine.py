@@ -21,6 +21,7 @@ from repro.db.catalog import Catalog
 from repro.db.errors import DuplicateObjectError, UnsupportedQueryError
 from repro.db.query import SelectQuery
 from repro.db.table import Table
+from repro.resilience.deadline import check_deadline
 from repro.db.udf import CostLedger
 from repro.obs import metrics as _metrics
 from repro.solvers.linear import InfeasibleProblemError
@@ -55,6 +56,10 @@ def metadata_schema() -> Dict[str, str]:
     ``coalesced``       ``True`` on results returned to async followers that
                         shared a leader's in-flight execution via
                         ``QueryService.submit_async`` (absent otherwise).
+    ``degraded``        Why the serving layer executed this request on a
+                        degraded path (e.g. ``"breaker_open"`` — the circuit
+                        breaker kept it off the process pool); absent when
+                        the request ran on its configured backend.
     ==================  =========================================================
 
     Returns the table above as a ``{key: description}`` dict so tests and
@@ -71,6 +76,7 @@ def metadata_schema() -> Dict[str, str]:
         "stats_cache": "which cached statistics the serving layer reused",
         "udf_cache": "per-UDF memo hit/miss deltas for exact scans",
         "coalesced": "True when an async follower shared a leader's result",
+        "degraded": "why the request ran degraded (e.g. 'breaker_open')",
     }
 
 
@@ -217,6 +223,9 @@ class Engine:
         candidates = self._apply_cheap_predicates(table, query)
         udf_counters_before = self._udf_counters(query)
         if candidates.size:
+            # Exact scans are the most expensive single step the engine
+            # runs; check the request deadline before committing its charge.
+            check_deadline("exact-scan")
             ledger.charge_retrieval(int(candidates.size))
             matched = candidates[query.predicate.evaluate_rows(table, candidates, ledger)]
         else:

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.db.errors import DatabaseError
 from repro.db.table import Table
+from repro.resilience import faults as _faults
 
 
 class UnshareableColumnError(DatabaseError):
@@ -159,6 +160,9 @@ def _export_column(owner: Table, column: str) -> ColumnBlock:
         cached = entry.blocks.get(column)
         if cached is not None:
             return cached[1]
+    # Fault-injection site ``shm_export`` (parent side): an ``error`` rule
+    # models /dev/shm exhaustion at segment-creation time.
+    _faults.maybe_fire(_faults.active_plan(), "shm_export")
     # Build outside the lock: column_array may materialise a concatenation.
     array = owner.column_array(column, allow_hidden=True)
     if array.dtype.hasobject:
@@ -237,6 +241,10 @@ def attach_array(block: ColumnBlock) -> np.ndarray:
     """
     entry = _ATTACHED.get(block.shm_name)
     if entry is None:
+        # Fault-injection site ``shm_attach`` (worker side — the process
+        # executor re-activates the shipped plan around its task body): an
+        # ``error`` rule models a segment that vanished under the worker.
+        _faults.maybe_fire(_faults.active_plan(), "shm_attach")
         shm = shared_memory.SharedMemory(name=block.shm_name)
         array = np.ndarray((block.length,), dtype=np.dtype(block.dtype), buffer=shm.buf)
         array.setflags(write=False)

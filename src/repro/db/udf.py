@@ -29,6 +29,7 @@ from repro.db.errors import (
 )
 from repro.db.table import Table
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 
 
 @dataclass
@@ -284,6 +285,10 @@ class UserDefinedFunction:
         """
         oracle = bool(self._oracle_depth)
         registry = _metrics.get_registry()
+        # Fault-injection site ``udf_eval`` (tests only; a ``None`` check
+        # otherwise): a ``sleep`` rule here models the paper's adversarially
+        # slow predicate without touching the UDF under test.
+        _faults.maybe_fire(_faults.active_plan(), "udf_eval")
         id_array = np.asarray(row_ids, dtype=np.intp)
         results, pending_positions, pending_array = self._bulk_split(
             id_array, oracle, registry

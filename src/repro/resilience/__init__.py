@@ -1,0 +1,56 @@
+"""Resilience: deadlines, circuit-broken degradation and fault injection.
+
+Three pieces, one invariant.  :mod:`~repro.resilience.deadline` bounds
+every request in time (cooperative cancellation, typed
+:class:`DeadlineExceeded`); :mod:`~repro.resilience.breaker` degrades the
+service off a faulting process pool and probes its way back;
+:mod:`~repro.resilience.faults` makes failures happen deterministically so
+the ``tests/resilience`` differential suite can prove the invariant: under
+any injected fault, a query returns the **bitwise-serial answer or a typed
+error** — never a silently wrong or hung one, never double-charged.
+"""
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.faults import (
+    CRASH,
+    ERROR,
+    GARBAGE,
+    HANG,
+    SLEEP,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    fault_scope,
+    maybe_fire,
+)
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "fault_scope",
+    "maybe_fire",
+    "CRASH",
+    "HANG",
+    "GARBAGE",
+    "ERROR",
+    "SLEEP",
+]

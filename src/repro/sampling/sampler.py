@@ -20,6 +20,7 @@ import numpy as np
 from repro.db.index import GroupIndex
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
+from repro.resilience.deadline import check_deadline
 from repro.stats.beta import BetaPosterior
 from repro.stats.random import RandomState, SeedLike, as_random_state
 
@@ -192,6 +193,7 @@ class GroupSampler:
         so the drawn sample (and therefore every downstream statistic) is
         identical whether or not the evaluation is fanned.
         """
+        check_deadline("sampling")
         samples: Dict[Hashable, GroupSample] = {}
         chosen_per_group: List[np.ndarray] = []
         for group_key, row_ids in index.items():
@@ -222,7 +224,10 @@ class GroupSampler:
         if all_chosen.size:
             # Bulk charge before the bulk evaluation (same totals as the
             # historical per-row loop; a hard budget now stops the whole
-            # batch before any UDF work instead of mid-stratum).
+            # batch before any UDF work instead of mid-stratum).  The
+            # deadline check sits in the same place for the same reason: an
+            # expired request must not pay for the batch it will not use.
+            check_deadline("sampling-charge")
             ledger.charge_retrieval(int(all_chosen.size))
             ledger.charge_evaluation(int(all_chosen.size))
             evaluate = bulk_evaluator if bulk_evaluator is not None else udf.evaluate_rows

@@ -16,6 +16,10 @@ the serving layer a repeated workload needs:
   canonical query signature;
 * :class:`SessionManager` / :class:`ClientSession` / :class:`AdmissionError`
   — per-client UDF-cost budgets and admission control;
+* resilience — per-request deadlines (``submit(..., timeout_s=...)`` /
+  ``ServiceConfig.default_timeout_s``), circuit-broken degradation of the
+  process pool, graceful shutdown (:meth:`QueryService.close`, also a
+  context manager) with the typed :class:`ServiceClosed`;
 * :class:`BatchExecutor` — vectorised plan execution backend;
 * :func:`plan_signature` / :func:`canonical_predicate` — signature
   canonicalisation.
@@ -33,6 +37,7 @@ from repro.serving.session import (
     AdmissionError,
     ClientSession,
     Overloaded,
+    ServiceClosed,
     SessionManager,
 )
 from repro.serving.signature import (
@@ -55,6 +60,7 @@ __all__ = [
     "QueryService",
     "ServiceConfig",
     "ServiceStats",
+    "ServiceClosed",
     "SessionManager",
     "StatisticsCache",
     "canonical_predicate",

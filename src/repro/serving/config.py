@@ -81,6 +81,21 @@ class ServiceConfig:
         Merge concurrent same-signature cold misses on the async front-end:
         followers await the leader's planning/sampling pass instead of
         re-running it (and followers with the same seed share its result).
+    default_timeout_s:
+        Deadline applied to every request that does not carry its own
+        ``timeout_s``/``deadline`` (``None`` = no default deadline).  An
+        expired request raises the typed
+        :class:`~repro.resilience.deadline.DeadlineExceeded` at the next
+        cooperative cancellation point, charging no further UDF work.
+    retry_spans:
+        Let the process executor retry a transiently failed span once
+        against a respawned pool before recomputing it in-process.
+    breaker_threshold / breaker_recovery_s / breaker_probes:
+        Circuit breaker over process-pool health: after ``breaker_threshold``
+        consecutive faulting requests the service degrades process-backed
+        execution to the in-process thread path; after
+        ``breaker_recovery_s`` seconds it half-opens and lets up to
+        ``breaker_probes`` probe requests try the pool again.
     """
 
     executor: str = "serial"
@@ -94,6 +109,11 @@ class ServiceConfig:
     max_pending: int = 64
     class_limits: Mapping[str, int] = field(default_factory=dict)
     coalesce: bool = True
+    default_timeout_s: Optional[float] = None
+    retry_spans: bool = True
+    breaker_threshold: int = 3
+    breaker_recovery_s: float = 30.0
+    breaker_probes: int = 1
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -119,6 +139,22 @@ class ServiceConfig:
                 raise ValueError(
                     f"class_limits[{query_class!r}] must be non-negative, got {limit}"
                 )
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ValueError(
+                f"default_timeout_s must be positive, got {self.default_timeout_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be positive, got {self.breaker_threshold}"
+            )
+        if self.breaker_recovery_s <= 0:
+            raise ValueError(
+                f"breaker_recovery_s must be positive, got {self.breaker_recovery_s}"
+            )
+        if self.breaker_probes < 1:
+            raise ValueError(
+                f"breaker_probes must be positive, got {self.breaker_probes}"
+            )
 
 
 @dataclass
@@ -140,6 +176,7 @@ class ServiceStats:
     latency_ms: Dict[str, Dict[str, Optional[float]]]
     frontend: Dict[str, object]
     registry: Dict[str, object]
+    resilience: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """The whole snapshot as one plain dict (for JSON reports)."""
@@ -151,6 +188,7 @@ class ServiceStats:
             "latency_ms": dict(self.latency_ms),
             "frontend": dict(self.frontend),
             "registry": dict(self.registry),
+            "resilience": dict(self.resilience),
         }
 
 
@@ -162,7 +200,10 @@ SERVICE_STATS_SCHEMA: Dict[str, str] = {
         "misses/refreshes, pipeline_runs, solver_calls, degraded_plans, "
         "rejected, flight_waits, fallbacks, trace_sink_errors, shed "
         "(async admission rejections), coalesced (requests answered from a "
-        "coalesced leader's result without executing)"
+        "coalesced leader's result without executing), deadline_exceeded "
+        "(requests cancelled by their deadline), degraded (requests served "
+        "in-process because the circuit breaker was open), retried_spans "
+        "(process-pool spans retried after a transient fault)"
     ),
     "plan_cache": "LRUCache.snapshot() of the plan cache (hits, misses, size, ...)",
     "stats_cache": "LRUCache.snapshot() of the statistics cache",
@@ -177,4 +218,11 @@ SERVICE_STATS_SCHEMA: Dict[str, str] = {
         "max_pending, max_concurrency, coalesce flag, open_flights"
     ),
     "registry": "repro.obs MetricsRegistry.snapshot() (empty while disabled)",
+    "resilience": (
+        "CircuitBreaker.snapshot(): state (closed/open/half_open), "
+        "consecutive_failures, failures_total, successes_total, "
+        "retried_spans, opened_count, probes_in_flight, failure_threshold, "
+        "recovery_time_s, last_failure_reason; plus service_closed (bool, "
+        "true once QueryService.close() has begun)"
+    ),
 }

@@ -58,6 +58,7 @@ import itertools
 import threading
 import time
 import warnings
+from contextvars import ContextVar
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Callable, Dict, Hashable, Optional, Tuple, Union
 
@@ -70,21 +71,34 @@ from repro.core.executor import (
     PlanExecutor,
 )
 from repro.core.extensions.budget import solve_budgeted_recall
-from repro.core.parallel import ParallelBatchExecutor
+from repro.core.parallel import ParallelBatchExecutor, default_max_workers
 from repro.core.pipeline import IntelSample, _probe_bulk_evaluator
-from repro.core.procpool import ProcessPoolBatchExecutor
+from repro.core.procpool import ProcessPoolBatchExecutor, _discard_process_pool
 from repro.db.catalog import Catalog
 from repro.db.engine import Engine, QueryResult
 from repro.db.query import SelectQuery
+from repro.db.shm import release_exports
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.obs import metrics as _metrics
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 from repro.obs.trace import Trace
 from repro.obs.trace import span as _span
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
 from repro.serving.config import LEGACY_EXECUTORS, ServiceConfig, ServiceStats
 from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
-from repro.serving.session import ClientSession, Overloaded, SessionManager
+from repro.serving.session import (
+    ClientSession,
+    Overloaded,
+    ServiceClosed,
+    SessionManager,
+)
 from repro.serving.stats_cache import StatisticsCache
 from repro.serving.signature import plan_signature, statistics_key
 from repro.stats.random import (
@@ -133,6 +147,12 @@ class _Flight:
 #: onto a stripe, so registry bookkeeping for one signature never contends
 #: with bookkeeping for unrelated signatures on other stripes.
 _FLIGHT_STRIPES = 16
+
+#: Why the current request was served degraded (``"breaker_open"`` when the
+#: circuit breaker forced in-process execution), or ``None``.  Request-scoped:
+#: :meth:`QueryService.submit` resets it on entry and folds it into result
+#: metadata and the trace root on exit.
+_DEGRADED: ContextVar[Optional[str]] = ContextVar("repro_degraded", default=None)
 
 
 class QueryService:
@@ -263,6 +283,8 @@ class QueryService:
             "trace_sink_errors": 0,
             "shed": 0,
             "coalesced": 0,
+            "deadline_exceeded": 0,
+            "degraded": 0,
         }
         # Per-path latency histograms (always on — plain instruments, not
         # routed through the opt-in registry, so ``metrics_snapshot()`` can
@@ -289,12 +311,55 @@ class QueryService:
         self._async_flights: Dict[Hashable, _Flight] = {}
         self._async_flights_lock = threading.Lock()
         self._frontend_executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        # Resilience: one breaker guards process-pool health for the whole
+        # service; requests carry deadlines; close() drains in-flight work
+        # under the condition below before tearing pools and exports down.
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_time_s=self.config.breaker_recovery_s,
+            probe_quota=self.config.breaker_probes,
+        )
+        self._closed = False
+        self._inflight = 0
+        self._drained = threading.Condition(threading.Lock())
 
     # -- construction helpers -----------------------------------------------------
     def _default_strategy_factory(self, random_state: RandomState) -> IntelSample:
         return IntelSample(
             random_state=random_state,
             executor_factory=self._make_executor,
+        )
+
+    def _note_degraded(self, reason: str) -> None:
+        """Record that the current request runs degraded (once per request)."""
+        if _DEGRADED.get() is None:
+            _DEGRADED.set(reason)
+            self._count("degraded")
+
+    def _process_executor(
+        self, random_state: RandomState, free_memoized: bool
+    ) -> ExecutorBackend:
+        """A process-backed executor — unless the circuit breaker says no.
+
+        An open breaker (repeated pool faults) degrades the request to the
+        in-process thread executor: bitwise-identical results, just not
+        multi-core.  A half-open breaker admits this request as a probe —
+        the executor reports the probe's outcome back through the shared
+        breaker.
+        """
+        if not self.breaker.allow():
+            self._note_degraded("breaker_open")
+            return ParallelBatchExecutor(
+                random_state=random_state,
+                max_workers=self.max_workers,
+                free_memoized=free_memoized,
+            )
+        return ProcessPoolBatchExecutor(
+            random_state=random_state,
+            max_workers=self.max_workers,
+            free_memoized=free_memoized,
+            breaker=self.breaker,
+            retry_spans=self.config.retry_spans,
         )
 
     def _make_executor(self, random_state: RandomState) -> ExecutorBackend:
@@ -307,9 +372,7 @@ class QueryService:
                 random_state=random_state, max_workers=self.max_workers
             )
         if self.executor_backend == "process":
-            return ProcessPoolBatchExecutor(
-                random_state=random_state, max_workers=self.max_workers
-            )
+            return self._process_executor(random_state, free_memoized=False)
         return PlanExecutor(random_state=random_state)
 
     def _warm_executor(self, random_state: RandomState) -> ExecutorBackend:
@@ -324,10 +387,8 @@ class QueryService:
                 free_memoized=self.free_memoized,
             )
         if self.executor_backend == "process":
-            return ProcessPoolBatchExecutor(
-                random_state=random_state,
-                max_workers=self.max_workers,
-                free_memoized=self.free_memoized,
+            return self._process_executor(
+                random_state, free_memoized=self.free_memoized
             )
         return PlanExecutor(random_state=random_state)
 
@@ -407,12 +468,38 @@ class QueryService:
                     del self._flight_locks[stripe][signature]
 
     # -- submission ----------------------------------------------------------------
+    def _resolve_deadline(
+        self, timeout_s: Optional[float], deadline: Optional[Deadline]
+    ) -> Optional[Deadline]:
+        """This request's deadline: explicit object, timeout, or config default."""
+        if deadline is not None:
+            return deadline
+        if timeout_s is not None:
+            return Deadline.after(timeout_s)
+        if self.config.default_timeout_s is not None:
+            return Deadline.after(self.config.default_timeout_s)
+        return None
+
+    def _enter_request(self) -> None:
+        with self._drained:
+            if self._closed:
+                raise ServiceClosed()
+            self._inflight += 1
+
+    def _exit_request(self) -> None:
+        with self._drained:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.notify_all()
+
     def submit(
         self,
         query: SelectQuery,
         client_id: Optional[str] = None,
         seed: SeedLike = None,
         audit: bool = False,
+        timeout_s: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> QueryResult:
         """Answer one query, reusing cached statistics and plans when possible.
 
@@ -423,12 +510,23 @@ class QueryService:
         would overrun mid-flight is stopped by the ledger's hard budget.
         With ``audit=True`` the result carries ground-truth precision/recall.
 
+        ``timeout_s`` (or a pre-built ``deadline``; or, failing both,
+        ``config.default_timeout_s``) bounds the request: past the deadline
+        the next cooperative cancellation point raises the typed
+        :class:`~repro.resilience.deadline.DeadlineExceeded` — counted on
+        ``deadline_exceeded`` — and no further UDF work is charged.  After
+        :meth:`close` every call raises
+        :class:`~repro.serving.session.ServiceClosed`.
+
         Every request is timed into the per-path latency histograms (see
         :meth:`metrics_snapshot`); while a trace sink is installed
         (:meth:`set_trace_sink`) the request also produces a
         :class:`~repro.obs.trace.Trace` span tree, finished and handed to
         the sink whether the request succeeds or raises.
         """
+        self._enter_request()
+        degraded_token = _DEGRADED.set(None)
+        reason: Optional[str] = None
         sink = self._trace_sink
         trace: Optional[Trace] = None
         if sink is not None:
@@ -437,14 +535,23 @@ class QueryService:
             trace.activate()
         started = time.perf_counter()
         try:
-            result = self._submit(query, client_id, seed, audit)
-        except BaseException:
+            with deadline_scope(self._resolve_deadline(timeout_s, deadline)):
+                result = self._submit(query, client_id, seed, audit)
+        except BaseException as exc:
+            if isinstance(exc, DeadlineExceeded):
+                self._count("deadline_exceeded")
             elapsed = time.perf_counter() - started
             self.latency_histogram("all").observe(elapsed)
             self.latency_histogram("error").observe(elapsed)
             raise
         finally:
+            reason = _DEGRADED.get()
+            _DEGRADED.reset(degraded_token)
             if trace is not None:
+                if reason is not None:
+                    # Root annotations reach the slow-query log, so degraded
+                    # requests record why they ran in-process.
+                    trace.root.annotate("degraded", reason)
                 trace.finish()
                 try:
                     sink(trace)
@@ -452,6 +559,9 @@ class QueryService:
                     # A broken sink must never fail queries; it is counted
                     # so dashboards can notice the drop.
                     self._count("trace_sink_errors")
+            self._exit_request()
+        if reason is not None:
+            result.metadata["degraded"] = reason
         elapsed = time.perf_counter() - started
         self.latency_histogram("all").observe(elapsed)
         self.latency_histogram(self._latency_path(query, result)).observe(elapsed)
@@ -464,6 +574,7 @@ class QueryService:
         client_id: Optional[str] = None,
         seed: SeedLike = None,
         audit: bool = False,
+        timeout_s: Optional[float] = None,
     ) -> QueryResult:
         """Answer one query from an asyncio application without blocking it.
 
@@ -486,7 +597,15 @@ class QueryService:
           counted on the ``coalesced`` metric.  Other followers (different
           seed, budgeted, or auditing) re-submit once the plan is warm,
           paying only warm-path execution.
+
+        ``timeout_s`` bounds the whole wait, including time parked behind a
+        flight leader: a follower whose deadline passes while the leader is
+        still planning raises :class:`DeadlineExceeded` instead of waiting
+        on, and a bitwise-compatible follower of a leader that *itself*
+        timed out receives the leader's typed error rather than re-running.
         """
+        if self._closed:
+            raise ServiceClosed()
         query_class = self._query_class(query)
         self._admit_frontend(query_class)
         try:
@@ -499,33 +618,64 @@ class QueryService:
                 flight, leader = self._join_flight(signature, seed, audit, client_id)
             if flight is None:
                 return await loop.run_in_executor(
-                    pool, lambda: self.submit(query, client_id, seed, audit)
+                    pool,
+                    lambda: self.submit(
+                        query, client_id, seed, audit, timeout_s=timeout_s
+                    ),
                 )
             if leader:
                 try:
                     result = await loop.run_in_executor(
-                        pool, lambda: self.submit(query, client_id, seed, audit)
+                        pool,
+                        lambda: self.submit(
+                            query, client_id, seed, audit, timeout_s=timeout_s
+                        ),
                     )
                 except BaseException as exc:
                     self._finish_flight(flight, None, exc)
                     raise
                 self._finish_flight(flight, result, None)
                 return result
-            # Follower: wait for the leader's pass.  A failed leader is not
-            # propagated — the follower just runs its own request (which may
-            # fail the same way, attributed to itself).
+            # Follower: wait for the leader's pass — but never past this
+            # request's own deadline.  A failed leader is normally not
+            # propagated (the follower runs its own request, attributing any
+            # repeat failure to itself); the exception is a leader killed by
+            # its deadline, whose typed error a bitwise-compatible follower
+            # shares exactly as it would have shared the result.
             started = time.perf_counter()
+            deadline = self._resolve_deadline(timeout_s, None)
+            shared: Optional[QueryResult] = None
+            shared_error: Optional[BaseException] = None
             try:
-                shared = await asyncio.wrap_future(flight.future)
-            except BaseException:
-                shared = None
-            if (
-                shared is not None
-                and client_id is None
+                if deadline is None:
+                    shared = await asyncio.wrap_future(flight.future)
+                else:
+                    # Shielded: a follower timing out must not cancel the
+                    # *shared* flight future out from under the leader (whose
+                    # set_result would then raise) and the other followers.
+                    shared = await asyncio.wait_for(
+                        asyncio.shield(asyncio.wrap_future(flight.future)),
+                        timeout=max(deadline.remaining(), 0.0),
+                    )
+            except asyncio.TimeoutError:
+                self._count("deadline_exceeded")
+                raise DeadlineExceeded(deadline.timeout_s, "flight-follower") from None
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                shared_error = exc
+            compatible = (
+                client_id is None
                 and flight.client_id is None
                 and audit == flight.audit
                 and seed == flight.seed
+            )
+            if (
+                shared_error is not None
+                and compatible
+                and isinstance(shared_error, DeadlineExceeded)
             ):
+                self._count("deadline_exceeded")
+                raise shared_error
+            if shared is not None and compatible:
                 self._count("coalesced")
                 elapsed = time.perf_counter() - started
                 self.latency_histogram("all").observe(elapsed)
@@ -537,7 +687,8 @@ class QueryService:
                     metadata={**shared.metadata, "coalesced": True},
                 )
             return await loop.run_in_executor(
-                pool, lambda: self.submit(query, client_id, seed, audit)
+                pool,
+                lambda: self.submit(query, client_id, seed, audit, timeout_s=timeout_s),
             )
         finally:
             self._release_frontend(query_class)
@@ -630,6 +781,10 @@ class QueryService:
         with self._async_flights_lock:
             if self._async_flights.get(flight.signature) is flight:
                 del self._async_flights[flight.signature]
+        if flight.future.cancelled():
+            # Belt and braces: nothing to deliver into a cancelled future,
+            # and set_result/set_exception would raise InvalidStateError.
+            return
         if error is not None:
             flight.future.set_exception(error)
         else:
@@ -726,7 +881,7 @@ class QueryService:
             if not lock.acquire(blocking=False):
                 self._count("flight_waits")
                 with _span("flight-wait"):
-                    lock.acquire()
+                    self._acquire_with_deadline(lock)
             try:
                 # Re-check without recounting: the pre-lock lookup already
                 # recorded this request's cache outcome; a waiter whose plan
@@ -751,6 +906,25 @@ class QueryService:
             # The last participant drops the registry entry, keeping the lock
             # dict bounded by in-flight signatures, not historical ones.
             self._release_flight(signature, lock)
+
+    @staticmethod
+    def _acquire_with_deadline(lock: threading.Lock) -> None:
+        """Block on a flight lock, but never past the active deadline.
+
+        A request parked behind a cold signature's flight leader must raise
+        the typed ``DeadlineExceeded`` when its time runs out — not hang
+        until the leader finishes.  The wait is chunked (50 ms) so injected
+        test clocks are honoured too, not only real elapsed time.
+        """
+        deadline = current_deadline()
+        if deadline is None:
+            lock.acquire()
+            return
+        while True:
+            deadline.check("flight-wait")
+            wait = min(max(deadline.remaining(), 0.0), 0.05)
+            if lock.acquire(timeout=wait):
+                return
 
     def _lookup_entry(
         self, signature: Tuple, query: SelectQuery, record: bool = True
@@ -1081,6 +1255,54 @@ class QueryService:
             )
         return predicates[0].udf
 
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain in-flight requests, then tear down deterministically.
+
+        The moment close begins, new :meth:`submit`/:meth:`submit_async`
+        calls raise the typed :class:`~repro.serving.session.ServiceClosed`;
+        requests already executing drain to completion (bounded by
+        ``timeout`` seconds, ``None`` = wait for all of them).  Teardown
+        then shuts the async front-end pool down, discards the shared
+        process pool (when this service used one) and releases every
+        shared-memory export of this catalog's tables — after close,
+        :func:`repro.db.shm.exported_segment_count` owes nothing to this
+        service.  Idempotent: a second close is a cheap no-op re-running
+        only the (already empty) teardown.  Also the context-manager exit.
+        """
+        with self._drained:
+            already = self._closed
+            self._closed = True
+            if not already:
+                expires = None if timeout is None else time.monotonic() + timeout
+                while self._inflight > 0:
+                    remaining = (
+                        None if expires is None else expires - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._drained.wait(timeout=remaining)
+            drained = self._inflight == 0
+        pool = self._frontend_executor
+        self._frontend_executor = None
+        if pool is not None:
+            # Undrained (timed-out) closes must not block forever on a
+            # wedged request thread; drained closes join cleanly.
+            pool.shutdown(wait=drained, cancel_futures=True)
+        if self.executor_backend == "process":
+            workers = (
+                default_max_workers() if self.max_workers is None else self.max_workers
+            )
+            _discard_process_pool(workers)
+        for name in self.catalog.table_names():
+            release_exports(self.catalog.table(name))
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def stats(self) -> ServiceStats:
         """The unified observability surface: one typed snapshot of everything.
 
@@ -1095,10 +1317,13 @@ class QueryService:
         """
         with self._metrics_lock:
             counters = dict(self._metrics)
+        counters["retried_spans"] = self.breaker.retries_total
         with self._frontend_lock:
             pending = dict(self._frontend_pending)
         with self._async_flights_lock:
             open_flights = len(self._async_flights)
+        resilience = self.breaker.snapshot()
+        resilience["service_closed"] = self._closed
         return ServiceStats(
             serving=counters,
             plan_cache=self.plan_cache.snapshot(),
@@ -1114,6 +1339,7 @@ class QueryService:
                 "open_flights": open_flights,
             },
             registry=_metrics.get_registry().snapshot(),
+            resilience=resilience,
         )
 
     def metrics(self) -> Dict[str, object]:
@@ -1124,6 +1350,7 @@ class QueryService:
         """
         with self._metrics_lock:
             counters = dict(self._metrics)
+        counters["retried_spans"] = self.breaker.retries_total
         return {
             **counters,
             "plan_cache": self.plan_cache.snapshot(),

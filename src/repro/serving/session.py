@@ -37,6 +37,21 @@ class AdmissionError(DatabaseError):
         )
 
 
+class ServiceClosed(DatabaseError):
+    """A request arrived after :meth:`QueryService.close` began.
+
+    Typed so clients can tell an orderly shutdown from overload or failure:
+    in-flight requests at close time drain to completion, but every later
+    ``submit``/``submit_async`` raises this immediately.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "service is closed: new requests are rejected; re-create the "
+            "QueryService to resume serving"
+        )
+
+
 class Overloaded(DatabaseError):
     """A request was shed by the async front-end's admission control.
 

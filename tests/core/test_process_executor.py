@@ -26,6 +26,14 @@ from repro.sampling.sampler import GroupSampler
 WORKERS = 2
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Leak check (PR 8): teardown must leave zero shared-memory segments."""
+    yield
+    release_exports()
+    assert exported_segment_count() == 0
+
+
 def _table(n=600, groups=5, seed=11, name="ptab"):
     rng = np.random.default_rng(seed)
     return Table.from_columns(

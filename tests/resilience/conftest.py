@@ -1,0 +1,17 @@
+"""Shared invariant for the resilience suite: no leaked shm segments.
+
+Every test — including the ones that crash workers, hang them past the
+deadline, or fail shared-memory exports on purpose — must leave zero
+exported segments behind after teardown.
+"""
+
+import pytest
+
+from repro.db.shm import exported_segment_count, release_exports
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    yield
+    release_exports()
+    assert exported_segment_count() == 0

@@ -212,7 +212,8 @@ class TestScaleProfile:
         assert all(verdict == "ok" for *_rest, verdict in rows)
 
 
-def _traffic_payload(evals=41_000_000, accounting_delta=0, silent=0, shed=28):
+def _traffic_payload(evals=41_000_000, accounting_delta=0, silent=0, shed=28,
+                     deadline_delta=0, deadline_unexpected=0, exceeded=8):
     return {
         "rows": 80_000,
         "clients": 1200,
@@ -229,6 +230,12 @@ def _traffic_payload(evals=41_000_000, accounting_delta=0, silent=0, shed=28):
             "shed_count": shed,
             "silent_drops": silent,
             "accounting_delta": accounting_delta,
+        },
+        "deadline": {
+            "fired": 8,
+            "exceeded_count": exceeded,
+            "unexpected": deadline_unexpected,
+            "accounting_delta": deadline_delta,
         },
         "latency": {"qps": 35.0, "p50_ms": 190.0, "p99_ms": 550.0},
     }
@@ -262,6 +269,23 @@ class TestTrafficProfile:
             tmp_path,
             _traffic_payload(),
             _traffic_payload(silent=1, shed=27),
+            profile="traffic",
+        ) == 1
+
+    def test_deadline_accounting_delta_fails_exactly(self, tmp_path):
+        """One uncounted DeadlineExceeded raise trips the zero-baseline gate."""
+        assert _run(
+            tmp_path,
+            _traffic_payload(),
+            _traffic_payload(deadline_delta=1),
+            profile="traffic",
+        ) == 1
+
+    def test_deadline_hang_or_silent_completion_fails(self, tmp_path):
+        assert _run(
+            tmp_path,
+            _traffic_payload(),
+            _traffic_payload(deadline_unexpected=1, exceeded=7),
             profile="traffic",
         ) == 1
 
