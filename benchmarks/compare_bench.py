@@ -9,7 +9,7 @@ it — the ``bench-regression`` CI job runs it against the baselines
 committed in the repository so solver, caching or vectorisation changes
 cannot silently degrade the serving path.
 
-Five profiles select which counters are gated:
+Six profiles select which counters are gated:
 
 * ``serving`` (default) — the cold/warm trace replay of
   ``BENCH_serving.json``;
@@ -27,7 +27,15 @@ Five profiles select which counters are gated:
   ``BENCH_traffic.json``: warm-path work counters are deterministic by
   construction (``free_memoized=False``) and the shedding audit's
   ``accounting_delta`` is committed as 0 — every ``Overloaded`` raise must
-  be counted, never silent.  Queries/sec and latency stay informational.
+  be counted, never silent.  Queries/sec and latency stay informational;
+* ``restart`` — the 1M-row durable warm-restart point of
+  ``BENCH_restart.json``: the first post-restart request must be a
+  restored warm hit (``plan_restored`` pinned at 1) with every work and
+  corruption counter (``udf_evaluations``, ``solver_calls``,
+  ``row_ids_mismatch``, ``restore_errors``, ``rebuilds``,
+  ``checksum_failures``) committed as zero and therefore gated at
+  *exactly* zero.  The restart speedup and persist time are wall-clock
+  and stay informational.
 
 Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
@@ -158,12 +166,37 @@ TRAFFIC_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("deadline.accounting_delta", True),
 )
 
+#: The restart profile gates the durable warm-restart contract: zero UDF
+#: evaluations, zero solver calls, bitwise-identical row ids and a clean
+#: recovery path (no restore errors, rebuilds or checksum failures) are
+#: all committed as 0, so any non-zero fresh value is an unbounded
+#: relative drift and the ±tolerance gate degenerates to exact ±0.  The
+#: cold side's counters pin what a from-scratch rebuild costs — if they
+#: collapse, the speedup claim is measuring the wrong thing.
+RESTART_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("rows", False),
+    ("shards", False),
+    ("windows", False),
+    ("restored.plan_restored", False),
+    ("restored.udf_evaluations", True),
+    ("restored.charged_evaluations", True),
+    ("restored.solver_calls", True),
+    ("restored.row_ids_mismatch", True),
+    ("restored.restore_errors", True),
+    ("restored.rebuilds", True),
+    ("restored.checksum_failures", True),
+    ("restored.segments_loaded", True),
+    ("cold.udf_evaluations", True),
+    ("cold.solver_calls", True),
+)
+
 PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "serving": GATED_COUNTERS,
     "coldpath": COLDPATH_COUNTERS,
     "scale": SCALE_COUNTERS,
     "update": UPDATE_COUNTERS,
     "traffic": TRAFFIC_COUNTERS,
+    "restart": RESTART_COUNTERS,
 }
 
 #: Keys printed alongside the gate for context but NEVER gated: wall-clock
@@ -181,6 +214,7 @@ INFORMATIONAL_COUNTERS: Dict[str, Tuple[str, ...]] = {
     "scale": ("parallel_speedup", "thread_python_speedup", "process_speedup"),
     "update": (),
     "traffic": ("latency.qps", "latency.p50_ms", "latency.p99_ms"),
+    "restart": ("restart_speedup", "persist_seconds"),
 }
 
 

@@ -21,6 +21,7 @@ Run with::
     python examples/serving_workload.py --shards 8 --workers 4 --executor process
     python examples/serving_workload.py --churn 2                # 2% appends between batches
     python examples/serving_workload.py --async --clients 1000   # concurrent front-end
+    python examples/serving_workload.py --persist /tmp/repro-db  # durable warm restart
 
 ``--shards N`` splits the table into N contiguous shards
 (:class:`~repro.db.ShardedTable`) and ``--workers W`` serves it on a
@@ -44,6 +45,15 @@ Each append bumps the table's data generation, so the first submit of every
 warm signature afterwards takes the *refresh* path — statistics topped up
 with delta-only UDF work, one re-solve — instead of a cold re-plan; the
 example prints the warm-hit versus refresh counts so the effect is visible.
+
+``--persist DIR`` runs the service with durable storage under ``DIR``:
+after the replay the service is shut down (checkpointing the table into
+checksummed column segments and the warm state — plan-cache entries,
+statistics, UDF memo — under the atomic manifest), reopened from the
+manifest as a fresh process would, and asked the hottest signature again.
+The example prints cold-start versus warm-restart work counters side by
+side: the restarted service answers with ``plan_cache: restored`` and
+**zero** UDF evaluations, bitwise identical to the pre-shutdown warm run.
 
 ``--metrics`` switches on the global :mod:`repro.obs` registry and installs
 a trace sink for the replay, then prints the registry snapshot (labelled
@@ -70,6 +80,7 @@ from repro import (
     UdfPredicate,
     load_dataset,
 )
+from repro.db.storage import CatalogStore
 from repro.obs import CollectingTraceSink, disable_metrics, enable_metrics
 from repro.stats.metrics import result_quality
 from repro.stats.random import RandomState
@@ -177,6 +188,93 @@ def append_bootstrap_delta(table, fraction, rng: RandomState):
     return table.append_columns(delta)
 
 
+def demonstrate_restart(
+    service, dataset, udf, hot, persist_dir, scale, backend, workers
+) -> None:
+    """Shut down (persisting), warm-restart from the manifest, contrast cold.
+
+    The pre-shutdown warm run pins the seed the restart replays: warm
+    execution draws per-request coins, so bitwise parity (and a fully
+    covering UDF memo) holds against the warm run at the same seed.  The
+    restarted service runs the *same* executor config — a restarted
+    process reads the same config it crashed with, and the per-span coin
+    streams (hence the memo's coverage) follow the execution layout.
+    """
+    seed = 424_242
+    before = udf.counter_snapshot()
+    warm = service.submit(hot, seed=seed)
+    warm_evals = udf.counter_delta(before)["calls"]
+    started = time.perf_counter()
+    service.close()  # checkpoint + journal truncate + warm state: the commit
+    persist_seconds = time.perf_counter() - started
+
+    # Warm restart: reopen the catalog from the manifest, as a fresh
+    # process would, and repeat the previously-served query.
+    started = time.perf_counter()
+    catalog, reports = CatalogStore(persist_dir).open()
+    restart_udf = dataset.make_udf("credit_check")  # UDFs are code: re-registered
+    catalog.register_udf(restart_udf)
+    restarted = QueryService(
+        Engine(catalog),
+        config=ServiceConfig(
+            executor=backend, max_workers=workers, storage_dir=persist_dir
+        ),
+    )
+    repeated = SelectQuery(
+        table=hot.table,
+        predicate=UdfPredicate(restart_udf),
+        alpha=hot.alpha,
+        beta=hot.beta,
+        rho=hot.rho,
+        correlated_column=hot.correlated_column,
+    )
+    restored = restarted.submit(repeated, seed=seed)
+    restart_seconds = time.perf_counter() - started
+    restart_evals = restart_udf.counter_snapshot()["calls"]
+    storage = restarted.stats().storage
+    restarted.close()
+
+    # Cold start: what a process without durable warm state pays for the
+    # same query — re-ingest the source data and run the full pipeline.
+    started = time.perf_counter()
+    cold_dataset = load_dataset("lending_club", random_state=7, scale=scale)
+    cold_udf = cold_dataset.make_udf("credit_check")
+    cold_catalog = Catalog()
+    cold_catalog.register_table(cold_dataset.table)
+    cold_catalog.register_udf(cold_udf)
+    cold_service = QueryService(Engine(cold_catalog))
+    cold_service.submit(
+        SelectQuery(
+            table=cold_dataset.table.name,
+            predicate=UdfPredicate(cold_udf),
+            alpha=hot.alpha,
+            beta=hot.beta,
+            rho=hot.rho,
+            correlated_column=hot.correlated_column,
+        ),
+        seed=seed,
+    )
+    cold_seconds = time.perf_counter() - started
+    cold_evals = cold_udf.counter_snapshot()["calls"]
+    cold_solves = cold_service.metrics()["solver_calls"]
+    cold_service.close()
+
+    print(f"\ndurable restart (--persist {persist_dir})")
+    print(f"  persisted on close  : {persist_seconds:.2f}s "
+          f"(tables: {', '.join(sorted(reports))})")
+    print(f"  cold start          : {cold_seconds:.2f}s, "
+          f"{cold_evals} UDF evaluations, {cold_solves} solver calls")
+    print(f"  warm restart        : {restart_seconds:.2f}s, "
+          f"{restart_evals} UDF evaluations, "
+          f"plan_cache={restored.metadata['plan_cache']}")
+    print(f"  restored from disk  : {storage['restored_plans']} plans, "
+          f"{storage['restored_udf_memos']} UDF memo, "
+          f"{storage['restore_errors']} restore errors")
+    print(f"  pre-shutdown warm run: {warm_evals} UDF evaluations; "
+          f"row ids identical after restart: "
+          f"{list(restored.row_ids) == list(warm.row_ids)}")
+
+
 def print_metrics_report(service, sink) -> None:
     """Print the registry snapshot, latency percentiles and slowest trace."""
     snapshot = service.metrics_snapshot()
@@ -241,6 +339,13 @@ def main() -> None:
         help="concurrent clients for --async (default: 1000)",
     )
     parser.add_argument(
+        "--persist", metavar="DIR", default=None,
+        help="durable storage directory: checkpoint the table + warm state "
+        "there on shutdown, then demonstrate a warm restart (reopen from "
+        "the manifest, repeat the hottest query with zero UDF evaluations) "
+        "against a cold start over the same data",
+    )
+    parser.add_argument(
         "--metrics", action="store_true",
         help="enable the repro.obs registry + per-query tracing and print "
         "the metrics snapshot and the slowest trace tree after the replay",
@@ -268,6 +373,7 @@ def main() -> None:
             # The async herd arrives all at once; admit it wholesale (tune
             # class_limits / max_pending down to see typed Overloaded sheds).
             max_pending=max(64, 2 * args.clients),
+            storage_dir=args.persist,
         ),
     )
     sink = None
@@ -352,6 +458,11 @@ def main() -> None:
         truth = dataset.ground_truth_row_ids()
         quality = result_quality(check.row_ids, truth)
         assert quality.precision == check.quality.precision  # audit consistency
+    if args.persist:
+        demonstrate_restart(
+            service, dataset, udf, trace[0], args.persist, args.scale,
+            backend, args.workers,
+        )
 
 
 if __name__ == "__main__":

@@ -322,6 +322,49 @@ answering — degraded, never wedged — when the process pool misbehaves:
   releases every shared-memory export; ``close`` is idempotent and
   ``stats().resilience["service_closed"]`` records it.
 
+Durability & recovery
+---------------------
+
+:mod:`repro.db.storage` makes a catalog survive a crash and makes the
+restart *warm*:
+
+* **Checksummed columnar segments** — sealed and tail shards persist one
+  column per segment file (magic + JSON header + raw fixed-width payload)
+  with a per-block CRC32 table; reopening validates every block and maps
+  fixed-width columns back as read-only ``np.memmap`` arrays, so opening a
+  1M-row table touches headers and checksums, not python lists.
+* **Atomic manifest commit** — every write is temp-file → fsync → rename,
+  and the versioned, CRC-enveloped ``MANIFEST.json`` (schema, layout,
+  ``data_generation``, per-segment checksums) is written *last*: the
+  manifest on disk always names a complete generation, so a crash
+  mid-checkpoint leaves the previous generation fully intact.
+* **Tail-append journal** — between checkpoints,
+  :meth:`~repro.db.TableStore.append` journals each delta (length-prefixed,
+  CRC'd, fsynced, stamped with the generation it produces) *before*
+  applying it; :meth:`~repro.db.TableStore.open` replays the valid record
+  prefix past the manifest generation through the ordinary append path,
+  reproducing tail growth and sealing bitwise.
+* **Typed quarantine & rebuild** — torn ``.tmp`` files are swept; corrupt
+  artifacts raise :class:`~repro.db.CorruptSegmentError` /
+  :class:`~repro.db.ManifestVersionError`, are moved to ``quarantine/``
+  (never deleted) and degrade gracefully to a rebuild-from-source callable
+  when one is supplied — every outcome counted in
+  :func:`repro.db.storage.storage_counters` and surfaced via
+  ``QueryService.stats().storage``.
+* **Warm restart** — ``ServiceConfig(storage_dir=...)`` persists serving
+  warmth next to the data: plan-cache entries, statistics reservoirs,
+  group-index codes and UDF memo caches, each stamped with the owning
+  table's ``shard_signature()`` and restored only on an exact match.  A
+  restarted service answers its first repeated query as a warm hit with
+  **zero** UDF evaluations, reporting ``plan_cache: "restored"`` once.
+  The four storage fault sites (``manifest_write``, ``segment_write``,
+  ``journal_append``, ``segment_read``) extend the chaos suite: every
+  injected torn write and bit flip either reopens bitwise-identical to the
+  last durable generation or fails typed and rebuilds — never silently
+  corrupt.  ``benchmarks/test_restart.py`` commits the cold-versus-warm
+  restart counters to ``BENCH_restart.json``, gated via
+  ``compare_bench.py --profile restart``.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """
@@ -350,14 +393,20 @@ from repro.core import (
 from repro.datasets import DatasetBundle, generate_dataset, load_all_datasets, load_dataset
 from repro.db import (
     Catalog,
+    CatalogStore,
+    CorruptSegmentError,
     CostLedger,
     Engine,
     GroupIndex,
+    ManifestVersionError,
     MergedGroupIndex,
     QueryResult,
+    RecoveryReport,
     SelectQuery,
     ShardedTable,
+    StorageError,
     Table,
+    TableStore,
     UdfPredicate,
     UserDefinedFunction,
     metadata_schema,
@@ -396,7 +445,7 @@ from repro.serving import (
     StatisticsCache,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -424,6 +473,12 @@ __all__ = [
     "Engine",
     "Table",
     "ShardedTable",
+    "TableStore",
+    "CatalogStore",
+    "RecoveryReport",
+    "StorageError",
+    "CorruptSegmentError",
+    "ManifestVersionError",
     "GroupIndex",
     "MergedGroupIndex",
     "SelectQuery",

@@ -12,7 +12,9 @@ the corresponding cost.  This package provides exactly that substrate:
 * :class:`~repro.db.index.GroupIndex` — the hash index on the correlated
   attribute that the paper's cost model assumes,
 * :class:`~repro.db.query.SelectQuery` and :class:`~repro.db.engine.Engine`
-  — a small query layer that runs exact or approximate UDF-predicate selects.
+  — a small query layer that runs exact or approximate UDF-predicate selects,
+* :mod:`repro.db.storage` — durable checksummed columnar segments under an
+  atomic manifest, with a tail-append journal and chaos-tested warm restart.
 """
 
 from repro.db.catalog import Catalog
@@ -21,9 +23,12 @@ from repro.db.engine import Engine, QueryResult, metadata_schema
 from repro.db.errors import (
     BudgetExhaustedError,
     ColumnNotFoundError,
+    CorruptSegmentError,
     DatabaseError,
     DuplicateObjectError,
+    ManifestVersionError,
     SchemaMismatchError,
+    StorageError,
     TableNotFoundError,
     UdfNotFoundError,
 )
@@ -39,6 +44,7 @@ from repro.db.predicate import (
 from repro.db.query import SelectQuery
 from repro.db.schema import Schema
 from repro.db.sharding import ShardedTable, shard_bounds
+from repro.db.storage import CatalogStore, RecoveryReport, TableStore
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UdfRegistry, UserDefinedFunction
 
@@ -57,6 +63,12 @@ __all__ = [
     "DuplicateObjectError",
     "SchemaMismatchError",
     "BudgetExhaustedError",
+    "StorageError",
+    "CorruptSegmentError",
+    "ManifestVersionError",
+    "TableStore",
+    "CatalogStore",
+    "RecoveryReport",
     "GroupIndex",
     "MergedGroupIndex",
     "ShardedTable",

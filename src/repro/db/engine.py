@@ -42,8 +42,11 @@ def metadata_schema() -> Dict[str, str]:
     ``strategy``        How the answer was produced: ``"exact"`` or the
                         strategy's own name (e.g. ``"intel_sample"``).
     ``plan_cache``      Serving-layer plan-cache outcome for this query — one
-                        of ``"hit"``, ``"miss"`` or ``"refresh"`` (absent for
-                        queries that bypass the service).
+                        of ``"hit"``, ``"miss"``, ``"refresh"`` or
+                        ``"restored"`` (the first hit on an entry loaded from
+                        durable storage after a restart; subsequent hits
+                        report ``"hit"``).  Absent for queries that bypass
+                        the service.
     ``fallback_reason`` Why an approximate plan was abandoned for exhaustive
                         evaluation (e.g. ``"infeasible constraints: ..."``);
                         absent when the plan ran as solved.
@@ -70,7 +73,10 @@ def metadata_schema() -> Dict[str, str]:
     """
     return {
         "strategy": "evaluation path: 'exact' or the strategy name",
-        "plan_cache": "serving plan-cache outcome: 'hit' | 'miss' | 'refresh'",
+        "plan_cache": (
+            "serving plan-cache outcome: 'hit' | 'miss' | 'refresh' | "
+            "'restored' (first hit on an entry restored from durable storage)"
+        ),
         "fallback_reason": "why an approximate plan fell back to exhaustive",
         "session": "serving admission diagnostics (client id, budget)",
         "stats_cache": "which cached statistics the serving layer reused",

@@ -77,3 +77,36 @@ class BudgetExhaustedError(DatabaseError):
         super().__init__(
             f"UDF cost budget exhausted: budget={budget}, already spent={spent}"
         )
+
+
+class StorageError(DatabaseError):
+    """Base class for durable-storage failures (:mod:`repro.db.storage`)."""
+
+
+class CorruptSegmentError(StorageError):
+    """A persisted artifact failed checksum or structural validation.
+
+    Raised for bit-flipped segment blocks, torn journal headers, manifests
+    that do not parse — anything where the bytes on disk no longer match
+    what was committed.  The store quarantines the offending file and either
+    degrades to rebuild-from-source or surfaces this error; it never serves
+    silently corrupted data.
+    """
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"corrupt storage artifact {self.path}: {reason}")
+
+
+class ManifestVersionError(StorageError):
+    """A manifest was written by an incompatible storage format version."""
+
+    def __init__(self, path, found: object, supported: int):
+        self.path = str(path)
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"manifest {self.path} has format version {found!r}; this build "
+            f"supports version {supported} (migrate or rebuild from source)"
+        )

@@ -1,0 +1,121 @@
+"""The tail-append write-ahead journal.
+
+Between checkpoints, appends are made durable by journalling the delta
+*before* it is applied in memory: one length-prefixed, CRC'd, pickled
+record per :meth:`~repro.db.table.Table.append_columns` call, fsynced on
+append.  Each record carries the ``data_generation`` it produces, so
+replay on open is idempotent against the manifest — records at or below
+the manifest's committed generation (a crash between manifest commit and
+journal truncation) are skipped, records above it re-apply through the
+very same append path that produced them, deterministically reproducing
+tail growth, cache extension and tail sealing.
+
+Record layout::
+
+    length (uint32 LE) | crc32(payload) (uint32 LE) | payload (pickle)
+
+A torn append (the ``journal_append`` fault site fires mid-record) leaves
+a short or checksum-failing tail; :func:`read_records` stops at the first
+bad record and reports the truncation — the journal's valid prefix *is*
+the durable history, exactly the semantics of a real WAL tail.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.db.errors import CorruptSegmentError
+from repro.resilience import faults as _faults
+
+#: Journal file magic (8 bytes, versioned).
+JOURNAL_MAGIC = b"RPWAL01\x00"
+
+_HEADER = struct.Struct("<II")
+
+
+def append_record(
+    path: str, generation: int, columns: Mapping[str, Sequence[Any]]
+) -> None:
+    """Durably append one delta record producing ``generation``.
+
+    The ``journal_append`` fault site fires after a partial record prefix
+    has been written — an injected crash/error there models a torn append
+    whose bytes replay must discard.
+    """
+    payload = pickle.dumps(
+        {
+            "generation": int(generation),
+            "columns": {name: list(values) for name, values in columns.items()},
+        },
+        protocol=4,
+    )
+    record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    half = len(record) // 2
+    with open(path, "ab") as handle:
+        if handle.tell() == 0:
+            handle.write(JOURNAL_MAGIC)
+        handle.write(record[:half])
+        handle.flush()
+        _faults.maybe_fire(_faults.active_plan(), "journal_append")
+        handle.write(record[half:])
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_records(path: str) -> Tuple[List[Dict[str, Any]], bool]:
+    """Decode the journal's valid record prefix.
+
+    Returns ``(records, truncated)`` where ``truncated`` reports that a
+    torn or checksum-failing tail was discarded.  A journal whose *magic*
+    is wrong is not a torn tail but a corrupt file: that raises
+    :class:`CorruptSegmentError` so the store can quarantine it.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], False
+    if not data:
+        return [], False
+    if len(data) < len(JOURNAL_MAGIC) or data[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+        raise CorruptSegmentError(path, "bad journal magic")
+    records: List[Dict[str, Any]] = []
+    offset = len(JOURNAL_MAGIC)
+    truncated = False
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            truncated = True
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if start + length > len(data):
+            truncated = True
+            break
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != crc:
+            truncated = True
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            truncated = True
+            break
+        records.append(record)
+        offset = start + length
+    return records, truncated
+
+
+def truncate(path: str) -> None:
+    """Reset the journal to empty (called after a successful checkpoint).
+
+    Atomic: a fresh magic-only file replaces the old journal, so a crash
+    during truncation leaves either the full old journal (whose records the
+    new manifest's generation makes replay skip) or the clean new one.
+    """
+    from repro.db.storage.segments import atomic_write_bytes
+
+    atomic_write_bytes(path, JOURNAL_MAGIC)

@@ -1,0 +1,78 @@
+"""The versioned JSON manifest — a table's single durable commit point.
+
+A manifest names everything a generation of a table consists of: the
+schema, the shard layout, the ``data_generation``, and one checksum entry
+per segment file.  It is written last (after every referenced segment is
+already durable) and atomically (temp file → fsync → rename, through the
+``manifest_write`` fault site), so the manifest on disk always describes a
+complete, consistent generation: a crash mid-checkpoint leaves the
+*previous* manifest pointing at the previous generation's still-intact
+segments.
+
+The document is a small envelope ``{"crc": ..., "body": {...}}`` where the
+CRC covers the canonical (sorted-key, compact) JSON encoding of the body —
+a truncated or bit-flipped manifest fails typed
+(:class:`~repro.db.errors.CorruptSegmentError`) instead of deserialising
+into nonsense, and an unknown ``format_version`` raises
+:class:`~repro.db.errors.ManifestVersionError` so a newer on-disk format
+is never misread by an older build.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Dict, Optional
+
+from repro.db.errors import CorruptSegmentError, ManifestVersionError
+from repro.db.storage.segments import atomic_write_bytes
+
+#: On-disk manifest format version understood by this build.
+MANIFEST_VERSION = 1
+
+
+def _canonical(body: Dict[str, Any]) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def write_manifest(path: str, body: Dict[str, Any]) -> None:
+    """Atomically commit a manifest body (stamps ``format_version``).
+
+    This is *the* commit point of a checkpoint; the ``manifest_write``
+    fault site fires mid-write, so an injected torn write leaves the
+    previously committed manifest untouched.
+    """
+    body = dict(body)
+    body["format_version"] = MANIFEST_VERSION
+    canonical = _canonical(body)
+    document = json.dumps(
+        {"crc": zlib.crc32(canonical), "body": body}, sort_keys=True, indent=1
+    ).encode("utf-8")
+    atomic_write_bytes(path, document, site="manifest_write")
+
+
+def read_manifest(path: str) -> Optional[Dict[str, Any]]:
+    """Validate and return the manifest body, or ``None`` when absent.
+
+    Raises :class:`CorruptSegmentError` for unparseable/checksum-failing
+    documents and :class:`ManifestVersionError` for format versions this
+    build does not understand.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    try:
+        document = json.loads(data)
+    except ValueError as exc:
+        raise CorruptSegmentError(path, f"unparseable manifest: {exc}") from None
+    if not isinstance(document, dict) or "body" not in document or "crc" not in document:
+        raise CorruptSegmentError(path, "manifest envelope missing crc/body")
+    body = document["body"]
+    if int(document["crc"]) != zlib.crc32(_canonical(body)):
+        raise CorruptSegmentError(path, "manifest checksum mismatch")
+    version = body.get("format_version")
+    if version != MANIFEST_VERSION:
+        raise ManifestVersionError(path, version, MANIFEST_VERSION)
+    return body

@@ -1,0 +1,246 @@
+"""Checksummed columnar segment files with crash-safe atomic writes.
+
+One segment file holds one column of one (sealed or tail) shard.  The
+layout is::
+
+    MAGIC (8 bytes) | header length (uint64 LE) | JSON header | payload
+
+The header carries the column name, row count, payload codec and the
+**per-block CRC32 table** (one checksum per ``block_bytes`` slice of the
+payload), so a bit flip anywhere in the payload is localised to a block and
+surfaces as a typed :class:`~repro.db.errors.CorruptSegmentError` instead
+of silently corrupted query answers.  Fixed-width columns (numeric,
+boolean, fixed-width strings) are stored as raw array bytes and read back
+as **read-only memmaps** — opening a 1M-row table touches headers and
+checksums, not python lists.  Object-dtype columns (mixed-type or ragged
+cells) are pickled whole; they have no fixed-width buffer to map.
+
+Every write is crash-safe: bytes go to ``<file>.tmp``, are flushed and
+fsynced, and only then atomically renamed over the final name (the
+directory is fsynced too, so the rename itself is durable).  A crash —
+injected through the ``segment_write``/``manifest_write``/
+``journal_append`` fault sites, which fire *mid-write*, after a partial
+prefix — leaves at worst a torn ``.tmp`` file that recovery sweeps; the
+committed file is never half-written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import weakref
+import zlib
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.db.errors import CorruptSegmentError
+from repro.resilience import faults as _faults
+
+#: Segment file magic (8 bytes, versioned).
+SEGMENT_MAGIC = b"RPSEG01\x00"
+
+#: Default checksum block size (1 MiB).
+DEFAULT_BLOCK_BYTES = 1 << 20
+
+#: Dtype kinds stored as raw fixed-width bytes (memmappable).
+_FIXED_KINDS = ("b", "i", "u", "f", "c", "U", "S", "V")
+
+#: Live memmap arrays handed out by :func:`read_segment`, weakly held (keyed
+#: by a monotonic token — ndarrays are unhashable): the moment the owning
+#: table is garbage-collected the entry vanishes, so the test-suite leak
+#: check can assert nothing dangles between tests.
+_LIVE_MEMMAPS: "weakref.WeakValueDictionary[int, np.ndarray]" = (
+    weakref.WeakValueDictionary()
+)
+_MEMMAP_TOKENS = iter(range(1 << 62))
+
+
+def live_memmap_count() -> int:
+    """How many segment-backed memmap arrays are still referenced."""
+    return len(_LIVE_MEMMAPS)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a rename in ``directory`` durable (best-effort off-POSIX)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, site: Optional[str] = None) -> None:
+    """Write ``data`` to ``path`` crash-safely: temp file, fsync, atomic rename.
+
+    ``site`` names the fault-injection point fired *between* the first and
+    second half of the payload — an ``error``/``crash`` rule there models a
+    torn write: the temp file holds a valid-looking prefix, the final name
+    still holds the previous committed bytes (or nothing), and recovery
+    must cope with both.
+    """
+    tmp = f"{path}.tmp"
+    half = len(data) // 2
+    with open(tmp, "wb") as handle:
+        handle.write(data[:half])
+        if site is not None:
+            handle.flush()
+            _faults.maybe_fire(_faults.active_plan(), site)
+        handle.write(data[half:])
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(os.path.dirname(path))
+
+
+def _block_checksums(payload: bytes, block_bytes: int) -> list:
+    return [
+        zlib.crc32(payload[start : start + block_bytes])
+        for start in range(0, max(len(payload), 1), block_bytes)
+    ]
+
+
+def write_segment(
+    path: str,
+    column: str,
+    array: np.ndarray,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+) -> Dict[str, Any]:
+    """Persist one column array as a checksummed segment file.
+
+    Returns the manifest entry for the segment: file basename, codec, rows
+    and the whole-payload CRC (the per-block CRC table lives in the segment
+    header itself).  Fired through the ``segment_write`` fault site.
+    """
+    array = np.asarray(array)
+    if array.dtype.kind in _FIXED_KINDS:
+        kind = "numpy"
+        dtype = array.dtype.str
+        payload = np.ascontiguousarray(array).tobytes()
+    else:
+        kind = "pickle"
+        dtype = None
+        payload = pickle.dumps(array.tolist(), protocol=4)
+    header = {
+        "column": column,
+        "kind": kind,
+        "dtype": dtype,
+        "rows": int(array.shape[0]),
+        "payload_bytes": len(payload),
+        "block_bytes": int(block_bytes),
+        "block_crcs": _block_checksums(payload, block_bytes),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    data = (
+        SEGMENT_MAGIC
+        + struct.pack("<Q", len(header_bytes))
+        + header_bytes
+        + payload
+    )
+    atomic_write_bytes(path, data, site="segment_write")
+    return {
+        "file": os.path.basename(path),
+        "kind": kind,
+        "dtype": dtype,
+        "rows": int(array.shape[0]),
+        "crc": zlib.crc32(payload),
+    }
+
+
+def _read_header(path: str, data: bytes) -> "tuple[Dict[str, Any], int]":
+    if len(data) < len(SEGMENT_MAGIC) + 8:
+        raise CorruptSegmentError(path, "truncated before header")
+    if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        raise CorruptSegmentError(path, "bad magic (not a segment file)")
+    (header_len,) = struct.unpack_from("<Q", data, len(SEGMENT_MAGIC))
+    header_start = len(SEGMENT_MAGIC) + 8
+    if header_start + header_len > len(data):
+        raise CorruptSegmentError(path, "truncated header")
+    try:
+        header = json.loads(data[header_start : header_start + header_len])
+    except ValueError as exc:
+        raise CorruptSegmentError(path, f"unparseable header: {exc}") from None
+    return header, header_start + int(header_len)
+
+
+def read_segment(
+    path: str,
+    expected: Optional[Dict[str, Any]] = None,
+    mmap: bool = True,
+) -> np.ndarray:
+    """Validate and load one segment file as a read-only column array.
+
+    Every block CRC is verified against the header before any data is
+    handed out; fixed-width payloads then come back as a read-only
+    ``np.memmap`` view (``mmap=False`` forces an in-memory copy), pickled
+    object payloads as an object array.  ``expected`` is the manifest entry
+    written by :func:`write_segment` — row count and whole-payload CRC must
+    agree, so a segment swapped for a different (but self-consistent) file
+    still fails typed.
+
+    The ``segment_read`` fault site fires here: a ``garbage`` rule models a
+    bit flip (the checksum pass sees one corrupted byte and fails exactly
+    as it would for real media corruption).
+    """
+    fired = _faults.maybe_fire(_faults.active_plan(), "segment_read")
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        raise CorruptSegmentError(path, "segment file missing") from None
+    header, payload_offset = _read_header(path, data)
+    payload = data[payload_offset:]
+    if fired == _faults.GARBAGE and payload:
+        # Injected bit flip: corrupt one payload byte before validation.
+        payload = bytes([payload[0] ^ 0x40]) + payload[1:]
+    if len(payload) != int(header["payload_bytes"]):
+        raise CorruptSegmentError(
+            path,
+            f"payload holds {len(payload)} bytes, header says "
+            f"{header['payload_bytes']}",
+        )
+    block_bytes = int(header["block_bytes"])
+    checksums = _block_checksums(payload, block_bytes)
+    if checksums != [int(crc) for crc in header["block_crcs"]]:
+        bad = [
+            position
+            for position, (fresh, stored) in enumerate(
+                zip(checksums, header["block_crcs"])
+            )
+            if fresh != int(stored)
+        ]
+        raise CorruptSegmentError(
+            path, f"checksum mismatch in block(s) {bad or 'trailing'}"
+        )
+    if expected is not None:
+        if int(expected["rows"]) != int(header["rows"]):
+            raise CorruptSegmentError(
+                path,
+                f"manifest expects {expected['rows']} rows, segment holds "
+                f"{header['rows']}",
+            )
+        if int(expected["crc"]) != zlib.crc32(payload):
+            raise CorruptSegmentError(path, "manifest payload CRC mismatch")
+    if header["kind"] == "pickle":
+        try:
+            values = pickle.loads(payload)
+        except Exception as exc:
+            raise CorruptSegmentError(path, f"unpicklable payload: {exc}") from None
+        array = np.empty(len(values), dtype=object)
+        array[:] = values
+        array.setflags(write=False)
+        return array
+    dtype = np.dtype(header["dtype"])
+    rows = int(header["rows"])
+    if mmap and fired != _faults.GARBAGE:
+        array = np.memmap(path, dtype=dtype, mode="r", offset=payload_offset, shape=(rows,))
+        _LIVE_MEMMAPS[next(_MEMMAP_TOKENS)] = array
+    else:
+        array = np.frombuffer(payload, dtype=dtype, count=rows).copy()
+        array.setflags(write=False)
+    return array

@@ -1,0 +1,464 @@
+"""Durable table stores: checkpoint, journal, recover.
+
+:class:`TableStore` owns one directory per table::
+
+    <dir>/MANIFEST.json      the single commit point (see ``manifest.py``)
+    <dir>/segments/*.seg     checksummed column segments, one per (shard, column)
+    <dir>/journal.wal        tail-append write-ahead journal
+    <dir>/warm/*.blob        serving-layer warm state (repro.serving.persistence)
+    <dir>/quarantine/        corrupt artifacts moved aside, never deleted
+
+:meth:`TableStore.save` is a full checkpoint — every segment is written
+crash-safely, the manifest commits the generation, the journal resets.
+:meth:`TableStore.append` is the durable churn path — journal first
+(fsynced), then apply in memory.  :meth:`TableStore.open` is recovery —
+sweep torn temp files, validate the manifest and every segment checksum,
+rebuild the table over memmapped arrays, replay the journal's valid
+record prefix past the manifest generation.  Corruption anywhere raises a
+typed error (:class:`~repro.db.errors.CorruptSegmentError` /
+:class:`~repro.db.errors.ManifestVersionError`), quarantines the offending
+file, and — when the caller supplies ``rebuild`` — degrades gracefully to
+rebuild-from-source.  Every outcome is counted in the module counters
+(surfaced through ``repro.obs`` and ``QueryService.stats().storage``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.catalog import Catalog
+from repro.db.column import Column, ColumnType
+from repro.db.errors import CorruptSegmentError, ManifestVersionError, StorageError
+from repro.db.schema import Schema
+from repro.db.sharding import ShardedTable
+from repro.db.storage import journal as _journal
+from repro.db.storage.manifest import read_manifest, write_manifest
+from repro.db.storage.segments import read_segment, write_segment
+from repro.db.table import Table
+from repro.obs import metrics as _metrics
+
+#: Process-wide storage event counters (always on — they count I/O-path
+#: events, never query work, so they cannot perturb the bitwise parity
+#: gates).  Mirrored into the opt-in registry as
+#: ``repro_storage_<name>_total`` while metrics are enabled.
+_COUNTERS: Dict[str, int] = {
+    "segments_written": 0,
+    "segments_loaded": 0,
+    "checksum_failures": 0,
+    "quarantines": 0,
+    "journal_replays": 0,
+    "journal_records_replayed": 0,
+    "journal_truncations": 0,
+    "manifest_commits": 0,
+    "rebuilds": 0,
+    "temp_files_cleaned": 0,
+}
+_COUNTERS_LOCK = threading.Lock()
+
+
+def _count(name: str, amount: int = 1) -> None:
+    with _COUNTERS_LOCK:
+        _COUNTERS[name] += amount
+    registry = _metrics.get_registry()
+    if registry.enabled:
+        registry.counter(f"repro_storage_{name}_total").inc(amount)
+
+
+def storage_counters() -> Dict[str, int]:
+    """A snapshot of the process-wide storage counters."""
+    with _COUNTERS_LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_storage_counters() -> None:
+    """Zero the storage counters (test isolation)."""
+    with _COUNTERS_LOCK:
+        for name in _COUNTERS:
+            _COUNTERS[name] = 0
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`TableStore.open` found and did."""
+
+    segments_loaded: int = 0
+    journal_records_replayed: int = 0
+    journal_tail_truncated: bool = False
+    temp_files_cleaned: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    rebuilt_from_source: bool = False
+    rebuild_reason: Optional[str] = None
+    generation: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view (stats surfaces, benchmark artifacts)."""
+        return {
+            "segments_loaded": self.segments_loaded,
+            "journal_records_replayed": self.journal_records_replayed,
+            "journal_tail_truncated": self.journal_tail_truncated,
+            "temp_files_cleaned": self.temp_files_cleaned,
+            "quarantined": list(self.quarantined),
+            "rebuilt_from_source": self.rebuilt_from_source,
+            "rebuild_reason": self.rebuild_reason,
+            "generation": self.generation,
+        }
+
+
+def _safe_dirname(name: str) -> str:
+    """A filesystem-safe directory name for a table name."""
+    return "".join(
+        ch if ch.isalnum() or ch in ("-", "_", ".") else f"_{ord(ch):02x}_"
+        for ch in name
+    )
+
+
+class TableStore:
+    """Durable storage for one table in one directory."""
+
+    MANIFEST_FILE = "MANIFEST.json"
+    JOURNAL_FILE = "journal.wal"
+    SEGMENTS_DIR = "segments"
+    WARM_DIR = "warm"
+    QUARANTINE_DIR = "quarantine"
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+
+    # -- paths -----------------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, self.MANIFEST_FILE)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, self.JOURNAL_FILE)
+
+    @property
+    def segments_dir(self) -> str:
+        return os.path.join(self.directory, self.SEGMENTS_DIR)
+
+    @property
+    def warm_dir(self) -> str:
+        return os.path.join(self.directory, self.WARM_DIR)
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, self.QUARANTINE_DIR)
+
+    def exists(self) -> bool:
+        """Whether a committed manifest is present."""
+        return os.path.exists(self.manifest_path)
+
+    # -- checkpoint ------------------------------------------------------------
+    def save(self, table: Table) -> None:
+        """Full checkpoint: segments first, manifest commit, journal reset.
+
+        Ordering is the crash-safety argument: every segment write is
+        individually atomic, the manifest only ever references segments
+        that are already durable, and the journal resets only after the
+        manifest committed — a crash at *any* point leaves the previous
+        manifest describing the previous (fully intact) generation, plus a
+        journal whose generations the new open skips or replays exactly.
+        """
+        os.makedirs(self.segments_dir, exist_ok=True)
+        sharded = isinstance(table, ShardedTable)
+        shards: Sequence[Table] = table.shards if sharded else [table]
+        column_names = table.schema.column_names
+        segments: Dict[str, Dict[str, Any]] = {}
+        generation = table.data_generation
+        for position, shard in enumerate(shards):
+            entries: Dict[str, Any] = {}
+            for column_index, column in enumerate(column_names):
+                array = shard.column_array(column, allow_hidden=True)
+                path = os.path.join(
+                    self.segments_dir,
+                    # Generation-qualified names: a checkpoint never writes
+                    # over the previous generation's files, so a crash
+                    # before the manifest commit leaves the old manifest
+                    # pointing at old segments that are still bit-perfect.
+                    f"seg-g{generation:08d}-{position:04d}-c{column_index:03d}.seg",
+                )
+                entries[column] = write_segment(path, column, array)
+                _count("segments_written")
+            segments[str(position)] = entries
+        body: Dict[str, Any] = {
+            "table": table.name,
+            "layout": "sharded" if sharded else "monolithic",
+            "schema": [
+                [column.name, column.column_type.value, bool(column.hidden)]
+                for column in table.schema.columns
+            ],
+            "data_generation": table.data_generation,
+            "num_rows": table.num_rows,
+            "segments": segments,
+        }
+        if sharded:
+            body["offsets"] = [int(offset) for offset in table.shard_offsets]
+            body["tail_shard_rows"] = int(table.tail_shard_rows)
+            body["max_workers"] = table.max_workers
+        write_manifest(self.manifest_path, body)
+        _count("manifest_commits")
+        _journal.truncate(self.journal_path)
+        self._drop_unreferenced_segments(segments)
+
+    def _drop_unreferenced_segments(self, segments: Mapping[str, Mapping[str, Any]]) -> None:
+        """Remove segment files the committed manifest does not name.
+
+        Safe only *after* a manifest commit (or a fully validated open):
+        the previous generation's segments, and orphans from a checkpoint
+        that tore before its manifest commit, would otherwise leak forever.
+        """
+        referenced = {
+            entry["file"]
+            for per_shard in segments.values()
+            for entry in per_shard.values()
+        }
+        try:
+            present = os.listdir(self.segments_dir)
+        except FileNotFoundError:  # pragma: no cover - save() just created it
+            return
+        for filename in present:
+            if filename.endswith(".seg") and filename not in referenced:
+                os.remove(os.path.join(self.segments_dir, filename))
+
+    # -- durable append ----------------------------------------------------------
+    def append(self, table: Table, columns: Mapping[str, Sequence[Any]]) -> int:
+        """Write-ahead append: journal the delta durably, then apply it.
+
+        The journal record carries the generation the append will produce
+        (``table.data_generation + 1``); recovery replays it through the
+        same :meth:`~repro.db.table.Table.append_columns` path, so a crash
+        any time after the fsync loses nothing and a crash before it loses
+        the whole (unapplied) delta — never half of one.
+        """
+        # Validate against the schema before journalling, so the journal
+        # never holds a record that cannot replay.
+        table._normalise_delta(columns)
+        os.makedirs(self.directory, exist_ok=True)
+        _journal.append_record(self.journal_path, table.data_generation + 1, columns)
+        return table.append_columns(columns)
+
+    # -- recovery ----------------------------------------------------------------
+    def open(
+        self,
+        rebuild: Optional[Callable[[], Table]] = None,
+        mmap: bool = True,
+    ) -> Tuple[Table, RecoveryReport]:
+        """Open the last durable generation, replaying the journal tail.
+
+        Torn ``.tmp`` files from interrupted writes are swept first.  Any
+        checksum or format failure quarantines the offending file and
+        either degrades to ``rebuild()`` (re-checkpointing the fresh table)
+        or re-raises the typed error.  The returned report says exactly
+        what happened; the module counters aggregate across opens.
+        """
+        report = RecoveryReport()
+        report.temp_files_cleaned = self._sweep_temp_files()
+        try:
+            body = read_manifest(self.manifest_path)
+            if body is None:
+                if rebuild is None:
+                    raise StorageError(
+                        f"no manifest at {self.manifest_path}; nothing to open"
+                    )
+                return self._rebuild(rebuild, report, "missing manifest")
+            table = self._load_table(body, report, mmap=mmap)
+            self._replay_journal(table, report)
+            report.generation = table.data_generation
+            # Everything validated against the committed manifest: orphan
+            # segments from a checkpoint that crashed before its manifest
+            # commit are now provably garbage.
+            self._drop_unreferenced_segments(body["segments"])
+            return table, report
+        except (CorruptSegmentError, ManifestVersionError) as exc:
+            if isinstance(exc, CorruptSegmentError):
+                _count("checksum_failures")
+            self._quarantine(exc.path, report)
+            if rebuild is None:
+                raise
+            return self._rebuild(rebuild, report, str(exc))
+
+    def _rebuild(
+        self,
+        rebuild: Callable[[], Table],
+        report: RecoveryReport,
+        reason: str,
+    ) -> Tuple[Table, RecoveryReport]:
+        table = rebuild()
+        report.rebuilt_from_source = True
+        report.rebuild_reason = reason
+        report.generation = table.data_generation
+        _count("rebuilds")
+        self.save(table)
+        return table, report
+
+    def _load_table(
+        self, body: Dict[str, Any], report: RecoveryReport, mmap: bool
+    ) -> Table:
+        schema = Schema(
+            [
+                Column(name=name, column_type=ColumnType(ctype), hidden=bool(hidden))
+                for name, ctype, hidden in body["schema"]
+            ]
+        )
+        name = body["table"]
+        generation = int(body["data_generation"])
+        segments: Mapping[str, Mapping[str, Any]] = body["segments"]
+        shard_arrays: List[Dict[str, Any]] = []
+        for key in sorted(segments, key=int):
+            arrays: Dict[str, Any] = {}
+            for column, entry in segments[key].items():
+                path = os.path.join(self.segments_dir, entry["file"])
+                arrays[column] = read_segment(path, expected=entry, mmap=mmap)
+                report.segments_loaded += 1
+                _count("segments_loaded")
+            shard_arrays.append(arrays)
+        if body["layout"] == "monolithic":
+            if len(shard_arrays) != 1:
+                raise CorruptSegmentError(
+                    self.manifest_path,
+                    f"monolithic layout with {len(shard_arrays)} shard entries",
+                )
+            table: Table = Table.from_arrays(
+                name, schema, shard_arrays[0], data_generation=generation
+            )
+        else:
+            shards = [
+                Table.from_arrays(f"{name}#shard{position}", schema, arrays)
+                for position, arrays in enumerate(shard_arrays)
+            ]
+            table = ShardedTable(
+                name,
+                schema,
+                shards,
+                max_workers=body.get("max_workers"),
+                tail_shard_rows=body.get("tail_shard_rows"),
+            )
+            table._data_generation = generation
+            offsets = [int(offset) for offset in body["offsets"]]
+            if list(table.shard_offsets) != offsets:
+                raise CorruptSegmentError(
+                    self.manifest_path,
+                    f"segment rows give offsets {list(table.shard_offsets)}, "
+                    f"manifest committed {offsets}",
+                )
+        if table.num_rows != int(body["num_rows"]):
+            raise CorruptSegmentError(
+                self.manifest_path,
+                f"segments hold {table.num_rows} rows, manifest committed "
+                f"{body['num_rows']}",
+            )
+        return table
+
+    def _replay_journal(self, table: Table, report: RecoveryReport) -> None:
+        records, truncated = _journal.read_records(self.journal_path)
+        if truncated:
+            report.journal_tail_truncated = True
+            _count("journal_truncations")
+        for record in records:
+            generation = int(record["generation"])
+            if generation <= table.data_generation:
+                # Written before a checkpoint whose truncation did not land
+                # (crash between manifest commit and journal reset).
+                continue
+            if generation != table.data_generation + 1:
+                # A generation gap means the record cannot re-apply exactly;
+                # everything from here on is discarded tail.
+                report.journal_tail_truncated = True
+                _count("journal_truncations")
+                break
+            table.append_columns(record["columns"])
+            report.journal_records_replayed += 1
+        if report.journal_records_replayed:
+            _count("journal_replays")
+            _count("journal_records_replayed", report.journal_records_replayed)
+
+    # -- hygiene -----------------------------------------------------------------
+    def _sweep_temp_files(self) -> int:
+        """Remove torn ``.tmp`` files left by interrupted atomic writes."""
+        cleaned = 0
+        for root, _dirs, files in os.walk(self.directory):
+            for filename in files:
+                if filename.endswith(".tmp"):
+                    os.remove(os.path.join(root, filename))
+                    cleaned += 1
+        if cleaned:
+            _count("temp_files_cleaned", cleaned)
+        return cleaned
+
+    def _quarantine(self, path: str, report: RecoveryReport) -> None:
+        """Move a corrupt artifact aside (numbered, never overwritten)."""
+        if not os.path.exists(path):
+            return
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        base = os.path.basename(path)
+        target = os.path.join(self.quarantine_dir, base)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(self.quarantine_dir, f"{base}.{suffix}")
+        os.replace(path, target)
+        report.quarantined.append(os.path.basename(target))
+        _count("quarantines")
+
+
+class CatalogStore:
+    """Durable storage for a whole catalog: one :class:`TableStore` per table
+    under ``<dir>/tables/``, committed under an atomic catalog manifest.
+
+    UDFs are code, not data — they are never persisted; re-register them on
+    the reopened catalog.
+    """
+
+    CATALOG_FILE = "CATALOG.json"
+    TABLES_DIR = "tables"
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+
+    @property
+    def catalog_path(self) -> str:
+        return os.path.join(self.directory, self.CATALOG_FILE)
+
+    def table_store(self, name: str) -> TableStore:
+        """The per-table store for ``name`` (directory name sanitised)."""
+        return TableStore(
+            os.path.join(self.directory, self.TABLES_DIR, _safe_dirname(name))
+        )
+
+    def save(self, catalog: Catalog) -> None:
+        """Checkpoint every table, then atomically commit the catalog manifest."""
+        os.makedirs(self.directory, exist_ok=True)
+        names = catalog.table_names()
+        for name in names:
+            self.table_store(name).save(catalog.table(name))
+        write_manifest(self.catalog_path, {"tables": list(names)})
+        _count("manifest_commits")
+
+    def table_names(self) -> List[str]:
+        """The tables the committed catalog manifest names (empty when absent)."""
+        body = read_manifest(self.catalog_path)
+        return [] if body is None else list(body["tables"])
+
+    def open(
+        self,
+        rebuilders: Optional[Mapping[str, Callable[[], Table]]] = None,
+        mmap: bool = True,
+    ) -> Tuple[Catalog, Dict[str, RecoveryReport]]:
+        """Open every committed table into a fresh :class:`Catalog`.
+
+        ``rebuilders`` maps table names to rebuild-from-source callables
+        used when that table's artifacts are corrupt; tables without one
+        re-raise the typed error.
+        """
+        catalog = Catalog()
+        reports: Dict[str, RecoveryReport] = {}
+        for name in self.table_names():
+            rebuild = None if rebuilders is None else rebuilders.get(name)
+            table, report = self.table_store(name).open(rebuild=rebuild, mmap=mmap)
+            catalog.register_table(table)
+            reports[name] = report
+        return catalog, reports

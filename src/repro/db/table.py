@@ -163,6 +163,54 @@ class Table:
         )
         return cls(name=name, schema=schema, columns=columns)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        schema: Schema,
+        arrays: Mapping[str, np.ndarray],
+        data_generation: int = 0,
+    ) -> "Table":
+        """Build a table directly over column arrays, without materialising lists.
+
+        The storage layer's load path: ``arrays`` (typically read-only
+        memmaps over persisted segment files) become the table's cached
+        column arrays as-is, and the python-value cell lists behind
+        :meth:`column_values` / :meth:`row` are materialised lazily, per
+        column, only when something actually asks for python cells.  Arrays
+        must be 1-d, cover every schema column and agree on length; they are
+        marked read-only (the table shares, not copies, them).
+        """
+        missing = [c for c in schema.column_names if c not in arrays]
+        if missing:
+            raise SchemaMismatchError(f"missing arrays for columns {missing}")
+        extra = [c for c in arrays if not schema.has_column(c)]
+        if extra:
+            raise SchemaMismatchError(f"arrays provided for unknown columns {extra}")
+        lengths = {column: len(array) for column, array in arrays.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaMismatchError(
+                f"column arrays have inconsistent lengths: {lengths}"
+            )
+        table = cls.__new__(cls)
+        table.name = name
+        table.schema = schema
+        table._data = {}
+        table._num_rows = next(iter(lengths.values())) if lengths else 0
+        table._data_generation = int(data_generation)
+        table._arrays = {}
+        for column, array in arrays.items():
+            array = np.asarray(array)
+            if array.ndim != 1:
+                raise SchemaMismatchError(
+                    f"column {column!r} array must be 1-d, got shape {array.shape}"
+                )
+            array.setflags(write=False)
+            table._arrays[column] = array
+        table._group_indexes = {}
+        table._group_index_lock = threading.Lock()
+        return table
+
     # -- shape ------------------------------------------------------------------
     @property
     def num_rows(self) -> int:
@@ -257,7 +305,7 @@ class Table:
         if delta_rows == 0:
             return 0
         for name, values in delta.items():
-            self._data[name].extend(values)
+            self._cells(name).extend(values)
         previous_rows = self._num_rows
         self._num_rows += delta_rows
         self._extend_caches(delta, previous_rows)
@@ -341,6 +389,22 @@ class Table:
         return np.concatenate([cached, delta])
 
     # -- access ------------------------------------------------------------------
+    def _cells(self, column: str) -> List[Any]:
+        """The mutable python-value cell list backing ``column``.
+
+        Eagerly-built tables carry their lists from construction; tables
+        loaded over arrays (:meth:`from_arrays`) materialise each list
+        lazily from the cached array on first access — ``ndarray.tolist``
+        yields plain python scalars, exactly the values the original
+        ingestion stored.  The returned list is the canonical storage the
+        append path extends; callers must copy before exposing it.
+        """
+        cells = self._data.get(column)
+        if cells is None:
+            cells = self._arrays[column].tolist()
+            self._data[column] = cells
+        return cells
+
     def column_values(self, column: str, allow_hidden: bool = False) -> List[Any]:
         """All values of a column.
 
@@ -352,7 +416,7 @@ class Table:
             raise ColumnNotFoundError(
                 column, self.schema.visible_column_names
             )
-        return list(self._data[column])
+        return list(self._cells(column))
 
     def column_array(self, column: str, allow_hidden: bool = False) -> np.ndarray:
         """All values of a column as a cached, read-only NumPy array.
@@ -372,7 +436,7 @@ class Table:
             # object array preserving the original python values (numpy
             # silently stringifies mixed str/int columns, which would change
             # grouping/equality semantics downstream).
-            array = coerce_cells_to_array(self._data[column])
+            array = coerce_cells_to_array(self._cells(column))
             array.setflags(write=False)
             self._arrays[column] = array
         return array
@@ -383,7 +447,7 @@ class Table:
         if column_def.hidden and not allow_hidden:
             raise ColumnNotFoundError(column, self.schema.visible_column_names)
         self._check_row_id(row_id)
-        return self._data[column][row_id]
+        return self._cells(column)[row_id]
 
     def row(self, row_id: int, include_hidden: bool = False) -> Dict[str, Any]:
         """A dict view of one row."""
@@ -393,7 +457,7 @@ class Table:
             if include_hidden
             else self.schema.visible_column_names
         )
-        return {name: self._data[name][row_id] for name in names}
+        return {name: self._cells(name)[row_id] for name in names}
 
     def rows(self, include_hidden: bool = False) -> Iterator[Dict[str, Any]]:
         """Iterate dict views of all rows."""
@@ -415,8 +479,8 @@ class Table:
         for row_id in ids:
             self._check_row_id(row_id)
         columns = {
-            column_name: [values[i] for i in ids]
-            for column_name, values in self._data.items()
+            column_name: [self._cells(column_name)[i] for i in ids]
+            for column_name in self.schema.column_names
         }
         return Table(name=name or f"{self.name}_subset", schema=self.schema, columns=columns)
 
@@ -436,7 +500,10 @@ class Table:
                 f"new column {column.name!r} has {len(values)} values for a "
                 f"table of {self._num_rows} rows"
             )
-        new_columns = dict(self._data)
+        new_columns = {
+            column_name: self._cells(column_name)
+            for column_name in self.schema.column_names
+        }
         new_columns[column.name] = list(values)
         existing = [c for c in self.schema.columns if c.name != column.name]
         return Table(

@@ -24,19 +24,26 @@ active plan every hook is a single ``None`` check.
 Sites and their addresses
 -------------------------
 
-==============  =====================  ====================================
-Site            Address                Fires in
-==============  =====================  ====================================
-``worker``      ``(span, attempt)``    worker process, at span-task entry
-``shm_attach``  ``(hit,)`` per worker  worker process, before segment attach
-``shm_export``  ``(hit,)``             parent, before segment creation
-``udf_eval``    ``(hit,)``             whichever process evaluates the UDF
-==============  =====================  ====================================
+==================  =====================  ====================================
+Site                Address                Fires in
+==================  =====================  ====================================
+``worker``          ``(span, attempt)``    worker process, at span-task entry
+``shm_attach``      ``(hit,)`` per worker  worker process, before segment attach
+``shm_export``      ``(hit,)``             parent, before segment creation
+``udf_eval``        ``(hit,)``             whichever process evaluates the UDF
+``manifest_write``  ``(hit,)``             parent, mid manifest atomic write
+``segment_write``   ``(hit,)``             parent, mid segment atomic write
+``journal_append``  ``(hit,)``             parent, mid journal record append
+``segment_read``    ``(hit,)``             parent, before segment validation
+==================  =====================  ====================================
 
 ``kind`` decides the effect: ``crash`` (``os._exit`` — the pool breaks),
 ``hang``/``sleep`` (block for ``sleep_s``), ``error`` (raise
 :class:`InjectedFault`), ``garbage`` (the call site corrupts its result —
-only meaningful at the ``worker`` site).
+meaningful at the ``worker`` site, and at ``segment_read``, where it models
+a payload bit flip that the per-block checksum pass must catch).  The three
+``*_write``/``*_append`` storage sites fire *mid-write*, after a partial
+prefix is on disk, so ``error`` and ``crash`` rules there model torn writes.
 """
 
 from __future__ import annotations

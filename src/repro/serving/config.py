@@ -96,6 +96,15 @@ class ServiceConfig:
         execution to the in-process thread path; after
         ``breaker_recovery_s`` seconds it half-opens and lets up to
         ``breaker_probes`` probe requests try the pool again.
+    storage_dir:
+        Root directory of a durable :class:`~repro.db.storage.CatalogStore`.
+        When set, the service restores persisted warm state (plan-cache
+        entries, statistics reservoirs, group-index codes, UDF memos) for
+        matching tables on construction — a restarted service answers its
+        first repeated query as a warm hit with zero UDF evaluations — and
+        :meth:`QueryService.save_warm_state` / :meth:`QueryService.close`
+        write the warm state back.  ``None`` (the default) keeps the service
+        fully in-memory.
     """
 
     executor: str = "serial"
@@ -114,6 +123,7 @@ class ServiceConfig:
     breaker_threshold: int = 3
     breaker_recovery_s: float = 30.0
     breaker_probes: int = 1
+    storage_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -177,6 +187,7 @@ class ServiceStats:
     frontend: Dict[str, object]
     registry: Dict[str, object]
     resilience: Dict[str, object] = field(default_factory=dict)
+    storage: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """The whole snapshot as one plain dict (for JSON reports)."""
@@ -189,6 +200,7 @@ class ServiceStats:
             "frontend": dict(self.frontend),
             "registry": dict(self.registry),
             "resilience": dict(self.resilience),
+            "storage": dict(self.storage),
         }
 
 
@@ -203,15 +215,17 @@ SERVICE_STATS_SCHEMA: Dict[str, str] = {
         "coalesced leader's result without executing), deadline_exceeded "
         "(requests cancelled by their deadline), degraded (requests served "
         "in-process because the circuit breaker was open), retried_spans "
-        "(process-pool spans retried after a transient fault)"
+        "(process-pool spans retried after a transient fault), "
+        "plan_restored (requests served from a plan-cache entry restored "
+        "from durable storage)"
     ),
     "plan_cache": "LRUCache.snapshot() of the plan cache (hits, misses, size, ...)",
     "stats_cache": "LRUCache.snapshot() of the statistics cache",
     "sessions": "per-client SessionManager.snapshot(): budget, spent, admitted, ...",
     "latency_ms": (
         "per-path latency summaries {count, mean_ms, p50_ms, p95_ms, p99_ms, "
-        "max_ms}; paths: all, exact, strategy, hit, miss, refresh, error, "
-        "coalesced"
+        "max_ms}; paths: all, exact, strategy, hit, miss, refresh, restored, "
+        "error, coalesced"
     ),
     "frontend": (
         "async front-end state: pending per query class, class_limits, "
@@ -224,5 +238,16 @@ SERVICE_STATS_SCHEMA: Dict[str, str] = {
         "retried_spans, opened_count, probes_in_flight, failure_threshold, "
         "recovery_time_s, last_failure_reason; plus service_closed (bool, "
         "true once QueryService.close() has begun)"
+    ),
+    "storage": (
+        "durability counters (empty dict when storage_dir is unset): the "
+        "process-wide repro.db.storage counters — segments_written/"
+        "segments_loaded (segment files persisted/validated+mapped), "
+        "checksum_failures, quarantines, journal_replays/"
+        "journal_records_replayed/journal_truncations, manifest_commits, "
+        "rebuilds (rebuild-from-source recoveries), temp_files_cleaned — "
+        "plus restore accounting for this service: restored_plans, "
+        "restored_stats_entries, restored_group_indexes, restored_udf_memos, "
+        "restore_errors, and warm_state_saved (saves written by this service)"
     ),
 }

@@ -70,6 +70,12 @@ class CachedPlan:
         generation mismatch marks the entry *refreshable* — its statistics
         are exact for the first ``table_rows`` rows and the service updates
         them through the delta path instead of a cold re-plan.
+    restored:
+        Whether the entry was loaded from durable storage
+        (:mod:`repro.db.storage`) rather than solved in this process.  The
+        first hit reports ``plan_cache: "restored"`` in result metadata and
+        then clears the flag, so warm-restart wins are observable without
+        perturbing steady-state accounting.
     """
 
     column: str
@@ -84,6 +90,7 @@ class CachedPlan:
     solver_version: int = PLAN_CACHE_VERSION
     data_generation: int = 0
     table_rows: int = 0
+    restored: bool = False
 
 
 class PlanCache:

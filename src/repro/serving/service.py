@@ -78,6 +78,8 @@ from repro.db.catalog import Catalog
 from repro.db.engine import Engine, QueryResult
 from repro.db.query import SelectQuery
 from repro.db.shm import release_exports
+from repro.db.storage import CatalogStore
+from repro.db.storage.store import storage_counters
 from repro.db.table import Table
 from repro.db.udf import CostLedger, UserDefinedFunction
 from repro.obs import metrics as _metrics
@@ -91,6 +93,7 @@ from repro.resilience.deadline import (
     current_deadline,
     deadline_scope,
 )
+from repro.serving import persistence as _persistence
 from repro.serving.config import LEGACY_EXECUTORS, ServiceConfig, ServiceStats
 from repro.serving.plan_cache import PLAN_CACHE_VERSION, CachedPlan, PlanCache
 from repro.serving.session import (
@@ -285,6 +288,7 @@ class QueryService:
             "coalesced": 0,
             "deadline_exceeded": 0,
             "degraded": 0,
+            "plan_restored": 0,
         }
         # Per-path latency histograms (always on — plain instruments, not
         # routed through the opt-in registry, so ``metrics_snapshot()`` can
@@ -322,6 +326,19 @@ class QueryService:
         self._closed = False
         self._inflight = 0
         self._drained = threading.Condition(threading.Lock())
+        # Durable warm restart: with a storage_dir configured, restore
+        # persisted warm state (plans, statistics, group indexes, UDF memos)
+        # for tables whose shard signature matches their durable checkpoint.
+        # Restore is best-effort — corrupt or stale blobs are quarantined,
+        # counted, and only cost warmth, never construction.
+        self._storage: Optional[CatalogStore] = None
+        self._storage_counts: Dict[str, int] = {}
+        self._warm_saves = 0
+        if self.config.storage_dir is not None:
+            self._storage = CatalogStore(self.config.storage_dir)
+            self._storage_counts = _persistence.restore_warm_state(
+                self, self._storage
+            )
 
     # -- construction helpers -----------------------------------------------------
     def _default_strategy_factory(self, random_state: RandomState) -> IntelSample:
@@ -413,9 +430,9 @@ class QueryService:
         """The (always-on) latency histogram for a request path.
 
         Paths: ``all`` (every request), ``exact``, ``strategy`` (named
-        strategy bypass), ``hit``/``miss``/``refresh`` (plan-cache
-        classification of approximate queries), ``coalesced`` (async
-        followers served from a leader's result) and ``error``.  Values are
+        strategy bypass), ``hit``/``miss``/``refresh``/``restored``
+        (plan-cache classification of approximate queries), ``coalesced``
+        (async followers served from a leader's result) and ``error``.  Values are
         seconds; quantiles come out via :meth:`Histogram.quantile` /
         :meth:`metrics_snapshot`.
         """
@@ -439,7 +456,9 @@ class QueryService:
         if query.strategy is not None:
             return "strategy"
         classified = result.metadata.get("plan_cache")
-        return classified if classified in ("hit", "miss", "refresh") else "strategy"
+        if classified in ("hit", "miss", "refresh", "restored"):
+            return classified
+        return "strategy"
 
     @staticmethod
     def _flight_stripe(signature: Hashable) -> int:
@@ -1194,6 +1213,15 @@ class QueryService:
         udf_counters_before = udf.counter_snapshot()
         index = self.stats_cache.get_index(entry.working_table, entry.column)
 
+        # A restored entry (loaded from durable storage, not solved here)
+        # reports its first hit as ``plan_cache: "restored"`` — the
+        # warm-restart win stays observable — then rejoins steady-state
+        # accounting as an ordinary hit.
+        restored = entry.restored
+        if restored:
+            self.plan_cache.put(signature, _dc_replace(entry, restored=False))
+            self._count("plan_restored")
+
         plan = entry.plan
         degraded = False
         allowance = ledger.budget
@@ -1230,7 +1258,7 @@ class QueryService:
             ledger=ledger,
             metadata={
                 "strategy": "intel_sample",
-                "plan_cache": "hit",
+                "plan_cache": "restored" if restored else "hit",
                 "degraded_to_budget": degraded,
                 "correlated_column": entry.column,
                 "used_virtual_column": entry.used_virtual_column,
@@ -1256,6 +1284,25 @@ class QueryService:
         return predicates[0].udf
 
     # -- lifecycle -----------------------------------------------------------------
+    def save_warm_state(self) -> Dict[str, int]:
+        """Checkpoint the catalog and persist the service's warm state.
+
+        Writes every table's segments/manifest/journal through the
+        configured :class:`~repro.db.storage.CatalogStore`, then the warm
+        blobs (plan-cache entries, statistics reservoirs, group-index
+        codes, UDF memos) stamped with each table's current shard
+        signature.  Storage faults (including injected ones) propagate —
+        this is the explicit durability call; :meth:`close` wraps it
+        best-effort.  Returns what was captured.
+        """
+        if self._storage is None:
+            raise ValueError(
+                "no storage configured; pass ServiceConfig(storage_dir=...)"
+            )
+        counts = _persistence.save_warm_state(self, self._storage)
+        self._warm_saves += 1
+        return counts
+
     def close(self, timeout: Optional[float] = None) -> None:
         """Drain in-flight requests, then tear down deterministically.
 
@@ -1283,6 +1330,14 @@ class QueryService:
                         break
                     self._drained.wait(timeout=remaining)
             drained = self._inflight == 0
+        if not already and self._storage is not None:
+            # Best-effort durability on shutdown: a failing disk must not
+            # turn close() into a crash — explicit save_warm_state() is the
+            # call that propagates storage faults.
+            try:
+                self.save_warm_state()
+            except Exception:
+                pass
         pool = self._frontend_executor
         self._frontend_executor = None
         if pool is not None:
@@ -1324,6 +1379,11 @@ class QueryService:
             open_flights = len(self._async_flights)
         resilience = self.breaker.snapshot()
         resilience["service_closed"] = self._closed
+        storage: Dict[str, object] = {}
+        if self._storage is not None:
+            storage = dict(storage_counters())
+            storage.update(self._storage_counts)
+            storage["warm_state_saved"] = self._warm_saves
         return ServiceStats(
             serving=counters,
             plan_cache=self.plan_cache.snapshot(),
@@ -1340,6 +1400,7 @@ class QueryService:
             },
             registry=_metrics.get_registry().snapshot(),
             resilience=resilience,
+            storage=storage,
         )
 
     def metrics(self) -> Dict[str, object]:

@@ -28,10 +28,11 @@ WORKERS = 2
 
 @pytest.fixture(autouse=True)
 def _no_leaked_segments():
-    """Leak check (PR 8): teardown must leave zero shared-memory segments."""
+    """Leak check: teardown must leave zero shm segments, memmaps or temp files."""
+    from leakcheck import assert_no_leaked_resources
+
     yield
-    release_exports()
-    assert exported_segment_count() == 0
+    assert_no_leaked_resources()
 
 
 def _table(n=600, groups=5, seed=11, name="ptab"):

@@ -1,0 +1,56 @@
+"""Shared resource-leak invariant for the test suite.
+
+Generalises the resilience suite's shared-memory check: a test that
+crashes workers, tears writes mid-segment or quarantines artifacts must
+still leave the process (and its storage directory) clean —
+
+* zero exported shared-memory segments,
+* zero still-referenced segment-backed memmap arrays (after a collection
+  pass drops garbage tables),
+* zero ``.tmp`` files from interrupted atomic writes inside the directory
+  under test.
+
+Import :func:`assert_no_leaked_resources` from suite ``conftest.py``
+autouse fixtures (``tests/resilience``, ``tests/storage``,
+``tests/core/test_process_executor.py``) so every suite asserts the same
+invariant the same way.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from typing import List, Optional
+
+from repro.db.shm import exported_segment_count, release_exports
+from repro.db.storage.segments import live_memmap_count
+
+
+def leaked_temp_files(directory: str) -> List[str]:
+    """All ``.tmp`` files (torn atomic writes) under ``directory``."""
+    stray: List[str] = []
+    for root, _dirs, files in os.walk(directory):
+        for filename in files:
+            if filename.endswith(".tmp"):
+                stray.append(os.path.join(root, filename))
+    return stray
+
+
+def assert_no_leaked_resources(directory: Optional[str] = None) -> None:
+    """Assert the process leaked no shm segments, memmaps or temp files.
+
+    ``directory`` (optional) is additionally swept for ``.tmp`` remnants —
+    pass the storage directory a test wrote to.  Call from fixture
+    teardown, after the test dropped its tables.
+    """
+    release_exports()
+    assert exported_segment_count() == 0, "leaked shared-memory segments"
+    # Memmap handles are held by tables; a test's tables become garbage at
+    # teardown but may await collection — sweep before judging.
+    gc.collect()
+    assert live_memmap_count() == 0, (
+        f"{live_memmap_count()} segment memmap handle(s) still referenced"
+    )
+    if directory is not None and os.path.isdir(directory):
+        stray = leaked_temp_files(directory)
+        assert not stray, f"leaked temp files from torn writes: {stray}"

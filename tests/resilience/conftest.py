@@ -1,17 +1,18 @@
-"""Shared invariant for the resilience suite: no leaked shm segments.
+"""Shared invariant for the resilience suite: no leaked resources.
 
 Every test — including the ones that crash workers, hang them past the
 deadline, or fail shared-memory exports on purpose — must leave zero
-exported segments behind after teardown.
+exported segments, zero dangling segment memmaps and zero torn temp files
+behind after teardown.  The check itself lives in ``tests/leakcheck.py``
+and is shared with the storage suite.
 """
 
 import pytest
 
-from repro.db.shm import exported_segment_count, release_exports
+from leakcheck import assert_no_leaked_resources
 
 
 @pytest.fixture(autouse=True)
-def _no_leaked_segments():
+def _no_leaked_resources():
     yield
-    release_exports()
-    assert exported_segment_count() == 0
+    assert_no_leaked_resources()

@@ -1,0 +1,117 @@
+"""Manifest commit point and write-ahead journal semantics."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.db.errors import CorruptSegmentError, ManifestVersionError
+from repro.db.storage.journal import (
+    JOURNAL_MAGIC,
+    append_record,
+    read_records,
+    truncate,
+)
+from repro.db.storage.manifest import (
+    MANIFEST_VERSION,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestManifest:
+    def test_round_trip_stamps_version(self, tmp_path):
+        path = str(tmp_path / "MANIFEST.json")
+        write_manifest(path, {"table": "t", "data_generation": 3})
+        body = read_manifest(path)
+        assert body["table"] == "t"
+        assert body["data_generation"] == 3
+        assert body["format_version"] == MANIFEST_VERSION
+
+    def test_absent_manifest_reads_as_none(self, tmp_path):
+        assert read_manifest(str(tmp_path / "nope.json")) is None
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        path = str(tmp_path / "MANIFEST.json")
+        write_manifest(path, {"table": "t", "data_generation": 3})
+        data = open(path, "rb").read().replace(b'"t"', b'"u"')
+        open(path, "wb").write(data)
+        with pytest.raises(CorruptSegmentError) as excinfo:
+            read_manifest(path)
+        assert "checksum mismatch" in str(excinfo.value)
+
+    def test_truncated_manifest_fails_typed(self, tmp_path):
+        path = str(tmp_path / "MANIFEST.json")
+        write_manifest(path, {"table": "t"})
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(CorruptSegmentError):
+            read_manifest(path)
+
+    def test_unknown_version_fails_typed(self, tmp_path):
+        path = str(tmp_path / "MANIFEST.json")
+        body = {"table": "t", "format_version": MANIFEST_VERSION + 1}
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+        document = json.dumps({"crc": zlib.crc32(canonical), "body": body})
+        open(path, "w").write(document)
+        with pytest.raises(ManifestVersionError):
+            read_manifest(path)
+
+    def test_envelope_without_crc_fails_typed(self, tmp_path):
+        path = str(tmp_path / "MANIFEST.json")
+        open(path, "w").write(json.dumps({"body": {"table": "t"}}))
+        with pytest.raises(CorruptSegmentError):
+            read_manifest(path)
+
+
+class TestJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        append_record(path, 1, {"A": ["x", "y"], "n": [1, 2]})
+        append_record(path, 2, {"A": ["z"], "n": [3]})
+        records, truncated = read_records(path)
+        assert not truncated
+        assert [r["generation"] for r in records] == [1, 2]
+        assert records[0]["columns"]["A"] == ["x", "y"]
+        assert records[1]["columns"]["n"] == [3]
+
+    def test_missing_or_empty_journal_is_clean(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        assert read_records(path) == ([], False)
+        open(path, "wb").close()
+        assert read_records(path) == ([], False)
+
+    def test_torn_tail_keeps_valid_prefix(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        append_record(path, 1, {"A": ["x"]})
+        size_after_first = len(open(path, "rb").read())
+        append_record(path, 2, {"A": ["y"]})
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: size_after_first + 5])  # tear record 2
+        records, truncated = read_records(path)
+        assert truncated
+        assert [r["generation"] for r in records] == [1]
+
+    def test_bit_flip_in_record_truncates_there(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        append_record(path, 1, {"A": ["x"]})
+        append_record(path, 2, {"A": ["y"]})
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0x01
+        open(path, "wb").write(bytes(data))
+        records, truncated = read_records(path)
+        assert truncated
+        assert [r["generation"] for r in records] == [1]
+
+    def test_bad_magic_is_corruption_not_truncation(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        open(path, "wb").write(b"NOTAWAL\x00rest of the file")
+        with pytest.raises(CorruptSegmentError):
+            read_records(path)
+
+    def test_truncate_resets_to_magic_only(self, tmp_path):
+        path = str(tmp_path / "journal.wal")
+        append_record(path, 1, {"A": ["x"]})
+        truncate(path)
+        assert open(path, "rb").read() == JOURNAL_MAGIC
+        assert read_records(path) == ([], False)
