@@ -9,7 +9,7 @@ it — the ``bench-regression`` CI job runs it against the baselines
 committed in the repository so solver, caching or vectorisation changes
 cannot silently degrade the serving path.
 
-Six profiles select which counters are gated:
+Seven profiles select which counters are gated:
 
 * ``serving`` (default) — the cold/warm trace replay of
   ``BENCH_serving.json``;
@@ -35,7 +35,14 @@ Six profiles select which counters are gated:
   ``row_ids_mismatch``, ``restore_errors``, ``rebuilds``,
   ``checksum_failures``) committed as zero and therefore gated at
   *exactly* zero.  The restart speedup and persist time are wall-clock
-  and stay informational.
+  and stay informational;
+* ``outofcore`` — the bounded-memory point of ``BENCH_outofcore.json``:
+  a durable table ~4x the residency budget served lazily.  Every
+  ``parity.*`` counter (row-id mismatches and absolute work-counter
+  deltas between the bounded and unbounded runs) is committed as zero
+  and gated at *exactly* zero, and ``bounded.evictions`` is committed
+  above zero so a run that stopped exercising eviction pressure fails
+  the gate.  Peak RSS and peak resident bytes are informational.
 
 Counters that *improved* beyond the tolerance do not fail the build, but are
 reported loudly: a drifted baseline hides future regressions, so the
@@ -190,6 +197,29 @@ RESTART_COUNTERS: Tuple[Tuple[str, bool], ...] = (
     ("cold.solver_calls", True),
 )
 
+#: The outofcore profile gates the bounded-memory serving contract: the
+#: ``parity.*`` counters are absolute bounded-vs-unbounded differences,
+#: committed as 0 — any non-zero fresh value is an unbounded relative
+#: drift, so the ±tolerance gate degenerates to an exact ±0 gate — and
+#: ``bounded.evictions`` is committed above zero with *higher is better*
+#: polarity, so a run whose eviction pressure collapses (the table no
+#: longer overflows the budget) regresses the gate instead of silently
+#: measuring an in-core workload.
+OUTOFCORE_COUNTERS: Tuple[Tuple[str, bool], ...] = (
+    ("rows", False),
+    ("shards", False),
+    ("parity.row_ids_mismatch", True),
+    ("parity.udf_evaluations_abs_delta", True),
+    ("parity.charged_evaluations_abs_delta", True),
+    ("parity.charged_retrieves_abs_delta", True),
+    ("parity.solver_calls_abs_delta", True),
+    ("unbounded.udf_evaluations", True),
+    ("unbounded.solver_calls", True),
+    ("bounded.udf_evaluations", True),
+    ("bounded.maps", True),
+    ("bounded.evictions", False),
+)
+
 PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "serving": GATED_COUNTERS,
     "coldpath": COLDPATH_COUNTERS,
@@ -197,6 +227,7 @@ PROFILES: Dict[str, Tuple[Tuple[str, bool], ...]] = {
     "update": UPDATE_COUNTERS,
     "traffic": TRAFFIC_COUNTERS,
     "restart": RESTART_COUNTERS,
+    "outofcore": OUTOFCORE_COUNTERS,
 }
 
 #: Keys printed alongside the gate for context but NEVER gated: wall-clock
@@ -215,6 +246,13 @@ INFORMATIONAL_COUNTERS: Dict[str, Tuple[str, ...]] = {
     "update": (),
     "traffic": ("latency.qps", "latency.p50_ms", "latency.p99_ms"),
     "restart": ("restart_speedup", "persist_seconds"),
+    "outofcore": (
+        "peak_rss_mb",
+        "bounded.peak_resident_bytes",
+        "bounded.refaults",
+        "budget_bytes",
+        "segment_bytes",
+    ),
 }
 
 

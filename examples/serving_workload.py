@@ -22,6 +22,8 @@ Run with::
     python examples/serving_workload.py --churn 2                # 2% appends between batches
     python examples/serving_workload.py --async --clients 1000   # concurrent front-end
     python examples/serving_workload.py --persist /tmp/repro-db  # durable warm restart
+    python examples/serving_workload.py --memory-budget 400000   # bounded-memory serving
+    python examples/serving_workload.py --scale 20 --memory-budget 8000000  # ~1M rows
 
 ``--shards N`` splits the table into N contiguous shards
 (:class:`~repro.db.ShardedTable`) and ``--workers W`` serves it on a
@@ -55,6 +57,16 @@ The example prints cold-start versus warm-restart work counters side by
 side: the restarted service answers with ``plan_cache: restored`` and
 **zero** UDF evaluations, bitwise identical to the pre-shutdown warm run.
 
+``--memory-budget BYTES`` demonstrates bounded-memory serving: the table is
+checkpointed into durable column segments, reopened *lazily* behind a
+:class:`~repro.db.residency.ResidencyManager` with the given byte budget,
+and the hottest query is answered straight off disk — segments map on
+first touch, clean least-recently-used mappings are evicted to stay under
+budget, and the answer is bitwise identical to an unbounded in-memory run
+at the same seed.  Pick a budget smaller than the printed segment bytes to
+see evictions; ``--scale 20`` grows the table to ~1M rows for an
+out-of-core-sized demonstration.
+
 ``--metrics`` switches on the global :mod:`repro.obs` registry and installs
 a trace sink for the replay, then prints the registry snapshot (labelled
 counters, per-path latency percentiles) and the slowest query's span tree —
@@ -66,6 +78,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import tempfile
 import time
 
 from repro import (
@@ -275,6 +289,74 @@ def demonstrate_restart(
           f"{list(restored.row_ids) == list(warm.row_ids)}")
 
 
+def demonstrate_bounded_memory(dataset, table, args, backend) -> None:
+    """Serve the hottest signature from durable segments under a byte budget.
+
+    The table is checkpointed into its own staging store, reopened twice
+    over the *same* segments — once eagerly (unbounded, fully resident)
+    and once lazily behind a :class:`ResidencyManager` with the requested
+    budget — and the same seeded query is submitted to both.  Eviction
+    order is bitwise-invisible: the bounded run must return the identical
+    row ids while its peak residency stays at (or, transiently, one pinned
+    shard above) the budget.
+    """
+    from repro.db.residency import ResidencyManager
+
+    budget = args.memory_budget
+    directory = tempfile.mkdtemp(prefix="repro-budget-")
+    staging = Catalog()
+    staging.register_table(table)
+    store = CatalogStore(directory)
+    store.save(staging)
+    segment_bytes = sum(
+        entry.stat().st_size
+        for name in store.table_names()
+        for entry in os.scandir(store.table_store(name).segments_dir)
+        if entry.is_file()
+    )
+
+    seed = 777_000
+
+    def run(residency, budget_bytes):
+        catalog, _ = CatalogStore(directory).open(residency=residency)
+        udf = dataset.make_udf("credit_check")
+        catalog.register_udf(udf)
+        service = QueryService(
+            Engine(catalog),
+            config=ServiceConfig(
+                executor=backend,
+                max_workers=args.workers,
+                memory_budget_bytes=budget_bytes,
+            ),
+        )
+        query = SelectQuery(
+            table=table.name,
+            predicate=UdfPredicate(udf),
+            alpha=0.8,
+            beta=0.8,
+            rho=0.8,
+            correlated_column="grade",
+        )
+        result = service.submit(query, seed=seed)
+        snapshot = service.stats().storage.get("residency")
+        service.close()
+        return result, snapshot
+
+    unbounded, _ = run(None, None)
+    bounded, snapshot = run(ResidencyManager(budget_bytes=budget), budget)
+
+    print(f"\nbounded-memory serving (--memory-budget {budget:,})")
+    print(f"  durable segment bytes : {segment_bytes:,} "
+          f"({segment_bytes / budget:.1f}x the budget)")
+    print(f"  peak resident bytes   : {snapshot['peak_resident_bytes']:,} "
+          f"(budget {snapshot['budget_bytes']:,})")
+    print(f"  segment maps          : {snapshot['maps']}  "
+          f"evictions: {snapshot['evictions']}  refaults: {snapshot['refaults']}")
+    print(f"  pressure level at end : {snapshot['pressure_level']}")
+    print(f"  row ids bitwise equal to unbounded run: "
+          f"{list(bounded.row_ids) == list(unbounded.row_ids)}")
+
+
 def print_metrics_report(service, sink) -> None:
     """Print the registry snapshot, latency percentiles and slowest trace."""
     snapshot = service.metrics_snapshot()
@@ -344,6 +426,13 @@ def main() -> None:
         "there on shutdown, then demonstrate a warm restart (reopen from "
         "the manifest, repeat the hottest query with zero UDF evaluations) "
         "against a cold start over the same data",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, metavar="BYTES", default=None,
+        help="demonstrate bounded-memory serving: checkpoint the table into "
+        "durable segments, reopen lazily under this residency budget, and "
+        "answer the hottest query bitwise-identically to an unbounded run "
+        "while evicting LRU segment mappings to stay under budget",
     )
     parser.add_argument(
         "--metrics", action="store_true",
@@ -458,6 +547,8 @@ def main() -> None:
         truth = dataset.ground_truth_row_ids()
         quality = result_quality(check.row_ids, truth)
         assert quality.precision == check.quality.precision  # audit consistency
+    if args.memory_budget:
+        demonstrate_bounded_memory(dataset, table, args, backend)
     if args.persist:
         demonstrate_restart(
             service, dataset, udf, trace[0], args.persist, args.scale,

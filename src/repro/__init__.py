@@ -365,6 +365,57 @@ restart *warm*:
   restart counters to ``BENCH_restart.json``, gated via
   ``compare_bench.py --profile restart``.
 
+Bounded-memory serving
+----------------------
+
+A durable catalog can be *larger than memory*.  Passing
+``CatalogStore.open(residency=ResidencyManager(budget_bytes=N))`` (and
+``ServiceConfig(memory_budget_bytes=N)`` on the service) opens every table
+**lazily** and serves it out-of-core:
+
+* **Budget model** — :class:`~repro.db.residency.ResidencyManager` tracks
+  every mapped column segment at its actual ``nbytes`` against one byte
+  budget.  :meth:`TableStore.open` validates only segment *headers* (magic
+  + header CRC) up front; a segment's payload is mapped — and its block
+  CRCs verified, once — on first touch.  When residency exceeds the
+  budget, clean mappings are evicted least-recently-used.  Eviction drops
+  the *manager's* reference only: arrays a caller already holds stay
+  valid, and gathers copy out of the map, so eviction order is
+  **bitwise-invisible** to results — the out-of-core benchmark gates work
+  counters and row ids against the unbounded run at exactly ±0.
+* **Pin/evict semantics** — in-flight spans pin the segments they read;
+  pinned segments are never evicted, so peak residency is bounded by
+  ``budget + one pinned shard's columns``.  Execution is shard-at-a-time:
+  spans release their pins (and the evictor reclaims) between shards, and
+  cold sampling visits shards in *residency order* — resident shards
+  first, then faulting absent ones in one at a time.
+* **Watermark degradation** — crossing ``watermark * budget`` fires
+  pressure callbacks in a fixed order: first the service sheds its
+  plan/statistics **caches**; if pins hold residency over budget
+  (``critical``), new async admissions are **shed** with the typed
+  :class:`~repro.serving.Overloaded` (``pressure_shed`` counter); and a
+  table whose segment maps *keep failing* trips a per-table circuit
+  **breaker** that degrades it to rebuilt-in-memory — answering queries
+  always outranks staying lazy.  ``stats().storage["residency"]`` and the
+  ``repro_residency_*`` registry metrics (resident-bytes gauge,
+  eviction/fault counters, map-latency histogram) expose all of it.
+* **Direct attach** — the process executor ships durable segments to
+  workers by ``(path, offset, dtype)`` and each worker ``np.memmap``-s the
+  segment file itself (committed segment files are immutable at a path),
+  skipping the ``shared_memory`` re-export copy entirely; the shm path
+  remains for non-durable in-memory tables.  The ``segment_map`` /
+  ``segment_evict`` fault sites extend the chaos suite: every injected
+  map/evict fault either recovers bitwise or fails typed
+  (:class:`~repro.db.SegmentMapError`) with zero leaked mappings, and
+  ``tests/leakcheck.py`` asserts zero resident bytes after every
+  ``close()``.
+
+``examples/serving_workload.py --memory-budget BYTES`` demonstrates a
+table ~4x the budget answering bitwise-identically to the unbounded run;
+``benchmarks/test_outofcore.py`` commits the parity and eviction counters
+to ``BENCH_outofcore.json``, gated via ``compare_bench.py --profile
+outofcore``.
+
 See DESIGN.md for the module map and EXPERIMENTS.md for the paper-versus-
 measured comparison of every table and figure.
 """

@@ -251,9 +251,20 @@ class ColumnSelectionResult:
 
 
 def _column_cardinality(table: Table, column: str) -> int:
-    """Distinct-value count of a column, vectorised where numpy can sort it."""
+    """Distinct-value count of a column, vectorised where numpy can sort it.
+
+    Scans shard-at-a-time (resident segments first) and unions the
+    per-shard distinct sets, so a lazy durable table never needs the whole
+    column mapped at once; the union of per-shard uniques is exactly the
+    global distinct set.
+    """
+    from repro.db.residency import iter_column_spans
+
     try:
-        return int(np.unique(table.column_array(column)).size)
+        distinct: set = set()
+        for _start, _stop, values in iter_column_spans(table, column):
+            distinct.update(np.unique(values).tolist())
+        return len(distinct)
     except TypeError:  # mixed-type object columns numpy cannot sort
         return table.num_distinct(column)
 

@@ -81,7 +81,7 @@ from repro.core.parallel import (
     span_coin_pass,
 )
 from repro.core.plan import ExecutionPlan
-from repro.db.errors import UnpicklableUdfError
+from repro.db.errors import StorageError, UnpicklableUdfError
 from repro.db.index import GroupIndex
 from repro.db.shm import (
     SpanExport,
@@ -308,7 +308,13 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
     def _prepare_remote(
         self, table: Table, udf: UserDefinedFunction
     ) -> Optional[Tuple[UdfSpec, Tuple[SpanExport, ...]]]:
-        """The picklable spec + shared-memory exports, or ``None`` to fall back."""
+        """The picklable spec + span exports, or ``None`` to fall back.
+
+        Residency-managed durable tables export by segment-file coordinates
+        (workers ``np.memmap`` the committed payload directly — no
+        shared-memory copy, and the parent keeps sole charge of residency);
+        everything else takes the shared-memory export path.
+        """
         try:
             spec = udf.worker_spec()
         except UnpicklableUdfError:
@@ -323,6 +329,21 @@ class ProcessPoolBatchExecutor(ParallelBatchExecutor):
             columns = [spec.label_column]
         else:
             columns = table.schema.column_names
+        try:
+            from repro.db.residency import durable_span_exports
+
+            exports = durable_span_exports(table, columns)
+        except (StorageError, _faults.InjectedFault, OSError):
+            # Verification-time map trouble: note it and serve in-process
+            # (the table's own map breaker handles repeated failures).
+            self._note_failure("segment_map")
+            self._fallback("segment_map")
+            return None
+        if exports is not None:
+            _metrics.counter(
+                "repro_executor_direct_attach_total", backend="process"
+            ).inc()
+            return spec, exports
         try:
             exports = export_table_spans(table, columns)
         except UnshareableColumnError:

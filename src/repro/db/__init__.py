@@ -14,7 +14,10 @@ the corresponding cost.  This package provides exactly that substrate:
 * :class:`~repro.db.query.SelectQuery` and :class:`~repro.db.engine.Engine`
   — a small query layer that runs exact or approximate UDF-predicate selects,
 * :mod:`repro.db.storage` — durable checksummed columnar segments under an
-  atomic manifest, with a tail-append journal and chaos-tested warm restart.
+  atomic manifest, with a tail-append journal and chaos-tested warm restart,
+* :mod:`repro.db.residency` — bounded-memory serving of durable tables:
+  lazy segment maps under a byte budget with LRU eviction and pin-counting
+  (``CatalogStore.open(residency=ResidencyManager(budget_bytes=...))``).
 """
 
 from repro.db.catalog import Catalog
@@ -28,6 +31,7 @@ from repro.db.errors import (
     DuplicateObjectError,
     ManifestVersionError,
     SchemaMismatchError,
+    SegmentMapError,
     StorageError,
     TableNotFoundError,
     UdfNotFoundError,
@@ -42,6 +46,7 @@ from repro.db.predicate import (
     UdfPredicate,
 )
 from repro.db.query import SelectQuery
+from repro.db.residency import LazySegmentTable, LazyShardedTable, ResidencyManager
 from repro.db.schema import Schema
 from repro.db.sharding import ShardedTable, shard_bounds
 from repro.db.storage import CatalogStore, RecoveryReport, TableStore
@@ -66,6 +71,10 @@ __all__ = [
     "StorageError",
     "CorruptSegmentError",
     "ManifestVersionError",
+    "SegmentMapError",
+    "ResidencyManager",
+    "LazySegmentTable",
+    "LazyShardedTable",
     "TableStore",
     "CatalogStore",
     "RecoveryReport",

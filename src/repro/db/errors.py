@@ -99,6 +99,23 @@ class CorruptSegmentError(StorageError):
         super().__init__(f"corrupt storage artifact {self.path}: {reason}")
 
 
+class SegmentMapError(StorageError):
+    """A durable segment could not be mapped into memory.
+
+    Raised by the residency layer (:mod:`repro.db.residency`) when a lazy
+    column's first-touch map fails even after a retry — an I/O error, a
+    vanished file, or an injected ``segment_map`` fault.  Distinct from
+    :class:`CorruptSegmentError` (bytes present but wrong): the mapping
+    machinery itself failed, so the table degrades to rebuilt-in-memory
+    operation through its map circuit breaker instead of quarantining.
+    """
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"cannot map segment {self.path}: {reason}")
+
+
 class ManifestVersionError(StorageError):
     """A manifest was written by an incompatible storage format version."""
 

@@ -110,7 +110,8 @@ class ColumnPredicate(Predicate):
         ids = np.asarray(row_ids, dtype=np.intp)
         if not ids.size:
             return np.zeros(0, dtype=bool)
-        cells = table.column_array(self.column)[ids]
+        # Residency-aware gather: shard-at-a-time on lazy durable tables.
+        cells = table.gather_column(self.column, ids)
         compare = _OPERATORS[self.op]
         if self.op != "in":
             try:

@@ -59,12 +59,24 @@ class UnshareableColumnError(DatabaseError):
 
 @dataclass(frozen=True)
 class ColumnBlock:
-    """One column of one row span, living in a named shared-memory segment."""
+    """One column of one row span, addressable by workers without pickle.
 
-    shm_name: str
+    Two transports share this handle: a named shared-memory segment
+    (``shm_name``), or — for columns already durable on disk — the direct
+    coordinates of a committed segment file (``path``/``offset``), which
+    workers ``np.memmap`` themselves.  Exactly one of ``shm_name`` and
+    ``path`` is set; the direct-attach form skips the shared-memory export
+    copy entirely (memmaps are already zero-copy).
+    """
+
+    shm_name: Optional[str]
     #: ``numpy.dtype.str`` — fixed-width, endianness included.
     dtype: str
     length: int
+    #: Absolute path of the durable segment file (direct-attach form).
+    path: Optional[str] = None
+    #: Byte offset of the payload inside the segment file.
+    offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -229,16 +241,40 @@ def exported_segment_count() -> int:
 #: referenced as long as the view: its buffer dies with it.
 _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 
+#: (path, offset) key → read-only memmap of a durable segment payload.
+#: Committed segment files are immutable at a given path (checkpoints are
+#: generation-qualified), so a warm worker's cached map never goes stale.
+_ATTACHED_FILES: Dict[str, np.ndarray] = {}
+
 
 def attach_array(block: ColumnBlock) -> np.ndarray:
     """Attach (once per process) to ``block`` and return a read-only view.
 
     Called in worker processes; the attachment cache lives for the worker's
-    lifetime, so a warm worker touches ``/dev/shm`` only on the first task
-    that references a segment.  Workers never unlink — the parent owns the
-    segment and shares our resource tracker (spawn inherits it), so cleanup
-    is entirely the parent's job.
+    lifetime, so a warm worker touches ``/dev/shm`` (or re-maps a segment
+    file) only on the first task that references a block.  Workers never
+    unlink — the parent owns shared-memory segments and shares our resource
+    tracker (spawn inherits it), so cleanup is entirely the parent's job;
+    file maps need no cleanup beyond process exit.
     """
+    if block.path is not None:
+        key = f"{block.path}@{block.offset}"
+        mapped = _ATTACHED_FILES.get(key)
+        if mapped is None:
+            # Fault-injection site ``segment_map`` (worker side): an
+            # ``error`` rule models a mapping failure under the worker; the
+            # executor classifies it like a vanished shm segment and falls
+            # back bitwise.
+            _faults.maybe_fire(_faults.active_plan(), "segment_map")
+            mapped = np.memmap(
+                block.path,
+                dtype=np.dtype(block.dtype),
+                mode="r",
+                offset=block.offset,
+                shape=(block.length,),
+            )
+            _ATTACHED_FILES[key] = mapped
+        return mapped
     entry = _ATTACHED.get(block.shm_name)
     if entry is None:
         # Fault-injection site ``shm_attach`` (worker side — the process

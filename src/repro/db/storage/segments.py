@@ -135,6 +135,7 @@ def write_segment(
         "block_bytes": int(block_bytes),
         "block_crcs": _block_checksums(payload, block_bytes),
     }
+    header["header_crc"] = _header_crc(header)
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     data = (
         SEGMENT_MAGIC
@@ -152,6 +153,24 @@ def write_segment(
     }
 
 
+def _header_crc(header: Dict[str, Any]) -> int:
+    """CRC32 over the canonical JSON dump of ``header`` sans its own CRC."""
+    body = {key: value for key, value in header.items() if key != "header_crc"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
+def _parse_header(path: str, header_bytes: bytes) -> Dict[str, Any]:
+    """Parse and CRC-verify a segment's JSON header bytes."""
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise CorruptSegmentError(path, f"unparseable header: {exc}") from None
+    stored = header.get("header_crc")
+    if stored is not None and int(stored) != _header_crc(header):
+        raise CorruptSegmentError(path, "header CRC mismatch")
+    return header
+
+
 def _read_header(path: str, data: bytes) -> "tuple[Dict[str, Any], int]":
     if len(data) < len(SEGMENT_MAGIC) + 8:
         raise CorruptSegmentError(path, "truncated before header")
@@ -161,11 +180,73 @@ def _read_header(path: str, data: bytes) -> "tuple[Dict[str, Any], int]":
     header_start = len(SEGMENT_MAGIC) + 8
     if header_start + header_len > len(data):
         raise CorruptSegmentError(path, "truncated header")
-    try:
-        header = json.loads(data[header_start : header_start + header_len])
-    except ValueError as exc:
-        raise CorruptSegmentError(path, f"unparseable header: {exc}") from None
+    header = _parse_header(path, data[header_start : header_start + header_len])
     return header, header_start + int(header_len)
+
+
+#: Sanity cap for header lengths read from disk: a corrupted length field
+#: must fail typed, not attempt a multi-gigabyte allocation.
+_MAX_HEADER_BYTES = 64 << 20
+
+
+def validate_segment_header(
+    path: str, expected: Optional[Dict[str, Any]] = None
+) -> "tuple[Dict[str, Any], int]":
+    """Header-only validation: magic, header CRC, size and manifest identity.
+
+    Reads the fixed prefix and the JSON header — never the payload — so a
+    lazy :meth:`~repro.db.storage.store.TableStore.open` can establish a
+    segment's identity in O(header) time and defer the full per-block CRC
+    pass to first-touch map time (:func:`read_segment`).  ``expected`` is
+    the manifest entry; row count, codec and dtype must agree (the payload
+    CRC is deliberately *not* checked here — that is map-time work).
+    Returns ``(header, payload_offset)``; the residency layer maps the
+    payload at ``payload_offset`` later.
+    """
+    prefix_len = len(SEGMENT_MAGIC) + 8
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(prefix_len)
+            if len(prefix) < prefix_len:
+                raise CorruptSegmentError(path, "truncated before header")
+            if prefix[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+                raise CorruptSegmentError(path, "bad magic (not a segment file)")
+            (header_len,) = struct.unpack_from("<Q", prefix, len(SEGMENT_MAGIC))
+            if header_len > _MAX_HEADER_BYTES:
+                raise CorruptSegmentError(
+                    path, f"implausible header length {header_len}"
+                )
+            header_bytes = handle.read(int(header_len))
+            file_size = os.fstat(handle.fileno()).st_size
+    except FileNotFoundError:
+        raise CorruptSegmentError(path, "segment file missing") from None
+    if len(header_bytes) < int(header_len):
+        raise CorruptSegmentError(path, "truncated header")
+    header = _parse_header(path, header_bytes)
+    payload_offset = prefix_len + int(header_len)
+    if file_size != payload_offset + int(header["payload_bytes"]):
+        raise CorruptSegmentError(
+            path,
+            f"file holds {file_size - payload_offset} payload bytes, header "
+            f"says {header['payload_bytes']}",
+        )
+    if expected is not None:
+        if int(expected["rows"]) != int(header["rows"]):
+            raise CorruptSegmentError(
+                path,
+                f"manifest expects {expected['rows']} rows, segment holds "
+                f"{header['rows']}",
+            )
+        if expected.get("kind") != header.get("kind") or (
+            expected.get("dtype") or None
+        ) != (header.get("dtype") or None):
+            raise CorruptSegmentError(
+                path,
+                f"manifest expects kind={expected.get('kind')!r} "
+                f"dtype={expected.get('dtype')!r}, segment holds "
+                f"kind={header.get('kind')!r} dtype={header.get('dtype')!r}",
+            )
+    return header, payload_offset
 
 
 def read_segment(

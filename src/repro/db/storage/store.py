@@ -27,7 +27,20 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.residency import ResidencyManager
 
 from repro.db.catalog import Catalog
 from repro.db.column import Column, ColumnType
@@ -47,6 +60,7 @@ from repro.obs import metrics as _metrics
 _COUNTERS: Dict[str, int] = {
     "segments_written": 0,
     "segments_loaded": 0,
+    "headers_validated": 0,
     "checksum_failures": 0,
     "quarantines": 0,
     "journal_replays": 0,
@@ -85,6 +99,7 @@ class RecoveryReport:
     """What one :meth:`TableStore.open` found and did."""
 
     segments_loaded: int = 0
+    segments_deferred: int = 0
     journal_records_replayed: int = 0
     journal_tail_truncated: bool = False
     temp_files_cleaned: int = 0
@@ -97,6 +112,7 @@ class RecoveryReport:
         """Plain-dict view (stats surfaces, benchmark artifacts)."""
         return {
             "segments_loaded": self.segments_loaded,
+            "segments_deferred": self.segments_deferred,
             "journal_records_replayed": self.journal_records_replayed,
             "journal_tail_truncated": self.journal_tail_truncated,
             "temp_files_cleaned": self.temp_files_cleaned,
@@ -246,6 +262,7 @@ class TableStore:
         self,
         rebuild: Optional[Callable[[], Table]] = None,
         mmap: bool = True,
+        residency: Optional["ResidencyManager"] = None,
     ) -> Tuple[Table, RecoveryReport]:
         """Open the last durable generation, replaying the journal tail.
 
@@ -254,6 +271,13 @@ class TableStore:
         either degrades to ``rebuild()`` (re-checkpointing the fresh table)
         or re-raises the typed error.  The returned report says exactly
         what happened; the module counters aggregate across opens.
+
+        With a :class:`~repro.db.residency.ResidencyManager` the open is
+        *lazy*: every segment gets header-only validation (magic + header
+        CRC + manifest identity, O(header) not O(payload)) and the table
+        comes back as residency-managed stubs whose segments map — with the
+        full per-block CRC pass — on first touch.  Without one, the eager
+        path validates and maps everything up front, as before.
         """
         report = RecoveryReport()
         report.temp_files_cleaned = self._sweep_temp_files()
@@ -265,7 +289,10 @@ class TableStore:
                         f"no manifest at {self.manifest_path}; nothing to open"
                     )
                 return self._rebuild(rebuild, report, "missing manifest")
-            table = self._load_table(body, report, mmap=mmap)
+            if residency is not None:
+                table = self._load_table_lazy(body, report, residency)
+            else:
+                table = self._load_table(body, report, mmap=mmap)
             self._replay_journal(table, report)
             report.generation = table.data_generation
             # Everything validated against the committed manifest: orphan
@@ -295,15 +322,19 @@ class TableStore:
         self.save(table)
         return table, report
 
-    def _load_table(
-        self, body: Dict[str, Any], report: RecoveryReport, mmap: bool
-    ) -> Table:
-        schema = Schema(
+    @staticmethod
+    def _schema_from_body(body: Dict[str, Any]) -> Schema:
+        return Schema(
             [
                 Column(name=name, column_type=ColumnType(ctype), hidden=bool(hidden))
                 for name, ctype, hidden in body["schema"]
             ]
         )
+
+    def _load_table(
+        self, body: Dict[str, Any], report: RecoveryReport, mmap: bool
+    ) -> Table:
+        schema = self._schema_from_body(body)
         name = body["table"]
         generation = int(body["data_generation"])
         segments: Mapping[str, Mapping[str, Any]] = body["segments"]
@@ -331,6 +362,110 @@ class TableStore:
                 for position, arrays in enumerate(shard_arrays)
             ]
             table = ShardedTable(
+                name,
+                schema,
+                shards,
+                max_workers=body.get("max_workers"),
+                tail_shard_rows=body.get("tail_shard_rows"),
+            )
+            table._data_generation = generation
+            offsets = [int(offset) for offset in body["offsets"]]
+            if list(table.shard_offsets) != offsets:
+                raise CorruptSegmentError(
+                    self.manifest_path,
+                    f"segment rows give offsets {list(table.shard_offsets)}, "
+                    f"manifest committed {offsets}",
+                )
+        if table.num_rows != int(body["num_rows"]):
+            raise CorruptSegmentError(
+                self.manifest_path,
+                f"segments hold {table.num_rows} rows, manifest committed "
+                f"{body['num_rows']}",
+            )
+        return table
+
+    def _load_table_lazy(
+        self,
+        body: Dict[str, Any],
+        report: RecoveryReport,
+        residency: "ResidencyManager",
+    ) -> Table:
+        """Build residency-managed stubs over header-validated segments.
+
+        O(headers), not O(payload): each segment's magic, header CRC and
+        manifest identity are checked now; the payload's per-block CRC pass
+        runs at first-touch map time inside the segment handle.  One map
+        circuit breaker is shared by the whole table, so repeated map
+        failures on any shard degrade the table as a unit.
+        """
+        from repro.db.residency import (
+            LazySegmentTable,
+            LazyShardedTable,
+            SegmentHandle,
+        )
+        from repro.db.storage.segments import validate_segment_header
+        from repro.resilience.breaker import CircuitBreaker
+
+        schema = self._schema_from_body(body)
+        name = body["table"]
+        generation = int(body["data_generation"])
+        segments: Mapping[str, Mapping[str, Any]] = body["segments"]
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time_s=60.0)
+        shard_handles: List[Dict[str, SegmentHandle]] = []
+        shard_rows: List[int] = []
+        for key in sorted(segments, key=int):
+            handles: Dict[str, SegmentHandle] = {}
+            rows = 0
+            for column, entry in segments[key].items():
+                path = os.path.join(self.segments_dir, entry["file"])
+                header, payload_offset = validate_segment_header(
+                    path, expected=entry
+                )
+                handles[column] = SegmentHandle(
+                    path,
+                    entry,
+                    residency,
+                    column=column,
+                    kind=header["kind"],
+                    dtype=header.get("dtype"),
+                    rows=int(header["rows"]),
+                    payload_offset=payload_offset,
+                    payload_bytes=int(header["payload_bytes"]),
+                    breaker=breaker,
+                )
+                rows = int(header["rows"])
+                report.segments_deferred += 1
+                _count("headers_validated")
+            shard_handles.append(handles)
+            shard_rows.append(rows)
+        if body["layout"] == "monolithic":
+            if len(shard_handles) != 1:
+                raise CorruptSegmentError(
+                    self.manifest_path,
+                    f"monolithic layout with {len(shard_handles)} shard entries",
+                )
+            table: Table = LazySegmentTable.from_segments(
+                name,
+                schema,
+                shard_handles[0],
+                num_rows=shard_rows[0],
+                data_generation=generation,
+                map_breaker=breaker,
+            )
+        else:
+            shards = [
+                LazySegmentTable.from_segments(
+                    f"{name}#shard{position}",
+                    schema,
+                    handles,
+                    num_rows=rows,
+                    map_breaker=breaker,
+                )
+                for position, (handles, rows) in enumerate(
+                    zip(shard_handles, shard_rows)
+                )
+            ]
+            table = LazyShardedTable(
                 name,
                 schema,
                 shards,
@@ -447,18 +582,23 @@ class CatalogStore:
         self,
         rebuilders: Optional[Mapping[str, Callable[[], Table]]] = None,
         mmap: bool = True,
+        residency: Optional["ResidencyManager"] = None,
     ) -> Tuple[Catalog, Dict[str, RecoveryReport]]:
         """Open every committed table into a fresh :class:`Catalog`.
 
         ``rebuilders`` maps table names to rebuild-from-source callables
         used when that table's artifacts are corrupt; tables without one
-        re-raise the typed error.
+        re-raise the typed error.  A ``residency`` manager makes every
+        table's open lazy (header-only validation, map on first touch)
+        under one shared byte budget — see :meth:`TableStore.open`.
         """
         catalog = Catalog()
         reports: Dict[str, RecoveryReport] = {}
         for name in self.table_names():
             rebuild = None if rebuilders is None else rebuilders.get(name)
-            table, report = self.table_store(name).open(rebuild=rebuild, mmap=mmap)
+            table, report = self.table_store(name).open(
+                rebuild=rebuild, mmap=mmap, residency=residency
+            )
             catalog.register_table(table)
             reports[name] = report
         return catalog, reports

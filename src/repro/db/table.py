@@ -441,6 +441,26 @@ class Table:
             self._arrays[column] = array
         return array
 
+    def gather_column(
+        self,
+        column: str,
+        row_ids: Sequence[int],
+        allow_hidden: bool = False,
+    ) -> np.ndarray:
+        """Values of ``column`` at ``row_ids``, as one vectorised gather.
+
+        Semantically identical to ``column_array(column)[row_ids]`` — and
+        that is exactly what this base implementation does — but expressed
+        as a hook so residency-aware tables
+        (:class:`~repro.db.residency.LazyShardedTable`) can serve the gather
+        shard-at-a-time, pinning and faulting in one shard's segment at a
+        time instead of materialising the whole column.  Row order in the
+        result always matches ``row_ids`` order, so the access pattern a
+        subclass chooses is invisible to callers.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        return self.column_array(column, allow_hidden=allow_hidden)[ids]
+
     def value(self, row_id: int, column: str, allow_hidden: bool = False) -> Any:
         """Value of one cell."""
         column_def = self.schema.column(column)

@@ -295,9 +295,15 @@ class UserDefinedFunction:
         )
         if pending_array.size:
             if self.label_column is not None and table.schema.has_column(self.label_column):
-                labels = table.column_array(self.label_column, allow_hidden=True)
+                # gather_column (not column_array[...]): residency-managed
+                # tables serve the gather shard-at-a-time with the segment
+                # pinned, instead of materialising the whole label column.
                 fresh = np.asarray(
-                    labels[pending_array] == self.positive_value, dtype=bool
+                    table.gather_column(
+                        self.label_column, pending_array, allow_hidden=True
+                    )
+                    == self.positive_value,
+                    dtype=bool,
                 )
             else:
                 fresh = np.fromiter(

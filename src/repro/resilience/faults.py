@@ -35,6 +35,13 @@ Site                Address                Fires in
 ``segment_write``   ``(hit,)``             parent, mid segment atomic write
 ``journal_append``  ``(hit,)``             parent, mid journal record append
 ``segment_read``    ``(hit,)``             parent, before segment validation
+``segment_map``     ``(hit,)``             before a lazy segment map — parent
+                                           first-touch *and* worker direct
+                                           attach (one retry, then typed
+                                           ``SegmentMapError``)
+``segment_evict``   ``(hit,)``             parent, inside LRU eviction (the
+                                           logical drop still completes —
+                                           zero leaked mappings)
 ==================  =====================  ====================================
 
 ``kind`` decides the effect: ``crash`` (``os._exit`` — the pool breaks),

@@ -105,6 +105,17 @@ class ServiceConfig:
         :meth:`QueryService.save_warm_state` / :meth:`QueryService.close`
         write the warm state back.  ``None`` (the default) keeps the service
         fully in-memory.
+    memory_budget_bytes:
+        Residency budget for durable table segments, in bytes.  When set
+        (with ``storage_dir``), tables open *lazily*: segments map on first
+        touch and a :class:`~repro.db.residency.ResidencyManager` evicts
+        clean least-recently-used mappings to keep resident bytes at or
+        under the budget (pinned in-flight segments may transiently exceed
+        it by one shard's columns).  Crossing the high watermark sheds the
+        service caches; exceeding the budget outright (``critical``) sheds
+        new async admissions with :class:`~repro.serving.session.Overloaded`.
+        ``None`` (the default) keeps durable tables fully resident, exactly
+        as before.
     """
 
     executor: str = "serial"
@@ -124,6 +135,7 @@ class ServiceConfig:
     breaker_recovery_s: float = 30.0
     breaker_probes: int = 1
     storage_dir: Optional[str] = None
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -164,6 +176,10 @@ class ServiceConfig:
         if self.breaker_probes < 1:
             raise ValueError(
                 f"breaker_probes must be positive, got {self.breaker_probes}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError(
+                f"memory_budget_bytes must be positive, got {self.memory_budget_bytes}"
             )
 
 
@@ -217,7 +233,9 @@ SERVICE_STATS_SCHEMA: Dict[str, str] = {
         "in-process because the circuit breaker was open), retried_spans "
         "(process-pool spans retried after a transient fault), "
         "plan_restored (requests served from a plan-cache entry restored "
-        "from durable storage)"
+        "from durable storage), pressure_shed (async admissions shed under "
+        "critical memory pressure), pressure_cache_clears (cache sheds "
+        "triggered by the residency watermark)"
     ),
     "plan_cache": "LRUCache.snapshot() of the plan cache (hits, misses, size, ...)",
     "stats_cache": "LRUCache.snapshot() of the statistics cache",
@@ -248,6 +266,11 @@ SERVICE_STATS_SCHEMA: Dict[str, str] = {
         "rebuilds (rebuild-from-source recoveries), temp_files_cleaned — "
         "plus restore accounting for this service: restored_plans, "
         "restored_stats_entries, restored_group_indexes, restored_udf_memos, "
-        "restore_errors, and warm_state_saved (saves written by this service)"
+        "restore_errors, and warm_state_saved (saves written by this service); "
+        "when memory_budget_bytes is set, a 'residency' sub-dict — "
+        "ResidencyManager.snapshot(): budget_bytes, resident_bytes, "
+        "peak_resident_bytes, mapped_segments, pinned_segments, "
+        "pressure_level (ok/high/critical), maps, evictions, refaults, "
+        "map_faults, evict_faults, map_seconds_total"
     ),
 }

@@ -289,6 +289,8 @@ class QueryService:
             "deadline_exceeded": 0,
             "degraded": 0,
             "plan_restored": 0,
+            "pressure_shed": 0,
+            "pressure_cache_clears": 0,
         }
         # Per-path latency histograms (always on — plain instruments, not
         # routed through the opt-in registry, so ``metrics_snapshot()`` can
@@ -339,6 +341,17 @@ class QueryService:
             self._storage_counts = _persistence.restore_warm_state(
                 self, self._storage
             )
+        # Bounded-memory serving: when the catalog's durable tables were
+        # opened lazily (CatalogStore.open(residency=...)), adopt their
+        # ResidencyManager — a configured budget overrides the manager's,
+        # and watermark crossings degrade in order: caches first (high),
+        # then new async admissions (critical, via Overloaded).
+        self._residency = self._discover_residency()
+        self._pressure_level = "ok"
+        if self._residency is not None:
+            if self.config.memory_budget_bytes is not None:
+                self._residency.set_budget(self.config.memory_budget_bytes)
+            self._residency.add_pressure_callback(self._on_memory_pressure)
 
     # -- construction helpers -----------------------------------------------------
     def _default_strategy_factory(self, random_state: RandomState) -> IntelSample:
@@ -346,6 +359,37 @@ class QueryService:
             random_state=random_state,
             executor_factory=self._make_executor,
         )
+
+    def _discover_residency(self):
+        """The ResidencyManager behind this catalog's lazy tables, if any.
+
+        Lazily opened tables of one catalog share one manager
+        (:meth:`~repro.db.storage.CatalogStore.open` threads a single
+        ``residency=`` through every table store), so the first hit is the
+        catalog's manager.  Eagerly opened catalogs have none — the budget
+        then has nothing to bound and the service behaves exactly as before.
+        """
+        for name in self.catalog.table_names():
+            manager = getattr(self.catalog.table(name), "residency_manager", None)
+            if manager is not None:
+                return manager
+        return None
+
+    def _on_memory_pressure(self, level: str) -> None:
+        """Edge-triggered residency watermark callback (degradation order).
+
+        ``high`` (resident >= watermark * budget) sheds the plan/stats
+        caches — the cheapest reclaimable state, and dropping them also
+        releases cached column references that may be keeping evicted
+        mappings alive.  ``critical`` (pins holding residency over budget)
+        additionally sheds *new* async admissions in
+        :meth:`_admit_frontend`; in-flight requests always run to
+        completion.  Back at ``ok`` both degradations lift.
+        """
+        self._pressure_level = level
+        if level in ("high", "critical"):
+            self.clear_caches()
+            self._count("pressure_cache_clears")
 
     def _note_degraded(self, reason: str) -> None:
         """Record that the current request runs degraded (once per request)."""
@@ -723,6 +767,15 @@ class QueryService:
 
     def _admit_frontend(self, query_class: str) -> None:
         """Count a pending request in, or shed it with :class:`Overloaded`."""
+        if self._pressure_level == "critical":
+            # Memory pressure the evictor cannot relieve (pinned segments
+            # hold residency over budget): the admission limit is
+            # effectively zero until in-flight work unpins.
+            with self._frontend_lock:
+                pending = self._frontend_pending.get(query_class, 0)
+            self._count("pressure_shed")
+            self._count("shed")
+            raise Overloaded(query_class, pending, 0)
         limit = self.config.class_limits.get(query_class, self.config.max_pending)
         with self._frontend_lock:
             pending = self._frontend_pending.get(query_class, 0)
@@ -1351,6 +1404,11 @@ class QueryService:
             _discard_process_pool(workers)
         for name in self.catalog.table_names():
             release_exports(self.catalog.table(name))
+        if self._residency is not None:
+            # Nothing is in flight any more, so nothing should be pinned:
+            # drop every mapping this service's tables hold.  The leak gate
+            # (tests/leakcheck.py) asserts this leaves zero resident bytes.
+            self._residency.evict_all()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -1384,6 +1442,8 @@ class QueryService:
             storage = dict(storage_counters())
             storage.update(self._storage_counts)
             storage["warm_state_saved"] = self._warm_saves
+        if self._residency is not None:
+            storage["residency"] = self._residency.snapshot()
         return ServiceStats(
             serving=counters,
             plan_cache=self.plan_cache.snapshot(),

@@ -7,13 +7,17 @@ still leave the process (and its storage directory) clean —
 * zero exported shared-memory segments,
 * zero still-referenced segment-backed memmap arrays (after a collection
   pass drops garbage tables),
+* zero resident bytes and zero pinned segments across every live
+  :class:`~repro.db.residency.ResidencyManager` (a lazy table whose
+  manager outlives the test has leaked its mappings; in-flight pins must
+  all have been released),
 * zero ``.tmp`` files from interrupted atomic writes inside the directory
   under test.
 
 Import :func:`assert_no_leaked_resources` from suite ``conftest.py``
 autouse fixtures (``tests/resilience``, ``tests/storage``,
-``tests/core/test_process_executor.py``) so every suite asserts the same
-invariant the same way.
+``tests/residency``, ``tests/core/test_process_executor.py``) so every
+suite asserts the same invariant the same way.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import gc
 import os
 from typing import List, Optional
 
+from repro.db.residency import pinned_segments_total, resident_bytes_total
 from repro.db.shm import exported_segment_count, release_exports
 from repro.db.storage.segments import live_memmap_count
 
@@ -50,6 +55,12 @@ def assert_no_leaked_resources(directory: Optional[str] = None) -> None:
     gc.collect()
     assert live_memmap_count() == 0, (
         f"{live_memmap_count()} segment memmap handle(s) still referenced"
+    )
+    assert pinned_segments_total() == 0, (
+        f"{pinned_segments_total()} segment(s) still pinned after teardown"
+    )
+    assert resident_bytes_total() == 0, (
+        f"{resident_bytes_total()} byte(s) of segment mappings still resident"
     )
     if directory is not None and os.path.isdir(directory):
         stray = leaked_temp_files(directory)

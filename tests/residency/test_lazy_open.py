@@ -1,0 +1,177 @@
+"""Lazy TableStore.open: header-only validation, first-touch maps, parity."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.db.errors import CorruptSegmentError
+from repro.db.residency import (
+    LazySegmentTable,
+    LazyShardedTable,
+    ResidencyManager,
+)
+from repro.db.storage import TableStore, storage_counters
+
+
+def _flip_payload_byte(store):
+    """Flip one payload byte of one segment (header stays valid)."""
+    names = sorted(os.listdir(store.segments_dir))
+    path = os.path.join(store.segments_dir, names[0])
+    data = bytearray(open(path, "rb").read())
+    data[-3] ^= 0x08
+    open(path, "wb").write(bytes(data))
+    return path
+
+
+def _truncate_header(store):
+    """Destroy a segment's magic so even header validation fails."""
+    names = sorted(os.listdir(store.segments_dir))
+    path = os.path.join(store.segments_dir, names[0])
+    open(path, "wb").write(b"not a segment")
+    return path
+
+
+class TestHeaderOnlyOpen:
+    def test_open_validates_headers_without_reading_payloads(self, table, make_lazy):
+        lazy, manager, _ = make_lazy(table)
+        columns = len(table.schema.column_names)
+        counters = storage_counters()
+        # The satellite fix: open() must not read_segment() every column.
+        assert counters["segments_loaded"] == 0
+        assert counters["headers_validated"] == columns
+        assert manager.mapped_segments == 0
+        assert isinstance(lazy, LazySegmentTable)
+        assert lazy.is_lazy
+
+    def test_report_counts_deferred_segments(self, table, tmp_path):
+        store = TableStore(str(tmp_path / "rep"))
+        store.save(table)
+        _, report = store.open(residency=ResidencyManager())
+        columns = len(table.schema.column_names)
+        assert report.segments_deferred == columns
+        assert report.segments_loaded == 0
+        assert report.to_dict()["segments_deferred"] == columns
+
+    def test_sharded_open_defers_every_shard(self, sharded_table, make_lazy):
+        lazy, manager, _ = make_lazy(sharded_table)
+        assert isinstance(lazy, LazyShardedTable)
+        assert lazy.is_lazy
+        assert manager.mapped_segments == 0
+        assert storage_counters()["headers_validated"] == 4 * len(
+            sharded_table.schema.column_names
+        )
+
+    def test_first_touch_maps_exactly_one_segment(self, table, make_lazy):
+        lazy, manager, _ = make_lazy(table)
+        lazy.column_array("amount")
+        assert manager.mapped_segments == 1
+        assert storage_counters()["segments_loaded"] == 1
+
+
+class TestBitwiseParity:
+    def test_monolithic_values_match_the_eager_open(self, table, make_lazy, cells):
+        lazy, _, store = make_lazy(table)
+        eager, _ = store.open()
+        assert cells(lazy) == cells(eager)
+        assert lazy.shard_signature() == eager.shard_signature()
+
+    def test_sharded_values_match_the_eager_open(self, sharded_table, make_lazy, cells):
+        lazy, _, store = make_lazy(sharded_table, budget_bytes=3000)
+        eager, _ = store.open()
+        assert cells(lazy) == cells(eager)
+        assert tuple(lazy.shard_offsets) == tuple(eager.shard_offsets)
+        assert lazy.shard_signature() == eager.shard_signature()
+
+    def test_gather_matches_eager_under_tiny_budget(self, sharded_table, make_lazy):
+        lazy, manager, store = make_lazy(sharded_table, budget_bytes=1)
+        eager, _ = store.open()
+        rng = np.random.default_rng(3)
+        ids = rng.choice(sharded_table.num_rows, size=64, replace=False)
+        for column in sharded_table.schema.column_names:
+            got = lazy.gather_column(column, ids, allow_hidden=True)
+            want = eager.gather_column(column, ids, allow_hidden=True)
+            assert np.array_equal(np.asarray(got), np.asarray(want))
+        # A 1-byte budget can hold nothing: everything mapped was evicted.
+        assert manager.resident_bytes <= 1
+        assert manager.snapshot()["evictions"] > 0
+
+    def test_group_index_matches_eager(self, sharded_table, make_lazy):
+        lazy, _, store = make_lazy(sharded_table, budget_bytes=3000)
+        eager, _ = store.open()
+        lazy_index = lazy.group_index("A")
+        eager_index = eager.group_index("A")
+        assert list(lazy_index.values) == list(eager_index.values)
+        assert np.array_equal(lazy_index.codes, eager_index.codes)
+
+
+class TestDeferredCorruptionDetection:
+    def test_payload_bit_flip_passes_open_fails_first_touch(self, table, tmp_path):
+        store = TableStore(str(tmp_path / "corrupt"))
+        store.save(table)
+        _flip_payload_byte(store)
+        lazy, _ = store.open(residency=ResidencyManager())  # headers still fine
+        with pytest.raises(CorruptSegmentError):
+            for column in lazy.schema.column_names:
+                lazy.column_array(column, allow_hidden=True)
+        assert storage_counters()["checksum_failures"] >= 1
+
+    def test_destroyed_header_fails_at_open_time(self, table, tmp_path):
+        store = TableStore(str(tmp_path / "torn"))
+        store.save(table)
+        _truncate_header(store)
+        with pytest.raises(CorruptSegmentError):
+            store.open(residency=ResidencyManager())
+
+    def test_destroyed_header_rebuilds_from_source(self, table, tmp_path, cells):
+        store = TableStore(str(tmp_path / "rebuild"))
+        store.save(table)
+        _truncate_header(store)
+        loaded, report = store.open(
+            rebuild=lambda: table, residency=ResidencyManager()
+        )
+        assert report.rebuilt_from_source
+        assert cells(loaded) == cells(table)
+
+
+class TestMaterialisation:
+    def test_append_materialises_then_applies(self, table, make_lazy, cells):
+        lazy, manager, _ = make_lazy(table)
+        lazy.column_array("amount")
+        assert manager.mapped_segments == 1
+        delta = {
+            name: [table.column_values(name, allow_hidden=True)[0]]
+            for name in table.schema.column_names
+        }
+        lazy.append_columns(delta)
+        assert not lazy.is_lazy
+        assert lazy.num_rows == table.num_rows + 1
+        assert manager.resident_bytes == 0  # handles left the residency domain
+
+    def test_journal_replay_materialises_and_matches_eager(
+        self, table, tmp_path, cells, make_lazy
+    ):
+        store = TableStore(str(tmp_path / "journal"))
+        store.save(table)
+        delta = {
+            name: table.column_values(name, allow_hidden=True)[:5]
+            for name in table.schema.column_names
+        }
+        store.append(table, delta)
+        lazy, report = store.open(residency=ResidencyManager())
+        eager, _ = store.open()
+        assert report.journal_records_replayed == 1
+        assert not lazy.is_lazy  # replay appends, which materialises
+        assert cells(lazy) == cells(eager)
+
+    def test_checkpointed_table_stays_lazy_on_reopen(self, table, tmp_path):
+        store = TableStore(str(tmp_path / "ckpt"))
+        store.save(table)
+        delta = {
+            name: table.column_values(name, allow_hidden=True)[:5]
+            for name in table.schema.column_names
+        }
+        store.append(table, delta)
+        store.save(table)  # checkpoint absorbs the journal
+        lazy, _ = store.open(residency=ResidencyManager())
+        assert lazy.is_lazy
